@@ -1,0 +1,304 @@
+//! Branch predictor models.
+//!
+//! Front-end stalls (the paper's FE component) come from I-cache misses and
+//! branch mispredictions. The predictors here are the classic table-based
+//! designs; the hybrid (tournament) model approximates the Itanium 2's
+//! multilevel predictor.
+
+/// A dynamic branch predictor: predicts, observes the outcome, updates.
+pub trait BranchPredictor {
+    /// Feeds one branch through the predictor. Returns `true` if the
+    /// prediction was *correct*.
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool;
+
+    /// Resets all predictor state.
+    fn reset(&mut self);
+}
+
+/// Two-bit saturating counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Counter2(u8);
+
+impl Counter2 {
+    #[inline]
+    fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    #[inline]
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// Per-PC two-bit counters ("bimodal" predictor).
+///
+/// ```
+/// use fuzzyphase_arch::{Bimodal, BranchPredictor};
+/// let mut p = Bimodal::new(10);
+/// // An always-taken branch trains quickly.
+/// p.predict_and_update(0x40, true);
+/// p.predict_and_update(0x40, true);
+/// assert!(p.predict_and_update(0x40, true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<Counter2>,
+    mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `2^table_bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bits` is 0 or greater than 24.
+    pub fn new(table_bits: u32) -> Self {
+        assert!((1..=24).contains(&table_bits), "table_bits in 1..=24");
+        let n = 1usize << table_bits;
+        Self {
+            // Weakly taken initial state avoids a cold-start bias toward
+            // not-taken loops.
+            table: vec![Counter2(2); n],
+            mask: (n - 1) as u64,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        // Drop the low bits that are constant for aligned branches.
+        ((pc >> 2) & self.mask) as usize
+    }
+}
+
+impl BranchPredictor for Bimodal {
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let idx = self.index(pc);
+        let predicted = self.table[idx].predict();
+        self.table[idx].update(taken);
+        predicted == taken
+    }
+
+    fn reset(&mut self) {
+        for c in &mut self.table {
+            *c = Counter2(2);
+        }
+    }
+}
+
+/// Gshare: global history XORed with the PC indexes a counter table.
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<Counter2>,
+    mask: u64,
+    history: u64,
+    history_bits: u32,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor with `2^table_bits` counters and a
+    /// history register of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bits` is 0 or greater than 24.
+    pub fn new(table_bits: u32) -> Self {
+        assert!((1..=24).contains(&table_bits), "table_bits in 1..=24");
+        let n = 1usize << table_bits;
+        Self {
+            table: vec![Counter2(2); n],
+            mask: (n - 1) as u64,
+            history: 0,
+            history_bits: table_bits,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) & self.mask) as usize
+    }
+}
+
+impl BranchPredictor for Gshare {
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let idx = self.index(pc);
+        let predicted = self.table[idx].predict();
+        self.table[idx].update(taken);
+        self.history = ((self.history << 1) | u64::from(taken)) & ((1 << self.history_bits) - 1);
+        predicted == taken
+    }
+
+    fn reset(&mut self) {
+        for c in &mut self.table {
+            *c = Counter2(2);
+        }
+        self.history = 0;
+    }
+}
+
+/// Tournament predictor: a chooser table selects between bimodal and
+/// gshare per branch.
+#[derive(Debug, Clone)]
+pub struct HybridPredictor {
+    bimodal: Bimodal,
+    gshare: Gshare,
+    chooser: Vec<Counter2>,
+    mask: u64,
+}
+
+impl HybridPredictor {
+    /// Creates a tournament predictor; each component table has
+    /// `2^table_bits` entries.
+    pub fn new(table_bits: u32) -> Self {
+        let n = 1usize << table_bits;
+        Self {
+            bimodal: Bimodal::new(table_bits),
+            gshare: Gshare::new(table_bits),
+            chooser: vec![Counter2(2); n],
+            mask: (n - 1) as u64,
+        }
+    }
+}
+
+impl BranchPredictor for HybridPredictor {
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let cidx = ((pc >> 2) & self.mask) as usize;
+        // Chooser counter >= 2 means "trust gshare".
+        let use_gshare = self.chooser[cidx].predict();
+        let bi_correct = self.bimodal.predict_and_update(pc, taken);
+        let gs_correct = self.gshare.predict_and_update(pc, taken);
+        // Train the chooser toward whichever component was right.
+        if gs_correct != bi_correct {
+            self.chooser[cidx].update(gs_correct);
+        }
+        if use_gshare {
+            gs_correct
+        } else {
+            bi_correct
+        }
+    }
+
+    fn reset(&mut self) {
+        self.bimodal.reset();
+        self.gshare.reset();
+        for c in &mut self.chooser {
+            *c = Counter2(2);
+        }
+    }
+}
+
+/// Constructs the predictor a [`MachineConfig`](crate::MachineConfig)
+/// asks for.
+pub fn build_predictor(kind: crate::config::BranchPredictorKind) -> Box<dyn BranchPredictor + Send> {
+    use crate::config::BranchPredictorKind::*;
+    match kind {
+        Bimodal { table_bits } => Box::new(self::Bimodal::new(table_bits)),
+        Gshare { table_bits } => Box::new(self::Gshare::new(table_bits)),
+        Hybrid { table_bits } => Box::new(self::HybridPredictor::new(table_bits)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyphase_stats::seeded_rng;
+    use rand::Rng;
+
+    fn accuracy<P: BranchPredictor>(p: &mut P, stream: &[(u64, bool)]) -> f64 {
+        let correct = stream
+            .iter()
+            .filter(|&&(pc, t)| p.predict_and_update(pc, t))
+            .count();
+        correct as f64 / stream.len() as f64
+    }
+
+    fn biased_stream(n: usize, bias: f64, pcs: usize, seed: u64) -> Vec<(u64, bool)> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|_| {
+                let pc = 0x1000 + 4 * rng.gen_range(0..pcs as u64);
+                (pc, rng.gen::<f64>() < bias)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bimodal_learns_biased_branches() {
+        let mut p = Bimodal::new(12);
+        let stream = biased_stream(20_000, 0.95, 64, 1);
+        assert!(accuracy(&mut p, &stream) > 0.90);
+    }
+
+    #[test]
+    fn gshare_learns_patterned_branch() {
+        // Period-4 pattern TTTN is hopeless for bimodal (75% at best) but
+        // easy for global history.
+        let pattern = [true, true, true, false];
+        let stream: Vec<(u64, bool)> =
+            (0..20_000).map(|i| (0x40u64, pattern[i % 4])).collect();
+        let mut gs = Gshare::new(12);
+        let mut bi = Bimodal::new(12);
+        let acc_gs = accuracy(&mut gs, &stream);
+        let acc_bi = accuracy(&mut bi, &stream);
+        assert!(acc_gs > 0.98, "gshare: {acc_gs}");
+        assert!(acc_bi < 0.90, "bimodal unexpectedly good: {acc_bi}");
+    }
+
+    #[test]
+    fn hybrid_tracks_the_better_component() {
+        let pattern = [true, true, false, true, false, false];
+        let stream: Vec<(u64, bool)> =
+            (0..30_000).map(|i| (0x80u64, pattern[i % 6])).collect();
+        let mut hy = HybridPredictor::new(12);
+        let mut bi = Bimodal::new(12);
+        let acc_hy = accuracy(&mut hy, &stream);
+        let acc_bi = accuracy(&mut bi, &stream);
+        assert!(acc_hy > acc_bi, "hybrid {acc_hy} <= bimodal {acc_bi}");
+    }
+
+    #[test]
+    fn random_branches_are_unpredictable() {
+        let mut p = HybridPredictor::new(12);
+        let stream = biased_stream(40_000, 0.5, 256, 2);
+        let acc = accuracy(&mut p, &stream);
+        assert!((acc - 0.5).abs() < 0.05, "accuracy {acc}");
+    }
+
+    #[test]
+    fn reset_restores_initial_behaviour() {
+        let mut p = Gshare::new(8);
+        let stream = biased_stream(5_000, 0.1, 16, 3);
+        accuracy(&mut p, &stream);
+        p.reset();
+        let mut fresh = Gshare::new(8);
+        let probe = biased_stream(100, 0.9, 4, 4);
+        assert_eq!(accuracy(&mut p, &probe), accuracy(&mut fresh, &probe));
+    }
+
+    #[test]
+    fn build_predictor_dispatches() {
+        use crate::config::BranchPredictorKind;
+        for kind in [
+            BranchPredictorKind::Bimodal { table_bits: 8 },
+            BranchPredictorKind::Gshare { table_bits: 8 },
+            BranchPredictorKind::Hybrid { table_bits: 8 },
+        ] {
+            let mut p = build_predictor(kind);
+            // Smoke: train an always-taken branch.
+            for _ in 0..8 {
+                p.predict_and_update(0x10, true);
+            }
+            assert!(p.predict_and_update(0x10, true));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "table_bits")]
+    fn rejects_zero_bits() {
+        Bimodal::new(0);
+    }
+}

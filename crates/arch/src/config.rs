@@ -1,0 +1,282 @@
+//! Machine configurations and the three hardware presets from the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub associativity: u32,
+    /// Access latency in cycles when this level hits.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// Creates a cache configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless sizes are powers of two, the line fits the cache, and
+    /// the capacity divides evenly into sets.
+    pub fn new(size_bytes: u64, line_bytes: u64, associativity: u32, hit_latency: u32) -> Self {
+        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(associativity > 0, "associativity must be positive");
+        assert!(
+            size_bytes >= line_bytes * associativity as u64,
+            "cache must hold at least one set"
+        );
+        assert_eq!(
+            size_bytes % (line_bytes * associativity as u64),
+            0,
+            "capacity must divide into whole sets"
+        );
+        let num_sets = size_bytes / (line_bytes * associativity as u64);
+        assert!(
+            num_sets.is_power_of_two(),
+            "number of sets must be a power of two for index masking"
+        );
+        Self {
+            size_bytes,
+            line_bytes,
+            associativity,
+            hit_latency,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.associativity as u64)
+    }
+}
+
+/// Branch predictor flavor for a machine preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BranchPredictorKind {
+    /// Per-PC 2-bit saturating counters.
+    Bimodal {
+        /// log2 of the counter-table size.
+        table_bits: u32,
+    },
+    /// Global-history XOR PC indexed 2-bit counters.
+    Gshare {
+        /// log2 of the counter-table size (also history length).
+        table_bits: u32,
+    },
+    /// Tournament of bimodal and gshare with a chooser table.
+    Hybrid {
+        /// log2 of each component table size.
+        table_bits: u32,
+    },
+}
+
+/// Full description of a simulated machine.
+///
+/// The fields marked *paper* correspond to hardware the paper describes in
+/// §2.2 and §7.1; the rest parameterize the interval performance model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Human-readable name ("itanium2", "pentium4", "xeon").
+    pub name: String,
+    /// Core clock in MHz (paper: 900 / 2300 / 2000).
+    pub frequency_mhz: u32,
+    /// Peak sustainable issue width in instructions per cycle.
+    pub issue_width: u32,
+    /// First-level instruction cache (paper: 64 KB split L1).
+    pub l1i: CacheConfig,
+    /// First-level data cache.
+    pub l1d: CacheConfig,
+    /// Unified second-level cache (paper: 256 KB).
+    pub l2: CacheConfig,
+    /// Unified third-level cache (paper: 3 MB on Itanium 2; absent on the
+    /// Pentium 4 preset).
+    pub l3: Option<CacheConfig>,
+    /// Main-memory access latency in cycles beyond the last cache level.
+    pub memory_latency: u32,
+    /// Branch misprediction penalty in cycles.
+    pub mispredict_penalty: u32,
+    /// Branch predictor flavor.
+    pub branch_predictor: BranchPredictorKind,
+    /// Memory-level parallelism: how many outstanding long-latency misses
+    /// overlap on average. 1.0 models a stall-on-use in-order core; > 1
+    /// models out-of-order overlap.
+    pub mlp: f64,
+    /// Data TLB entries (fully associative model).
+    pub dtlb_entries: usize,
+    /// TLB miss penalty in cycles (hardware page walk).
+    pub tlb_miss_penalty: u32,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Fixed cycle cost charged to OTHER on each context switch (register
+    /// save/restore, kernel scheduler path). Cache pollution is *not* in
+    /// this number — it emerges from the address-space tags in the cache
+    /// model. NOTE: expressed in the same (possibly scaled) cycle units as
+    /// quantum execution; at the workspace's 1000:1 instruction scale a
+    /// value of 5 stands for ~5000 real cycles.
+    pub context_switch_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The Itanium 2 preset: 4 × 900 MHz, in-order EPIC core, 64 KB split
+    /// L1, 256 KB L2, 3 MB L3 (§2.2).
+    ///
+    /// Memory latency ≈ 250 ns ≈ 225 cycles at 900 MHz. MLP is 1.0: the
+    /// in-order pipeline exposes nearly the full L3 miss latency, which is
+    /// exactly why L3 misses dominate CPI for ODB-C (§5.1).
+    pub fn itanium2() -> Self {
+        Self {
+            name: "itanium2".to_string(),
+            frequency_mhz: 900,
+            issue_width: 6,
+            l1i: CacheConfig::new(32 * 1024, 64, 4, 1),
+            l1d: CacheConfig::new(32 * 1024, 64, 4, 1),
+            l2: CacheConfig::new(256 * 1024, 128, 8, 6),
+            // The real chip's 3 MB 12-way L3 is rounded to the nearest
+            // power-of-two geometry the set-indexed model supports.
+            l3: Some(CacheConfig::new(4 * 1024 * 1024, 128, 8, 14)),
+            memory_latency: 225,
+            mispredict_penalty: 6,
+            branch_predictor: BranchPredictorKind::Hybrid { table_bits: 12 },
+            mlp: 1.0,
+            dtlb_entries: 128,
+            tlb_miss_penalty: 25,
+            page_bytes: 16 * 1024,
+            context_switch_cycles: 5,
+        }
+    }
+
+    /// The Pentium 4 preset: 2.3 GHz, deep out-of-order pipeline, small L1,
+    /// 512 KB L2, **no L3** (§7.1).
+    ///
+    /// The missing L3 makes memory misses both more frequent and relatively
+    /// longer (more core cycles per DRAM access), which is why the paper
+    /// observes *higher CPI variance* on this machine.
+    pub fn pentium4() -> Self {
+        Self {
+            name: "pentium4".to_string(),
+            frequency_mhz: 2300,
+            issue_width: 3,
+            l1i: CacheConfig::new(16 * 1024, 64, 4, 1),
+            l1d: CacheConfig::new(8 * 1024, 64, 4, 2),
+            l2: CacheConfig::new(512 * 1024, 128, 8, 18),
+            l3: None,
+            memory_latency: 450,
+            mispredict_penalty: 20,
+            branch_predictor: BranchPredictorKind::Gshare { table_bits: 12 },
+            mlp: 2.0,
+            dtlb_entries: 64,
+            tlb_miss_penalty: 50,
+            page_bytes: 4 * 1024,
+            context_switch_cycles: 10,
+        }
+    }
+
+    /// The Xeon preset: 2.0 GHz out-of-order core with a 1 MB L3 (§7.1).
+    pub fn xeon() -> Self {
+        Self {
+            name: "xeon".to_string(),
+            frequency_mhz: 2000,
+            issue_width: 3,
+            l1i: CacheConfig::new(16 * 1024, 64, 4, 1),
+            l1d: CacheConfig::new(16 * 1024, 64, 4, 2),
+            l2: CacheConfig::new(512 * 1024, 128, 8, 16),
+            l3: Some(CacheConfig::new(1024 * 1024, 128, 8, 30)),
+            memory_latency: 400,
+            mispredict_penalty: 18,
+            branch_predictor: BranchPredictorKind::Hybrid { table_bits: 12 },
+            mlp: 1.8,
+            dtlb_entries: 64,
+            tlb_miss_penalty: 45,
+            page_bytes: 4 * 1024,
+            context_switch_cycles: 9,
+        }
+    }
+
+    /// Cycles per second for timestamp conversion.
+    pub fn cycles_per_second(&self) -> f64 {
+        self.frequency_mhz as f64 * 1e6
+    }
+
+    /// Round-trip latency in cycles for a demand access that hits at
+    /// `level` (cumulative over the levels probed on the way).
+    pub fn latency_to(&self, level: crate::cache::HitLevel) -> u64 {
+        use crate::cache::HitLevel::*;
+        let l1 = self.l1d.hit_latency as u64;
+        let l2 = l1 + self.l2.hit_latency as u64;
+        let l3 = l2 + self.l3.map_or(0, |c| c.hit_latency as u64);
+        match level {
+            L1 => l1,
+            L2 => l2,
+            L3 => l3,
+            Memory => l3 + self.memory_latency as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::HitLevel;
+
+    #[test]
+    fn presets_are_well_formed() {
+        for cfg in [
+            MachineConfig::itanium2(),
+            MachineConfig::pentium4(),
+            MachineConfig::xeon(),
+        ] {
+            assert!(cfg.issue_width >= 1);
+            assert!(cfg.mlp >= 1.0);
+            assert!(cfg.l1d.num_sets() > 0);
+        }
+    }
+
+    #[test]
+    fn itanium2_matches_paper_geometry() {
+        let cfg = MachineConfig::itanium2();
+        // 64 KB split L1 = 32 KB I + 32 KB D.
+        assert_eq!(cfg.l1i.size_bytes + cfg.l1d.size_bytes, 64 * 1024);
+        assert_eq!(cfg.l2.size_bytes, 256 * 1024);
+        // 3 MB-class L3 (rounded up to the next power of two for the
+        // set-associative model).
+        assert!(cfg.l3.expect("has L3").size_bytes >= 3 * 1024 * 1024);
+        assert_eq!(cfg.frequency_mhz, 900);
+    }
+
+    #[test]
+    fn pentium4_has_no_l3() {
+        assert!(MachineConfig::pentium4().l3.is_none());
+    }
+
+    #[test]
+    fn latency_is_monotone_in_level() {
+        let cfg = MachineConfig::itanium2();
+        assert!(cfg.latency_to(HitLevel::L1) < cfg.latency_to(HitLevel::L2));
+        assert!(cfg.latency_to(HitLevel::L2) < cfg.latency_to(HitLevel::L3));
+        assert!(cfg.latency_to(HitLevel::L3) < cfg.latency_to(HitLevel::Memory));
+    }
+
+    #[test]
+    fn memory_latency_dominates_on_itanium() {
+        // The mechanism behind the paper's central ODB-C result: one memory
+        // access costs two orders of magnitude more than an L1 hit.
+        let cfg = MachineConfig::itanium2();
+        assert!(cfg.latency_to(HitLevel::Memory) > 100 * cfg.latency_to(HitLevel::L1));
+    }
+
+    #[test]
+    fn num_sets() {
+        let c = CacheConfig::new(32 * 1024, 64, 4, 1);
+        assert_eq!(c.num_sets(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_size() {
+        CacheConfig::new(3000, 64, 4, 1);
+    }
+}

@@ -1,0 +1,396 @@
+//! The core performance model: turns [`Quantum`]s into cycles and
+//! maintains the event counters the profiler samples.
+
+use crate::branch::{build_predictor, BranchPredictor};
+use crate::cache::{HitLevel, MemoryHierarchy};
+use crate::config::MachineConfig;
+use crate::events::{CounterSet, CpiBreakdown};
+use crate::quantum::Quantum;
+use crate::tlb::Tlb;
+
+/// Cycle cost and component breakdown of one executed quantum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantumResult {
+    /// Total cycles consumed (rounded up from the analytic model).
+    pub cycles: u64,
+    /// Cycle breakdown (in cycles, not CPI units).
+    pub breakdown: CpiBreakdown,
+    /// Weighted memory (last-level-miss) accesses in this quantum — what
+    /// a shared bus or interconnect would see.
+    pub memory_accesses: f64,
+}
+
+/// One simulated core: caches + TLB + branch predictor + interval model.
+///
+/// The model is *interval-analytic*: each quantum's sampled event streams
+/// run through the structural models (which carry state across quanta, so
+/// thrashing and pollution behave realistically), and the resulting miss
+/// and misprediction counts convert to stall cycles via the machine's
+/// latency parameters:
+///
+/// * `WORK = instructions × base_cpi / issue_efficiency`
+/// * `FE   = Σ icache-miss latency + mispredicts × penalty`
+/// * `EXE  = Σ data-miss latency ÷ MLP`
+/// * `OTHER = TLB walks + direct hazard cycles + context-switch cost`
+pub struct Core {
+    config: MachineConfig,
+    hierarchy: MemoryHierarchy,
+    dtlb: Tlb,
+    predictor: Box<dyn BranchPredictor + Send>,
+    // Cumulative f64 accumulators (converted to integer counters on read).
+    cycles: f64,
+    fe_cycles: f64,
+    exe_cycles: f64,
+    other_cycles: f64,
+    counters: CounterSet,
+    l1d_miss_acc: f64,
+    l2_miss_acc: f64,
+    l3_miss_acc: f64,
+    dtlb_miss_acc: f64,
+    os_instructions: u64,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("config", &self.config.name)
+            .field("cycles", &self.cycles)
+            .field("instructions", &self.counters.instructions)
+            .finish()
+    }
+}
+
+impl Core {
+    /// Creates a core with cold caches and predictor.
+    pub fn new(config: MachineConfig) -> Self {
+        let hierarchy = MemoryHierarchy::new(&config);
+        let dtlb = Tlb::new(config.dtlb_entries, config.page_bytes);
+        let predictor = build_predictor(config.branch_predictor);
+        Self {
+            config,
+            hierarchy,
+            dtlb,
+            predictor,
+            cycles: 0.0,
+            fe_cycles: 0.0,
+            exe_cycles: 0.0,
+            other_cycles: 0.0,
+            counters: CounterSet::default(),
+            l1d_miss_acc: 0.0,
+            l2_miss_acc: 0.0,
+            l3_miss_acc: 0.0,
+            dtlb_miss_acc: 0.0,
+            os_instructions: 0,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Executes one quantum, advancing time and counters.
+    pub fn execute(&mut self, q: &Quantum) -> QuantumResult {
+        let cfg = &self.config;
+        let l1d_lat = cfg.latency_to(HitLevel::L1);
+
+        // --- Front end: instruction fetch + branch prediction. ---
+        let mut fe = 0.0;
+        let mut icache_misses = 0u64;
+        for &addr in &q.fetch_addrs {
+            let level = self.hierarchy.fetch_inst(addr);
+            if level != HitLevel::L1 {
+                icache_misses += 1;
+                // The penalty is the cumulative latency beyond the (free,
+                // pipelined) L1I hit.
+                let penalty = cfg.latency_to(level) - cfg.l1i.hit_latency as u64;
+                fe += penalty as f64 * q.fetch_scale;
+            }
+        }
+
+        let mut mispredicts = 0u64;
+        for b in &q.branches {
+            if !self.predictor.predict_and_update(b.pc, b.taken) {
+                mispredicts += 1;
+            }
+        }
+        fe += mispredicts as f64 * cfg.mispredict_penalty as f64 * q.branch_scale;
+
+        // --- Execution: demand data misses. ---
+        let mut exe = 0.0;
+        let mut l1d_misses = 0.0f64;
+        let mut l2_misses = 0.0f64;
+        let mut l3_misses = 0.0f64;
+        let mut dtlb_misses = 0.0f64;
+        for a in &q.data {
+            if !self.dtlb.access(a.addr) {
+                dtlb_misses += a.weight;
+            }
+            let level = self.hierarchy.access_data(a.addr, a.kind);
+            if level != HitLevel::L1 {
+                l1d_misses += a.weight;
+                if level == HitLevel::L3 || level == HitLevel::Memory {
+                    l2_misses += a.weight;
+                }
+                if level == HitLevel::Memory {
+                    l3_misses += a.weight;
+                }
+                let penalty = cfg.latency_to(level) - l1d_lat;
+                exe += penalty as f64 * a.weight * a.stall_factor / cfg.mlp;
+            }
+        }
+
+        // --- Other back-end stalls. ---
+        let other = dtlb_misses * cfg.tlb_miss_penalty as f64 + q.hazard_cycles;
+
+        // --- Work. ---
+        let work = q.instructions as f64 * q.base_cpi;
+
+        let total = work + fe + exe + other;
+
+        // Accumulate.
+        self.cycles += total;
+        self.fe_cycles += fe;
+        self.exe_cycles += exe;
+        self.other_cycles += other;
+        self.counters.instructions += q.instructions;
+        self.l1d_miss_acc += l1d_misses;
+        self.l2_miss_acc += l2_misses;
+        self.l3_miss_acc += l3_misses;
+        self.counters.icache_misses += (icache_misses as f64 * q.fetch_scale).round() as u64;
+        self.counters.branches += (q.branches.len() as f64 * q.branch_scale).round() as u64;
+        self.counters.branch_mispredicts += (mispredicts as f64 * q.branch_scale).round() as u64;
+        self.dtlb_miss_acc += dtlb_misses;
+        if q.is_os {
+            self.os_instructions += q.instructions;
+        }
+
+        QuantumResult {
+            cycles: total.ceil() as u64,
+            breakdown: CpiBreakdown {
+                work,
+                fe,
+                exe,
+                other,
+            },
+            memory_accesses: l3_misses,
+        }
+    }
+
+    /// Charges externally-computed stall cycles to the EXE component —
+    /// used by the SMP bus model for memory-contention queueing delay.
+    pub fn add_exe_stall(&mut self, cycles: f64) {
+        assert!(cycles >= 0.0 && cycles.is_finite(), "stall must be finite and >= 0");
+        self.cycles += cycles;
+        self.exe_cycles += cycles;
+    }
+
+    /// Charges the fixed context-switch cost (OTHER component). Cache and
+    /// TLB pollution is modelled by the incoming thread's address-space
+    /// tags, not here.
+    pub fn context_switch(&mut self) {
+        let cost = self.config.context_switch_cycles as f64;
+        self.cycles += cost;
+        self.other_cycles += cost;
+        self.counters.context_switches += 1;
+    }
+
+    /// Snapshot of the event counters (cycle accumulators rounded).
+    pub fn counters(&self) -> CounterSet {
+        CounterSet {
+            cycles: self.cycles.round() as u64,
+            stall_fe_cycles: self.fe_cycles.round() as u64,
+            stall_exe_cycles: self.exe_cycles.round() as u64,
+            stall_other_cycles: self.other_cycles.round() as u64,
+            l1d_misses: self.l1d_miss_acc.round() as u64,
+            l2_misses: self.l2_miss_acc.round() as u64,
+            l3_misses: self.l3_miss_acc.round() as u64,
+            dtlb_misses: self.dtlb_miss_acc.round() as u64,
+            ..self.counters
+        }
+    }
+
+    /// Total simulated cycles so far (the simulated time-stamp counter).
+    pub fn cycle(&self) -> u64 {
+        self.cycles.round() as u64
+    }
+
+    /// Simulated wall-clock seconds elapsed.
+    pub fn seconds(&self) -> f64 {
+        self.cycles / self.config.cycles_per_second()
+    }
+
+    /// Instructions retired inside OS code.
+    pub fn os_instructions(&self) -> u64 {
+        self.os_instructions
+    }
+
+    /// The cache hierarchy (inspection/tests).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantum::{BranchEvent, DataAccess};
+
+    #[test]
+    fn compute_only_quantum_costs_work_only() {
+        let mut core = Core::new(MachineConfig::itanium2());
+        let q = Quantum::compute(0x100, 1000).with_base_cpi(0.5);
+        let r = core.execute(&q);
+        assert_eq!(r.breakdown.fe, 0.0);
+        assert_eq!(r.breakdown.exe, 0.0);
+        assert_eq!(r.breakdown.other, 0.0);
+        assert_eq!(r.breakdown.work, 500.0);
+        assert_eq!(r.cycles, 500);
+    }
+
+    #[test]
+    fn memory_misses_charge_exe() {
+        let mut core = Core::new(MachineConfig::itanium2());
+        // 16 distinct cold lines.
+        let addrs: Vec<DataAccess> = (0..16)
+            .map(|i| DataAccess::read(0x10_0000 + i * 4096))
+            .collect();
+        let q = Quantum::compute(0x100, 100).with_data(addrs);
+        let r = core.execute(&q);
+        assert!(r.breakdown.exe > 0.0);
+        let c = core.counters();
+        assert_eq!(c.l3_misses, 16);
+        assert_eq!(c.l1d_misses, 16);
+    }
+
+    #[test]
+    fn repeated_access_becomes_cheap() {
+        let mut core = Core::new(MachineConfig::itanium2());
+        let addrs: Vec<DataAccess> = (0..8).map(|i| DataAccess::read(i * 64)).collect();
+        // (sequential lines: the folded index spreads them across sets)
+        let cold = core.execute(&Quantum::compute(0x100, 100).with_data(addrs.clone()));
+        let warm = core.execute(&Quantum::compute(0x100, 100).with_data(addrs));
+        assert!(warm.breakdown.exe < cold.breakdown.exe);
+        assert_eq!(warm.breakdown.exe, 0.0, "all hits in L1 second time");
+    }
+
+    #[test]
+    fn l3_miss_dominates_breakdown_on_itanium() {
+        // The §5.1 mechanism: a workload whose accesses always miss L3
+        // spends most of its CPI in EXE.
+        let mut core = Core::new(MachineConfig::itanium2());
+        let mut next = 0u64;
+        let mut total = CpiBreakdown::default();
+        for _ in 0..200 {
+            let addrs: Vec<DataAccess> = (0..20)
+                .map(|_| {
+                    next += 64 * 1024; // stride far beyond L3 capacity reuse
+                    DataAccess::read(next).with_weight(5.0)
+                })
+                .collect();
+            // Each sampled access stands for 5 real ones; 1000 instructions.
+            let q = Quantum::compute(0x100, 1000)
+                .with_base_cpi(0.6)
+                .with_data(addrs);
+            total += core.execute(&q).breakdown;
+        }
+        assert!(
+            total.exe_fraction() > 0.5,
+            "EXE fraction {} should dominate",
+            total.exe_fraction()
+        );
+    }
+
+    #[test]
+    fn mispredicts_charge_fe() {
+        let mut core = Core::new(MachineConfig::itanium2());
+        // Random outcomes on one PC: about half mispredict.
+        let branches: Vec<BranchEvent> = (0..1000)
+            .map(|i| BranchEvent {
+                pc: 0x40,
+                taken: (i * 2654435761u64) % 3 == 0,
+            })
+            .collect();
+        let q = Quantum::compute(0x100, 1000).with_branches(branches, 1.0);
+        let r = core.execute(&q);
+        assert!(r.breakdown.fe > 0.0);
+        assert!(core.counters().branch_mispredicts > 0);
+    }
+
+    #[test]
+    fn context_switch_adds_other_cycles() {
+        let mut core = Core::new(MachineConfig::itanium2());
+        let before = core.cycle();
+        core.context_switch();
+        assert_eq!(
+            core.cycle() - before,
+            MachineConfig::itanium2().context_switch_cycles
+        );
+        assert_eq!(core.counters().context_switches, 1);
+    }
+
+    #[test]
+    fn counters_cpi_matches_breakdown() {
+        let mut core = Core::new(MachineConfig::xeon());
+        for i in 0..50 {
+            let addrs: Vec<DataAccess> = (0..10)
+                .map(|j| DataAccess::read(i * 64 * 1024 + j * 128).with_weight(2.0))
+                .collect();
+            core.execute(&Quantum::compute(0x100, 500).with_data(addrs));
+        }
+        let c = core.counters();
+        let b = c.cpi_breakdown();
+        assert!((b.total() - c.cpi()).abs() < 0.01);
+        assert!(c.cpi() > 0.0);
+    }
+
+    #[test]
+    fn os_instruction_accounting() {
+        let mut core = Core::new(MachineConfig::itanium2());
+        core.execute(&Quantum::compute(0x1, 100));
+        core.execute(&Quantum::compute(0x2, 300).as_os());
+        assert_eq!(core.os_instructions(), 300);
+        assert_eq!(core.counters().instructions, 400);
+    }
+
+    #[test]
+    fn hazard_cycles_charge_other() {
+        let mut core = Core::new(MachineConfig::itanium2());
+        let r = core.execute(&Quantum::compute(0x1, 10).with_hazard_cycles(123.0));
+        assert_eq!(r.breakdown.other, 123.0);
+    }
+
+    #[test]
+    fn seconds_follow_frequency() {
+        let mut core = Core::new(MachineConfig::itanium2());
+        core.execute(&Quantum::compute(0x1, 900).with_base_cpi(1.0));
+        // 900 cycles at 900 MHz = 1 microsecond.
+        assert!((core.seconds() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pentium4_memory_miss_costs_more_cycles() {
+        // No L3 + higher frequency: each memory access costs more core
+        // cycles — the §7.1 variance mechanism.
+        let mut it2 = Core::new(MachineConfig::itanium2());
+        let mut p4 = Core::new(MachineConfig::pentium4());
+        // 8192 distinct lines (1 MB of cache lines): more than the P4's
+        // 512 KB L2 can hold, comfortably within the Itanium's 4 MB L3.
+        let addrs: Vec<DataAccess> = (0..8192)
+            .map(|i| DataAccess::read(0x900_0000 + i * 2048))
+            .collect();
+        let q = Quantum::compute(0x100, 100).with_data(addrs);
+        let r_it2 = it2.execute(&q);
+        let r_p4 = p4.execute(&q);
+        // Compare per-access penalty in cycles adjusted by MLP: P4 misses
+        // go straight to memory at 450 cycles / 2.0 MLP = 225 vs Itanium's
+        // 225+21 / 1.0 ≈ 246 — close; but P4 re-references miss again since
+        // there is no L3 to hold them. Re-run the same addresses:
+        let r_it2_warm = it2.execute(&q);
+        let r_p4_warm = p4.execute(&q);
+        assert!(r_it2_warm.breakdown.exe < r_it2.breakdown.exe * 0.2,
+            "Itanium L3 absorbs the re-references");
+        assert!(r_p4_warm.breakdown.exe > r_p4.breakdown.exe * 0.5,
+            "P4 keeps missing to memory");
+    }
+}

@@ -1,0 +1,281 @@
+//! Event counters and the four-component CPI breakdown.
+//!
+//! These mirror the embedded performance counters the paper reads through
+//! VTune: retired instructions, clockticks, and per-category stall cycles
+//! (§5.1 notes the Itanium 2 counters make the breakdown "precise"; our
+//! simulated counters are exact by construction).
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Sub};
+
+/// Cycle breakdown into the paper's four CPI components.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CpiBreakdown {
+    /// Cycles spent executing instructions (useful work).
+    pub work: f64,
+    /// Front-end stall cycles: I-cache misses + branch mispredictions.
+    pub fe: f64,
+    /// Data-cache miss stall cycles (in the paper, mostly L3 misses).
+    pub exe: f64,
+    /// Remaining back-end stalls: TLB misses, hazards, context-switch cost.
+    pub other: f64,
+}
+
+impl CpiBreakdown {
+    /// Total cycles across all components.
+    pub fn total(&self) -> f64 {
+        self.work + self.fe + self.exe + self.other
+    }
+
+    /// Fraction of total contributed by the EXE (data-miss) component;
+    /// 0.0 when total is zero.
+    pub fn exe_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.exe / t
+        }
+    }
+
+    /// Scales every component (used to convert cycles to CPI by dividing
+    /// by instruction count).
+    pub fn scaled(&self, factor: f64) -> CpiBreakdown {
+        CpiBreakdown {
+            work: self.work * factor,
+            fe: self.fe * factor,
+            exe: self.exe * factor,
+            other: self.other * factor,
+        }
+    }
+}
+
+impl Add for CpiBreakdown {
+    type Output = CpiBreakdown;
+    fn add(self, rhs: CpiBreakdown) -> CpiBreakdown {
+        CpiBreakdown {
+            work: self.work + rhs.work,
+            fe: self.fe + rhs.fe,
+            exe: self.exe + rhs.exe,
+            other: self.other + rhs.other,
+        }
+    }
+}
+
+impl AddAssign for CpiBreakdown {
+    fn add_assign(&mut self, rhs: CpiBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+/// A snapshot of the simulated machine's event counters.
+///
+/// Counter *snapshots* subtract ([`Sub`]) to give per-sample deltas, the
+/// same way VTune computes per-sample event totals (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CounterSet {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Core clock cycles ("clockticks").
+    pub cycles: u64,
+    /// Front-end stall cycles.
+    pub stall_fe_cycles: u64,
+    /// Data-miss (EXE) stall cycles.
+    pub stall_exe_cycles: u64,
+    /// Other stall cycles.
+    pub stall_other_cycles: u64,
+    /// Demand data accesses that missed L1D.
+    pub l1d_misses: u64,
+    /// Demand data accesses that missed L2.
+    pub l2_misses: u64,
+    /// Demand data accesses that missed L3 (or L2 on machines without L3).
+    pub l3_misses: u64,
+    /// Instruction fetches that missed L1I.
+    pub icache_misses: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub branch_mispredicts: u64,
+    /// Data TLB misses.
+    pub dtlb_misses: u64,
+    /// Context switches observed.
+    pub context_switches: u64,
+}
+
+impl CounterSet {
+    /// Cycles per instruction; 0.0 when no instructions retired.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// The per-component breakdown *in CPI units* (stall cycles divided by
+    /// instructions); WORK is what remains of total cycles.
+    pub fn cpi_breakdown(&self) -> CpiBreakdown {
+        if self.instructions == 0 {
+            return CpiBreakdown::default();
+        }
+        let n = self.instructions as f64;
+        let fe = self.stall_fe_cycles as f64 / n;
+        let exe = self.stall_exe_cycles as f64 / n;
+        let other = self.stall_other_cycles as f64 / n;
+        let work = (self.cycles as f64 / n - fe - exe - other).max(0.0);
+        CpiBreakdown {
+            work,
+            fe,
+            exe,
+            other,
+        }
+    }
+}
+
+impl Add for CounterSet {
+    type Output = CounterSet;
+    fn add(self, r: CounterSet) -> CounterSet {
+        CounterSet {
+            instructions: self.instructions + r.instructions,
+            cycles: self.cycles + r.cycles,
+            stall_fe_cycles: self.stall_fe_cycles + r.stall_fe_cycles,
+            stall_exe_cycles: self.stall_exe_cycles + r.stall_exe_cycles,
+            stall_other_cycles: self.stall_other_cycles + r.stall_other_cycles,
+            l1d_misses: self.l1d_misses + r.l1d_misses,
+            l2_misses: self.l2_misses + r.l2_misses,
+            l3_misses: self.l3_misses + r.l3_misses,
+            icache_misses: self.icache_misses + r.icache_misses,
+            branches: self.branches + r.branches,
+            branch_mispredicts: self.branch_mispredicts + r.branch_mispredicts,
+            dtlb_misses: self.dtlb_misses + r.dtlb_misses,
+            context_switches: self.context_switches + r.context_switches,
+        }
+    }
+}
+
+impl AddAssign for CounterSet {
+    fn add_assign(&mut self, rhs: CounterSet) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for CounterSet {
+    type Output = CounterSet;
+    fn sub(self, r: CounterSet) -> CounterSet {
+        CounterSet {
+            instructions: self.instructions - r.instructions,
+            cycles: self.cycles - r.cycles,
+            stall_fe_cycles: self.stall_fe_cycles - r.stall_fe_cycles,
+            stall_exe_cycles: self.stall_exe_cycles - r.stall_exe_cycles,
+            stall_other_cycles: self.stall_other_cycles - r.stall_other_cycles,
+            l1d_misses: self.l1d_misses - r.l1d_misses,
+            l2_misses: self.l2_misses - r.l2_misses,
+            l3_misses: self.l3_misses - r.l3_misses,
+            icache_misses: self.icache_misses - r.icache_misses,
+            branches: self.branches - r.branches,
+            branch_mispredicts: self.branch_mispredicts - r.branch_mispredicts,
+            dtlb_misses: self.dtlb_misses - r.dtlb_misses,
+            context_switches: self.context_switches - r.context_switches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_simple() {
+        let c = CounterSet {
+            instructions: 100,
+            cycles: 250,
+            ..Default::default()
+        };
+        assert_eq!(c.cpi(), 2.5);
+    }
+
+    #[test]
+    fn cpi_empty() {
+        assert_eq!(CounterSet::default().cpi(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_cpi() {
+        let c = CounterSet {
+            instructions: 100,
+            cycles: 300,
+            stall_fe_cycles: 40,
+            stall_exe_cycles: 120,
+            stall_other_cycles: 20,
+            ..Default::default()
+        };
+        let b = c.cpi_breakdown();
+        assert!((b.total() - c.cpi()).abs() < 1e-12);
+        assert!((b.work - 1.2).abs() < 1e-12);
+        assert!((b.exe - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_work_clamped_nonnegative() {
+        // Inconsistent counters (stalls exceed cycles) must not produce
+        // negative work.
+        let c = CounterSet {
+            instructions: 10,
+            cycles: 10,
+            stall_exe_cycles: 100,
+            ..Default::default()
+        };
+        assert!(c.cpi_breakdown().work >= 0.0);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let before = CounterSet {
+            instructions: 1000,
+            cycles: 1500,
+            l3_misses: 5,
+            ..Default::default()
+        };
+        let after = CounterSet {
+            instructions: 3000,
+            cycles: 5500,
+            l3_misses: 25,
+            ..Default::default()
+        };
+        let delta = after - before;
+        assert_eq!(delta.instructions, 2000);
+        assert_eq!(delta.cycles, 4000);
+        assert_eq!(delta.l3_misses, 20);
+        assert_eq!(delta.cpi(), 2.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut acc = CounterSet::default();
+        let unit = CounterSet {
+            instructions: 1,
+            cycles: 2,
+            branches: 1,
+            ..Default::default()
+        };
+        for _ in 0..5 {
+            acc += unit;
+        }
+        assert_eq!(acc.instructions, 5);
+        assert_eq!(acc.cycles, 10);
+    }
+
+    #[test]
+    fn breakdown_arith() {
+        let a = CpiBreakdown {
+            work: 1.0,
+            fe: 0.5,
+            exe: 2.0,
+            other: 0.5,
+        };
+        let b = a + a;
+        assert_eq!(b.total(), 8.0);
+        assert_eq!(a.scaled(0.5).total(), 2.0);
+        assert_eq!(a.exe_fraction(), 0.5);
+    }
+}

@@ -1,0 +1,56 @@
+//! Microarchitecture performance-model substrate.
+//!
+//! The paper measures CPI on real Itanium 2 hardware via embedded event
+//! counters, decomposing it into four components (§5.1):
+//!
+//! * **WORK** — cycles spent actually executing instructions,
+//! * **FE** — front-end stalls (I-cache misses and branch mispredictions),
+//! * **EXE** — data-cache miss stalls, dominated by L3 misses,
+//! * **OTHER** — everything else (TLB misses, pipeline hazards, context
+//!   switch overheads).
+//!
+//! Since we have no Itanium 2, this crate provides the substitution: an
+//! *interval-analysis* performance model. The workload layer feeds the core
+//! model [`Quantum`]s — short bursts of execution carrying an instruction
+//! count, a sampled stream of instruction-fetch and data addresses, and
+//! branch outcomes. The core runs those streams through set-associative
+//! cache models, a TLB and a branch predictor, converts the resulting event
+//! counts into stall cycles using the machine parameters, and accounts them
+//! into the same four CPI components, exposed through the same style of
+//! event counters VTune reads.
+//!
+//! Three machine presets mirror the paper's hardware: [`MachineConfig::itanium2`]
+//! (in-order, 3 MB L3), [`MachineConfig::pentium4`] (out-of-order, no L3)
+//! and [`MachineConfig::xeon`] (out-of-order, 1 MB L3), used by the §7.1
+//! robustness experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use fuzzyphase_arch::{Core, MachineConfig, Quantum};
+//!
+//! let mut core = Core::new(MachineConfig::itanium2());
+//! let q = Quantum::compute(0x4000_0000, 1_000);
+//! let r = core.execute(&q);
+//! assert!(r.cycles >= 1_000 / core.config().issue_width as u64);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod cache;
+pub mod config;
+pub mod core;
+pub mod events;
+pub mod machine;
+pub mod quantum;
+pub mod tlb;
+
+pub use crate::core::{Core, QuantumResult};
+pub use branch::{Bimodal, BranchPredictor, Gshare, HybridPredictor};
+pub use cache::{AccessKind, Cache, HitLevel, MemoryHierarchy};
+pub use config::{BranchPredictorKind, CacheConfig, MachineConfig};
+pub use events::{CounterSet, CpiBreakdown};
+pub use machine::{Bus, BusConfig, Machine};
+pub use quantum::{BranchEvent, DataAccess, Quantum};
+pub use tlb::Tlb;

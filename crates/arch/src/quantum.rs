@@ -1,0 +1,208 @@
+//! The unit of work exchanged between the workload models and the core
+//! performance model.
+//!
+//! A [`Quantum`] is a short burst of one thread's execution (typically a
+//! few hundred to a few thousand instructions — well below the sampling
+//! period) described by aggregate properties plus *sampled* event streams.
+//! Simulating a sampled subset of fetches/accesses and scaling the
+//! resulting stall cycles keeps whole-suite runs tractable while preserving
+//! the cache/branch *dynamics* (reuse, thrashing, pollution) that the
+//! paper's analysis depends on.
+
+use crate::cache::AccessKind;
+
+/// One sampled demand data access.
+///
+/// `weight` is the number of *real* accesses this sample stands for. The
+/// workload models stratify their in-quantum sampling: rare, expensive
+/// accesses (a random probe into a multi-gigabyte buffer pool) are emitted
+/// at weight ≈ 1 so their count is exact, while dense cheap accesses
+/// (stack and scratch traffic) are amplified through a handful of samples.
+/// Without this stratification, sampling noise on the rare misses would
+/// dominate interval CPI variance and drown the low-variance behaviours
+/// the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataAccess {
+    /// Virtual address (address-space id folded into high bits).
+    pub addr: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Number of real accesses this sample represents.
+    pub weight: f64,
+    /// Fraction of the miss penalty actually exposed to the pipeline.
+    /// 1.0 for demand misses; small (e.g. 0.15) for accesses covered by
+    /// software or hardware prefetching, such as sequential table scans.
+    pub stall_factor: f64,
+}
+
+impl DataAccess {
+    /// A weight-1 read.
+    pub fn read(addr: u64) -> Self {
+        Self {
+            addr,
+            kind: AccessKind::Read,
+            weight: 1.0,
+            stall_factor: 1.0,
+        }
+    }
+
+    /// A weight-1 write.
+    pub fn write(addr: u64) -> Self {
+        Self {
+            addr,
+            kind: AccessKind::Write,
+            weight: 1.0,
+            stall_factor: 1.0,
+        }
+    }
+
+    /// Sets the representation weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Marks the access as prefetch-covered: only 15 % of any miss penalty
+    /// reaches the pipeline.
+    pub fn prefetched(mut self) -> Self {
+        self.stall_factor = 0.15;
+        self
+    }
+}
+
+/// One dynamic conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchEvent {
+    /// Address of the branch instruction.
+    pub pc: u64,
+    /// Whether the branch was taken.
+    pub taken: bool,
+}
+
+/// A burst of execution from one thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantum {
+    /// Representative EIP: the program counter a sampling interrupt landing
+    /// in this quantum reports.
+    pub eip: u64,
+    /// Retired instructions in this quantum.
+    pub instructions: u64,
+    /// Inherent CPI of the instruction mix assuming perfect caches and
+    /// branch prediction (the WORK component). Dependence-heavy code
+    /// (pointer chasing, sorting comparisons) has higher base CPI than
+    /// streaming kernels.
+    pub base_cpi: f64,
+    /// Sampled instruction-fetch addresses (one per `fetch_scale` real
+    /// fetch groups).
+    pub fetch_addrs: Vec<u64>,
+    /// How many real fetch groups each entry of `fetch_addrs` represents.
+    pub fetch_scale: f64,
+    /// Sampled demand data accesses, each carrying its own weight.
+    pub data: Vec<DataAccess>,
+    /// Sampled conditional branches.
+    pub branches: Vec<BranchEvent>,
+    /// How many real branches each entry of `branches` represents.
+    pub branch_scale: f64,
+    /// Extra stall cycles charged directly to OTHER (kernel entry cost,
+    /// garbage-collection safepoints, …).
+    pub hazard_cycles: f64,
+    /// Id of the thread this quantum belongs to.
+    pub thread: u32,
+    /// Whether this quantum executes OS code (used for the §5.2 OS-time
+    /// accounting).
+    pub is_os: bool,
+}
+
+impl Quantum {
+    /// A pure-compute quantum: no memory traffic, no branches.
+    ///
+    /// ```
+    /// use fuzzyphase_arch::Quantum;
+    /// let q = Quantum::compute(0x4000, 500);
+    /// assert_eq!(q.instructions, 500);
+    /// assert!(q.data.is_empty());
+    /// ```
+    pub fn compute(eip: u64, instructions: u64) -> Self {
+        Self {
+            eip,
+            instructions,
+            base_cpi: 1.0,
+            fetch_addrs: Vec::new(),
+            fetch_scale: 1.0,
+            data: Vec::new(),
+            branches: Vec::new(),
+            branch_scale: 1.0,
+            hazard_cycles: 0.0,
+            thread: 0,
+            is_os: false,
+        }
+    }
+
+    /// Sets the inherent (WORK) CPI.
+    pub fn with_base_cpi(mut self, cpi: f64) -> Self {
+        self.base_cpi = cpi;
+        self
+    }
+
+    /// Sets the sampled data accesses.
+    pub fn with_data(mut self, data: Vec<DataAccess>) -> Self {
+        self.data = data;
+        self
+    }
+
+    /// Sets the sampled instruction fetches and their scale factor.
+    pub fn with_fetches(mut self, addrs: Vec<u64>, scale: f64) -> Self {
+        self.fetch_addrs = addrs;
+        self.fetch_scale = scale;
+        self
+    }
+
+    /// Sets the sampled branches and their scale factor.
+    pub fn with_branches(mut self, branches: Vec<BranchEvent>, scale: f64) -> Self {
+        self.branches = branches;
+        self.branch_scale = scale;
+        self
+    }
+
+    /// Sets the owning thread.
+    pub fn with_thread(mut self, thread: u32) -> Self {
+        self.thread = thread;
+        self
+    }
+
+    /// Marks the quantum as OS code.
+    pub fn as_os(mut self) -> Self {
+        self.is_os = true;
+        self
+    }
+
+    /// Adds direct OTHER-component stall cycles.
+    pub fn with_hazard_cycles(mut self, cycles: f64) -> Self {
+        self.hazard_cycles = cycles;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let q = Quantum::compute(0x10, 100)
+            .with_base_cpi(0.8)
+            .with_thread(3)
+            .as_os()
+            .with_hazard_cycles(50.0)
+            .with_data(vec![DataAccess::read(0x20).with_weight(2.0)])
+            .with_fetches(vec![0x10], 4.0)
+            .with_branches(vec![BranchEvent { pc: 0x14, taken: true }], 8.0);
+        assert_eq!(q.base_cpi, 0.8);
+        assert_eq!(q.thread, 3);
+        assert!(q.is_os);
+        assert_eq!(q.hazard_cycles, 50.0);
+        assert_eq!(q.data[0].weight, 2.0);
+        assert_eq!(q.fetch_scale, 4.0);
+        assert_eq!(q.branch_scale, 8.0);
+    }
+}

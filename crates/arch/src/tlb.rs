@@ -1,0 +1,129 @@
+//! A fully-associative TLB model with LRU replacement.
+//!
+//! TLB misses are charged to the paper's OTHER stall component.
+
+/// A fully-associative translation lookaside buffer.
+///
+/// ```
+/// use fuzzyphase_arch::Tlb;
+/// let mut tlb = Tlb::new(4, 4096);
+/// assert!(!tlb.access(0x1000)); // cold miss
+/// assert!(tlb.access(0x1FFF));  // same page
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<(u64, u64)>, // (page, lru_stamp); u64::MAX page = invalid
+    page_shift: u32,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` slots over pages of `page_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0` or `page_bytes` is not a power of two.
+    pub fn new(entries: usize, page_bytes: u64) -> Self {
+        assert!(entries > 0, "TLB needs at least one entry");
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        Self {
+            entries: vec![(u64::MAX, 0); entries],
+            page_shift: page_bytes.trailing_zeros(),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates `addr`; returns `true` on hit, refills on miss.
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> bool {
+        let page = addr >> self.page_shift;
+        self.stamp += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
+            e.1 = self.stamp;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        let victim = self
+            .entries
+            .iter_mut()
+            .min_by_key(|e| e.1)
+            .expect("entries >= 1");
+        *victim = (page, self.stamp);
+        false
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidates every entry.
+    pub fn flush(&mut self) {
+        for e in &mut self.entries {
+            *e = (u64::MAX, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_granularity() {
+        let mut t = Tlb::new(8, 4096);
+        t.access(0x0000);
+        assert!(t.access(0x0FFF));
+        assert!(!t.access(0x1000));
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0x0000); // page 0
+        t.access(0x1000); // page 1
+        t.access(0x0000); // page 0 now MRU
+        t.access(0x2000); // evicts page 1
+        assert!(t.access(0x0000));
+        assert!(!t.access(0x1000));
+    }
+
+    #[test]
+    fn counters() {
+        let mut t = Tlb::new(4, 4096);
+        t.access(0x0);
+        t.access(0x0);
+        assert_eq!(t.misses(), 1);
+        assert_eq!(t.hits(), 1);
+    }
+
+    #[test]
+    fn flush_forgets() {
+        let mut t = Tlb::new(4, 4096);
+        t.access(0x0);
+        t.flush();
+        assert!(!t.access(0x0));
+    }
+
+    #[test]
+    fn working_set_within_entries_all_hit() {
+        let mut t = Tlb::new(16, 4096);
+        let pages: Vec<u64> = (0..16).map(|i| i * 4096).collect();
+        for &p in &pages {
+            t.access(p);
+        }
+        for &p in &pages {
+            assert!(t.access(p));
+        }
+    }
+}

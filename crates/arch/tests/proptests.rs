@@ -1,0 +1,101 @@
+//! Property tests for the machine-model substrate.
+
+use fuzzyphase_arch::{
+    AccessKind, Cache, CacheConfig, Core, DataAccess, MachineConfig, MemoryHierarchy, Quantum,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// LRU: after touching `assoc` distinct lines of one set in order,
+    /// re-touching the first keeps it resident; adding one more evicts
+    /// exactly the least recently used.
+    #[test]
+    fn lru_is_exact(seed in any::<u64>()) {
+        let mut c = Cache::new(CacheConfig::new(64 * 8 * 4, 64, 4, 1));
+        // Find 5 addresses in one set.
+        let target = c.set_of(seed % 4096 * 64);
+        let conflicting: Vec<u64> = (0..20_000u64)
+            .map(|i| i * 64)
+            .filter(|&a| c.set_of(a) == target)
+            .take(5)
+            .collect();
+        prop_assume!(conflicting.len() == 5);
+        for &a in &conflicting[..4] {
+            c.access(a);
+        }
+        prop_assert!(c.probe(conflicting[0]));
+        c.access(conflicting[4]); // evicts [0], the LRU
+        prop_assert!(!c.probe(conflicting[0]));
+        for &a in &conflicting[1..] {
+            prop_assert!(c.probe(a));
+        }
+    }
+
+    /// Hit/miss counters always sum to the access count, and the miss
+    /// ratio is within [0, 1].
+    #[test]
+    fn counters_conserve(addrs in prop::collection::vec(0u64..1u64 << 30, 1..500)) {
+        let mut c = Cache::new(CacheConfig::new(16 * 1024, 64, 4, 1));
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&c.miss_ratio()));
+    }
+
+    /// Hierarchy inclusion-on-fill: an access that missed everywhere hits
+    /// L1 immediately afterwards.
+    #[test]
+    fn refill_promotes_to_l1(addrs in prop::collection::vec(0u64..1u64 << 34, 1..200)) {
+        let cfg = MachineConfig::itanium2();
+        let mut h = MemoryHierarchy::new(&cfg);
+        for &a in &addrs {
+            h.access_data(a, AccessKind::Read);
+            let lvl = h.access_data(a, AccessKind::Read);
+            prop_assert_eq!(lvl, fuzzyphase_arch::HitLevel::L1);
+        }
+    }
+
+    /// Core accounting: cycles grow monotonically, breakdown components
+    /// are non-negative, and total cycles across quanta equal the final
+    /// counter.
+    #[test]
+    fn core_accounting(
+        lens in prop::collection::vec(1u64..500, 1..50),
+        base in 0.3f64..2.0,
+    ) {
+        let mut core = Core::new(MachineConfig::xeon());
+        let mut prev = 0;
+        for (i, &len) in lens.iter().enumerate() {
+            let q = Quantum::compute(0x1000 + i as u64 * 64, len)
+                .with_base_cpi(base)
+                .with_data(vec![DataAccess::read(i as u64 * 4096)]);
+            let r = core.execute(&q);
+            prop_assert!(r.breakdown.work >= 0.0);
+            prop_assert!(r.breakdown.exe >= 0.0);
+            prop_assert!(core.cycle() >= prev);
+            prev = core.cycle();
+        }
+        let c = core.counters();
+        prop_assert_eq!(c.instructions, lens.iter().sum::<u64>());
+        prop_assert!(c.cpi() >= base * 0.99);
+    }
+
+    /// Weighted accesses scale stall accounting linearly: doubling every
+    /// weight doubles EXE stalls on identical cold-cache streams.
+    #[test]
+    fn weights_scale_linearly(n in 1usize..64) {
+        let addrs: Vec<u64> = (0..n as u64).map(|i| 0xA000_0000 + i * 131_072).collect();
+        let run = |w: f64| {
+            let mut core = Core::new(MachineConfig::itanium2());
+            let data: Vec<DataAccess> =
+                addrs.iter().map(|&a| DataAccess::read(a).with_weight(w)).collect();
+            core.execute(&Quantum::compute(0x1, 100).with_data(data))
+                .breakdown
+                .exe
+        };
+        let one = run(1.0);
+        let two = run(2.0);
+        prop_assert!((two - 2.0 * one).abs() < 1e-6 * one.max(1.0));
+    }
+}

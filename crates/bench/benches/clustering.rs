@@ -1,0 +1,36 @@
+//! K-means baseline performance: projection and clustering at suite
+//! scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuzzyphase::cluster::{project, KMeans};
+use fuzzyphase::stats::{seeded_rng, SparseVec};
+use rand::Rng;
+
+fn vectors(n: usize, features: u32, nnz: usize) -> Vec<SparseVec> {
+    let mut rng = seeded_rng(1);
+    (0..n)
+        .map(|_| {
+            SparseVec::from_pairs(
+                (0..nnz).map(|_| (rng.gen_range(0..features), rng.gen_range(1.0..4.0))),
+            )
+        })
+        .collect()
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let vs = vectors(250, 20_000, 100);
+    c.bench_function("project_250x20k_to_15d", |b| {
+        b.iter(|| project(&vs, 15, 42))
+    });
+
+    let points = project(&vs, 15, 42);
+    c.bench_function("kmeans_k10_250x15d", |b| {
+        b.iter(|| KMeans::new(10).fit(&points, 7))
+    });
+    c.bench_function("kmeans_k50_250x15d", |b| {
+        b.iter(|| KMeans::new(50).fit(&points, 7))
+    });
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

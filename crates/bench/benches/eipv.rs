@@ -1,0 +1,60 @@
+//! EIPV construction and the D4 ablation: sparse vectors vs dense
+//! materialization for distance work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuzzyphase::profiler::{EipvData, Sample};
+use fuzzyphase::stats::{seeded_rng, SparseVec};
+use rand::Rng;
+
+fn samples(n: usize, eips: u64) -> Vec<Sample> {
+    let mut rng = seeded_rng(3);
+    (0..n)
+        .map(|_| Sample {
+            eip: rng.gen_range(0..eips) * 16,
+            thread: rng.gen_range(0..16),
+            is_os: false,
+            cpi: rng.gen_range(1.0..3.0),
+        })
+        .collect()
+}
+
+fn bench_eipv(c: &mut Criterion) {
+    let ss = samples(25_000, 24_000);
+    c.bench_function("eipv_build_25k_samples", |b| {
+        b.iter(|| EipvData::from_samples(&ss, 100))
+    });
+    c.bench_function("eipv_build_per_thread", |b| {
+        b.iter(|| EipvData::from_samples_per_thread(&ss, 100))
+    });
+
+    // D4 ablation: pairwise distances sparse vs via dense buffers.
+    let data = EipvData::from_samples(&ss, 100);
+    let vs: &Vec<SparseVec> = &data.vectors;
+    let dim = data.num_features();
+    c.bench_function("dist2_sparse_100_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100.min(vs.len() - 1) {
+                acc += vs[i].dist2(&vs[i + 1]);
+            }
+            acc
+        })
+    });
+    c.bench_function("dist2_dense_100_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut da = vec![0.0f64; dim];
+            for i in 0..100.min(vs.len() - 1) {
+                for x in da.iter_mut() {
+                    *x = 0.0;
+                }
+                vs[i].add_into_dense(&mut da);
+                acc += vs[i + 1].dist2_dense(&da);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_eipv);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Simulation-substrate performance: cache hierarchy, core execution,
+//! and end-to-end profiling throughput, plus the D1 ablation (memory
+//! latency is what makes ODB-C's CPI flat and L3-dominated).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fuzzyphase::arch::{AccessKind, Core, MachineConfig, MemoryHierarchy, Quantum};
+use fuzzyphase::prelude::*;
+use fuzzyphase::workload::oltp::odb_c;
+use fuzzyphase::workload::spec::spec_workload;
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = MachineConfig::itanium2();
+    c.bench_function("hierarchy_access_1k_random", |b| {
+        let mut h = MemoryHierarchy::new(&cfg);
+        let mut x = 0x9E3779B97F4A7C15u64;
+        b.iter(|| {
+            let mut level_sum = 0u64;
+            for _ in 0..1000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                level_sum += h.access_data(x % (256 << 20), AccessKind::Read) as u64;
+            }
+            level_sum
+        })
+    });
+}
+
+fn bench_core(c: &mut Criterion) {
+    c.bench_function("core_execute_quantum", |b| {
+        let mut core = Core::new(MachineConfig::itanium2());
+        let mut w = odb_c(1);
+        // Pre-collect quanta so the bench isolates core execution.
+        let mut quanta = Vec::new();
+        while quanta.len() < 256 {
+            if let fuzzyphase::workload::WorkloadEvent::Quantum(q) = w.next_event() {
+                quanta.push(q);
+            }
+        }
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % quanta.len();
+            core.execute(&quanta[i])
+        })
+    });
+
+    c.bench_function("core_execute_compute_only", |b| {
+        let mut core = Core::new(MachineConfig::itanium2());
+        let q = Quantum::compute(0x1000, 150);
+        b.iter(|| core.execute(&q))
+    });
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_session");
+    group.sample_size(10);
+    group.bench_function("spec_gzip_10_intervals", |b| {
+        b.iter(|| {
+            let mut w = spec_workload("gzip", 1);
+            let cfg = ProfileConfig {
+                num_intervals: 10,
+                warmup_intervals: 2,
+                ..Default::default()
+            };
+            ProfileSession::run(&mut w, &cfg)
+        })
+    });
+    group.bench_function("oltp_10_intervals", |b| {
+        b.iter(|| {
+            let mut w = odb_c(1);
+            let cfg = ProfileConfig {
+                num_intervals: 10,
+                warmup_intervals: 2,
+                ..Default::default()
+            };
+            ProfileSession::run(&mut w, &cfg)
+        })
+    });
+    group.finish();
+}
+
+/// D1 ablation: with memory latency shrunk to L2-like levels, the L3-miss
+/// dominance that flattens ODB-C's CPI disappears. The bench measures the
+/// run, and prints the structural difference once.
+fn bench_ablation_l3(c: &mut Criterion) {
+    let run = |latency: u32| {
+        let mut machine = MachineConfig::itanium2();
+        machine.memory_latency = latency;
+        let mut w = odb_c(7);
+        let cfg = ProfileConfig {
+            machine,
+            num_intervals: 20,
+            warmup_intervals: 4,
+            ..Default::default()
+        };
+        ProfileSession::run(&mut w, &cfg)
+    };
+    // One-shot structural report.
+    let slow = run(225);
+    let fast = run(20);
+    println!(
+        "\n[D1 ablation] memory latency 225: EXE share {:.0}%, CPI {:.2} | latency 20: EXE share {:.0}%, CPI {:.2}",
+        slow.mean_breakdown().exe_fraction() * 100.0,
+        slow.mean_cpi(),
+        fast.mean_breakdown().exe_fraction() * 100.0,
+        fast.mean_cpi()
+    );
+    let mut group = c.benchmark_group("ablation_l3_latency");
+    group.sample_size(10);
+    group.bench_function("memory_latency_225", |b| b.iter(|| run(225)));
+    group.bench_function("memory_latency_20", |b| b.iter(|| run(20)));
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    use fuzzyphase::workload::btree::BTree;
+    use fuzzyphase::workload::{MemoryRegion, Workload};
+
+    c.bench_function("odb_c_event_generation_1k", |b| {
+        let mut w = odb_c(1);
+        b.iter(|| {
+            for _ in 0..1000 {
+                let _ = w.next_event();
+            }
+        })
+    });
+
+    let keys: Vec<u64> = (0..2_000_000u64).map(|i| i * 2).collect();
+    let tree = BTree::bulk_load(&keys, 128, MemoryRegion::new(0x1000_0000, 256 << 20));
+    c.bench_function("btree_probe_2m_keys", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 2_654_435_761) % 4_000_000;
+            tree.probe(k)
+        })
+    });
+    let mut group = c.benchmark_group("btree_bulk_load");
+    group.sample_size(10);
+    group.bench_function("2m_keys_fanout128", |b| {
+        b.iter(|| BTree::bulk_load(&keys, 128, MemoryRegion::new(0x1000_0000, 256 << 20)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_core,
+    bench_profile,
+    bench_workload_generation,
+    bench_ablation_l3
+);
+criterion_main!(benches);

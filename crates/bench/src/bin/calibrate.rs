@@ -1,0 +1,93 @@
+//! Developer diagnostic: prints per-workload CPI statistics against the
+//! paper's anchor values (mean CPI, variance, breakdown shares, unique
+//! EIPs, context-switch rate, OS fraction).
+//!
+//! ```text
+//! cargo run --release -p fuzzyphase-bench --bin calibrate -- [intervals] [server|spec|q|all]
+//! ```
+//!
+//! Environment toggles: `SERIES=1` prints the interval CPI series,
+//! `COMPVAR=1` the per-component variances, `RE=1` the regression-tree
+//! relative-error summary.
+
+use fuzzyphase_profiler::{ProfileConfig, ProfileSession, SamplerSpec};
+use fuzzyphase_workload::appserver::SjasWorkload;
+use fuzzyphase_workload::dss::odb_h_query;
+use fuzzyphase_workload::oltp::odb_c;
+use fuzzyphase_workload::spec::spec_workload;
+use fuzzyphase_workload::Workload;
+use fuzzyphase_regtree::{analyze, AnalysisOptions};
+
+fn report(name: &str, data: &fuzzyphase_profiler::ProfileData) {
+    let b = data.mean_breakdown();
+    println!(
+        "{name:8} cpi={:.3} var={:.4} exe%={:.0} fe%={:.0} work%={:.0} oth%={:.0} ueips={} ctx/s={:.0} os%={:.1} secs={:.2}",
+        data.mean_cpi(),
+        data.cpi_variance(),
+        b.exe / b.total() * 100.0,
+        b.fe / b.total() * 100.0,
+        b.work / b.total() * 100.0,
+        b.other / b.total() * 100.0,
+        data.unique_eips(),
+        data.context_switches_per_second(),
+        data.os_fraction() * 100.0,
+        data.seconds,
+    );
+}
+
+fn run(mut w: impl Workload, cfg: &ProfileConfig) {
+    let name = w.name().to_string();
+    let data = ProfileSession::run(&mut w, cfg);
+    report(&name, &data);
+    if std::env::var("RE").is_ok() {
+        let eipvs = data.eipvs();
+        let rep = analyze(&eipvs.vectors, &eipvs.cpis, &AnalysisOptions::default());
+        println!(
+            "   RE: min={:.3}@k{} asym={:.3} kopt={} explained={:.0}% | curve[1,2,3,5,9,15,30,50]={:.2} {:.2} {:.2} {:.2} {:.2} {:.2} {:.2} {:.2}",
+            rep.re_min, rep.k_at_min, rep.re_asymptote, rep.k_opt,
+            rep.explained_variance * 100.0,
+            rep.re_curve[0], rep.re_curve[1], rep.re_curve[2], rep.re_curve[4],
+            rep.re_curve[8], rep.re_curve[14], rep.re_curve[29], rep.re_curve[49],
+        );
+    }
+    if std::env::var("COMPVAR").is_ok() {
+        let work: Vec<f64> = data.intervals.iter().map(|i| i.breakdown.work).collect();
+        let fe: Vec<f64> = data.intervals.iter().map(|i| i.breakdown.fe).collect();
+        let exe: Vec<f64> = data.intervals.iter().map(|i| i.breakdown.exe).collect();
+        let oth: Vec<f64> = data.intervals.iter().map(|i| i.breakdown.other).collect();
+        use fuzzyphase_stats::variance;
+        println!("   compvar: work={:.5} fe={:.5} exe={:.5} other={:.5} total={:.5}",
+            variance(&work), variance(&fe), variance(&exe), variance(&oth),
+            data.cpi_variance());
+    }
+    if std::env::var("SERIES").is_ok() {
+        let cpis = data.interval_cpis();
+        let s: Vec<String> = cpis.iter().map(|c| format!("{c:.2}")).collect();
+        println!("   series: {}", s.join(" "));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(60);
+    let cfg = ProfileConfig { num_intervals: n, ..Default::default() };
+    let sjas_cfg = ProfileConfig { num_intervals: n, sampler: SamplerSpec::sjas_rate(), ..Default::default() };
+
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    if which == "all" || which == "server" {
+        run(odb_c(42), &cfg);
+        run(SjasWorkload::new(42), &sjas_cfg);
+        run(odb_h_query(13, 42), &cfg);
+        run(odb_h_query(18, 42), &cfg);
+    }
+    if which == "q" {
+        for q in [4u8, 8, 15] {
+            run(odb_h_query(q, 42), &cfg);
+        }
+    }
+    if which == "all" || which == "spec" {
+        for name in ["gzip", "mcf", "gcc", "swim", "art", "wupwise", "twolf", "lucas"] {
+            run(spec_workload(name, 42), &cfg);
+        }
+    }
+}

@@ -1,0 +1,1063 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p fuzzyphase-bench --release --bin figures -- <experiment> [--fast]
+//! ```
+//!
+//! Experiments: `table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+//! fig11 fig12 fig13 table2 sec46 sec52 sec71-machines sec71-eipv sec31
+//! sec7-sampling ext-bbv ext-smp ext-detectors ext-predictors ext-metrics
+//! ext-early all`. `--fast`
+//! runs shorter profiles (for smoke tests).
+//!
+//! Each experiment prints the paper's series/rows and writes machine-
+//! readable JSON into `EXPERIMENTS-data/`.
+
+use fuzzyphase::arch::MachineConfig;
+use fuzzyphase::cluster::{default_k_grid, kmeans_re_curve};
+use fuzzyphase::prelude::*;
+use fuzzyphase::profiler::overhead_fraction;
+use fuzzyphase::regtree::TreeBuilder;
+use fuzzyphase::report::format_table2;
+use fuzzyphase::sampling::{
+    evaluate_technique, PhaseSampling, RandomSampling, SmartsSampling, StratifiedPhaseSampling,
+    Technique, UniformSampling,
+};
+use fuzzyphase::{run_benchmark, suite};
+use fuzzyphase_bench::{export_json, re_curve_block, sparkline};
+use serde::Serialize;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let cfg = config(fast);
+    match which {
+        "table1" => table1(),
+        "fig2" => fig2(&cfg),
+        "fig3" => fig3(&cfg),
+        "fig4" => breakdown_figure(&cfg, BenchmarkSpec::odb_c(), "fig4"),
+        "fig5" => breakdown_figure(&cfg, BenchmarkSpec::sjas(), "fig5"),
+        "fig6" => thread_figure(&cfg, BenchmarkSpec::odb_c(), "fig6"),
+        "fig7" => thread_figure(&cfg, BenchmarkSpec::sjas(), "fig7"),
+        "fig8" => re_figure(&cfg, BenchmarkSpec::odb_h(13), "fig8"),
+        "fig9" => spread_figure(&cfg, BenchmarkSpec::odb_h(13), "fig9"),
+        "fig10" => re_figure(&cfg, BenchmarkSpec::odb_h(18), "fig10"),
+        "fig11" => spread_figure(&cfg, BenchmarkSpec::odb_h(18), "fig11"),
+        "fig12" => breakdown_figure(&cfg, BenchmarkSpec::odb_h(18), "fig12"),
+        "fig13" | "table2" => table2(&cfg, which),
+        "sec46" => sec46(&cfg, fast),
+        "sec52" => sec52(&cfg),
+        "sec71-machines" => sec71_machines(&cfg),
+        "sec71-eipv" => sec71_eipv(&cfg, fast),
+        "sec31" => sec31(),
+        "sec7-sampling" => sec7_sampling(&cfg),
+        "ext-bbv" => ext_bbv(&cfg),
+        "ext-smp" => ext_smp(&cfg),
+        "ext-detectors" => ext_detectors(&cfg),
+        "ext-predictors" => ext_predictors(&cfg),
+        "ext-metrics" => ext_metrics(&cfg),
+        "ext-early" => ext_early(&cfg),
+        "all" => {
+            table1();
+            fig2(&cfg);
+            fig3(&cfg);
+            breakdown_figure(&cfg, BenchmarkSpec::odb_c(), "fig4");
+            breakdown_figure(&cfg, BenchmarkSpec::sjas(), "fig5");
+            thread_figure(&cfg, BenchmarkSpec::odb_c(), "fig6");
+            thread_figure(&cfg, BenchmarkSpec::sjas(), "fig7");
+            re_figure(&cfg, BenchmarkSpec::odb_h(13), "fig8");
+            spread_figure(&cfg, BenchmarkSpec::odb_h(13), "fig9");
+            re_figure(&cfg, BenchmarkSpec::odb_h(18), "fig10");
+            spread_figure(&cfg, BenchmarkSpec::odb_h(18), "fig11");
+            breakdown_figure(&cfg, BenchmarkSpec::odb_h(18), "fig12");
+            table2(&cfg, "table2");
+            sec46(&cfg, fast);
+            sec52(&cfg);
+            sec71_machines(&cfg);
+            sec71_eipv(&cfg, fast);
+            sec31();
+            sec7_sampling(&cfg);
+            ext_bbv(&cfg);
+            ext_smp(&cfg);
+            ext_detectors(&cfg);
+            ext_predictors(&cfg);
+            ext_metrics(&cfg);
+            ext_early(&cfg);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn config(fast: bool) -> RunConfig {
+    let mut cfg = RunConfig::default();
+    if fast {
+        cfg.profile.num_intervals = 40;
+        cfg.profile.warmup_intervals = 6;
+    }
+    cfg
+}
+
+// ---------------------------------------------------------------- table1
+
+/// Table 1 / Figure 1: the worked regression-tree example.
+fn table1() {
+    use fuzzyphase::regtree::Dataset;
+    println!("== Table 1 + Figure 1: worked example ==");
+    let ds = Dataset::paper_example();
+    println!("      EIP0  EIP1  EIP2   CPI");
+    for i in 0..ds.len() {
+        let r = ds.row(i);
+        println!(
+            "EIPV{i}  {:>4} {:>5} {:>5}  {:>4.1}",
+            r.get(0),
+            r.get(1),
+            r.get(2),
+            ds.target(i)
+        );
+    }
+    let tree = TreeBuilder::new().max_leaves(4).fit(&ds);
+    println!("\nFitted 4-chamber tree:");
+    print_tree(&tree, 0, 0);
+    export_json("table1_tree", &tree);
+}
+
+fn print_tree(tree: &fuzzyphase::regtree::RegressionTree, idx: u32, depth: usize) {
+    let n = &tree.nodes()[idx as usize];
+    let pad = "  ".repeat(depth + 1);
+    match n.split {
+        Some(s) => {
+            println!("{pad}(EIP{}, {:.0})", s.feature, s.threshold);
+            print_tree(tree, n.left.expect("internal"), depth + 1);
+            print_tree(tree, n.right.expect("internal"), depth + 1);
+        }
+        None => println!("{pad}chamber: mean CPI {:.2} ({} EIPVs)", n.mean, n.count),
+    }
+}
+
+// ----------------------------------------------------------------- fig2
+
+#[derive(Serialize)]
+struct ReExport {
+    name: String,
+    re: Vec<f64>,
+    cpi_variance: f64,
+    re_min: f64,
+    k_at_min: usize,
+    k_opt: usize,
+}
+
+fn report_to_export(name: &str, rep: &PredictabilityReport) -> ReExport {
+    ReExport {
+        name: name.to_string(),
+        re: rep.re_curve.clone(),
+        cpi_variance: rep.cpi_variance,
+        re_min: rep.re_min,
+        k_at_min: rep.k_at_min,
+        k_opt: rep.k_opt,
+    }
+}
+
+/// Figure 2: relative error vs chambers for ODB-C and SjAS.
+fn fig2(cfg: &RunConfig) {
+    println!("== Figure 2: RE_k for ODB-C and SjAS ==");
+    let mut exports = Vec::new();
+    for spec in [BenchmarkSpec::odb_c(), BenchmarkSpec::sjas()] {
+        let r = run_benchmark(&spec, cfg);
+        print!("{}", re_curve_block(&r.name, &r.report.re_curve));
+        println!(
+            "  {:10} var={:.4} re_min={:.3}@k={} (paper: ODB-C rises above 1; SjAS ~0.96 flat, min ~0.8 at k=3)",
+            r.name, r.report.cpi_variance, r.report.re_min, r.report.k_at_min
+        );
+        exports.push(report_to_export(&r.name, &r.report));
+    }
+    export_json("fig2", &exports);
+}
+
+// ----------------------------------------------------------------- fig3
+
+#[derive(Serialize)]
+struct SpreadExport {
+    name: String,
+    unique_eips: usize,
+    seconds: f64,
+    cpi_series: Vec<f64>,
+    eip_rank_series: Vec<f64>,
+}
+
+fn spread_of(profile: &ProfileData) -> SpreadExport {
+    // EIP spread: rank each sample's EIP by first appearance, like the
+    // scatter plots in Figures 3/9/11.
+    let mut rank = std::collections::HashMap::new();
+    let mut series = Vec::with_capacity(profile.samples.len());
+    for s in &profile.samples {
+        let next = rank.len() as f64;
+        let r = *rank.entry(s.eip).or_insert(next);
+        series.push(r);
+    }
+    SpreadExport {
+        name: profile.name.clone(),
+        unique_eips: profile.unique_eips(),
+        seconds: profile.seconds,
+        cpi_series: profile.samples.iter().map(|s| s.cpi).collect(),
+        eip_rank_series: series,
+    }
+}
+
+fn print_spread(sp: &SpreadExport) {
+    println!(
+        "  {:8} unique EIPs: {:>6}  ({:.0} simulated seconds)",
+        sp.name, sp.unique_eips, sp.seconds
+    );
+    println!("  {:8} EIP rank: {}", "", sparkline(&sp.eip_rank_series, 64));
+    println!("  {:8} CPI:      {}", "", sparkline(&sp.cpi_series, 64));
+}
+
+/// Figure 3: EIP & CPI spread of ODB-C and SjAS (plus mcf for contrast).
+fn fig3(cfg: &RunConfig) {
+    println!("== Figure 3: EIP & CPI spread (paper: ODB-C ~24K, SjAS ~31K unique EIPs; mcf only ~646) ==");
+    let mut exports = Vec::new();
+    for spec in [
+        BenchmarkSpec::odb_c(),
+        BenchmarkSpec::sjas(),
+        BenchmarkSpec::spec("mcf"),
+    ] {
+        let r = run_benchmark(&spec, cfg);
+        let sp = spread_of(&r.profile);
+        print_spread(&sp);
+        exports.push(sp);
+    }
+    export_json("fig3", &exports);
+}
+
+/// Figures 9 / 11: per-query spread.
+fn spread_figure(cfg: &RunConfig, spec: BenchmarkSpec, tag: &str) {
+    println!("== {tag}: EIP & CPI spread for {} ==", spec.name());
+    let r = run_benchmark(&spec, cfg);
+    let sp = spread_of(&r.profile);
+    print_spread(&sp);
+    export_json(tag, &sp);
+}
+
+// ------------------------------------------------------- fig4/fig5/fig12
+
+#[derive(Serialize)]
+struct BreakdownExport {
+    name: String,
+    cpi: Vec<f64>,
+    work: Vec<f64>,
+    fe: Vec<f64>,
+    exe: Vec<f64>,
+    other: Vec<f64>,
+}
+
+/// Figures 4, 5, 12: CPI component breakdown over time.
+fn breakdown_figure(cfg: &RunConfig, spec: BenchmarkSpec, tag: &str) {
+    println!("== {tag}: CPI breakdown for {} ==", spec.name());
+    let r = run_benchmark(&spec, cfg);
+    let intervals = &r.profile.intervals;
+    let get = |f: fn(&fuzzyphase::arch::CpiBreakdown) -> f64| -> Vec<f64> {
+        intervals.iter().map(|i| f(&i.breakdown)).collect()
+    };
+    let ex = BreakdownExport {
+        name: r.name.clone(),
+        cpi: r.profile.interval_cpis(),
+        work: get(|b| b.work),
+        fe: get(|b| b.fe),
+        exe: get(|b| b.exe),
+        other: get(|b| b.other),
+    };
+    let mean = r.profile.mean_breakdown();
+    println!(
+        "  mean CPI {:.2} = WORK {:.2} + FE {:.2} + EXE {:.2} + OTHER {:.2}  (EXE share {:.0}%)",
+        mean.total(),
+        mean.work,
+        mean.fe,
+        mean.exe,
+        mean.other,
+        mean.exe_fraction() * 100.0
+    );
+    println!("  CPI   {}", sparkline(&ex.cpi, 64));
+    println!("  EXE   {}", sparkline(&ex.exe, 64));
+    println!("  FE    {}", sparkline(&ex.fe, 64));
+    println!("  WORK  {}", sparkline(&ex.work, 64));
+    println!("  OTHER {}", sparkline(&ex.other, 64));
+    match tag {
+        "fig4" => println!("  (paper: ODB-C EXE > 50% of CPI throughout)"),
+        "fig5" => println!("  (paper: SjAS EXE 30-40% of CPI)"),
+        "fig12" => println!("  (paper: Q18 has no single dominant bottleneck; it shifts over time)"),
+        _ => {}
+    }
+    export_json(tag, &ex);
+}
+
+// -------------------------------------------------------------- fig6/7
+
+/// Figures 6, 7: RE with and without per-thread separation.
+fn thread_figure(cfg: &RunConfig, spec: BenchmarkSpec, tag: &str) {
+    println!("== {tag}: thread separation for {} ==", spec.name());
+    let r = run_benchmark(&spec, cfg);
+    let nothread = r.report.clone();
+
+    let per_thread = r.profile.eipvs_per_thread();
+    let thread_rep = fuzzyphase::regtree::analyze(
+        &per_thread.vectors,
+        &per_thread.cpis,
+        &cfg.analysis,
+    );
+    print!("{}", re_curve_block("nothread", &nothread.re_curve));
+    print!("{}", re_curve_block("thread", &thread_rep.re_curve));
+    println!(
+        "  re_min: nothread={:.3}  thread={:.3}  (paper: separation helps, but only minimally)",
+        nothread.re_min, thread_rep.re_min
+    );
+    export_json(
+        tag,
+        &vec![
+            report_to_export("nothread", &nothread),
+            report_to_export("thread", &thread_rep),
+        ],
+    );
+}
+
+// -------------------------------------------------------------- fig8/10
+
+/// Figures 8, 10: per-query RE curves.
+fn re_figure(cfg: &RunConfig, spec: BenchmarkSpec, tag: &str) {
+    println!("== {tag}: RE_k for {} ==", spec.name());
+    let r = run_benchmark(&spec, cfg);
+    print!("{}", re_curve_block(&r.name, &r.report.re_curve));
+    println!(
+        "  var={:.4} re_min={:.3}@k={} asymptote={:.3} k_opt={}",
+        r.report.cpi_variance,
+        r.report.re_min,
+        r.report.k_at_min,
+        r.report.re_asymptote,
+        r.report.k_opt
+    );
+
+    // Which code carries the CPI signal: fit one tree on the whole run and
+    // map the top split EIPs back to the DSS operator regions.
+    let eipvs = r.profile.eipvs();
+    let ds = fuzzyphase::regtree::Dataset::new(eipvs.vectors.clone(), eipvs.cpis.clone());
+    let tree = TreeBuilder::new().fit(&ds);
+    let db = fuzzyphase::workload::dss::DssDatabase::new();
+    let region_of = |eip: u64| -> String {
+        db.code
+            .iter()
+            .find(|c| eip >= c.base() && eip < c.end())
+            .map(|c| c.name().to_string())
+            .unwrap_or_else(|| "other".to_string())
+    };
+    let importance = tree.feature_importance();
+    let total: f64 = importance.iter().map(|(_, g)| g).sum();
+    if total > 0.0 {
+        let top: Vec<String> = importance
+            .iter()
+            .take(5)
+            .map(|&(f, g)| {
+                format!("{} ({:.0}%)", region_of(eipvs.index.eip(f)), g / total * 100.0)
+            })
+            .collect();
+        println!("  top split EIPs by variance reduction: {}", top.join(", "));
+    }
+    match tag {
+        "fig8" => println!("  (paper: Q13 falls rapidly, asymptote ~0.15 at k_opt=9)"),
+        "fig10" => println!("  (paper: Q18 stays flat around 1.1)"),
+        _ => {}
+    }
+    export_json(tag, &report_to_export(&r.name, &r.report));
+}
+
+// --------------------------------------------------------- fig13/table2
+
+/// Figure 13 + Table 2: the full quadrant classification.
+fn table2(cfg: &RunConfig, tag: &str) {
+    println!("== Figure 13 / Table 2: quadrant classification of the full suite ==");
+    let t0 = std::time::Instant::now();
+    let result = fuzzyphase::run_suite(&suite::all_benchmarks(), cfg);
+    println!("{}", format_table2(&result));
+    println!("(suite ran in {:.0?})", t0.elapsed());
+    let rows: Vec<fuzzyphase::Table2Row> = result
+        .benchmarks
+        .iter()
+        .map(fuzzyphase::Table2Row::from_result)
+        .collect();
+    export_json(tag, &rows);
+}
+
+// ----------------------------------------------------------------- sec46
+
+#[derive(Serialize)]
+struct Sec46Row {
+    name: String,
+    tree_re_min: f64,
+    kmeans_re_min: f64,
+    tree_explained: f64,
+    kmeans_explained: f64,
+}
+
+/// §4.6: regression trees vs k-means CPI predictability.
+fn sec46(cfg: &RunConfig, fast: bool) {
+    println!("== §4.6: regression tree vs k-means CPI predictability ==");
+    let specs: Vec<BenchmarkSpec> = if fast {
+        vec![
+            BenchmarkSpec::odb_h(13),
+            BenchmarkSpec::odb_h(18),
+            BenchmarkSpec::spec("mcf"),
+            BenchmarkSpec::spec("gzip"),
+        ]
+    } else {
+        suite::all_benchmarks()
+    };
+    let mut rows = Vec::new();
+    let mut improvements = Vec::new();
+    for spec in &specs {
+        let r = run_benchmark(spec, cfg);
+        let eipvs = r.profile.eipvs();
+        let km = kmeans_re_curve(
+            &eipvs.vectors,
+            &eipvs.cpis,
+            &default_k_grid(),
+            15,
+            10,
+            cfg.seed,
+        );
+        let row = Sec46Row {
+            name: r.name.clone(),
+            tree_re_min: r.report.re_min,
+            kmeans_re_min: km.re_min().0,
+            tree_explained: r.report.explained_variance,
+            kmeans_explained: km.explained_variance(),
+        };
+        println!(
+            "  {:8} tree RE_min={:.3} (explains {:>3.0}%)  kmeans RE_min={:.3} (explains {:>3.0}%)",
+            row.name,
+            row.tree_re_min,
+            row.tree_explained * 100.0,
+            row.kmeans_re_min,
+            row.kmeans_explained * 100.0
+        );
+        // The paper's comparison statistic is the *error* reduction on
+        // workloads where control flow carries any signal (for pure-noise
+        // benchmarks both methods sit at RE ~ 1 by construction).
+        if row.kmeans_re_min < 0.9 || row.tree_re_min < 0.9 {
+            improvements.push(1.0 - row.tree_re_min / row.kmeans_re_min.max(1e-9));
+        }
+        rows.push(row);
+    }
+    let mean_reduction: f64 =
+        improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
+    println!(
+        "\n  mean CPI-predictability-error reduction, trees vs k-means, over the {} benchmarks with signal: {:.0}% (paper: ~80%)",
+        improvements.len(),
+        mean_reduction * 100.0
+    );
+    export_json("sec46", &rows);
+}
+
+// ----------------------------------------------------------------- sec52
+
+#[derive(Serialize)]
+struct Sec52Row {
+    name: String,
+    context_switches_per_second: f64,
+    os_fraction: f64,
+    mean_cpi: f64,
+}
+
+/// §5.2: threading/OS statistics.
+fn sec52(cfg: &RunConfig) {
+    println!("== §5.2: context switching and OS time ==");
+    println!("  (paper: ODB-C ~2600 switches/s & ~15% OS; SjAS ~5000/s; SPEC ~25/s & <1% OS)");
+    let mut rows = Vec::new();
+    for spec in [
+        BenchmarkSpec::odb_c(),
+        BenchmarkSpec::sjas(),
+        BenchmarkSpec::spec("gzip"),
+        BenchmarkSpec::spec("mcf"),
+    ] {
+        let r = run_benchmark(&spec, cfg);
+        let row = Sec52Row {
+            name: r.name.clone(),
+            context_switches_per_second: r.profile.context_switches_per_second(),
+            os_fraction: r.profile.os_fraction(),
+            mean_cpi: r.profile.mean_cpi(),
+        };
+        println!(
+            "  {:8} {:>6.0} switches/s   OS {:>4.1}%   CPI {:.2}",
+            row.name,
+            row.context_switches_per_second,
+            row.os_fraction * 100.0,
+            row.mean_cpi
+        );
+        rows.push(row);
+    }
+    export_json("sec52", &rows);
+}
+
+// -------------------------------------------------------- sec71-machines
+
+#[derive(Serialize)]
+struct MachineRow {
+    name: String,
+    machine: String,
+    cpi_variance: f64,
+    re_min: f64,
+    mean_cpi: f64,
+}
+
+/// §7.1: the Pentium 4 / Xeon robustness check over a SPEC subset.
+fn sec71_machines(cfg: &RunConfig) {
+    println!("== §7.1: machine robustness (SPEC subset on Itanium2/P4/Xeon) ==");
+    println!("  (paper: variance higher on both; RE ~30% better on P4, ~7% worse on Xeon; mcf variance highest on the L3-less P4)");
+    let subset = ["gzip", "mcf", "gcc", "swim", "twolf", "art", "wupwise", "lucas"];
+    let machines = [
+        MachineConfig::itanium2(),
+        MachineConfig::pentium4(),
+        MachineConfig::xeon(),
+    ];
+    let mut rows = Vec::new();
+    let mut per_machine: std::collections::HashMap<String, Vec<(f64, f64)>> = Default::default();
+    for name in subset {
+        for m in &machines {
+            let mut c = cfg.clone();
+            c.profile.machine = m.clone();
+            let r = run_benchmark(&BenchmarkSpec::spec(name), &c);
+            println!(
+                "  {:8} on {:9} var={:.4} re_min={:.3} cpi={:.2}",
+                name, m.name, r.report.cpi_variance, r.report.re_min, r.report.cpi_mean
+            );
+            per_machine
+                .entry(m.name.clone())
+                .or_default()
+                .push((r.report.cpi_variance, r.report.re_min));
+            rows.push(MachineRow {
+                name: name.to_string(),
+                machine: m.name.clone(),
+                cpi_variance: r.report.cpi_variance,
+                re_min: r.report.re_min,
+                mean_cpi: r.report.cpi_mean,
+            });
+        }
+    }
+    let avg = |m: &str, f: fn(&(f64, f64)) -> f64| -> f64 {
+        let v = &per_machine[m];
+        v.iter().map(f).sum::<f64>() / v.len() as f64
+    };
+    println!(
+        "\n  mean variance: itanium2 {:.4}  pentium4 {:.4}  xeon {:.4}",
+        avg("itanium2", |x| x.0),
+        avg("pentium4", |x| x.0),
+        avg("xeon", |x| x.0)
+    );
+    println!(
+        "  mean RE_min:   itanium2 {:.3}  pentium4 {:.3}  xeon {:.3}",
+        avg("itanium2", |x| x.1),
+        avg("pentium4", |x| x.1),
+        avg("xeon", |x| x.1)
+    );
+    export_json("sec71_machines", &rows);
+}
+
+// ------------------------------------------------------------ sec71-eipv
+
+#[derive(Serialize)]
+struct EipvSizeRow {
+    name: String,
+    interval_m_instructions: u64,
+    cpi_variance: f64,
+    re_min: f64,
+    quadrant: String,
+}
+
+/// §7.1: EIPV interval-size sweep (100M / 50M / 10M) at fixed sampling
+/// frequency.
+fn sec71_eipv(cfg: &RunConfig, fast: bool) {
+    println!("== §7.1: EIPV size sweep (100M/50M/10M at fixed sampling rate) ==");
+    println!("  (paper: 50M: var +7%, RE +13%; 10M: var +29%, RE +14%; some Q-IV -> Q-III)");
+    let specs: Vec<BenchmarkSpec> = if fast {
+        vec![BenchmarkSpec::odb_h(13), BenchmarkSpec::spec("mcf")]
+    } else {
+        vec![
+            BenchmarkSpec::odb_h(13),
+            BenchmarkSpec::odb_h(6),
+            BenchmarkSpec::odb_h(18),
+            BenchmarkSpec::spec("mcf"),
+            BenchmarkSpec::spec("art"),
+            BenchmarkSpec::spec("swim"),
+            BenchmarkSpec::spec("gcc"),
+            BenchmarkSpec::spec("gzip"),
+        ]
+    };
+    let mut rows = Vec::new();
+    let mut ratios: std::collections::HashMap<u64, Vec<(f64, f64)>> = Default::default();
+    for spec in &specs {
+        let r = run_benchmark(spec, cfg);
+        let spv_100 = (r.profile.interval_len / r.profile.period) as usize;
+        let mut base = (0.0, 0.0);
+        for (m, frac) in [(100u64, 1.0), (50, 0.5), (10, 0.1)] {
+            let spv = ((spv_100 as f64 * frac) as usize).max(1);
+            let eipvs = r.profile.eipvs_with_samples_per_vector(spv);
+            let rep =
+                fuzzyphase::regtree::analyze(&eipvs.vectors, &eipvs.cpis, &cfg.analysis);
+            let quad = cfg.thresholds.classify(rep.cpi_variance, rep.re_min);
+            if m == 100 {
+                base = (rep.cpi_variance, rep.re_min);
+            } else {
+                ratios
+                    .entry(m)
+                    .or_default()
+                    .push((rep.cpi_variance / base.0.max(1e-12), rep.re_min / base.1.max(1e-12)));
+            }
+            println!(
+                "  {:8} @{m:>3}M  var={:.4} re_min={:.3} -> {quad}",
+                r.name, rep.cpi_variance, rep.re_min
+            );
+            rows.push(EipvSizeRow {
+                name: r.name.clone(),
+                interval_m_instructions: m,
+                cpi_variance: rep.cpi_variance,
+                re_min: rep.re_min,
+                quadrant: quad.to_string(),
+            });
+        }
+    }
+    for m in [50u64, 10] {
+        let v = &ratios[&m];
+        let var_up =
+            (v.iter().map(|x| x.0).sum::<f64>() / v.len() as f64 - 1.0) * 100.0;
+        let re_up = (v.iter().map(|x| x.1).sum::<f64>() / v.len() as f64 - 1.0) * 100.0;
+        println!("  {m}M vs 100M: variance {var_up:+.0}%  RE {re_up:+.0}%");
+    }
+    export_json("sec71_eipv", &rows);
+}
+
+// ----------------------------------------------------------------- sec31
+
+/// §3.1: sampling overhead model.
+fn sec31() {
+    println!("== §3.1: VTune sampling overhead vs period ==");
+    println!("  (paper anchors: ~2% at 1M instructions; ~5% worst case at 100K)");
+    let mut rows = Vec::new();
+    for period in [10_000_000u64, 1_000_000, 500_000, 100_000, 50_000] {
+        let ov = overhead_fraction(period);
+        println!("  period {:>9} instructions -> overhead {:.1}%", period, ov * 100.0);
+        rows.push((period, ov));
+    }
+    export_json("sec31", &rows);
+}
+
+// --------------------------------------------------------- sec7-sampling
+
+#[derive(Serialize)]
+struct SamplingRow {
+    benchmark: String,
+    quadrant: String,
+    technique: String,
+    relative_error_pct: f64,
+    cost_intervals: usize,
+}
+
+/// §7 prose: sampling-technique error per quadrant representative.
+fn sec7_sampling(cfg: &RunConfig) {
+    println!("== §7: sampling technique error by quadrant ==");
+    let reps = [
+        BenchmarkSpec::odb_c(),       // Q-I
+        BenchmarkSpec::spec("wupwise"), // Q-II
+        BenchmarkSpec::odb_h(18),     // Q-III
+        BenchmarkSpec::spec("mcf"),   // Q-IV
+    ];
+    let mut rows = Vec::new();
+    for spec in reps {
+        let r = run_benchmark(&spec, cfg);
+        let eipvs = r.profile.eipvs();
+        let budget = 10usize;
+        let techniques: Vec<Box<dyn Technique>> = vec![
+            Box::new(UniformSampling::new(budget)),
+            Box::new(RandomSampling::new(budget)),
+            Box::new(PhaseSampling::new(budget)),
+            Box::new(StratifiedPhaseSampling::new(5, budget)),
+            Box::new(SmartsSampling::new(budget, 0.02)),
+        ];
+        println!(
+            "  {} ({}) — recommended: {}",
+            r.name,
+            r.quadrant,
+            r.quadrant.recommendation().name()
+        );
+        for t in &techniques {
+            let e = evaluate_technique(t.as_ref(), &eipvs.vectors, &eipvs.cpis, cfg.seed);
+            println!(
+                "    {:11} error {:>6.2}%  cost {:>3} intervals",
+                e.technique,
+                e.relative_error * 100.0,
+                e.cost_intervals
+            );
+            rows.push(SamplingRow {
+                benchmark: r.name.clone(),
+                quadrant: r.quadrant.to_string(),
+                technique: e.technique,
+                relative_error_pct: e.relative_error * 100.0,
+                cost_intervals: e.cost_intervals,
+            });
+        }
+    }
+    export_json("sec7_sampling", &rows);
+}
+
+// ---------------------------------------------------------------- ext-bbv
+
+#[derive(Serialize)]
+struct BbvRow {
+    name: String,
+    eipv_re_min: f64,
+    bbv_re_min: f64,
+    eipv_features: usize,
+    bbv_features: usize,
+}
+
+/// §3.3 future work: sampled EIPVs vs full-profile (BBV-style) vectors.
+/// VTune could not collect the latter; the simulator can.
+fn ext_bbv(cfg: &RunConfig) {
+    println!("== ext-bbv (§3.3): sampled EIPVs vs full-profile vectors ==");
+    let mut rows = Vec::new();
+    for spec in [
+        BenchmarkSpec::odb_h(13),
+        BenchmarkSpec::odb_h(18),
+        BenchmarkSpec::spec("mcf"),
+        BenchmarkSpec::spec("wupwise"),
+        BenchmarkSpec::odb_c(),
+    ] {
+        let seed = fuzzyphase::stats::SeedSequence::new(cfg.seed).seed_for(&spec.name());
+        let mut workload = spec.build(seed, None);
+        let mut pcfg = cfg.profile.clone();
+        pcfg.sampler = spec.sampler;
+        pcfg.collect_full_profile = true;
+        let profile = ProfileSession::run(&mut workload, &pcfg);
+
+        let eipvs = profile.eipvs();
+        let sampled = fuzzyphase::regtree::analyze(&eipvs.vectors, &eipvs.cpis, &cfg.analysis);
+        let full = profile.full_profile();
+        let full_rep = fuzzyphase::regtree::analyze(&full.vectors, &full.cpis, &cfg.analysis);
+        println!(
+            "  {:8} EIPV: RE_min {:.3} ({} features)   BBV: RE_min {:.3} ({} features)",
+            spec.name(),
+            sampled.re_min,
+            sampled.num_features,
+            full_rep.re_min,
+            full_rep.num_features
+        );
+        rows.push(BbvRow {
+            name: spec.name(),
+            eipv_re_min: sampled.re_min,
+            bbv_re_min: full_rep.re_min,
+            eipv_features: sampled.num_features,
+            bbv_features: full_rep.num_features,
+        });
+    }
+    println!("  (full profiling removes sampling noise; predictable workloads gain, unpredictable ones stay unpredictable)");
+    export_json("ext_bbv", &rows);
+}
+
+// ----------------------------------------------------------- ext-detectors
+
+#[derive(Serialize)]
+struct DetectorRow {
+    name: String,
+    sig_vs_vector: f64,
+    branch_vs_vector: f64,
+    sig_vs_branch: f64,
+}
+
+/// §7 context: Dhodapkar & Smith found branch-count phase detection
+/// agrees with BBVs ~83% of the time. Measure detector agreement here.
+fn ext_detectors(cfg: &RunConfig) {
+    use fuzzyphase::cluster::{
+        agreement, BranchCountDetector, PhaseDetector, SignatureDetector, VectorDetector,
+    };
+    println!("== ext-detectors (§7): phase-detector agreement (paper cites ~83% for branch-count vs BBV) ==");
+    let mut rows = Vec::new();
+    let mut all_bv = Vec::new();
+    for spec in [
+        BenchmarkSpec::spec("mcf"),
+        BenchmarkSpec::spec("art"),
+        BenchmarkSpec::spec("gzip"),
+        BenchmarkSpec::spec("gcc"),
+        BenchmarkSpec::spec("wupwise"),
+        BenchmarkSpec::odb_h(13),
+        BenchmarkSpec::odb_h(18),
+        BenchmarkSpec::odb_c(),
+    ] {
+        // Working-set detectors need the *full* per-interval footprint
+        // (Dhodapkar & Smith instrument every block); 100-sample EIPVs
+        // are too sparse — two samples of the same phase look disjoint.
+        let seed = fuzzyphase::stats::SeedSequence::new(cfg.seed).seed_for(&spec.name());
+        let mut workload = spec.build(seed, None);
+        let mut pcfg = cfg.profile.clone();
+        pcfg.sampler = spec.sampler;
+        pcfg.collect_full_profile = true;
+        let profile = ProfileSession::run(&mut workload, &pcfg);
+        let full = profile.full_profile();
+        let branch_pki: Vec<f64> = profile.intervals.iter().map(|i| i.branch_pki).collect();
+        let sig = SignatureDetector::default().detect(&full.vectors, &branch_pki);
+        let vecd = VectorDetector::default().detect(&full.vectors, &branch_pki);
+        let brc = BranchCountDetector::default().detect(&full.vectors, &branch_pki);
+        let r_name = profile.name.clone();
+        let row = DetectorRow {
+            name: r_name,
+            sig_vs_vector: agreement(&sig, &vecd),
+            branch_vs_vector: agreement(&brc, &vecd),
+            sig_vs_branch: agreement(&sig, &brc),
+        };
+        println!(
+            "  {:8} sig~vec {:.0}%   branch~vec {:.0}%   sig~branch {:.0}%",
+            row.name,
+            row.sig_vs_vector * 100.0,
+            row.branch_vs_vector * 100.0,
+            row.sig_vs_branch * 100.0
+        );
+        all_bv.push(row.branch_vs_vector);
+        rows.push(row);
+    }
+    println!(
+        "  mean branch-count vs vector agreement: {:.0}% (paper's cited figure: 83%)",
+        all_bv.iter().sum::<f64>() / all_bv.len() as f64 * 100.0
+    );
+    export_json("ext_detectors", &rows);
+}
+
+// ---------------------------------------------------------- ext-predictors
+
+#[derive(Serialize)]
+struct PredictorRow {
+    benchmark: String,
+    quadrant: String,
+    predictor: String,
+    mean_relative_error_pct: f64,
+    explained_variance: f64,
+}
+
+/// Related work \[12\] (Duesterwald et al.): online table-based history
+/// predictors of interval CPI, per quadrant representative.
+fn ext_predictors(cfg: &RunConfig) {
+    use fuzzyphase::sampling::{
+        score_predictor, ExponentialAverage, LastValue, OnlinePredictor, TablePredictor,
+    };
+    println!("== ext-predictors (ref 12): online CPI prediction per quadrant ==");
+    let mut rows = Vec::new();
+    for spec in [
+        BenchmarkSpec::odb_c(),
+        BenchmarkSpec::spec("wupwise"),
+        BenchmarkSpec::odb_h(18),
+        BenchmarkSpec::spec("mcf"),
+    ] {
+        let r = run_benchmark(&spec, cfg);
+        let cpis = r.profile.interval_cpis();
+        let lo = cpis.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = cpis.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 1e-9;
+        let mut predictors: Vec<Box<dyn OnlinePredictor>> = vec![
+            Box::new(LastValue::new()),
+            Box::new(ExponentialAverage::new(0.2)),
+            Box::new(TablePredictor::new(3, 8, lo, hi)),
+        ];
+        println!("  {} ({})", r.name, r.quadrant);
+        for p in predictors.iter_mut() {
+            let s = score_predictor(p.as_mut(), &cpis);
+            println!(
+                "    {:10} mean |err| {:>5.2}%   explained {:>3.0}%",
+                s.predictor,
+                s.mean_relative_error * 100.0,
+                s.explained_variance * 100.0
+            );
+            rows.push(PredictorRow {
+                benchmark: r.name.clone(),
+                quadrant: r.quadrant.to_string(),
+                predictor: s.predictor,
+                mean_relative_error_pct: s.mean_relative_error * 100.0,
+                explained_variance: s.explained_variance,
+            });
+        }
+    }
+    println!("  (history predicts strongly-phased CPI; random-data workloads defeat every predictor)");
+    export_json("ext_predictors", &rows);
+}
+
+// ---------------------------------------------------------------- ext-smp
+
+#[derive(Serialize)]
+struct SmpRow {
+    monitored: String,
+    co_runners: usize,
+    mean_cpi: f64,
+    cpi_variance: f64,
+    exe_share: f64,
+}
+
+/// §9 system-level extension: the monitored workload's CPI as a function
+/// of how many memory-hungry neighbours share the front-side bus.
+fn ext_smp(cfg: &RunConfig) {
+    use fuzzyphase::arch::BusConfig;
+    use fuzzyphase::profiler::SmpProfileSession;
+    use fuzzyphase::workload::Workload;
+
+    println!("== ext-smp (§9): shared-bus contention on the 4-way SMP ==");
+    let mut rows = Vec::new();
+    for monitored in ["swim", "mcf", "gzip"] {
+        for co in [0usize, 1, 3] {
+            let seq = fuzzyphase::stats::SeedSequence::new(cfg.seed);
+            let mut ws: Vec<Box<dyn Workload>> = Vec::new();
+            ws.push(Box::new(fuzzyphase::workload::spec::spec_workload(
+                monitored,
+                seq.seed_for(monitored),
+            )));
+            for i in 0..co {
+                // swim neighbours: the heaviest bus traffic in the suite.
+                ws.push(Box::new(fuzzyphase::workload::spec::spec_workload(
+                    "swim",
+                    seq.seed_for_index(1000 + i as u64),
+                )));
+            }
+            let mut pcfg = cfg.profile.clone();
+            pcfg.num_intervals = pcfg.num_intervals.min(80);
+            let data = SmpProfileSession::run(&mut ws, &pcfg, BusConfig::default());
+            let b = data.mean_breakdown();
+            println!(
+                "  {:6} + {co} co-runner(s): CPI {:.3}  var {:.4}  EXE {:.0}%",
+                monitored,
+                data.mean_cpi(),
+                data.cpi_variance(),
+                b.exe_fraction() * 100.0
+            );
+            rows.push(SmpRow {
+                monitored: monitored.to_string(),
+                co_runners: co,
+                mean_cpi: data.mean_cpi(),
+                cpi_variance: data.cpi_variance(),
+                exe_share: b.exe_fraction(),
+            });
+        }
+    }
+    println!("  (memory-bound workloads inflate with neighbours; compute-bound gzip barely moves)");
+    export_json("ext_smp", &rows);
+}
+
+// ------------------------------------------------------------ ext-metrics
+
+#[derive(Serialize)]
+struct MetricRow {
+    benchmark: String,
+    metric: String,
+    variance: f64,
+    re_min: f64,
+    explained: f64,
+}
+
+/// §9's closing thread: "CPI is just one of the performance metrics" —
+/// the same regression-tree machinery bounds the predictability of any
+/// per-interval metric. Here: L3 MPKI and branch-mispredict PKI.
+fn ext_metrics(cfg: &RunConfig) {
+    println!("== ext-metrics (§9): predicting other metrics from EIPVs ==");
+    let mut rows = Vec::new();
+    for spec in [
+        BenchmarkSpec::spec("mcf"),
+        BenchmarkSpec::spec("gcc"),
+        BenchmarkSpec::odb_h(13),
+        BenchmarkSpec::odb_h(18),
+        BenchmarkSpec::odb_c(),
+    ] {
+        let r = run_benchmark(&spec, cfg);
+        let eipvs = r.profile.eipvs();
+        let metrics: [(&str, Vec<f64>); 3] = [
+            ("cpi", r.profile.interval_cpis()),
+            (
+                "l3_mpki",
+                r.profile.intervals.iter().map(|i| i.l3_mpki).collect(),
+            ),
+            (
+                "mispredict_pki",
+                r.profile.intervals.iter().map(|i| i.mispredict_pki).collect(),
+            ),
+        ];
+        println!("  {}", r.name);
+        for (name, series) in metrics {
+            let rep = fuzzyphase::regtree::analyze(&eipvs.vectors, &series, &cfg.analysis);
+            println!(
+                "    {:15} var={:>9.4} RE_min={:.3} explains {:>3.0}%",
+                name,
+                rep.cpi_variance,
+                rep.re_min,
+                rep.explained_variance * 100.0
+            );
+            rows.push(MetricRow {
+                benchmark: r.name.clone(),
+                metric: name.to_string(),
+                variance: rep.cpi_variance,
+                re_min: rep.re_min,
+                explained: rep.explained_variance,
+            });
+        }
+    }
+    println!("  (metrics inherit the workload's quadrant: what predicts CPI predicts MPKI, and vice versa)");
+    export_json("ext_metrics", &rows);
+}
+
+// -------------------------------------------------------------- ext-early
+
+#[derive(Serialize)]
+struct EarlyRow {
+    benchmark: String,
+    technique: String,
+    relative_error_pct: f64,
+    fast_forward_intervals: usize,
+}
+
+/// §8's Perelman discussion: early simulation points trade a little error
+/// for much less fast-forwarding.
+fn ext_early(cfg: &RunConfig) {
+    use fuzzyphase::sampling::EarlyPhaseSampling;
+    println!("== ext-early (§8): early simulation points vs best representatives ==");
+    let mut rows = Vec::new();
+    for spec in [
+        BenchmarkSpec::spec("mcf"),
+        BenchmarkSpec::spec("art"),
+        BenchmarkSpec::odb_h(13),
+    ] {
+        let r = run_benchmark(&spec, cfg);
+        let eipvs = r.profile.eipvs();
+        let techniques: Vec<Box<dyn Technique>> = vec![
+            Box::new(PhaseSampling::new(10)),
+            Box::new(EarlyPhaseSampling::new(10, 1.5)),
+            Box::new(EarlyPhaseSampling::new(10, 3.0)),
+        ];
+        println!("  {} ({} intervals total)", r.name, eipvs.vectors.len());
+        for t in &techniques {
+            let e = evaluate_technique(t.as_ref(), &eipvs.vectors, &eipvs.cpis, cfg.seed);
+            let est = t.estimate(&eipvs.vectors, &eipvs.cpis, cfg.seed);
+            let ff = est.intervals.iter().max().copied().unwrap_or(0);
+            let label = t.name().to_string();
+            println!(
+                "    {:12} error {:>5.2}%  fast-forward to interval {:>3}",
+                label,
+                e.relative_error * 100.0,
+                ff
+            );
+            rows.push(EarlyRow {
+                benchmark: r.name.clone(),
+                technique: label,
+                relative_error_pct: e.relative_error * 100.0,
+                fast_forward_intervals: ff,
+            });
+        }
+    }
+    println!("  (slack trades representative quality for reachability)");
+    export_json("ext_early", &rows);
+}

@@ -1,0 +1,214 @@
+//! `fuzzy` — the ad-hoc command-line front end.
+//!
+//! ```text
+//! fuzzy list
+//! fuzzy run <benchmark> [--intervals N] [--machine itanium2|pentium4|xeon]
+//!                       [--seed S] [--json FILE] [--threads] [--full]
+//! fuzzy classify <benchmark> [...same flags]
+//! fuzzy sample <benchmark> [--budget N] [...same flags]
+//! ```
+//!
+//! `<benchmark>` is `odb-c`, `sjas`, `q1`..`q22`, or a SPEC CPU2K name.
+
+use fuzzyphase::arch::MachineConfig;
+use fuzzyphase::prelude::*;
+use fuzzyphase::sampling::{
+    evaluate_technique, PhaseSampling, RandomSampling, SmartsSampling, StratifiedPhaseSampling,
+    Technique, UniformSampling,
+};
+use fuzzyphase::Table2Row;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzzy <list|run|classify|sample> [benchmark] \
+         [--intervals N] [--machine M] [--seed S] [--json FILE] [--threads] [--full] [--budget N]"
+    );
+    std::process::exit(2);
+}
+
+#[derive(Debug)]
+struct Args {
+    command: String,
+    benchmark: Option<String>,
+    intervals: usize,
+    machine: String,
+    seed: u64,
+    json: Option<String>,
+    threads: bool,
+    full: bool,
+    budget: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        command: String::new(),
+        benchmark: None,
+        intervals: 250,
+        machine: "itanium2".into(),
+        seed: 0xF022_2004,
+        json: None,
+        threads: false,
+        full: false,
+        budget: 10,
+    };
+    let mut it = std::env::args().skip(1);
+    let Some(cmd) = it.next() else { usage() };
+    args.command = cmd;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--intervals" => {
+                args.intervals = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--machine" => args.machine = it.next().unwrap_or_else(|| usage()),
+            "--seed" => {
+                args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--json" => args.json = Some(it.next().unwrap_or_else(|| usage())),
+            "--threads" => args.threads = true,
+            "--full" => args.full = true,
+            "--budget" => {
+                args.budget = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            b if !b.starts_with("--") && args.benchmark.is_none() => {
+                args.benchmark = Some(b.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn parse_benchmark(name: &str) -> BenchmarkSpec {
+    match name {
+        "odb-c" => BenchmarkSpec::odb_c(),
+        "sjas" => BenchmarkSpec::sjas(),
+        q if q.starts_with('q') && q[1..].parse::<u8>().is_ok() => {
+            BenchmarkSpec::odb_h(q[1..].parse().expect("checked"))
+        }
+        spec => BenchmarkSpec::spec(spec),
+    }
+}
+
+fn machine(name: &str) -> MachineConfig {
+    match name {
+        "itanium2" => MachineConfig::itanium2(),
+        "pentium4" => MachineConfig::pentium4(),
+        "xeon" => MachineConfig::xeon(),
+        other => {
+            eprintln!("unknown machine: {other} (use itanium2|pentium4|xeon)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "list" => {
+            println!("{:<8} {:<9} sampler period (real instructions)", "name", "expected");
+            for spec in fuzzyphase::all_benchmarks() {
+                println!(
+                    "{:<8} {:<9} {}",
+                    spec.name().to_lowercase(),
+                    spec.expected_quadrant.to_string(),
+                    spec.sampler.real_period()
+                );
+            }
+        }
+        "run" | "classify" | "sample" => {
+            let Some(bname) = &args.benchmark else { usage() };
+            let spec = parse_benchmark(bname);
+            let mut cfg = RunConfig::default();
+            cfg.profile.num_intervals = args.intervals;
+            cfg.profile.machine = machine(&args.machine);
+            cfg.profile.collect_full_profile = args.full;
+            cfg.seed = args.seed;
+
+            let r = fuzzyphase::pipeline::run_benchmark(&spec, &cfg);
+            let b = r.profile.mean_breakdown();
+            println!("{} on {} ({} intervals, seed {:#x})", r.name, args.machine, args.intervals, args.seed);
+            println!(
+                "  CPI {:.3} = WORK {:.2} + FE {:.2} + EXE {:.2} + OTHER {:.2}",
+                b.total(),
+                b.work,
+                b.fe,
+                b.exe,
+                b.other
+            );
+            println!(
+                "  variance {:.4}   unique EIPs {}   ctx/s {:.0}   OS {:.1}%",
+                r.report.cpi_variance,
+                r.profile.unique_eips(),
+                r.profile.context_switches_per_second(),
+                r.profile.os_fraction() * 100.0
+            );
+            println!(
+                "  RE_min {:.3}@k={}  asymptote {:.3}  k_opt {}  -> {} (paper: {})",
+                r.report.re_min,
+                r.report.k_at_min,
+                r.report.re_asymptote,
+                r.report.k_opt,
+                r.quadrant,
+                r.expected_quadrant
+            );
+            println!("  recommended sampling: {}", r.quadrant.recommendation().name());
+
+            if args.threads {
+                let per_thread = r.profile.eipvs_per_thread();
+                let rep = analyze(&per_thread.vectors, &per_thread.cpis, &cfg.analysis);
+                println!(
+                    "  thread-separated RE_min {:.3} ({} per-thread vectors)",
+                    rep.re_min,
+                    per_thread.vectors.len()
+                );
+            }
+            if args.full {
+                let full = r.profile.full_profile();
+                let rep = analyze(&full.vectors, &full.cpis, &cfg.analysis);
+                println!(
+                    "  full-profile (BBV) RE_min {:.3} ({} features)",
+                    rep.re_min, rep.num_features
+                );
+            }
+
+            if args.command == "sample" {
+                let eipvs = r.profile.eipvs();
+                let techniques: Vec<Box<dyn Technique>> = vec![
+                    Box::new(UniformSampling::new(args.budget)),
+                    Box::new(RandomSampling::new(args.budget)),
+                    Box::new(PhaseSampling::new(args.budget)),
+                    Box::new(StratifiedPhaseSampling::new(
+                        (args.budget / 2).max(1),
+                        args.budget,
+                    )),
+                    Box::new(SmartsSampling::new(args.budget.max(2), 0.02)),
+                ];
+                println!("  technique errors (true CPI {:.3}):", r.report.cpi_mean);
+                for t in &techniques {
+                    let e = evaluate_technique(t.as_ref(), &eipvs.vectors, &eipvs.cpis, cfg.seed);
+                    println!(
+                        "    {:11} error {:>6.2}%  cost {:>3}",
+                        e.technique,
+                        e.relative_error * 100.0,
+                        e.cost_intervals
+                    );
+                }
+            }
+
+            if let Some(path) = &args.json {
+                let row = Table2Row::from_result(&r);
+                match serde_json::to_string_pretty(&row) {
+                    Ok(json) => {
+                        if let Err(e) = std::fs::write(path, json) {
+                            eprintln!("cannot write {path}: {e}");
+                        } else {
+                            println!("  wrote {path}");
+                        }
+                    }
+                    Err(e) => eprintln!("serialization failed: {e}"),
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,88 @@
+//! Developer diagnostic: decomposes the per-interval CPI noise floor by
+//! running a pure-scan DSS-like workload with individual traffic
+//! components (locals, stream, branches, OS) selectively disabled.
+//!
+//! The Q-II quadrant hinges on this floor staying below ~0.0015 CPI²
+//! (see DESIGN.md §8); run this after touching the workload or cache
+//! models to see where any regression comes from.
+//!
+//! ```text
+//! cargo run --release -p fuzzyphase-bench --bin noise
+//! ```
+use fuzzyphase_arch::{BranchEvent, DataAccess, Quantum};
+use fuzzyphase_profiler::{ProfileConfig, ProfileSession};
+use fuzzyphase_workload::access::{in_space, scratch_traffic, MemoryRegion, StreamCursor};
+use fuzzyphase_workload::code::CodeRegion;
+use fuzzyphase_workload::scheduler::{MultiThreadWorkload, SchedulerConfig, ThreadBehavior};
+use fuzzyphase_stats::prob_round;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+struct ScanThread {
+    code: CodeRegion,
+    cursor: StreamCursor,
+    scratch: MemoryRegion,
+    locals: bool,
+    branches: bool,
+    stream: bool,
+}
+
+impl ThreadBehavior for ScanThread {
+    fn next_quantum(&mut self, rng: &mut StdRng) -> Quantum {
+        let instr = 120u64;
+        let eip = self.code.sample_eip(rng);
+        let mut data = Vec::new();
+        if self.locals {
+            scratch_traffic(rng, &self.scratch, instr as f64 * 0.22, &mut data);
+        }
+        if self.stream {
+            let lines = prob_round(rng, instr as f64 * 0.012);
+            for _ in 0..lines {
+                data.push(DataAccess::read(self.cursor.next_addr()).prefetched());
+            }
+        }
+        let branches: Vec<BranchEvent> = if self.branches {
+            (0..4).map(|_| BranchEvent { pc: self.code.sample_eip(rng), taken: rng.gen::<f64>() < 0.9 }).collect()
+        } else { vec![] };
+        let mut fetch = self.code.fetch_run(eip, 3);
+        fetch.push(self.code.sample_eip(rng));
+        Quantum::compute(eip, instr)
+            .with_base_cpi(0.65)
+            .with_data(data)
+            .with_fetches(fetch, instr as f64 / 32.0 / 4.0)
+            .with_branches(branches, instr as f64 * 0.16 / 4.0)
+    }
+}
+
+fn run(name: &str, locals: bool, branches: bool, stream: bool, os_frac: f64) {
+    let table = MemoryRegion::new(in_space(150, 0x1000_0000), 192 << 20);
+    let threads: Vec<ScanThread> = (0..4).map(|i| {
+        let mut cursor = StreamCursor::new(table, 64);
+        cursor.seek(table.bytes() / 4 * i as u64);
+        ScanThread {
+            code: CodeRegion::new("scan", in_space(150, 0x4_0000_0000), 700, 0.8),
+            cursor,
+            scratch: MemoryRegion::new(in_space(150, 0x9000_0000 + i as u64 * 0x40_0000), 64 * 1024),
+            locals, branches, stream,
+        }
+    }).collect();
+    let mut w = MultiThreadWorkload::new("noise", threads, SchedulerConfig::new(5000.0, os_frac), 42);
+    let cfg = ProfileConfig { num_intervals: 100, warmup_intervals: 10, ..Default::default() };
+    let data = ProfileSession::run(&mut w, &cfg);
+    let work: Vec<f64> = data.intervals.iter().map(|i| i.breakdown.work).collect();
+    let fe: Vec<f64> = data.intervals.iter().map(|i| i.breakdown.fe).collect();
+    let exe: Vec<f64> = data.intervals.iter().map(|i| i.breakdown.exe).collect();
+    let oth: Vec<f64> = data.intervals.iter().map(|i| i.breakdown.other).collect();
+    use fuzzyphase_stats::variance;
+    println!("{name:28} cpi={:.3} var={:.5} [work={:.5} fe={:.5} exe={:.5} oth={:.5}]",
+        data.mean_cpi(), data.cpi_variance(), variance(&work), variance(&fe), variance(&exe), variance(&oth));
+}
+
+fn main() {
+    run("full", true, true, true, 0.04);
+    run("no-os", true, true, true, 0.0);
+    run("no-locals", false, true, true, 0.04);
+    run("no-stream", true, true, false, 0.04);
+    run("no-branches", true, false, true, 0.04);
+    run("bare (base_cpi only)", false, false, false, 0.0);
+}

@@ -1,0 +1,95 @@
+//! Experiment-harness support: terminal rendering and result export for
+//! the `figures` binary that regenerates every table and figure in the
+//! paper.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders a numeric series as a fixed-width ASCII sparkline (terminal
+/// "figure").
+pub fn sparkline(xs: &[f64], width: usize) -> String {
+    if xs.is_empty() || width == 0 {
+        return String::new();
+    }
+    let ds = fuzzyphase::stats::timeseries::downsample(xs, width);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in &ds {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let ramp: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let span = (hi - lo).max(1e-12);
+    ds.iter()
+        .map(|&x| {
+            let t = ((x - lo) / span * (ramp.len() - 1) as f64).round() as usize;
+            ramp[t.min(ramp.len() - 1)]
+        })
+        .collect()
+}
+
+/// Renders an RE-vs-k curve with axis labels.
+pub fn re_curve_block(name: &str, re: &[f64]) -> String {
+    let mut out = String::new();
+    writeln!(out, "  {name:10} RE(k): {}", sparkline(re, 50)).expect("write");
+    let picks = [1usize, 2, 3, 5, 9, 15, 20, 30, 40, 50];
+    let vals: Vec<String> = picks
+        .iter()
+        .filter(|&&k| k <= re.len())
+        .map(|&k| format!("k{k}={:.3}", re[k - 1]))
+        .collect();
+    writeln!(out, "  {:10}        {}", "", vals.join("  ")).expect("write");
+    out
+}
+
+/// Writes a JSON value into `EXPERIMENTS-data/<name>.json` under the
+/// workspace root (best effort; errors are reported, not fatal).
+pub fn export_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = Path::new("EXPERIMENTS-data");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_length_and_range() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 / 10.0).sin()).collect();
+        let s = sparkline(&xs, 40);
+        assert_eq!(s.chars().count(), 40);
+        assert!(s.contains('█'));
+        assert!(s.contains('▁'));
+    }
+
+    #[test]
+    fn sparkline_flat_input() {
+        let s = sparkline(&[1.0; 10], 10);
+        assert_eq!(s.chars().count(), 10);
+    }
+
+    #[test]
+    fn sparkline_empty() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0], 0), "");
+    }
+
+    #[test]
+    fn curve_block_mentions_k_values() {
+        let re: Vec<f64> = (0..50).map(|i| 1.0 / (i + 1) as f64).collect();
+        let block = re_curve_block("test", &re);
+        assert!(block.contains("k1=1.000"));
+        assert!(block.contains("k50=0.020"));
+    }
+}

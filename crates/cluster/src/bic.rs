@@ -1,0 +1,159 @@
+//! Bayesian Information Criterion scoring of clusterings.
+//!
+//! SimPoint (the paper's references \[27\]\[28\]) does not fix `k`: it
+//! clusters for a range of `k`, scores each clustering with the BIC under
+//! a spherical-Gaussian mixture model, and picks the smallest `k` whose
+//! score reaches 90 % of the best. This module implements that selection
+//! so the k-means baseline can run exactly the SimPoint recipe.
+
+use crate::kmeans::{Clustering, KMeans};
+
+/// BIC of a clustering under the identical-spherical-Gaussian model
+/// (Pelleg & Moore's X-means formulation, as used by SimPoint).
+///
+/// Higher is better. Returns `f64::NEG_INFINITY` for degenerate inputs
+/// (fewer points than clusters).
+pub fn bic(points: &[Vec<f64>], clustering: &Clustering) -> f64 {
+    let n = points.len();
+    let k = clustering.num_clusters();
+    if n <= k {
+        return f64::NEG_INFINITY;
+    }
+    let d = points.first().map_or(0, Vec::len) as f64;
+    let nf = n as f64;
+
+    // Pooled ML variance estimate.
+    let variance = (clustering.inertia / ((n - k) as f64 * d.max(1.0))).max(1e-12);
+
+    let sizes = clustering.sizes();
+    let mut log_likelihood = 0.0;
+    for &ni in &sizes {
+        if ni == 0 {
+            continue;
+        }
+        let nif = ni as f64;
+        log_likelihood += nif * (nif / nf).ln()
+            - nif * d / 2.0 * (2.0 * std::f64::consts::PI * variance).ln()
+            - (nif - 1.0) * d / 2.0;
+    }
+    // Free parameters: k-1 mixing weights, k*d means, 1 shared variance.
+    let params = (k as f64 - 1.0) + k as f64 * d + 1.0;
+    log_likelihood - params / 2.0 * nf.ln()
+}
+
+/// SimPoint's k selection: cluster at every `k` in `ks`, score with
+/// [`bic`], and return `(k, clustering)` for the smallest `k` whose score
+/// reaches `fraction` (SimPoint: 0.9) of the span between the worst and
+/// best scores.
+///
+/// # Panics
+///
+/// Panics if `ks` is empty, `fraction` is outside `(0, 1]`, or `points`
+/// is empty.
+pub fn choose_k_bic(
+    points: &[Vec<f64>],
+    ks: &[usize],
+    fraction: f64,
+    seed: u64,
+) -> (usize, Clustering) {
+    assert!(!ks.is_empty(), "need candidate cluster counts");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1]"
+    );
+    assert!(!points.is_empty(), "need data points");
+
+    let mut scored: Vec<(usize, Clustering, f64)> = ks
+        .iter()
+        .filter(|&&k| k <= points.len())
+        .map(|&k| {
+            let c = KMeans::new(k).fit(points, seed ^ (k as u64) << 32);
+            let score = bic(points, &c);
+            (k, c, score)
+        })
+        .collect();
+    assert!(!scored.is_empty(), "no feasible cluster count");
+    let best = scored
+        .iter()
+        .map(|(_, _, s)| *s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let worst = scored
+        .iter()
+        .map(|(_, _, s)| *s)
+        .fold(f64::INFINITY, f64::min);
+    let threshold = worst + (best - worst) * fraction;
+
+    scored.sort_by_key(|(k, _, _)| *k);
+    let idx = scored
+        .iter()
+        .position(|(_, _, s)| *s >= threshold)
+        .unwrap_or(scored.len() - 1);
+    let (k, c, _) = scored.swap_remove(idx);
+    (k, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyphase_stats::seeded_rng;
+    use rand::Rng;
+
+    fn blobs(n_per: usize, centers: &[(f64, f64)], seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = seeded_rng(seed);
+        let mut out = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..n_per {
+                out.push(vec![
+                    cx + rng.gen_range(-0.3..0.3),
+                    cy + rng.gen_range(-0.3..0.3),
+                ]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn bic_peaks_at_true_k() {
+        let points = blobs(40, &[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 1);
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for k in 1..=8 {
+            let c = KMeans::new(k).fit(&points, 7);
+            let s = bic(&points, &c);
+            if s > best.1 {
+                best = (k, s);
+            }
+        }
+        assert_eq!(best.0, 3, "BIC should peak at the true cluster count");
+    }
+
+    #[test]
+    fn choose_k_recovers_true_k() {
+        let points = blobs(30, &[(0.0, 0.0), (8.0, 8.0)], 2);
+        let (k, c) = choose_k_bic(&points, &[1, 2, 3, 4, 6, 8], 0.9, 5);
+        assert_eq!(k, 2);
+        assert_eq!(c.num_clusters(), 2);
+    }
+
+    #[test]
+    fn single_blob_prefers_small_k() {
+        let points = blobs(80, &[(1.0, 1.0)], 3);
+        let (k, _) = choose_k_bic(&points, &[1, 2, 4, 8], 0.9, 9);
+        assert!(k <= 2, "one blob should not need many clusters, got {k}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let points = blobs(2, &[(0.0, 0.0)], 4);
+        // k > n is skipped; k == n is allowed but scores -inf.
+        let (k, _) = choose_k_bic(&points, &[1, 2, 50], 0.9, 11);
+        assert!(k <= 2);
+        let c = KMeans::new(2).fit(&points, 1);
+        assert_eq!(bic(&points, &c), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate cluster counts")]
+    fn empty_ks_rejected() {
+        choose_k_bic(&[vec![0.0]], &[], 0.9, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Cross-validated CPI predictability of k-means clusterings (§4.6).
+//!
+//! Symmetric to the regression-tree evaluation: cluster the *training*
+//! EIPVs (CPI never drives the partition — the assumption the paper
+//! challenges), predict each held-out vector's CPI as the mean CPI of its
+//! nearest cluster, and normalize the mean squared error by the CPI
+//! variance.
+
+use crate::kmeans::KMeans;
+use crate::projection::project;
+use fuzzyphase_stats::{KFold, SparseVec};
+use serde::{Deserialize, Serialize};
+
+/// The k-means analogue of the regression tree's RE curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KmeansEvaluation {
+    /// Cluster counts evaluated.
+    pub ks: Vec<usize>,
+    /// Relative error at each cluster count.
+    pub re: Vec<f64>,
+    /// CPI variance.
+    pub variance: f64,
+}
+
+impl KmeansEvaluation {
+    /// Minimum relative error and its cluster count.
+    pub fn re_min(&self) -> (f64, usize) {
+        let mut best = (f64::INFINITY, 1);
+        for (&k, &r) in self.ks.iter().zip(&self.re) {
+            if r < best.0 {
+                best = (r, k);
+            }
+        }
+        best
+    }
+
+    /// `1 − min(RE)` clamped to `[0, 1]`.
+    pub fn explained_variance(&self) -> f64 {
+        (1.0 - self.re_min().0).clamp(0.0, 1.0)
+    }
+}
+
+/// Evaluates k-means CPI predictability over a grid of cluster counts.
+///
+/// Vectors are first randomly projected to `dims` dimensions (SimPoint
+/// uses 15). `folds`-fold CV mirrors the regression-tree protocol.
+///
+/// # Panics
+///
+/// Panics if inputs are empty/mismatched or there are fewer vectors than
+/// folds.
+pub fn kmeans_re_curve(
+    vectors: &[SparseVec],
+    cpis: &[f64],
+    ks: &[usize],
+    dims: usize,
+    folds: usize,
+    seed: u64,
+) -> KmeansEvaluation {
+    assert_eq!(vectors.len(), cpis.len(), "vectors and CPIs must align");
+    assert!(!vectors.is_empty(), "need data");
+    assert!(vectors.len() >= folds, "fewer vectors than folds");
+    let n = vectors.len();
+    let variance = fuzzyphase_stats::variance(cpis);
+    let points = project(vectors, dims, seed);
+    let kf = KFold::new(n, folds, seed);
+
+    let mut re = Vec::with_capacity(ks.len());
+    for &k in ks {
+        let mut sse = 0.0;
+        for (train, test) in kf.splits() {
+            let train_points: Vec<Vec<f64>> =
+                train.iter().map(|&i| points[i].clone()).collect();
+            let kk = k.min(train_points.len());
+            let clustering = KMeans::new(kk).fit(&train_points, seed ^ k as u64);
+            // Cluster mean CPIs from the training fold.
+            let mut sums = vec![0.0; kk];
+            let mut counts = vec![0usize; kk];
+            for (pi, &i) in train.iter().enumerate() {
+                let c = clustering.assignments[pi];
+                sums[c] += cpis[i];
+                counts[c] += 1;
+            }
+            let global: f64 = train.iter().map(|&i| cpis[i]).sum::<f64>() / train.len() as f64;
+            let means: Vec<f64> = sums
+                .iter()
+                .zip(&counts)
+                .map(|(&s, &c)| if c == 0 { global } else { s / c as f64 })
+                .collect();
+            for &t in test {
+                let c = clustering.assign(&points[t]);
+                let err = cpis[t] - means[c];
+                sse += err * err;
+            }
+        }
+        let mse = sse / n as f64;
+        re.push(if variance <= 1e-15 { 1.0 } else { mse / variance });
+    }
+    KmeansEvaluation {
+        ks: ks.to_vec(),
+        re,
+        variance,
+    }
+}
+
+/// The default cluster-count grid used by the §4.6 comparison.
+pub fn default_k_grid() -> Vec<usize> {
+    vec![1, 2, 3, 4, 5, 6, 8, 10, 12, 15, 20, 25, 30, 40, 50]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyphase_stats::seeded_rng;
+    use rand::Rng;
+
+    /// Phased data where the EIP clusters align with CPI.
+    fn aligned(n: usize) -> (Vec<SparseVec>, Vec<f64>) {
+        let mut rng = seeded_rng(1);
+        let mut vs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let phase = (i / 10) % 2;
+            vs.push(SparseVec::from_pairs([(
+                phase as u32,
+                80.0 + rng.gen_range(0.0..20.0),
+            )]));
+            ys.push(1.0 + phase as f64 + rng.gen_range(-0.05..0.05));
+        }
+        (vs, ys)
+    }
+
+    /// Clusters exist in EIP space but CPI is independent of them.
+    fn misaligned(n: usize) -> (Vec<SparseVec>, Vec<f64>) {
+        let mut rng = seeded_rng(2);
+        let mut vs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let blob = i % 3;
+            vs.push(SparseVec::from_pairs([(blob as u32, 100.0)]));
+            ys.push(rng.gen_range(0.0..2.0));
+        }
+        (vs, ys)
+    }
+
+    #[test]
+    fn aligned_clusters_predict_cpi() {
+        let (vs, ys) = aligned(120);
+        let eval = kmeans_re_curve(&vs, &ys, &[1, 2, 4], 8, 10, 7);
+        let (re_min, k) = eval.re_min();
+        assert!(re_min < 0.1, "re_min {re_min}");
+        assert!(k >= 2);
+    }
+
+    #[test]
+    fn misaligned_clusters_cannot_predict() {
+        let (vs, ys) = misaligned(120);
+        let eval = kmeans_re_curve(&vs, &ys, &[1, 3, 10], 8, 10, 8);
+        assert!(eval.re_min().0 > 0.7, "re_min {}", eval.re_min().0);
+        assert!(eval.explained_variance() < 0.3);
+    }
+
+    #[test]
+    fn k1_is_near_one() {
+        let (vs, ys) = aligned(100);
+        let eval = kmeans_re_curve(&vs, &ys, &[1], 8, 10, 9);
+        assert!((eval.re[0] - 1.0).abs() < 0.15, "RE_1 {}", eval.re[0]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (vs, ys) = aligned(60);
+        let a = kmeans_re_curve(&vs, &ys, &[2, 5], 8, 6, 10);
+        let b = kmeans_re_curve(&vs, &ys, &[2, 5], 8, 6, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_rejected() {
+        kmeans_re_curve(&[SparseVec::new()], &[1.0, 2.0], &[1], 4, 1, 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Seeded k-means with k-means++ initialization and restarts.
+
+use fuzzyphase_stats::{seeded_rng, SeedSequence};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A fitted clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster id per input point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Total within-cluster squared distance.
+    pub inertia: f64,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Sizes of each cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut out = vec![0; self.centroids.len()];
+        for &a in &self.assignments {
+            out[a] += 1;
+        }
+        out
+    }
+
+    /// Index of the nearest centroid to a point.
+    pub fn assign(&self, point: &[f64]) -> usize {
+        nearest(&self.centroids, point).0
+    }
+
+    /// The member indices of each cluster.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.centroids.len()];
+        for (i, &a) in self.assignments.iter().enumerate() {
+            out[a].push(i);
+        }
+        out
+    }
+
+    /// For each cluster, the member closest to the centroid (the
+    /// SimPoint "representative"). Empty clusters yield `None`.
+    pub fn representatives(&self, points: &[Vec<f64>]) -> Vec<Option<usize>> {
+        let mut best: Vec<Option<(usize, f64)>> = vec![None; self.centroids.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = self.assignments[i];
+            let d = dist2(p, &self.centroids[c]);
+            if best[c].map_or(true, |(_, bd)| d < bd) {
+                best[c] = Some((i, d));
+            }
+        }
+        best.into_iter().map(|b| b.map(|(i, _)| i)).collect()
+    }
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> (usize, f64) {
+    let mut best = (0, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = dist2(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// K-means configuration.
+///
+/// Deterministic for a given seed; `n_init` restarts keep the best
+/// inertia.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KMeans {
+    k: usize,
+    max_iters: usize,
+    n_init: usize,
+}
+
+impl KMeans {
+    /// Creates a k-means fitter for `k` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one cluster");
+        Self {
+            k,
+            max_iters: 100,
+            n_init: 5,
+        }
+    }
+
+    /// Sets the iteration cap per restart.
+    pub fn max_iters(mut self, n: usize) -> Self {
+        self.max_iters = n;
+        self
+    }
+
+    /// Sets the number of random restarts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn n_init(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one initialization");
+        self.n_init = n;
+        self
+    }
+
+    /// Fits the clustering to dense points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, points have inconsistent dimension,
+    /// or there are fewer points than clusters.
+    pub fn fit(&self, points: &[Vec<f64>], seed: u64) -> Clustering {
+        assert!(!points.is_empty(), "need at least one point");
+        let dim = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "inconsistent point dimensions"
+        );
+        assert!(
+            points.len() >= self.k,
+            "fewer points ({}) than clusters ({})",
+            points.len(),
+            self.k
+        );
+        let seq = SeedSequence::new(seed);
+        let mut best: Option<Clustering> = None;
+        for init in 0..self.n_init {
+            let c = self.fit_once(points, seq.seed_for_index(init as u64));
+            if best.as_ref().map_or(true, |b| c.inertia < b.inertia) {
+                best = Some(c);
+            }
+        }
+        best.expect("n_init >= 1")
+    }
+
+    fn fit_once(&self, points: &[Vec<f64>], seed: u64) -> Clustering {
+        let mut rng = seeded_rng(seed);
+        let mut centroids = self.init_plus_plus(points, &mut rng);
+        let mut assignments = vec![0usize; points.len()];
+        let mut inertia = f64::INFINITY;
+        for _ in 0..self.max_iters {
+            // Assign.
+            let mut new_inertia = 0.0;
+            for (i, p) in points.iter().enumerate() {
+                let (c, d) = nearest(&centroids, p);
+                assignments[i] = c;
+                new_inertia += d;
+            }
+            // Update.
+            let dim = points[0].len();
+            let mut sums = vec![vec![0.0; dim]; self.k];
+            let mut counts = vec![0usize; self.k];
+            for (i, p) in points.iter().enumerate() {
+                let c = assignments[i];
+                counts[c] += 1;
+                for (s, &v) in sums[c].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            for c in 0..self.k {
+                if counts[c] == 0 {
+                    // Reseed an empty cluster on a random point.
+                    let p = &points[rng.gen_range(0..points.len())];
+                    centroids[c] = p.clone();
+                } else {
+                    for s in &mut sums[c] {
+                        *s /= counts[c] as f64;
+                    }
+                    centroids[c] = std::mem::take(&mut sums[c]);
+                }
+            }
+            if (inertia - new_inertia).abs() < 1e-12 {
+                inertia = new_inertia;
+                break;
+            }
+            inertia = new_inertia;
+        }
+        Clustering {
+            assignments,
+            centroids,
+            inertia,
+        }
+    }
+
+    /// k-means++ seeding: first centroid uniform, the rest proportional
+    /// to squared distance from the chosen set.
+    fn init_plus_plus(&self, points: &[Vec<f64>], rng: &mut StdRng) -> Vec<Vec<f64>> {
+        let mut centroids = Vec::with_capacity(self.k);
+        centroids.push(points[rng.gen_range(0..points.len())].clone());
+        let mut d2: Vec<f64> = points
+            .iter()
+            .map(|p| dist2(p, &centroids[0]))
+            .collect();
+        while centroids.len() < self.k {
+            let total: f64 = d2.iter().sum();
+            let pick = if total <= 0.0 {
+                rng.gen_range(0..points.len())
+            } else {
+                let mut u = rng.gen::<f64>() * total;
+                let mut idx = points.len() - 1;
+                for (i, &d) in d2.iter().enumerate() {
+                    if u < d {
+                        idx = i;
+                        break;
+                    }
+                    u -= d;
+                }
+                idx
+            };
+            centroids.push(points[pick].clone());
+            for (i, p) in points.iter().enumerate() {
+                let d = dist2(p, centroids.last().expect("just pushed"));
+                if d < d2[i] {
+                    d2[i] = d;
+                }
+            }
+        }
+        centroids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(n: usize) -> Vec<Vec<f64>> {
+        let mut rng = seeded_rng(1);
+        (0..n)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0.0 } else { 10.0 };
+                vec![base + rng.gen::<f64>() * 0.5, base - rng.gen::<f64>() * 0.5]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let points = two_blobs(100);
+        let c = KMeans::new(2).fit(&points, 7);
+        // All even-index points together, all odd together.
+        let c0 = c.assignments[0];
+        for i in (0..100).step_by(2) {
+            assert_eq!(c.assignments[i], c0);
+        }
+        for i in (1..100).step_by(2) {
+            assert_ne!(c.assignments[i], c0);
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let points = two_blobs(60);
+        let i1 = KMeans::new(1).fit(&points, 3).inertia;
+        let i2 = KMeans::new(2).fit(&points, 3).inertia;
+        let i4 = KMeans::new(4).fit(&points, 3).inertia;
+        assert!(i2 < i1);
+        assert!(i4 <= i2 + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let points = two_blobs(50);
+        let a = KMeans::new(3).fit(&points, 11);
+        let b = KMeans::new(3).fit(&points, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let points = two_blobs(8);
+        let c = KMeans::new(8).fit(&points, 5);
+        assert!(c.inertia < 1e-9, "inertia {}", c.inertia);
+    }
+
+    #[test]
+    fn assign_matches_training_assignment() {
+        let points = two_blobs(40);
+        let c = KMeans::new(2).fit(&points, 9);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(c.assign(p), c.assignments[i]);
+        }
+    }
+
+    #[test]
+    fn representatives_are_members() {
+        let points = two_blobs(30);
+        let c = KMeans::new(3).fit(&points, 13);
+        let reps = c.representatives(&points);
+        for (cluster, rep) in reps.iter().enumerate() {
+            if let Some(r) = rep {
+                assert_eq!(c.assignments[*r], cluster);
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_sum_to_n() {
+        let points = two_blobs(44);
+        let c = KMeans::new(5).fit(&points, 17);
+        assert_eq!(c.sizes().iter().sum::<usize>(), 44);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer points")]
+    fn too_many_clusters_rejected() {
+        KMeans::new(10).fit(&two_blobs(4), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! K-means clustering of EIP vectors — the prior-art baseline (§4.6).
+//!
+//! SimPoint-style phase detection clusters control-flow vectors with
+//! k-means and *assumes* points in one cluster share a CPI; regression
+//! trees instead let CPI drive the partition. §4.6 compares the two and
+//! finds regression trees explain ~80 % more CPI variance. This crate
+//! provides the baseline: random projection of sparse EIPVs to a low
+//! dimension (as SimPoint does), seeded k-means++ with restarts, and a
+//! cross-validated CPI-predictability evaluation symmetric to the
+//! regression-tree one.
+//!
+//! ```
+//! use fuzzyphase_cluster::{KMeans, project};
+//! use fuzzyphase_stats::SparseVec;
+//!
+//! let vectors: Vec<SparseVec> = (0..40)
+//!     .map(|i| SparseVec::from_pairs([((i % 2) as u32, 10.0)]))
+//!     .collect();
+//! let points = project(&vectors, 8, 42);
+//! let clustering = KMeans::new(2).fit(&points, 42);
+//! assert_eq!(clustering.num_clusters(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bic;
+pub mod evaluate;
+pub mod kmeans;
+pub mod phase_detect;
+pub mod projection;
+pub mod stratified;
+
+pub use bic::{bic, choose_k_bic};
+pub use evaluate::{default_k_grid, kmeans_re_curve, KmeansEvaluation};
+pub use kmeans::{Clustering, KMeans};
+pub use projection::project;
+pub use phase_detect::{
+    agreement, BranchCountDetector, PhaseDetector, SignatureDetector, VectorDetector,
+};
+pub use stratified::neyman_allocation;

@@ -1,0 +1,90 @@
+//! Random projection of sparse EIP vectors to a low dimension.
+//!
+//! SimPoint projects basic-block vectors down to ~15 dimensions before
+//! clustering; we do the same with a signed feature-hashing projection
+//! (each (feature, dimension) pair contributes ±value with a
+//! deterministic pseudo-random sign), which preserves distances in
+//! expectation (Johnson–Lindenstrauss style) and never materializes the
+//! huge EIP dimension.
+
+use fuzzyphase_stats::rng::splitmix64;
+use fuzzyphase_stats::SparseVec;
+
+/// Projects sparse vectors into `dims` dense dimensions.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `dims == 0`.
+pub fn project(vectors: &[SparseVec], dims: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(dims > 0, "need at least one projection dimension");
+    let norm = 1.0 / (dims as f64).sqrt();
+    vectors
+        .iter()
+        .map(|v| {
+            let mut out = vec![0.0; dims];
+            for (f, value) in v.iter() {
+                for (d, slot) in out.iter_mut().enumerate() {
+                    let mut s = seed ^ ((f as u64) << 20) ^ d as u64;
+                    let h = splitmix64(&mut s);
+                    let sign = if h & 1 == 0 { 1.0 } else { -1.0 };
+                    *slot += sign * value * norm;
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs() -> Vec<SparseVec> {
+        vec![
+            SparseVec::from_pairs([(0, 10.0), (5, 2.0)]),
+            SparseVec::from_pairs([(0, 10.0), (5, 2.0)]),
+            SparseVec::from_pairs([(900, 50.0)]),
+        ]
+    }
+
+    #[test]
+    fn identical_inputs_project_identically() {
+        let p = project(&vecs(), 8, 1);
+        assert_eq!(p[0], p[1]);
+        assert_ne!(p[0], p[2]);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(project(&vecs(), 8, 2), project(&vecs(), 8, 2));
+        assert_ne!(project(&vecs(), 8, 2), project(&vecs(), 8, 3));
+    }
+
+    #[test]
+    fn dimension_respected() {
+        let p = project(&vecs(), 15, 4);
+        assert!(p.iter().all(|v| v.len() == 15));
+    }
+
+    #[test]
+    fn norm_roughly_preserved() {
+        // JL: squared norm preserved in expectation. Use a big vector and
+        // moderate dims; allow generous tolerance.
+        let v = SparseVec::from_pairs((0..200u32).map(|f| (f, 1.0)));
+        let p = project(std::slice::from_ref(&v), 64, 5);
+        let pn: f64 = p[0].iter().map(|x| x * x).sum();
+        let vn = v.norm() * v.norm();
+        assert!(
+            (pn / vn - 1.0).abs() < 0.5,
+            "projected norm {pn} vs original {vn}"
+        );
+    }
+
+    #[test]
+    fn zero_vector_projects_to_zero() {
+        let p = project(&[SparseVec::new()], 8, 6);
+        assert!(p[0].iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,114 @@
+//! Stratified sample allocation over clusters.
+//!
+//! Perelman et al. (the paper's \[25\]) refine phase-based sampling by
+//! taking *more than one* sample from clusters with high CPI variance.
+//! Neyman allocation formalizes this: the sample budget is distributed
+//! proportionally to `n_c · σ_c` per cluster.
+
+/// Allocates `budget` samples across clusters proportionally to
+/// `size · std_dev`, guaranteeing one sample for every non-empty cluster.
+///
+/// Returns one allocation per cluster.
+///
+/// # Panics
+///
+/// Panics if `sizes` and `std_devs` lengths differ, or the budget is
+/// smaller than the number of non-empty clusters.
+pub fn neyman_allocation(sizes: &[usize], std_devs: &[f64], budget: usize) -> Vec<usize> {
+    assert_eq!(sizes.len(), std_devs.len(), "sizes and std-devs must align");
+    let nonempty = sizes.iter().filter(|&&s| s > 0).count();
+    assert!(
+        budget >= nonempty,
+        "budget {budget} below non-empty cluster count {nonempty}"
+    );
+    let mut alloc: Vec<usize> = sizes.iter().map(|&s| usize::from(s > 0)).collect();
+    let mut remaining = budget - nonempty;
+
+    let weights: Vec<f64> = sizes
+        .iter()
+        .zip(std_devs)
+        .map(|(&n, &sd)| n as f64 * sd.max(0.0))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    if total > 0.0 {
+        // Largest-remainder apportionment of the extra samples.
+        let shares: Vec<f64> = weights
+            .iter()
+            .map(|w| w / total * remaining as f64)
+            .collect();
+        let mut rem: Vec<(usize, f64)> = Vec::with_capacity(shares.len());
+        for (i, &sh) in shares.iter().enumerate() {
+            let base = sh.floor() as usize;
+            let grant = base.min(remaining);
+            alloc[i] += grant;
+            remaining -= grant;
+            rem.push((i, sh - base as f64));
+        }
+        rem.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("fractions are finite"));
+        for (i, _) in rem {
+            if remaining == 0 {
+                break;
+            }
+            if sizes[i] > 0 {
+                alloc[i] += 1;
+                remaining -= 1;
+            }
+        }
+    }
+    // Any residue (all-zero weights) goes to the largest cluster.
+    if remaining > 0 {
+        if let Some((i, _)) = sizes.iter().enumerate().max_by_key(|&(_, &s)| s) {
+            alloc[i] += remaining;
+        }
+    }
+    // Allocation cannot exceed cluster population.
+    for (a, &s) in alloc.iter_mut().zip(sizes) {
+        *a = (*a).min(s);
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_variance_clusters_get_more() {
+        let alloc = neyman_allocation(&[100, 100, 100], &[0.01, 0.5, 0.01], 12);
+        assert!(alloc[1] > alloc[0]);
+        assert!(alloc[1] > alloc[2]);
+        assert!(alloc.iter().all(|&a| a >= 1));
+    }
+
+    #[test]
+    fn budget_respected() {
+        let alloc = neyman_allocation(&[50, 30, 20], &[0.1, 0.2, 0.3], 10);
+        assert!(alloc.iter().sum::<usize>() <= 10);
+    }
+
+    #[test]
+    fn every_nonempty_cluster_sampled() {
+        let alloc = neyman_allocation(&[10, 0, 5], &[0.0, 0.0, 0.0], 4);
+        assert!(alloc[0] >= 1);
+        assert_eq!(alloc[1], 0);
+        assert!(alloc[2] >= 1);
+    }
+
+    #[test]
+    fn allocation_capped_by_population() {
+        let alloc = neyman_allocation(&[2, 100], &[10.0, 0.0], 20);
+        assert!(alloc[0] <= 2);
+    }
+
+    #[test]
+    fn zero_variance_still_spreads() {
+        let alloc = neyman_allocation(&[40, 40], &[0.0, 0.0], 6);
+        assert_eq!(alloc.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn budget_too_small_rejected() {
+        neyman_allocation(&[10, 10, 10], &[1.0, 1.0, 1.0], 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! `fuzzyphase` — reproduction of *"The Fuzzy Correlation between Code
+//! and Performance Predictability"* (Annavaram et al., MICRO-37, 2004).
+//!
+//! The paper asks: **how well can the program counter (EIP) predict
+//! CPI?** It samples server and SPEC workloads with VTune, aggregates the
+//! samples into per-interval EIP vectors, bounds CPI predictability with
+//! cross-validated regression trees, and classifies 49 benchmarks into
+//! four quadrants of (CPI variance × predictability), each with its own
+//! best-suited simulation-sampling technique.
+//!
+//! This crate is the façade over the full reproduction stack:
+//!
+//! | layer | crate |
+//! |---|---|
+//! | statistics, RNG, sparse vectors | `fuzzyphase-stats` |
+//! | machine model (caches, branch prediction, CPI breakdown) | `fuzzyphase-arch` |
+//! | synthetic workload models (OLTP, app-server, DSS, SPEC) | `fuzzyphase-workload` |
+//! | VTune-style sampling, EIPV construction | `fuzzyphase-profiler` |
+//! | regression trees + cross-validation | `fuzzyphase-regtree` |
+//! | k-means baseline | `fuzzyphase-cluster` |
+//! | sampling techniques + selector | `fuzzyphase-sampling` |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fuzzyphase::prelude::*;
+//!
+//! // Profile a workload on the simulated Itanium 2 (tiny run for the
+//! // doctest; real runs use the 250-interval default).
+//! let spec = BenchmarkSpec::spec("mcf");
+//! let mut cfg = RunConfig::default();
+//! cfg.profile.num_intervals = 40;
+//! cfg.profile.warmup_intervals = 5;
+//! let result = run_benchmark(&spec, &cfg);
+//!
+//! // mcf: high CPI variance, strongly phase-predictable -> Q-IV.
+//! assert_eq!(result.quadrant, Quadrant::IV);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod quadrant;
+pub mod report;
+pub mod suite;
+
+pub use pipeline::{run_benchmark, run_suite, BenchmarkResult, RunConfig, SuiteResult};
+pub use quadrant::{Quadrant, Thresholds};
+pub use report::{format_table2, Table2Row};
+pub use suite::{all_benchmarks, BenchmarkId, BenchmarkSpec};
+
+/// Everything most users need.
+pub mod prelude {
+    pub use crate::pipeline::{run_benchmark, run_suite, BenchmarkResult, RunConfig, SuiteResult};
+    pub use crate::quadrant::{Quadrant, Thresholds};
+    pub use crate::suite::{all_benchmarks, BenchmarkId, BenchmarkSpec};
+    pub use fuzzyphase_profiler::{ProfileConfig, ProfileData, ProfileSession, SamplerSpec};
+    pub use fuzzyphase_regtree::{analyze, AnalysisOptions, PredictabilityReport};
+    pub use fuzzyphase_workload::Workload;
+}
+
+pub use fuzzyphase_arch as arch;
+pub use fuzzyphase_cluster as cluster;
+pub use fuzzyphase_profiler as profiler;
+pub use fuzzyphase_regtree as regtree;
+pub use fuzzyphase_sampling as sampling;
+pub use fuzzyphase_stats as stats;
+pub use fuzzyphase_workload as workload;

@@ -1,0 +1,243 @@
+//! The end-to-end pipeline: workload → profile → regression-tree
+//! analysis → quadrant.
+
+use crate::quadrant::{Quadrant, Thresholds};
+use crate::suite::{BenchmarkSpec, BenchmarkId};
+use fuzzyphase_profiler::{ProfileConfig, ProfileData, ProfileSession};
+use fuzzyphase_regtree::{analyze, AnalysisOptions, PredictabilityReport};
+use fuzzyphase_workload::dss::DssDatabase;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Configuration for one benchmark run or a whole suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Profiling parameters (the per-benchmark sampler rate from the
+    /// [`BenchmarkSpec`] overrides `profile.sampler`).
+    pub profile: ProfileConfig,
+    /// Regression-tree analysis parameters.
+    pub analysis: AnalysisOptions,
+    /// Quadrant thresholds.
+    pub thresholds: Thresholds,
+    /// Root seed; every benchmark derives its own stream from it.
+    pub seed: u64,
+    /// Worker threads for suite runs (0 = one per available core, capped
+    /// at 8).
+    pub workers: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            profile: ProfileConfig::default(),
+            analysis: AnalysisOptions::default(),
+            thresholds: Thresholds::default(),
+            seed: 0xF022_2004, // MICRO-37, 2004
+            workers: 0,
+        }
+    }
+}
+
+/// Everything measured for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Expected quadrant from the paper's Table 2 reconstruction.
+    pub expected_quadrant: Quadrant,
+    /// Measured quadrant.
+    pub quadrant: Quadrant,
+    /// The regression-tree report (CPI variance, RE curve, …).
+    pub report: PredictabilityReport,
+    /// The raw profile (interval CPIs, breakdowns, samples).
+    pub profile: ProfileData,
+}
+
+impl BenchmarkResult {
+    /// Whether the measured quadrant matches the paper's.
+    pub fn matches_expectation(&self) -> bool {
+        self.quadrant == self.expected_quadrant
+    }
+}
+
+/// A whole-suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteResult {
+    /// Per-benchmark results in suite order.
+    pub benchmarks: Vec<BenchmarkResult>,
+    /// Thresholds used.
+    pub thresholds: Thresholds,
+}
+
+impl SuiteResult {
+    /// Count of benchmarks per measured quadrant.
+    pub fn quadrant_counts(&self) -> [usize; 4] {
+        let mut out = [0; 4];
+        for b in &self.benchmarks {
+            let i = match b.quadrant {
+                Quadrant::I => 0,
+                Quadrant::II => 1,
+                Quadrant::III => 2,
+                Quadrant::IV => 3,
+            };
+            out[i] += 1;
+        }
+        out
+    }
+
+    /// Fraction of benchmarks landing in their paper quadrant.
+    pub fn agreement(&self) -> f64 {
+        if self.benchmarks.is_empty() {
+            return 0.0;
+        }
+        self.benchmarks
+            .iter()
+            .filter(|b| b.matches_expectation())
+            .count() as f64
+            / self.benchmarks.len() as f64
+    }
+}
+
+/// Summary row persisted for experiment bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkSummary {
+    /// Benchmark name.
+    pub name: String,
+    /// Measured CPI variance.
+    pub cpi_variance: f64,
+    /// Measured minimum relative error.
+    pub re_min: f64,
+    /// Measured quadrant.
+    pub quadrant: Quadrant,
+    /// Expected quadrant.
+    pub expected: Quadrant,
+}
+
+/// Runs one benchmark end-to-end.
+pub fn run_benchmark(spec: &BenchmarkSpec, cfg: &RunConfig) -> BenchmarkResult {
+    run_benchmark_with_db(spec, cfg, None)
+}
+
+/// Runs one benchmark, reusing a shared DSS database image if given.
+pub fn run_benchmark_with_db(
+    spec: &BenchmarkSpec,
+    cfg: &RunConfig,
+    db: Option<&Arc<DssDatabase>>,
+) -> BenchmarkResult {
+    let seed = fuzzyphase_stats::SeedSequence::new(cfg.seed).seed_for(&spec.name());
+    let mut workload = spec.build(seed, db);
+    let mut pcfg = cfg.profile.clone();
+    pcfg.sampler = spec.sampler;
+    let profile = ProfileSession::run(&mut workload, &pcfg);
+    let eipvs = profile.eipvs();
+    let report = analyze(&eipvs.vectors, &eipvs.cpis, &cfg.analysis);
+    let quadrant = cfg.thresholds.classify(report.cpi_variance, report.re_min);
+    BenchmarkResult {
+        name: spec.name(),
+        expected_quadrant: spec.expected_quadrant,
+        quadrant,
+        report,
+        profile,
+    }
+}
+
+/// Runs a set of benchmarks, in parallel across worker threads.
+///
+/// Deterministic regardless of worker count: each benchmark's seed
+/// depends only on the root seed and its name.
+pub fn run_suite(specs: &[BenchmarkSpec], cfg: &RunConfig) -> SuiteResult {
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8)
+    } else {
+        cfg.workers
+    };
+    // One shared read-only database image for all ODB-H queries.
+    let db = if specs.iter().any(|s| matches!(s.id, BenchmarkId::OdbH(_))) {
+        Some(DssDatabase::new())
+    } else {
+        None
+    };
+
+    let results: Mutex<Vec<(usize, BenchmarkResult)>> = Mutex::new(Vec::new());
+    let next: Mutex<usize> = Mutex::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers.min(specs.len()) {
+            scope.spawn(|_| loop {
+                let i = {
+                    let mut n = next.lock();
+                    if *n >= specs.len() {
+                        break;
+                    }
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                let r = run_benchmark_with_db(&specs[i], cfg, db.as_ref());
+                results.lock().push((i, r));
+            });
+        }
+    })
+    .expect("suite workers must not panic");
+
+    let mut results = results.into_inner();
+    results.sort_by_key(|(i, _)| *i);
+    SuiteResult {
+        benchmarks: results.into_iter().map(|(_, r)| r).collect(),
+        thresholds: cfg.thresholds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> RunConfig {
+        let mut cfg = RunConfig::default();
+        cfg.profile.num_intervals = 30;
+        cfg.profile.warmup_intervals = 5;
+        cfg
+    }
+
+    #[test]
+    fn mcf_lands_in_q4() {
+        let r = run_benchmark(&BenchmarkSpec::spec("mcf"), &tiny_cfg());
+        assert_eq!(r.quadrant, Quadrant::IV);
+        assert!(r.matches_expectation());
+        assert!(r.report.cpi_variance > 0.1);
+    }
+
+    #[test]
+    fn gzip_lands_in_q1() {
+        let r = run_benchmark(&BenchmarkSpec::spec("gzip"), &tiny_cfg());
+        assert_eq!(r.quadrant, Quadrant::I);
+        assert!(r.report.cpi_variance < 0.01);
+    }
+
+    #[test]
+    fn suite_run_is_deterministic_and_ordered() {
+        let specs = vec![BenchmarkSpec::spec("gzip"), BenchmarkSpec::spec("mcf")];
+        let mut cfg = tiny_cfg();
+        cfg.workers = 2;
+        let a = run_suite(&specs, &cfg);
+        cfg.workers = 1;
+        let b = run_suite(&specs, &cfg);
+        assert_eq!(a.benchmarks[0].name, "gzip");
+        assert_eq!(a.benchmarks[1].name, "mcf");
+        assert_eq!(
+            a.benchmarks[0].report.re_curve,
+            b.benchmarks[0].report.re_curve
+        );
+    }
+
+    #[test]
+    fn agreement_math() {
+        let specs = vec![BenchmarkSpec::spec("gzip"), BenchmarkSpec::spec("mcf")];
+        let s = run_suite(&specs, &tiny_cfg());
+        assert!(s.agreement() > 0.99);
+        assert_eq!(s.quadrant_counts().iter().sum::<usize>(), 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! The quadrant classification of Figure 13 (§7).
+
+use fuzzyphase_sampling::{recommend, Recommendation};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four quadrants of (CPI variance × CPI predictability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Quadrant {
+    /// Low variance, weak phase behaviour (RE > threshold): "EIPVs can
+    /// not predict/differentiate such small variations in CPI". 13 SPEC
+    /// benchmarks and ODB-C land here.
+    I,
+    /// Low variance, strong phase behaviour: "even subtle CPI changes are
+    /// well captured by EIPVs".
+    II,
+    /// High variance, weak phase behaviour: CPI is "determined by
+    /// micro-architectural bottlenecks … which may not correlate well
+    /// with EIPVs" (gcc, gap, Q18, SjAS).
+    III,
+    /// High variance, strong phase behaviour: "ideal candidates for phase
+    /// based trace sampling" (mcf, art, swim, Q13).
+    IV,
+}
+
+impl fmt::Display for Quadrant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Quadrant::I => "Q-I",
+            Quadrant::II => "Q-II",
+            Quadrant::III => "Q-III",
+            Quadrant::IV => "Q-IV",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Quadrant {
+    /// The sampling technique §7 recommends for this quadrant.
+    pub fn recommendation(&self) -> Recommendation {
+        match self {
+            Quadrant::I => recommend(true, false),
+            Quadrant::II => recommend(true, true),
+            Quadrant::III => recommend(false, false),
+            Quadrant::IV => recommend(false, true),
+        }
+    }
+
+    /// Whether CPI variance is below the threshold in this quadrant.
+    pub fn low_variance(&self) -> bool {
+        matches!(self, Quadrant::I | Quadrant::II)
+    }
+
+    /// Whether phase behaviour is strong (RE ≤ threshold).
+    pub fn strong_phases(&self) -> bool {
+        matches!(self, Quadrant::II | Quadrant::IV)
+    }
+}
+
+/// The two classification thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// CPI-variance boundary between "low" and "high" (paper: 0.01).
+    pub cpi_variance: f64,
+    /// Relative-error boundary between "strong" and "weak" phase
+    /// behaviour (paper: 0.15).
+    pub relative_error: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        // §7: "we chose a CPI variance threshold of 0.01 … a relative
+        // error of 0.15".
+        Self {
+            cpi_variance: 0.01,
+            relative_error: 0.15,
+        }
+    }
+}
+
+impl Thresholds {
+    /// Classifies a benchmark by its CPI variance and minimum relative
+    /// error (`RE_kopt` in Table 2).
+    pub fn classify(&self, cpi_variance: f64, re: f64) -> Quadrant {
+        match (cpi_variance <= self.cpi_variance, re <= self.relative_error) {
+            (true, false) => Quadrant::I,
+            (true, true) => Quadrant::II,
+            (false, false) => Quadrant::III,
+            (false, true) => Quadrant::IV,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_figure_13() {
+        let t = Thresholds::default();
+        assert_eq!(t.classify(0.005, 1.0), Quadrant::I);
+        assert_eq!(t.classify(0.005, 0.05), Quadrant::II);
+        assert_eq!(t.classify(0.5, 0.9), Quadrant::III);
+        assert_eq!(t.classify(0.5, 0.1), Quadrant::IV);
+    }
+
+    #[test]
+    fn boundary_values_are_inclusive_low() {
+        let t = Thresholds::default();
+        // The paper writes "<= 0.01" and "RE <= 0.15" for the low/strong
+        // sides.
+        assert_eq!(t.classify(0.01, 0.15), Quadrant::II);
+    }
+
+    #[test]
+    fn recommendations_follow_the_paper() {
+        use Recommendation::*;
+        assert_eq!(Quadrant::I.recommendation(), UniformFewSamples);
+        assert_eq!(Quadrant::II.recommendation(), UniformFewSamples);
+        assert_eq!(Quadrant::III.recommendation(), Statistical);
+        assert_eq!(Quadrant::IV.recommendation(), PhaseBased);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Quadrant::I.to_string(), "Q-I");
+        assert_eq!(Quadrant::IV.to_string(), "Q-IV");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Quadrant::II.low_variance());
+        assert!(Quadrant::II.strong_phases());
+        assert!(!Quadrant::III.low_variance());
+        assert!(!Quadrant::III.strong_phases());
+    }
+}

@@ -1,0 +1,127 @@
+//! Table-2-style reporting.
+
+use crate::pipeline::{BenchmarkResult, SuiteResult};
+use crate::quadrant::Quadrant;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One row of the paper's Table 2: benchmark, CPI variance, `RE_kopt`,
+/// quadrant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Measured CPI variance.
+    pub cpi_variance: f64,
+    /// Measured minimum relative error.
+    pub re_kopt: f64,
+    /// Chambers at the minimum.
+    pub k: usize,
+    /// Measured quadrant.
+    pub quadrant: Quadrant,
+    /// Paper-expected quadrant.
+    pub expected: Quadrant,
+}
+
+impl Table2Row {
+    /// Builds the row from a benchmark result.
+    pub fn from_result(r: &BenchmarkResult) -> Self {
+        Self {
+            name: r.name.clone(),
+            cpi_variance: r.report.cpi_variance,
+            re_kopt: r.report.re_min,
+            k: r.report.k_at_min,
+            quadrant: r.quadrant,
+            expected: r.expected_quadrant,
+        }
+    }
+}
+
+/// Renders a suite result as the paper's Table 2 (plus the
+/// expected-quadrant column our reconstruction adds).
+pub fn format_table2(suite: &SuiteResult) -> String {
+    let mut rows: Vec<Table2Row> = suite
+        .benchmarks
+        .iter()
+        .map(Table2Row::from_result)
+        .collect();
+    // The paper groups Table 2 by quadrant.
+    rows.sort_by_key(|r| {
+        (
+            match r.quadrant {
+                Quadrant::I => 0,
+                Quadrant::II => 1,
+                Quadrant::III => 2,
+                Quadrant::IV => 3,
+            },
+            r.name.clone(),
+        )
+    });
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<8} {:>10} {:>8} {:>4}  {:<6} {:<6} match",
+        "Bmark", "CPI var", "RE_kopt", "k", "Quad", "Paper"
+    )
+    .expect("string write");
+    writeln!(out, "{}", "-".repeat(56)).expect("string write");
+    for r in &rows {
+        writeln!(
+            out,
+            "{:<8} {:>10.4} {:>8.3} {:>4}  {:<6} {:<6} {}",
+            r.name,
+            r.cpi_variance,
+            r.re_kopt,
+            r.k,
+            r.quadrant.to_string(),
+            r.expected.to_string(),
+            if r.quadrant == r.expected { "yes" } else { "NO" },
+        )
+        .expect("string write");
+    }
+    let counts = suite.quadrant_counts();
+    writeln!(
+        out,
+        "\nQ-I: {}  Q-II: {}  Q-III: {}  Q-IV: {}   agreement with paper: {:.0}%",
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3],
+        suite.agreement() * 100.0
+    )
+    .expect("string write");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_suite, RunConfig};
+    use crate::suite::BenchmarkSpec;
+
+    #[test]
+    fn table_renders() {
+        let mut cfg = RunConfig::default();
+        cfg.profile.num_intervals = 25;
+        cfg.profile.warmup_intervals = 4;
+        let suite = run_suite(&[BenchmarkSpec::spec("gzip"), BenchmarkSpec::spec("mcf")], &cfg);
+        let table = format_table2(&suite);
+        assert!(table.contains("gzip"));
+        assert!(table.contains("mcf"));
+        assert!(table.contains("agreement"));
+    }
+
+    #[test]
+    fn row_serializes() {
+        let row = Table2Row {
+            name: "x".into(),
+            cpi_variance: 0.1,
+            re_kopt: 0.5,
+            k: 3,
+            quadrant: Quadrant::III,
+            expected: Quadrant::III,
+        };
+        let json = serde_json::to_string(&row).expect("serializable");
+        assert!(json.contains("re_kopt"));
+    }
+}

@@ -1,0 +1,221 @@
+//! The benchmark suite the paper classifies: the 26 SPEC CPU2K models,
+//! the 22 ODB-H queries, ODB-C and SjAS.
+//!
+//! The paper's Table 2 covers "49 benchmarks"; our inventory (26 SPEC +
+//! 22 queries + 2 server workloads) holds 50. The paper's exact roster
+//! can't be recovered from the garbled table, so we carry all 50 and
+//! record the expected quadrant for each from the prose counts (see
+//! DESIGN.md).
+
+use crate::quadrant::Quadrant;
+use fuzzyphase_profiler::SamplerSpec;
+use fuzzyphase_workload::appserver::SjasWorkload;
+use fuzzyphase_workload::dss::{odb_h_query_on, DssDatabase};
+use fuzzyphase_workload::oltp::odb_c;
+use fuzzyphase_workload::spec::{spec_workload, SPEC_NAMES};
+use fuzzyphase_workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identity of one benchmark in the suite.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchmarkId {
+    /// The OLTP workload (ODB-C).
+    OdbC,
+    /// The application-server workload (SPECjAppServer).
+    Sjas,
+    /// ODB-H query 1–22.
+    OdbH(u8),
+    /// A SPEC CPU2K benchmark by name.
+    Spec(String),
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchmarkId::OdbC => write!(f, "ODB-C"),
+            BenchmarkId::Sjas => write!(f, "SjAS"),
+            BenchmarkId::OdbH(q) => write!(f, "Q{q}"),
+            BenchmarkId::Spec(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// A runnable benchmark description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Benchmark identity.
+    pub id: BenchmarkId,
+    /// Quadrant reconstructed from the paper (Table 2 + prose).
+    pub expected_quadrant: Quadrant,
+    /// The sampling rate the paper used for it (§3.1: SjAS is sampled
+    /// 10× faster).
+    pub sampler: SamplerSpec,
+}
+
+impl BenchmarkSpec {
+    /// The ODB-C benchmark.
+    pub fn odb_c() -> Self {
+        Self {
+            id: BenchmarkId::OdbC,
+            expected_quadrant: Quadrant::I,
+            sampler: SamplerSpec::default_rate(),
+        }
+    }
+
+    /// The SjAS benchmark.
+    pub fn sjas() -> Self {
+        Self {
+            id: BenchmarkId::Sjas,
+            expected_quadrant: Quadrant::III,
+            sampler: SamplerSpec::sjas_rate(),
+        }
+    }
+
+    /// ODB-H query `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `1..=22`.
+    pub fn odb_h(q: u8) -> Self {
+        assert!((1..=22).contains(&q), "ODB-H query must be 1..=22");
+        Self {
+            id: BenchmarkId::OdbH(q),
+            expected_quadrant: expected_odb_h_quadrant(q),
+            sampler: SamplerSpec::default_rate(),
+        }
+    }
+
+    /// SPEC benchmark `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown names.
+    pub fn spec(name: &str) -> Self {
+        Self {
+            id: BenchmarkId::Spec(name.to_string()),
+            expected_quadrant: expected_spec_quadrant(name),
+            sampler: SamplerSpec::default_rate(),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> String {
+        self.id.to_string()
+    }
+
+    /// Instantiates the workload.
+    ///
+    /// For ODB-H queries an optional shared database image avoids
+    /// rebuilding the B-tree per query.
+    pub fn build(&self, seed: u64, db: Option<&Arc<DssDatabase>>) -> Box<dyn Workload> {
+        match &self.id {
+            BenchmarkId::OdbC => Box::new(odb_c(seed)),
+            BenchmarkId::Sjas => Box::new(SjasWorkload::new(seed)),
+            BenchmarkId::OdbH(q) => {
+                let db = db.cloned().unwrap_or_else(DssDatabase::new);
+                Box::new(odb_h_query_on(db, *q, seed))
+            }
+            BenchmarkId::Spec(name) => Box::new(spec_workload(name, seed)),
+        }
+    }
+}
+
+/// The Table 2 reconstruction for SPEC benchmarks (see DESIGN.md).
+///
+/// # Panics
+///
+/// Panics for unknown names.
+pub fn expected_spec_quadrant(name: &str) -> Quadrant {
+    match name {
+        "twolf" | "crafty" | "eon" | "vpr" | "bzip2" | "parser" | "mesa" | "vortex" | "gzip"
+        | "perlbmk" | "applu" | "mgrid" | "sixtrack" => Quadrant::I,
+        "wupwise" | "apsi" | "fma3d" => Quadrant::II,
+        "gcc" | "gap" | "lucas" | "equake" | "galgel" | "ammp" | "facerec" => Quadrant::III,
+        "art" | "swim" | "mcf" => Quadrant::IV,
+        other => panic!("unknown SPEC benchmark: {other}"),
+    }
+}
+
+/// The Table 2 reconstruction for ODB-H queries (see DESIGN.md).
+///
+/// # Panics
+///
+/// Panics if `q` is not in `1..=22`.
+pub fn expected_odb_h_quadrant(q: u8) -> Quadrant {
+    match q {
+        1 | 3 | 5 | 6 | 12 | 13 | 14 | 19 | 21 => Quadrant::IV,
+        2 | 7 | 9 | 10 | 17 | 18 | 20 => Quadrant::III,
+        4 | 15 => Quadrant::II,
+        8 | 11 | 16 | 22 => Quadrant::I,
+        _ => panic!("ODB-H query must be 1..=22, got {q}"),
+    }
+}
+
+/// Every benchmark in the suite, servers first.
+pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
+    let mut out = vec![BenchmarkSpec::odb_c(), BenchmarkSpec::sjas()];
+    out.extend((1..=22).map(BenchmarkSpec::odb_h));
+    out.extend(SPEC_NAMES.iter().map(|n| BenchmarkSpec::spec(n)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_50_benchmarks() {
+        assert_eq!(all_benchmarks().len(), 50);
+    }
+
+    #[test]
+    fn quadrant_counts_match_the_paper_prose() {
+        let suite = all_benchmarks();
+        let count = |q: Quadrant| {
+            suite
+                .iter()
+                .filter(|b| b.expected_quadrant == q)
+                .count()
+        };
+        // Q-I: 13 SPEC + ODB-C + 4 reconstructed ODB-H.
+        assert_eq!(count(Quadrant::I), 18);
+        // Q-II: "There are only five benchmarks in Q-II".
+        assert_eq!(count(Quadrant::II), 5);
+        // Q-III: 7 SPEC + 7 ODB-H + SjAS.
+        assert_eq!(count(Quadrant::III), 15);
+        // Q-IV: "12 (nine ODB-H queries and three SPEC)".
+        assert_eq!(count(Quadrant::IV), 12);
+    }
+
+    #[test]
+    fn sjas_uses_the_fast_sampler() {
+        assert_eq!(BenchmarkSpec::sjas().sampler, SamplerSpec::sjas_rate());
+        assert_eq!(BenchmarkSpec::odb_c().sampler, SamplerSpec::default_rate());
+    }
+
+    #[test]
+    fn build_produces_named_workloads() {
+        let db = DssDatabase::new();
+        let mut w = BenchmarkSpec::odb_h(13).build(1, Some(&db));
+        assert_eq!(w.name(), "q13");
+        let _ = w.next_event();
+        let mut w = BenchmarkSpec::spec("gzip").build(1, None);
+        assert_eq!(w.name(), "gzip");
+        let _ = w.next_event();
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BenchmarkId::OdbC.to_string(), "ODB-C");
+        assert_eq!(BenchmarkId::OdbH(13).to_string(), "Q13");
+        assert_eq!(BenchmarkId::Spec("mcf".into()).to_string(), "mcf");
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=22")]
+    fn bad_query_rejected() {
+        BenchmarkSpec::odb_h(23);
+    }
+}

@@ -1,0 +1,240 @@
+//! EIP-vector construction (§3.2 of the paper).
+//!
+//! The execution is divided into equal intervals; each interval becomes a
+//! histogram vector over the *unique EIPs of the whole run*: entry *i* of
+//! vector *j* counts how often unique EIP *i* was sampled during interval
+//! *j*. Server workloads have tens of thousands of unique EIPs but only
+//! ~100 samples per vector, so vectors are sparse.
+
+use crate::session::Sample;
+use fuzzyphase_stats::SparseVec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Bidirectional mapping between raw EIP addresses and dense feature ids.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EipIndex {
+    map: HashMap<u64, u32>,
+    eips: Vec<u64>,
+}
+
+impl EipIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the feature id for `eip`, allocating one if new.
+    pub fn intern(&mut self, eip: u64) -> u32 {
+        if let Some(&id) = self.map.get(&eip) {
+            return id;
+        }
+        let id = self.eips.len() as u32;
+        self.map.insert(eip, id);
+        self.eips.push(eip);
+        id
+    }
+
+    /// The feature id of `eip`, if it has been seen.
+    pub fn get(&self, eip: u64) -> Option<u32> {
+        self.map.get(&eip).copied()
+    }
+
+    /// The EIP address for feature `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn eip(&self, id: u32) -> u64 {
+        self.eips[id as usize]
+    }
+
+    /// Number of unique EIPs.
+    pub fn len(&self) -> usize {
+        self.eips.len()
+    }
+
+    /// Whether no EIPs have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.eips.is_empty()
+    }
+}
+
+/// A set of EIP vectors with their CPIs: the regression-tree input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EipvData {
+    /// One sparse histogram per interval; feature ids map through `index`.
+    pub vectors: Vec<SparseVec>,
+    /// The interval's instantaneous CPI (mean of its samples' CPIs).
+    pub cpis: Vec<f64>,
+    /// Feature-id ↔ EIP mapping.
+    pub index: EipIndex,
+    /// For per-thread data: which thread each vector came from (empty for
+    /// system-wide vectors).
+    pub vector_threads: Vec<u32>,
+}
+
+impl EipvData {
+    /// Builds vectors by chunking consecutive samples, `spv` samples per
+    /// vector (the standard §3.2 construction; a trailing partial chunk is
+    /// dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spv == 0`.
+    pub fn from_samples(samples: &[Sample], spv: usize) -> Self {
+        assert!(spv > 0, "need at least one sample per vector");
+        let mut index = EipIndex::new();
+        let mut vectors = Vec::with_capacity(samples.len() / spv);
+        let mut cpis = Vec::with_capacity(samples.len() / spv);
+        for chunk in samples.chunks_exact(spv) {
+            vectors.push(Self::histogram(chunk, &mut index));
+            cpis.push(chunk.iter().map(|s| s.cpi).sum::<f64>() / spv as f64);
+        }
+        Self {
+            vectors,
+            cpis,
+            index,
+            vector_threads: Vec::new(),
+        }
+    }
+
+    /// Builds per-thread vectors (§5.2): samples are partitioned by
+    /// thread id, and each thread's sample stream is chunked
+    /// independently. Thread streams shorter than one vector are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spv == 0`.
+    pub fn from_samples_per_thread(samples: &[Sample], spv: usize) -> Self {
+        assert!(spv > 0, "need at least one sample per vector");
+        let mut by_thread: HashMap<u32, Vec<&Sample>> = HashMap::new();
+        for s in samples {
+            by_thread.entry(s.thread).or_default().push(s);
+        }
+        let mut threads: Vec<u32> = by_thread.keys().copied().collect();
+        threads.sort_unstable();
+
+        let mut index = EipIndex::new();
+        let mut vectors = Vec::new();
+        let mut cpis = Vec::new();
+        let mut vector_threads = Vec::new();
+        for t in threads {
+            let ss = &by_thread[&t];
+            for chunk in ss.chunks_exact(spv) {
+                let owned: Vec<Sample> = chunk.iter().map(|&&s| s).collect();
+                vectors.push(Self::histogram(&owned, &mut index));
+                cpis.push(owned.iter().map(|s| s.cpi).sum::<f64>() / spv as f64);
+                vector_threads.push(t);
+            }
+        }
+        Self {
+            vectors,
+            cpis,
+            index,
+            vector_threads,
+        }
+    }
+
+    fn histogram(chunk: &[Sample], index: &mut EipIndex) -> SparseVec {
+        SparseVec::from_pairs(chunk.iter().map(|s| (index.intern(s.eip), 1.0)))
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether there are no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Number of features (unique EIPs across the run).
+    pub fn num_features(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Population variance of the CPIs (the paper's `E`).
+    pub fn cpi_variance(&self) -> f64 {
+        fuzzyphase_stats::variance(&self.cpis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(eip: u64, thread: u32, cpi: f64) -> Sample {
+        Sample {
+            eip,
+            thread,
+            is_os: false,
+            cpi,
+        }
+    }
+
+    #[test]
+    fn histogram_mass_equals_samples_per_vector() {
+        let samples: Vec<Sample> = (0..20).map(|i| sample(i % 5, 0, 1.0)).collect();
+        let d = EipvData::from_samples(&samples, 10);
+        assert_eq!(d.len(), 2);
+        for v in &d.vectors {
+            assert_eq!(v.sum(), 10.0);
+        }
+        assert_eq!(d.num_features(), 5);
+    }
+
+    #[test]
+    fn cpi_is_chunk_mean() {
+        let samples: Vec<Sample> = (0..4).map(|i| sample(0, 0, i as f64)).collect();
+        let d = EipvData::from_samples(&samples, 2);
+        assert_eq!(d.cpis, vec![0.5, 2.5]);
+    }
+
+    #[test]
+    fn trailing_partial_chunk_dropped() {
+        let samples: Vec<Sample> = (0..25).map(|i| sample(i, 0, 1.0)).collect();
+        let d = EipvData::from_samples(&samples, 10);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn per_thread_separation() {
+        // Interleaved threads 0/1, distinct EIPs and CPIs.
+        let mut samples = Vec::new();
+        for i in 0..40 {
+            let t = i % 2;
+            samples.push(sample(100 + t as u64, t, t as f64 + 1.0));
+        }
+        let d = EipvData::from_samples_per_thread(&samples, 10);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.vector_threads, vec![0, 0, 1, 1]);
+        // Thread-pure vectors: one unique EIP each, thread CPI preserved.
+        for (i, v) in d.vectors.iter().enumerate() {
+            assert_eq!(v.nnz(), 1);
+            let want_cpi = d.vector_threads[i] as f64 + 1.0;
+            assert_eq!(d.cpis[i], want_cpi);
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut idx = EipIndex::new();
+        let a = idx.intern(0xDEAD);
+        let b = idx.intern(0xBEEF);
+        assert_ne!(a, b);
+        assert_eq!(idx.intern(0xDEAD), a);
+        assert_eq!(idx.eip(a), 0xDEAD);
+        assert_eq!(idx.get(0xBEEF), Some(b));
+        assert_eq!(idx.get(0x1234), None);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn variance_of_flat_cpis_is_zero() {
+        let samples: Vec<Sample> = (0..30).map(|i| sample(i, 0, 2.0)).collect();
+        let d = EipvData::from_samples(&samples, 10);
+        assert_eq!(d.cpi_variance(), 0.0);
+    }
+}

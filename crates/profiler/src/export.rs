@@ -1,0 +1,142 @@
+//! CSV export of profiling results for external plotting.
+
+use crate::session::ProfileData;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders the interval series (time, CPI, breakdown) as CSV.
+///
+/// Columns: `interval,seconds,cpi,work,fe,exe,other`.
+pub fn intervals_csv(data: &ProfileData) -> String {
+    let mut out = String::from("interval,seconds,cpi,work,fe,exe,other\n");
+    for (i, ivl) in data.intervals.iter().enumerate() {
+        let b = ivl.breakdown;
+        writeln!(
+            out,
+            "{},{:.6},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            i, ivl.start_seconds, ivl.cpi, b.work, b.fe, b.exe, b.other
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Renders the sample stream (the EIP/CPI "spread" of Figure 3) as CSV.
+///
+/// Columns: `sample,eip,thread,os,cpi`.
+pub fn samples_csv(data: &ProfileData) -> String {
+    let mut out = String::from("sample,eip,thread,os,cpi\n");
+    for (i, s) in data.samples.iter().enumerate() {
+        writeln!(
+            out,
+            "{},{:#x},{},{},{:.4}",
+            i, s.eip, s.thread, u8::from(s.is_os), s.cpi
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Saves a profile as JSON.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error; serialization itself cannot fail for
+/// these types.
+pub fn save_profile(data: &ProfileData, path: impl AsRef<Path>) -> io::Result<()> {
+    let json = serde_json::to_string(data).map_err(io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+/// Loads a profile saved by [`save_profile`].
+///
+/// # Errors
+///
+/// Returns I/O errors and JSON parse errors (as `InvalidData`).
+pub fn load_profile(path: impl AsRef<Path>) -> io::Result<ProfileData> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{IntervalStat, Sample};
+    use fuzzyphase_arch::CpiBreakdown;
+
+    fn tiny_data() -> ProfileData {
+        ProfileData {
+            name: "t".into(),
+            machine: "m".into(),
+            samples: vec![Sample {
+                eip: 0x10,
+                thread: 1,
+                is_os: false,
+                cpi: 2.0,
+            }],
+            intervals: vec![IntervalStat {
+                cpi: 2.0,
+                breakdown: CpiBreakdown {
+                    work: 1.0,
+                    fe: 0.25,
+                    exe: 0.5,
+                    other: 0.25,
+                },
+                start_seconds: 0.0,
+                l3_mpki: 2.0,
+                mispredict_pki: 1.0,
+                branch_pki: 150.0,
+            }],
+            full_vectors: Vec::new(),
+            full_index: Default::default(),
+            period: 1000,
+            interval_len: 100_000,
+            total_instructions: 100_000,
+            total_cycles: 200_000,
+            context_switches: 3,
+            os_instructions: 0,
+            seconds: 1.0,
+        }
+    }
+
+    #[test]
+    fn intervals_csv_has_header_and_rows() {
+        let csv = intervals_csv(&tiny_data());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("interval,"));
+        assert!(lines[1].contains("2.0000"));
+    }
+
+    #[test]
+    fn samples_csv_hexes_eips() {
+        let csv = samples_csv(&tiny_data());
+        assert!(csv.contains("0x10"));
+        assert!(csv.lines().count() == 2);
+    }
+
+    #[test]
+    fn profile_roundtrips_through_json() {
+        let data = tiny_data();
+        let dir = std::env::temp_dir().join("fuzzyphase-export-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("profile.json");
+        save_profile(&data, &path).expect("save");
+        let loaded = load_profile(&path).expect("load");
+        assert_eq!(loaded, data);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("fuzzyphase-export-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "not json").expect("write");
+        let err = load_profile(&path).expect_err("must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,178 @@
+//! The per-core recording state machine shared by the uniprocessor
+//! [`ProfileSession`](crate::ProfileSession) and the SMP
+//! [`SmpProfileSession`](crate::SmpProfileSession): warm-up tracking,
+//! sample emission, interval closing, and final assembly.
+
+use crate::eipv::EipIndex;
+use crate::session::{IntervalStat, ProfileData, ProfileConfig, Sample};
+use fuzzyphase_arch::{Core, CounterSet, CpiBreakdown, QuantumResult, Quantum};
+use fuzzyphase_stats::SparseVec;
+use fuzzyphase_workload::INSTR_SCALE;
+
+/// Incremental recorder for one monitored core.
+#[derive(Debug)]
+pub(crate) struct Recorder {
+    cfg: ProfileConfig,
+    warmup_instr: u64,
+    instr_done: u64,
+    recording: bool,
+    next_sample: u64,
+    last_sample_cycles: u64,
+    samples: Vec<Sample>,
+    intervals: Vec<IntervalStat>,
+    interval_start_instr: u64,
+    interval_start_cycles: u64,
+    interval_start_seconds: f64,
+    interval_breakdown: CpiBreakdown,
+    interval_counters: CounterSet,
+    full_index: EipIndex,
+    full_vectors: Vec<SparseVec>,
+    full_acc: Vec<(u32, f64)>,
+    rec_cycles: u64,
+    rec_instructions: u64,
+    rec_context_switches: u64,
+    rec_os_instructions: u64,
+}
+
+impl Recorder {
+    pub(crate) fn new(cfg: &ProfileConfig) -> Self {
+        assert!(cfg.num_intervals > 0, "need at least one interval");
+        assert_eq!(
+            cfg.interval_len % cfg.sampler.period,
+            0,
+            "sampling period must divide the interval length"
+        );
+        let warmup_instr = cfg.warmup_intervals as u64 * cfg.interval_len;
+        Self {
+            cfg: cfg.clone(),
+            warmup_instr,
+            instr_done: 0,
+            recording: warmup_instr == 0,
+            next_sample: cfg.sampler.period,
+            last_sample_cycles: 0,
+            samples: Vec::with_capacity(cfg.num_intervals * cfg.samples_per_interval()),
+            intervals: Vec::with_capacity(cfg.num_intervals),
+            interval_start_instr: 0,
+            interval_start_cycles: 0,
+            interval_start_seconds: 0.0,
+            interval_breakdown: CpiBreakdown::default(),
+            interval_counters: CounterSet::default(),
+            full_index: EipIndex::new(),
+            full_vectors: Vec::new(),
+            full_acc: Vec::new(),
+            rec_cycles: 0,
+            rec_instructions: 0,
+            rec_context_switches: 0,
+            rec_os_instructions: 0,
+        }
+    }
+
+    /// Whether every requested interval has been recorded.
+    pub(crate) fn complete(&self) -> bool {
+        self.intervals.len() >= self.cfg.num_intervals
+    }
+
+    /// Feeds one executed quantum (with its result) from the monitored
+    /// core.
+    pub(crate) fn on_quantum(&mut self, core: &Core, q: &Quantum, r: &QuantumResult) {
+        let prev = self.instr_done;
+        self.instr_done += q.instructions;
+
+        if !self.recording {
+            if prev < self.warmup_instr && self.instr_done >= self.warmup_instr {
+                self.start_recording(core);
+            }
+            return;
+        }
+
+        self.interval_breakdown += r.breakdown;
+        if self.cfg.collect_full_profile {
+            self.full_acc
+                .push((self.full_index.intern(q.eip), q.instructions as f64));
+        }
+
+        // Emit any samples this quantum crossed.
+        while self.instr_done >= self.next_sample {
+            let cycles_now = core.cycle();
+            let cpi = (cycles_now - self.last_sample_cycles) as f64
+                / self.cfg.sampler.period as f64;
+            self.last_sample_cycles = cycles_now;
+            self.samples.push(Sample {
+                eip: q.eip,
+                thread: q.thread,
+                is_os: q.is_os,
+                cpi,
+            });
+            self.next_sample += self.cfg.sampler.period;
+        }
+
+        // Close any intervals this quantum crossed.
+        while self.instr_done - self.interval_start_instr >= self.cfg.interval_len
+            && !self.complete()
+        {
+            let cycles_now = core.cycle();
+            let dinstr = self.cfg.interval_len as f64;
+            let counters_now = core.counters();
+            let delta = counters_now - self.interval_counters;
+            let kinstr = dinstr / 1000.0;
+            self.intervals.push(IntervalStat {
+                cpi: (cycles_now - self.interval_start_cycles) as f64 / dinstr,
+                breakdown: self.interval_breakdown.scaled(1.0 / dinstr),
+                start_seconds: self.interval_start_seconds * INSTR_SCALE as f64,
+                l3_mpki: delta.l3_misses as f64 / kinstr,
+                mispredict_pki: delta.branch_mispredicts as f64 / kinstr,
+                branch_pki: delta.branches as f64 / kinstr,
+            });
+            self.interval_counters = counters_now;
+            if self.cfg.collect_full_profile {
+                self.full_vectors
+                    .push(SparseVec::from_pairs(self.full_acc.drain(..)));
+            }
+            self.interval_start_instr += self.cfg.interval_len;
+            self.interval_start_cycles = cycles_now;
+            self.interval_start_seconds = (cycles_now - self.rec_cycles) as f64
+                / self.cfg.machine.cycles_per_second();
+            self.interval_breakdown = CpiBreakdown::default();
+        }
+    }
+
+    fn start_recording(&mut self, core: &Core) {
+        self.recording = true;
+        let c = core.counters();
+        self.rec_cycles = c.cycles;
+        self.rec_instructions = c.instructions;
+        self.rec_context_switches = c.context_switches;
+        self.rec_os_instructions = core.os_instructions();
+        self.last_sample_cycles = core.cycle();
+        self.interval_start_cycles = core.cycle();
+        self.interval_start_seconds = 0.0;
+        self.interval_start_instr = self.instr_done;
+        self.interval_breakdown = CpiBreakdown::default();
+        self.interval_counters = c;
+        self.next_sample = self.instr_done + self.cfg.sampler.period;
+    }
+
+    /// Finalizes into a [`ProfileData`].
+    pub(crate) fn finish(mut self, name: &str, core: &Core) -> ProfileData {
+        let counters = core.counters();
+        let want = self.cfg.num_intervals * self.cfg.samples_per_interval();
+        self.samples.truncate(want);
+        ProfileData {
+            name: name.to_string(),
+            machine: self.cfg.machine.name.clone(),
+            samples: self.samples,
+            intervals: self.intervals,
+            full_vectors: self.full_vectors,
+            full_index: self.full_index,
+            period: self.cfg.sampler.period,
+            interval_len: self.cfg.interval_len,
+            total_instructions: counters.instructions - self.rec_instructions,
+            total_cycles: core.cycle() - self.rec_cycles,
+            context_switches: counters.context_switches - self.rec_context_switches,
+            os_instructions: core.os_instructions() - self.rec_os_instructions,
+            seconds: (core.cycle() - self.rec_cycles) as f64
+                / self.cfg.machine.cycles_per_second()
+                * INSTR_SCALE as f64,
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Sampler specification and the overhead model.
+
+use fuzzyphase_workload::INSTR_SCALE;
+use serde::{Deserialize, Serialize};
+
+/// Event-based sampling parameters.
+///
+/// Periods are in *simulated* instruction units (see
+/// [`INSTR_SCALE`]); the paper's 1 M-real-instruction default period is
+/// `1000` units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplerSpec {
+    /// Instructions between samples.
+    pub period: u64,
+}
+
+impl SamplerSpec {
+    /// The paper's default: one sample per million retired instructions.
+    pub fn default_rate() -> Self {
+        Self { period: 1000 }
+    }
+
+    /// The SjAS rate: one sample per 100 K retired instructions, "to
+    /// capture any short dynamic code changes due to JIT compilation"
+    /// (§3.1).
+    pub fn sjas_rate() -> Self {
+        Self { period: 100 }
+    }
+
+    /// The real-instruction period this spec corresponds to.
+    pub fn real_period(&self) -> u64 {
+        self.period * INSTR_SCALE
+    }
+
+    /// Estimated execution-time overhead fraction of sampling at this rate
+    /// (see [`overhead_fraction`]).
+    pub fn overhead(&self) -> f64 {
+        overhead_fraction(self.real_period())
+    }
+}
+
+impl Default for SamplerSpec {
+    fn default() -> Self {
+        Self::default_rate()
+    }
+}
+
+/// VTune-style sampling overhead as a fraction of execution time, given
+/// the sampling period in *real* instructions.
+///
+/// §3.1 reports ≈ 2 % at the 1 M period and ≈ 5 % worst case for SjAS at
+/// 100 K. A two-component model fits both: a fixed per-run cost (driver
+/// polling, buffer drains) plus a per-sample interrupt cost:
+///
+/// `overhead(p) = a + b / p` with `a ≈ 0.0167`, `b ≈ 3333` instructions.
+///
+/// # Panics
+///
+/// Panics if `period_real == 0`.
+pub fn overhead_fraction(period_real: u64) -> f64 {
+    assert!(period_real > 0, "sampling period must be positive");
+    const FIXED: f64 = 0.0167;
+    const PER_SAMPLE_INSTR: f64 = 3333.0;
+    FIXED + PER_SAMPLE_INSTR / period_real as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_anchor_points() {
+        // ≈2% at 1M, ≈5% at 100K (§3.1).
+        assert!((overhead_fraction(1_000_000) - 0.02).abs() < 0.001);
+        assert!((overhead_fraction(100_000) - 0.05).abs() < 0.001);
+    }
+
+    #[test]
+    fn overhead_decreases_with_period() {
+        assert!(overhead_fraction(10_000_000) < overhead_fraction(1_000_000));
+        assert!(overhead_fraction(1_000_000) < overhead_fraction(10_000));
+    }
+
+    #[test]
+    fn specs_scale_to_real_periods() {
+        assert_eq!(SamplerSpec::default_rate().real_period(), 1_000_000);
+        assert_eq!(SamplerSpec::sjas_rate().real_period(), 100_000);
+    }
+
+    #[test]
+    fn sjas_overhead_is_the_worst_case() {
+        assert!(SamplerSpec::sjas_rate().overhead() > SamplerSpec::default_rate().overhead());
+    }
+}

@@ -1,0 +1,323 @@
+//! The profiling session driver: workload → core → samples → intervals.
+
+use fuzzyphase_arch::{Core, CpiBreakdown, MachineConfig};
+use fuzzyphase_workload::{Workload, WorkloadEvent};
+use serde::{Deserialize, Serialize};
+
+use crate::eipv::{EipIndex, EipvData};
+use crate::sampler::SamplerSpec;
+use fuzzyphase_stats::SparseVec;
+
+/// Configuration of a profiling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileConfig {
+    /// The machine to run on.
+    pub machine: MachineConfig,
+    /// Sampling rate.
+    pub sampler: SamplerSpec,
+    /// EIPV interval length in simulated instructions (the paper's 100 M
+    /// real instructions = 100 000 units).
+    pub interval_len: u64,
+    /// Number of recorded intervals.
+    pub num_intervals: usize,
+    /// Intervals executed before recording starts (cache and predictor
+    /// warm-up; steady-state measurement like the paper's §2.3 tuning).
+    pub warmup_intervals: usize,
+    /// Also collect *full-profile* vectors: per-interval histograms over
+    /// every executed quantum (instruction-weighted), the EIP-granularity
+    /// analogue of SimPoint's instrumentation-based BBVs. §3.3 of the
+    /// paper could not collect these with VTune and flags the comparison
+    /// as future work; the simulator can.
+    pub collect_full_profile: bool,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        Self {
+            machine: MachineConfig::itanium2(),
+            sampler: SamplerSpec::default_rate(),
+            interval_len: 100_000,
+            num_intervals: 250,
+            warmup_intervals: 15,
+            collect_full_profile: false,
+        }
+    }
+}
+
+impl ProfileConfig {
+    /// Samples per EIPV interval (the paper's default is 100).
+    pub fn samples_per_interval(&self) -> usize {
+        (self.interval_len / self.sampler.period) as usize
+    }
+}
+
+/// One recorded sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// The EIP observed at the sampling interrupt.
+    pub eip: u64,
+    /// Thread that was running.
+    pub thread: u32,
+    /// Whether the sample hit OS code.
+    pub is_os: bool,
+    /// Instantaneous CPI: cycles since the previous sample divided by the
+    /// sampling period (§3.2).
+    pub cpi: f64,
+}
+
+/// Per-interval statistics (derived from exact simulator accounting, the
+/// analogue of the Itanium 2's precise stall counters, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalStat {
+    /// Interval CPI.
+    pub cpi: f64,
+    /// CPI component breakdown (WORK / FE / EXE / OTHER, in CPI units).
+    pub breakdown: CpiBreakdown,
+    /// Simulated seconds at the interval start.
+    pub start_seconds: f64,
+    /// L3 (last-level) misses per thousand instructions.
+    pub l3_mpki: f64,
+    /// Branch mispredictions per thousand instructions.
+    pub mispredict_pki: f64,
+    /// Conditional branches per thousand instructions.
+    pub branch_pki: f64,
+}
+
+/// Everything a profiling run produced.
+///
+/// Serializable, so runs can be archived and re-analyzed without
+/// re-simulation (see [`crate::export`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileData {
+    /// Workload name.
+    pub name: String,
+    /// Machine name.
+    pub machine: String,
+    /// All samples, in time order (warm-up excluded).
+    pub samples: Vec<Sample>,
+    /// Per-interval statistics (aligned with EIPV intervals).
+    pub intervals: Vec<IntervalStat>,
+    /// Full-profile vectors (one per interval, instruction-weighted EIP
+    /// histograms over *all* quanta), if
+    /// [`ProfileConfig::collect_full_profile`] was set; empty otherwise.
+    pub full_vectors: Vec<SparseVec>,
+    /// Feature index of `full_vectors`.
+    pub full_index: EipIndex,
+    /// Sampling period (simulated instructions).
+    pub period: u64,
+    /// EIPV interval length (simulated instructions).
+    pub interval_len: u64,
+    /// Total instructions recorded.
+    pub total_instructions: u64,
+    /// Total cycles recorded.
+    pub total_cycles: u64,
+    /// Context switches during recording.
+    pub context_switches: u64,
+    /// Instructions retired in OS code during recording.
+    pub os_instructions: u64,
+    /// Simulated wall-clock seconds of the recorded region (at real
+    /// instruction scale).
+    pub seconds: f64,
+}
+
+impl ProfileData {
+    /// Mean CPI over the recorded intervals.
+    pub fn mean_cpi(&self) -> f64 {
+        fuzzyphase_stats::mean(&self.interval_cpis())
+    }
+
+    /// Population variance of interval CPI — the paper's X-axis in the
+    /// quadrant plot (Figure 13).
+    pub fn cpi_variance(&self) -> f64 {
+        fuzzyphase_stats::variance(&self.interval_cpis())
+    }
+
+    /// The interval CPI series.
+    pub fn interval_cpis(&self) -> Vec<f64> {
+        self.intervals.iter().map(|i| i.cpi).collect()
+    }
+
+    /// Number of unique sampled EIPs (the paper's Figure 3 Y-axis).
+    pub fn unique_eips(&self) -> usize {
+        let mut eips: Vec<u64> = self.samples.iter().map(|s| s.eip).collect();
+        eips.sort_unstable();
+        eips.dedup();
+        eips.len()
+    }
+
+    /// Context switches per simulated second (system-scale: multiplied by
+    /// the paper's 4 CPUs, since we simulate one CPU's share of a 4-way
+    /// SMP).
+    pub fn context_switches_per_second(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.context_switches as f64 / self.seconds * 4.0
+        }
+    }
+
+    /// Fraction of instructions spent in the OS (§5.2).
+    pub fn os_fraction(&self) -> f64 {
+        if self.total_instructions == 0 {
+            0.0
+        } else {
+            self.os_instructions as f64 / self.total_instructions as f64
+        }
+    }
+
+    /// Average CPI breakdown across intervals.
+    pub fn mean_breakdown(&self) -> CpiBreakdown {
+        let mut acc = CpiBreakdown::default();
+        for i in &self.intervals {
+            acc += i.breakdown;
+        }
+        acc.scaled(1.0 / self.intervals.len().max(1) as f64)
+    }
+
+    /// Builds EIPVs at the recorded interval size (§3.2).
+    pub fn eipvs(&self) -> EipvData {
+        let spv = (self.interval_len / self.period) as usize;
+        EipvData::from_samples(&self.samples, spv)
+    }
+
+    /// Builds EIPVs with a custom number of samples per vector, keeping
+    /// the sampling frequency unchanged — the §7.1 interval-size
+    /// robustness sweep.
+    pub fn eipvs_with_samples_per_vector(&self, spv: usize) -> EipvData {
+        EipvData::from_samples(&self.samples, spv)
+    }
+
+    /// Builds per-thread EIPVs (§5.2 thread separation): samples are
+    /// grouped by thread first, then chunked into vectors.
+    pub fn eipvs_per_thread(&self) -> EipvData {
+        let spv = (self.interval_len / self.period) as usize;
+        EipvData::from_samples_per_thread(&self.samples, spv)
+    }
+
+    /// The full-profile (BBV-style) vectors paired with interval CPIs,
+    /// shaped like [`eipvs`](Self::eipvs) output for drop-in analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not configured with
+    /// [`ProfileConfig::collect_full_profile`].
+    pub fn full_profile(&self) -> EipvData {
+        assert!(
+            !self.full_vectors.is_empty(),
+            "run was not configured with collect_full_profile"
+        );
+        EipvData {
+            vectors: self.full_vectors.clone(),
+            cpis: self.interval_cpis(),
+            index: self.full_index.clone(),
+            vector_threads: Vec::new(),
+        }
+    }
+}
+
+/// Runs profiling sessions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProfileSession;
+
+impl ProfileSession {
+    /// Drives `workload` on a fresh core and records per the config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config asks for zero intervals or a period that does
+    /// not divide the interval length.
+    pub fn run(workload: &mut impl Workload, cfg: &ProfileConfig) -> ProfileData {
+        let mut core = Core::new(cfg.machine.clone());
+        let mut rec = crate::recorder::Recorder::new(cfg);
+        while !rec.complete() {
+            match workload.next_event() {
+                WorkloadEvent::ContextSwitch => core.context_switch(),
+                WorkloadEvent::Quantum(q) => {
+                    let r = core.execute(&q);
+                    rec.on_quantum(&core, &q, &r);
+                }
+            }
+        }
+        rec.finish(workload.name(), &core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyphase_workload::spec::spec_workload;
+
+    fn small_cfg(n: usize) -> ProfileConfig {
+        ProfileConfig {
+            num_intervals: n,
+            warmup_intervals: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn produces_requested_intervals_and_samples() {
+        let mut w = spec_workload("gzip", 1);
+        let cfg = small_cfg(6);
+        let data = ProfileSession::run(&mut w, &cfg);
+        assert_eq!(data.intervals.len(), 6);
+        assert_eq!(data.samples.len(), 6 * cfg.samples_per_interval());
+    }
+
+    #[test]
+    fn cpi_is_positive_and_sane() {
+        let mut w = spec_workload("gzip", 2);
+        let data = ProfileSession::run(&mut w, &small_cfg(5));
+        for ivl in &data.intervals {
+            assert!(ivl.cpi > 0.3 && ivl.cpi < 20.0, "cpi {}", ivl.cpi);
+            // Breakdown sums to interval CPI (within accounting slack for
+            // context-switch cycles, which land in no quantum).
+            assert!(ivl.breakdown.total() <= ivl.cpi + 0.02);
+        }
+    }
+
+    #[test]
+    fn sample_cpi_mean_matches_interval_cpi() {
+        let mut w = spec_workload("mesa", 3);
+        let data = ProfileSession::run(&mut w, &small_cfg(4));
+        let spv = (data.interval_len / data.period) as usize;
+        for (i, ivl) in data.intervals.iter().enumerate() {
+            let chunk = &data.samples[i * spv..(i + 1) * spv];
+            let mean: f64 = chunk.iter().map(|s| s.cpi).sum::<f64>() / spv as f64;
+            assert!(
+                (mean - ivl.cpi).abs() < 0.12,
+                "interval {i}: sample mean {mean} vs interval {}",
+                ivl.cpi
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let run = || {
+            let mut w = spec_workload("vpr", 9);
+            ProfileSession::run(&mut w, &small_cfg(3))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn seconds_and_switches_scale() {
+        let mut w = spec_workload("gzip", 4);
+        let data = ProfileSession::run(&mut w, &small_cfg(5));
+        assert!(data.seconds > 0.0);
+        // SPEC: tens of switches per second (paper: ~25).
+        let rate = data.context_switches_per_second();
+        assert!(rate > 2.0 && rate < 400.0, "switch rate {rate}");
+        assert!(data.os_fraction() < 0.03, "os fraction {}", data.os_fraction());
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn misaligned_period_rejected() {
+        let mut cfg = ProfileConfig::default();
+        cfg.sampler.period = 999;
+        let mut w = spec_workload("gzip", 5);
+        ProfileSession::run(&mut w, &cfg);
+    }
+}

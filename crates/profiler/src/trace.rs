@@ -1,0 +1,273 @@
+//! Compact binary sample traces.
+//!
+//! The paper's tool chain (§3, built on the authors' earlier
+//! infrastructure \[32\]) separates *collection* from *analysis*: the
+//! driver logs raw samples on the measurement machine and the regression
+//! analysis runs offline. JSON archives (see [`crate::export`]) are
+//! convenient but large — a 250-interval ODB-C run is ~25 K samples and a
+//! SjAS run 250 K. This module provides the compact binary codec for the
+//! sample stream: delta-encoded EIPs (consecutive samples often hit nearby
+//! code), varint thread ids and `f32` CPIs.
+//!
+//! ```
+//! use fuzzyphase_profiler::trace::{read_samples, write_samples};
+//! use fuzzyphase_profiler::Sample;
+//!
+//! let samples = vec![Sample { eip: 0x4000_1000, thread: 3, is_os: false, cpi: 2.25 }];
+//! let bytes = write_samples(&samples);
+//! assert_eq!(read_samples(&bytes).unwrap(), samples);
+//! ```
+
+use crate::session::Sample;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io;
+
+/// File magic ("FZPH").
+const MAGIC: u32 = 0x465A_5048;
+/// Codec version.
+const VERSION: u32 = 1;
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut impl Buf) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated varint",
+            ));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint too long",
+            ));
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// ZigZag encoding of a signed delta.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encodes a sample stream into the compact binary format.
+pub fn write_samples(samples: &[Sample]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + samples.len() * 8);
+    buf.put_u32(MAGIC);
+    buf.put_u32(VERSION);
+    put_varint(&mut buf, samples.len() as u64);
+    let mut prev_eip: u64 = 0;
+    for s in samples {
+        put_varint(&mut buf, zigzag(s.eip.wrapping_sub(prev_eip) as i64));
+        prev_eip = s.eip;
+        put_varint(&mut buf, s.thread as u64);
+        buf.put_u8(u8::from(s.is_os));
+        buf.put_f32(s.cpi as f32);
+    }
+    buf.freeze()
+}
+
+/// Decodes a sample stream written by [`write_samples`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on bad magic/version or corrupt payloads, and
+/// `UnexpectedEof` when the buffer is truncated.
+pub fn read_samples(mut data: &[u8]) -> io::Result<Vec<Sample>> {
+    if data.remaining() < 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "truncated header",
+        ));
+    }
+    if data.get_u32() != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = data.get_u32();
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let count = get_varint(&mut data)? as usize;
+    // Each sample needs at least 1 (eip) + 1 (thread) + 1 (flag) + 4 (cpi).
+    if count > data.remaining() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "sample count exceeds payload",
+        ));
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut prev_eip: u64 = 0;
+    for _ in 0..count {
+        let delta = unzigzag(get_varint(&mut data)?);
+        let eip = prev_eip.wrapping_add(delta as u64);
+        prev_eip = eip;
+        let thread = get_varint(&mut data)? as u32;
+        if data.remaining() < 5 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated sample",
+            ));
+        }
+        let is_os = data.get_u8() != 0;
+        let cpi = data.get_f32() as f64;
+        out.push(Sample {
+            eip,
+            thread,
+            is_os,
+            cpi,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes a sample trace to disk.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_trace(samples: &[Sample], path: impl AsRef<std::path::Path>) -> io::Result<()> {
+    std::fs::write(path, write_samples(samples))
+}
+
+/// Reads a sample trace from disk.
+///
+/// # Errors
+///
+/// Propagates I/O and decode errors.
+pub fn load_trace(path: impl AsRef<std::path::Path>) -> io::Result<Vec<Sample>> {
+    let data = std::fs::read(path)?;
+    read_samples(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyphase_stats::seeded_rng;
+    use rand::Rng;
+
+    fn random_samples(n: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|_| Sample {
+                eip: 0x4000_0000 + rng.gen_range(0..100_000u64) * 16,
+                thread: rng.gen_range(0..20),
+                is_os: rng.gen_bool(0.1),
+                // Pre-rounded through f32: the codec stores CPI as f32.
+                cpi: ((rng.gen_range(50..500) as f32) / 100.0) as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let samples = random_samples(5000, 1);
+        let bytes = write_samples(&samples);
+        assert_eq!(read_samples(&bytes).expect("decode"), samples);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let bytes = write_samples(&[]);
+        assert!(read_samples(&bytes).expect("decode").is_empty());
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let samples = random_samples(10_000, 2);
+        let bin = write_samples(&samples).len();
+        let json = serde_json::to_string(&samples).expect("json").len();
+        assert!(
+            bin * 4 < json,
+            "binary {bin} bytes should be ≤ 1/4 of JSON {json}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_samples(b"XXXXXXXXXXXX").expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let samples = random_samples(100, 3);
+        let bytes = write_samples(&samples);
+        let cut = &bytes[..bytes.len() - 3];
+        assert!(read_samples(cut).is_err());
+    }
+
+    #[test]
+    fn rejects_overlong_count() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAGIC);
+        buf.put_u32(VERSION);
+        put_varint(&mut buf, u64::MAX);
+        assert!(read_samples(&buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 16_383, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut slice = &buf[..];
+            assert_eq!(get_varint(&mut slice).expect("decode"), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let samples = random_samples(500, 4);
+        let dir = std::env::temp_dir().join("fuzzyphase-trace-test");
+        std::fs::create_dir_all(&dir).expect("tmp");
+        let path = dir.join("t.fzph");
+        save_trace(&samples, &path).expect("save");
+        assert_eq!(load_trace(&path).expect("load"), samples);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cpi_precision_is_f32() {
+        let samples = vec![Sample {
+            eip: 1,
+            thread: 0,
+            is_os: false,
+            cpi: 2.123_456_789,
+        }];
+        let back = read_samples(&write_samples(&samples)).expect("decode");
+        assert!((back[0].cpi - 2.123_456_789).abs() < 1e-6);
+    }
+}

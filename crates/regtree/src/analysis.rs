@@ -1,0 +1,113 @@
+//! One-call predictability analysis: EIPVs in, paper-style report out.
+
+use crate::crossval::{CrossValidation, ReCurve};
+use crate::dataset::Dataset;
+use fuzzyphase_stats::SparseVec;
+use serde::{Deserialize, Serialize};
+
+/// Options for [`analyze`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub struct AnalysisOptions {
+    /// Cross-validation settings.
+    pub cv: CrossValidation,
+}
+
+
+/// The per-benchmark result the paper reports: CPI variance, the RE
+/// curve, and the §4.5 summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictabilityReport {
+    /// Population variance of interval CPI (Table 2's "CPI var").
+    pub cpi_variance: f64,
+    /// Mean interval CPI.
+    pub cpi_mean: f64,
+    /// The cross-validated relative-error curve `RE_1..RE_kmax`.
+    pub re_curve: Vec<f64>,
+    /// Minimum relative error (Table 2's `RE_kopt`).
+    pub re_min: f64,
+    /// Chamber count achieving the minimum.
+    pub k_at_min: usize,
+    /// Asymptotic relative error (`RE_k=∞`, approximated at `k_max`).
+    pub re_asymptote: f64,
+    /// Smallest `k` within 0.5 % of the asymptote.
+    pub k_opt: usize,
+    /// `1 − re_min`, clamped to `[0, 1]`.
+    pub explained_variance: f64,
+    /// Number of EIPVs analyzed.
+    pub num_vectors: usize,
+    /// Number of unique EIPs (features).
+    pub num_features: usize,
+}
+
+impl PredictabilityReport {
+    fn from_curve(curve: &ReCurve, cpis: &[f64], num_features: usize) -> Self {
+        let (re_min, k_at_min) = curve.re_min();
+        Self {
+            cpi_variance: curve.variance,
+            cpi_mean: fuzzyphase_stats::mean(cpis),
+            re_curve: curve.re.clone(),
+            re_min,
+            k_at_min,
+            re_asymptote: curve.re_asymptote(),
+            k_opt: curve.k_opt(),
+            explained_variance: curve.explained_variance(),
+            num_vectors: curve.n,
+            num_features,
+        }
+    }
+}
+
+/// Runs the full §4 analysis on (EIPV, CPI) data.
+///
+/// # Panics
+///
+/// Panics if `vectors` and `cpis` lengths differ or there are fewer
+/// vectors than CV folds.
+pub fn analyze(vectors: &[SparseVec], cpis: &[f64], opts: &AnalysisOptions) -> PredictabilityReport {
+    let num_features = vectors.iter().map(SparseVec::dim_bound).max().unwrap_or(0);
+    let ds = Dataset::new(vectors.to_vec(), cpis.to_vec());
+    let curve = opts.cv.run(&ds);
+    PredictabilityReport::from_curve(&curve, cpis, num_features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyphase_stats::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn report_fields_consistent() {
+        let mut rng = seeded_rng(1);
+        let mut vectors = Vec::new();
+        let mut cpis = Vec::new();
+        for i in 0..120 {
+            let phase = (i / 20) % 2;
+            vectors.push(SparseVec::from_pairs([
+                (phase as u32, 50.0 + rng.gen_range(0.0..10.0)),
+                (7, rng.gen_range(0.0..5.0)),
+            ]));
+            cpis.push(1.0 + phase as f64 + rng.gen_range(-0.02..0.02));
+        }
+        let rep = analyze(&vectors, &cpis, &AnalysisOptions::default());
+        assert_eq!(rep.num_vectors, 120);
+        assert_eq!(rep.re_curve.len(), 50);
+        assert!(rep.re_min <= rep.re_asymptote + 1e-12);
+        assert!(rep.explained_variance > 0.9, "ev {}", rep.explained_variance);
+        assert!(rep.cpi_variance > 0.2);
+        assert!((rep.cpi_mean - 1.5).abs() < 0.1);
+        assert!(rep.k_at_min >= 2);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let vectors: Vec<SparseVec> = (0..20)
+            .map(|i| SparseVec::from_pairs([(i as u32, 1.0)]))
+            .collect();
+        let cpis: Vec<f64> = (0..20).map(|i| 1.0 + (i % 3) as f64 * 0.1).collect();
+        let rep = analyze(&vectors, &cpis, &AnalysisOptions::default());
+        let json = serde_json::to_string(&rep).expect("serializable");
+        assert!(json.contains("re_curve"));
+    }
+}

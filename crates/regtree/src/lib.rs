@@ -1,0 +1,43 @@
+//! CART regression trees over EIP vectors — the paper's measurement
+//! instrument (§4).
+//!
+//! The paper quantifies how well EIPs can possibly predict CPI by fitting
+//! regression trees: the EIPV space is recursively split by "is EIP *f*
+//! executed more than *n* times in this interval?", choosing at every step
+//! the (EIP, count) pair that minimizes the weighted CPI variance of the
+//! two sides (§4.1). Ten-fold cross-validation (§4.4) then measures the
+//! *relative error* `RE_k` of the best `k`-chamber tree; its asymptote is
+//! the theoretical upper bound on predicting CPI from EIPs alone.
+//!
+//! * [`dataset`] — the (EIPV, CPI) sample collection.
+//! * [`tree`] — the fitted tree with nested `T_k` sub-trees.
+//! * [`builder`] — variance-minimizing best-first growth.
+//! * [`crossval`] — 10-fold CV, RE curves, `k_opt` selection.
+//! * [`analysis`] — the one-call [`analysis::PredictabilityReport`].
+//!
+//! # Example: the paper's Table 1 / Figure 1 worked example
+//!
+//! ```
+//! use fuzzyphase_regtree::dataset::Dataset;
+//! use fuzzyphase_regtree::builder::TreeBuilder;
+//!
+//! let ds = Dataset::paper_example();
+//! let tree = TreeBuilder::new().max_leaves(4).fit(&ds);
+//! // Root splits on EIP0 at count 20, exactly like Figure 1.
+//! assert_eq!(tree.root().split.unwrap().feature, 0);
+//! assert_eq!(tree.root().split.unwrap().threshold, 20.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod crossval;
+pub mod dataset;
+pub mod tree;
+
+pub use analysis::{analyze, AnalysisOptions, PredictabilityReport};
+pub use builder::TreeBuilder;
+pub use crossval::{cross_validate, cross_validate_ensemble, CrossValidation, ReCurve};
+pub use dataset::Dataset;
+pub use tree::{Node, RegressionTree, Split};

@@ -1,0 +1,91 @@
+//! Property tests for the regression-tree analysis core.
+
+use fuzzyphase_regtree::{cross_validate, Dataset, TreeBuilder};
+use fuzzyphase_stats::SparseVec;
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (20usize..80).prop_flat_map(|n| {
+        (
+            prop::collection::vec(
+                prop::collection::vec((0u32..12, 1f64..100.0), 1..5),
+                n..=n,
+            ),
+            prop::collection::vec(0f64..5.0, n..=n),
+        )
+            .prop_map(|(rows, ys)| {
+                Dataset::new(
+                    rows.into_iter().map(SparseVec::from_pairs).collect(),
+                    ys,
+                )
+            })
+    })
+}
+
+proptest! {
+    /// Every split strictly reduces training SSE (the builder never adds
+    /// a useless split).
+    #[test]
+    fn splits_strictly_reduce_sse(ds in dataset_strategy()) {
+        let tree = TreeBuilder::new().max_leaves(16).fit(&ds);
+        for k in 2..=tree.num_splits() + 1 {
+            prop_assert!(
+                tree.training_sse_k(k) < tree.training_sse_k(k - 1) + 1e-9,
+                "split {} did not reduce SSE", k
+            );
+        }
+    }
+
+    /// T_k predictions refine monotonically on training data: the full
+    /// tree's training MSE is the smallest of all k.
+    #[test]
+    fn full_tree_is_best_on_training(ds in dataset_strategy()) {
+        let tree = TreeBuilder::new().max_leaves(12).fit(&ds);
+        let mse = |k: usize| -> f64 {
+            (0..ds.len())
+                .map(|i| {
+                    let e = ds.target(i) - tree.predict_k(ds.row(i), k);
+                    e * e
+                })
+                .sum::<f64>()
+        };
+        let full = tree.num_splits() + 1;
+        for k in 1..=full {
+            prop_assert!(mse(full) <= mse(k) + 1e-9);
+        }
+    }
+
+    /// The RE curve is invariant to exact (power-of-two) target scaling:
+    /// RE is dimensionless. Powers of two keep every float operation
+    /// exact, so split selection — which may sit on ties — is bit-for-bit
+    /// unchanged. (Arbitrary affine transforms can flip near-tied splits
+    /// through rounding, legitimately changing the curve slightly.)
+    #[test]
+    fn re_is_dimensionless(ds in dataset_strategy(), exp in -2i32..4) {
+        prop_assume!(ds.target_variance() > 1e-6);
+        let scale = 2f64.powi(exp);
+        let transformed = Dataset::new(
+            ds.rows().to_vec(),
+            ds.targets().iter().map(|y| y * scale).collect(),
+        );
+        let a = cross_validate(&ds, 3);
+        let b = cross_validate(&transformed, 3);
+        for (x, y) in a.re.iter().zip(&b.re) {
+            prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    /// Prediction is a pure function: same input, same output, and always
+    /// within the training-target range.
+    #[test]
+    fn predictions_bounded_by_targets(ds in dataset_strategy()) {
+        let tree = TreeBuilder::new().fit(&ds);
+        let lo = ds.targets().iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ds.targets().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for i in 0..ds.len() {
+            let p = tree.predict(ds.row(i));
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            prop_assert_eq!(p.to_bits(), tree.predict(ds.row(i)).to_bits());
+        }
+    }
+}

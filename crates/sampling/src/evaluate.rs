@@ -1,0 +1,79 @@
+//! Measuring a technique's CPI-estimation error.
+
+use crate::technique::Technique;
+use fuzzyphase_stats::SparseVec;
+use serde::{Deserialize, Serialize};
+
+/// The evaluation of one technique on one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechniqueError {
+    /// Technique name.
+    pub technique: String,
+    /// True whole-run CPI (mean over every interval).
+    pub true_cpi: f64,
+    /// Estimated CPI.
+    pub estimated_cpi: f64,
+    /// Relative error `|est − true| / true`.
+    pub relative_error: f64,
+    /// Number of intervals the technique simulated.
+    pub cost_intervals: usize,
+    /// Fraction of the run simulated.
+    pub cost_fraction: f64,
+}
+
+/// Applies `technique` and scores it against the full-run truth.
+///
+/// # Panics
+///
+/// Panics if the inputs are empty or misaligned.
+pub fn evaluate_technique(
+    technique: &dyn Technique,
+    vectors: &[SparseVec],
+    cpis: &[f64],
+    seed: u64,
+) -> TechniqueError {
+    assert_eq!(vectors.len(), cpis.len(), "vectors and CPIs must align");
+    assert!(!cpis.is_empty(), "need data");
+    let est = technique.estimate(vectors, cpis, seed);
+    let true_cpi = fuzzyphase_stats::mean(cpis);
+    let relative_error = if true_cpi.abs() < 1e-12 {
+        0.0
+    } else {
+        (est.cpi - true_cpi).abs() / true_cpi
+    };
+    TechniqueError {
+        technique: technique.name().to_string(),
+        true_cpi,
+        estimated_cpi: est.cpi,
+        relative_error,
+        cost_intervals: est.cost(),
+        cost_fraction: est.cost() as f64 / cpis.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformSampling;
+
+    #[test]
+    fn perfect_estimate_scores_zero() {
+        let vs: Vec<SparseVec> = (0..50).map(|_| SparseVec::new()).collect();
+        let ys = vec![1.5; 50];
+        let e = evaluate_technique(&UniformSampling::new(5), &vs, &ys, 0);
+        assert_eq!(e.relative_error, 0.0);
+        assert_eq!(e.cost_intervals, 5);
+        assert!((e.cost_fraction - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_is_relative() {
+        let vs: Vec<SparseVec> = (0..4).map(|_| SparseVec::new()).collect();
+        // One sample at index 2 of [1,1,3,1]: uniform(1) picks index 2.
+        let ys = vec![1.0, 1.0, 3.0, 1.0];
+        let e = evaluate_technique(&UniformSampling::new(1), &vs, &ys, 0);
+        assert!((e.true_cpi - 1.5).abs() < 1e-12);
+        assert!((e.estimated_cpi - 3.0).abs() < 1e-12);
+        assert!((e.relative_error - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! Sampling techniques and their evaluation (§7).
+//!
+//! The paper's punchline is that *no single sampling technique suits
+//! every workload*: uniform sampling is already adequate for the
+//! low-variance Q-I/Q-II benchmarks, phase-based (SimPoint-style)
+//! sampling wins for the strongly-phased Q-IV benchmarks, and the
+//! high-variance-but-unpredictable Q-III benchmarks need statistical
+//! (SMARTS-style) sampling with many tiny samples. This crate implements
+//! the candidate techniques over profiled interval data and measures the
+//! CPI-estimation error of each, enabling the quadrant-based selector the
+//! paper proposes.
+//!
+//! ```
+//! use fuzzyphase_sampling::{Technique, UniformSampling};
+//! use fuzzyphase_stats::SparseVec;
+//!
+//! let cpis: Vec<f64> = (0..100).map(|i| 1.0 + (i % 10) as f64 * 0.01).collect();
+//! let vectors: Vec<SparseVec> = (0..100).map(|_| SparseVec::new()).collect();
+//! let est = UniformSampling::new(10).estimate(&vectors, &cpis, 42);
+//! let true_cpi = fuzzyphase_stats::mean(&cpis);
+//! assert!((est.cpi - true_cpi).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod evaluate;
+pub mod phase;
+pub mod predictor;
+pub mod random;
+pub mod selector;
+pub mod smarts;
+pub mod technique;
+pub mod uniform;
+
+pub use evaluate::{evaluate_technique, TechniqueError};
+pub use phase::{EarlyPhaseSampling, PhaseSampling, StratifiedPhaseSampling};
+pub use random::RandomSampling;
+pub use predictor::{
+    score_predictor, ExponentialAverage, LastValue, OnlinePredictor, PredictorScore,
+    TablePredictor,
+};
+pub use selector::{recommend, Recommendation};
+pub use smarts::SmartsSampling;
+pub use technique::{CpiEstimate, Technique};
+pub use uniform::UniformSampling;

@@ -1,0 +1,332 @@
+//! Phase-based (SimPoint-style) and stratified phase-based sampling.
+
+use crate::technique::{CpiEstimate, Technique};
+use fuzzyphase_cluster::{neyman_allocation, project, KMeans};
+use fuzzyphase_stats::{seeded_rng, SparseVec};
+use rand::seq::SliceRandom;
+
+/// SimPoint-style sampling: cluster the EIPVs, simulate one
+/// representative interval per cluster, weight by cluster population
+/// (the paper's references \[27\]\[28\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSampling {
+    k: usize,
+    dims: usize,
+}
+
+impl PhaseSampling {
+    /// Uses `k` phases (clusters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one phase");
+        Self { k, dims: 15 }
+    }
+}
+
+impl Technique for PhaseSampling {
+    fn name(&self) -> &'static str {
+        "phase"
+    }
+
+    fn estimate(&self, vectors: &[SparseVec], cpis: &[f64], seed: u64) -> CpiEstimate {
+        let n = vectors.len().min(cpis.len());
+        let k = self.k.min(n);
+        let points = project(&vectors[..n], self.dims, seed);
+        let clustering = KMeans::new(k).fit(&points, seed);
+        let reps = clustering.representatives(&points);
+        let sizes = clustering.sizes();
+
+        let mut intervals = Vec::new();
+        let mut weighted = 0.0;
+        let mut weight_total = 0.0;
+        for (c, rep) in reps.iter().enumerate() {
+            if let Some(r) = rep {
+                intervals.push(*r);
+                weighted += cpis[*r] * sizes[c] as f64;
+                weight_total += sizes[c] as f64;
+            }
+        }
+        intervals.sort_unstable();
+        let cpi = if weight_total == 0.0 {
+            0.0
+        } else {
+            weighted / weight_total
+        };
+        CpiEstimate { cpi, intervals }
+    }
+}
+
+/// Perelman-style stratified refinement (the paper's reference \[25\]):
+/// clusters get extra samples in proportion to their size, approximating
+/// the variance-aware allocation without peeking at unselected CPIs; the
+/// extra samples then expose intra-cluster CPI spread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StratifiedPhaseSampling {
+    k: usize,
+    budget: usize,
+    dims: usize,
+}
+
+impl StratifiedPhaseSampling {
+    /// Uses `k` phases and a total budget of `budget` simulated
+    /// intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `budget < k`.
+    pub fn new(k: usize, budget: usize) -> Self {
+        assert!(k >= 1, "need at least one phase");
+        assert!(budget >= k, "budget must cover one sample per phase");
+        Self {
+            k,
+            budget,
+            dims: 15,
+        }
+    }
+}
+
+impl Technique for StratifiedPhaseSampling {
+    fn name(&self) -> &'static str {
+        "stratified"
+    }
+
+    fn estimate(&self, vectors: &[SparseVec], cpis: &[f64], seed: u64) -> CpiEstimate {
+        let n = vectors.len().min(cpis.len());
+        let k = self.k.min(n);
+        let budget = self.budget.min(n);
+        let points = project(&vectors[..n], self.dims, seed);
+        let clustering = KMeans::new(k).fit(&points, seed);
+        let members = clustering.members();
+        let sizes = clustering.sizes();
+
+        // First pass: one representative per cluster to gauge spread via
+        // the cluster's EIPV scatter (distance spread is the only CPI-free
+        // proxy available before simulation).
+        let spreads: Vec<f64> = members
+            .iter()
+            .enumerate()
+            .map(|(c, m)| {
+                if m.is_empty() {
+                    return 0.0;
+                }
+                let centroid = &clustering.centroids[c];
+                let mean_d2: f64 = m
+                    .iter()
+                    .map(|&i| {
+                        points[i]
+                            .iter()
+                            .zip(centroid)
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum::<f64>()
+                    })
+                    .sum::<f64>()
+                    / m.len() as f64;
+                mean_d2.sqrt()
+            })
+            .collect();
+        let alloc = neyman_allocation(&sizes, &spreads, budget);
+
+        let mut rng = seeded_rng(seed ^ 0x57AF);
+        let mut intervals = Vec::new();
+        let mut weighted = 0.0;
+        let mut weight_total = 0.0;
+        for (c, m) in members.iter().enumerate() {
+            if m.is_empty() || alloc[c] == 0 {
+                continue;
+            }
+            let mut pool = m.clone();
+            pool.shuffle(&mut rng);
+            let take = alloc[c].min(pool.len());
+            let chosen = &pool[..take];
+            let cluster_mean: f64 =
+                chosen.iter().map(|&i| cpis[i]).sum::<f64>() / take as f64;
+            weighted += cluster_mean * sizes[c] as f64;
+            weight_total += sizes[c] as f64;
+            intervals.extend_from_slice(chosen);
+        }
+        intervals.sort_unstable();
+        let cpi = if weight_total == 0.0 {
+            0.0
+        } else {
+            weighted / weight_total
+        };
+        CpiEstimate { cpi, intervals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyphase_stats::mean;
+
+    /// Two clear phases with distinct EIPVs and CPIs.
+    fn phased(n: usize) -> (Vec<SparseVec>, Vec<f64>) {
+        let mut vs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let phase = (i / 25) % 2;
+            vs.push(SparseVec::from_pairs([(phase as u32, 100.0)]));
+            ys.push(1.0 + 2.0 * phase as f64);
+        }
+        (vs, ys)
+    }
+
+    #[test]
+    fn phase_sampling_nails_phased_workload() {
+        let (vs, ys) = phased(200);
+        let e = PhaseSampling::new(2).estimate(&vs, &ys, 3);
+        assert!((e.cpi - mean(&ys)).abs() < 0.05, "cpi {}", e.cpi);
+        assert!(e.cost() <= 2);
+    }
+
+    #[test]
+    fn stratified_uses_more_budget() {
+        let (vs, ys) = phased(200);
+        let e = StratifiedPhaseSampling::new(2, 10).estimate(&vs, &ys, 4);
+        assert!(e.cost() > 2 && e.cost() <= 10);
+        assert!((e.cpi - mean(&ys)).abs() < 0.05);
+    }
+
+    #[test]
+    fn representative_weighting_respects_population() {
+        // 75/25 phase split: estimate must be near the weighted mean, not
+        // the unweighted mean of two representatives.
+        let mut vs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..200 {
+            let phase = usize::from(i >= 150);
+            vs.push(SparseVec::from_pairs([(phase as u32, 100.0)]));
+            ys.push(1.0 + 2.0 * phase as f64);
+        }
+        let e = PhaseSampling::new(2).estimate(&vs, &ys, 5);
+        let want = 0.75 * 1.0 + 0.25 * 3.0;
+        assert!((e.cpi - want).abs() < 0.1, "cpi {} want {want}", e.cpi);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (vs, ys) = phased(100);
+        let a = PhaseSampling::new(3).estimate(&vs, &ys, 8);
+        let b = PhaseSampling::new(3).estimate(&vs, &ys, 8);
+        assert_eq!(a, b);
+    }
+}
+
+/// Early SimPoints (the paper's §8 discussion of reference \[25\]): pick,
+/// per cluster, the *earliest* interval whose distance to the centroid is
+/// within `slack`× of the best representative's, minimizing the
+/// fast-forwarding a simulator must do to reach its samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyPhaseSampling {
+    k: usize,
+    dims: usize,
+    slack: f64,
+}
+
+impl EarlyPhaseSampling {
+    /// Uses `k` phases and a distance slack factor (≥ 1; Perelman et al.
+    /// explore small slacks like 1.2–2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `slack < 1`.
+    pub fn new(k: usize, slack: f64) -> Self {
+        assert!(k >= 1, "need at least one phase");
+        assert!(slack >= 1.0, "slack must be >= 1");
+        Self { k, dims: 15, slack }
+    }
+}
+
+impl Technique for EarlyPhaseSampling {
+    fn name(&self) -> &'static str {
+        "early-phase"
+    }
+
+    fn estimate(&self, vectors: &[SparseVec], cpis: &[f64], seed: u64) -> CpiEstimate {
+        let n = vectors.len().min(cpis.len());
+        let k = self.k.min(n);
+        let points = project(&vectors[..n], self.dims, seed);
+        let clustering = KMeans::new(k).fit(&points, seed);
+        let sizes = clustering.sizes();
+
+        // Per cluster: distance of each member, the best distance, then
+        // the earliest member within slack of it.
+        let dist = |i: usize| -> f64 {
+            points[i]
+                .iter()
+                .zip(&clustering.centroids[clustering.assignments[i]])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let mut best = vec![f64::INFINITY; k];
+        for i in 0..n {
+            best[clustering.assignments[i]] = best[clustering.assignments[i]].min(dist(i));
+        }
+        let mut chosen: Vec<Option<usize>> = vec![None; k];
+        for i in 0..n {
+            let c = clustering.assignments[i];
+            if chosen[c].is_none() && dist(i) <= best[c] * self.slack + 1e-12 {
+                chosen[c] = Some(i);
+            }
+        }
+
+        let mut intervals = Vec::new();
+        let mut weighted = 0.0;
+        let mut weight_total = 0.0;
+        for (c, pick) in chosen.iter().enumerate() {
+            if let Some(i) = pick {
+                intervals.push(*i);
+                weighted += cpis[*i] * sizes[c] as f64;
+                weight_total += sizes[c] as f64;
+            }
+        }
+        intervals.sort_unstable();
+        let cpi = if weight_total == 0.0 {
+            0.0
+        } else {
+            weighted / weight_total
+        };
+        CpiEstimate { cpi, intervals }
+    }
+}
+
+#[cfg(test)]
+mod early_tests {
+    use super::*;
+    use crate::technique::Technique;
+    use fuzzyphase_stats::mean;
+
+    fn phased(n: usize) -> (Vec<SparseVec>, Vec<f64>) {
+        let mut vs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let phase = (i / 25) % 2;
+            vs.push(SparseVec::from_pairs([(phase as u32, 100.0)]));
+            ys.push(1.0 + 2.0 * phase as f64);
+        }
+        (vs, ys)
+    }
+
+    #[test]
+    fn early_points_come_earlier() {
+        let (vs, ys) = phased(200);
+        let early = EarlyPhaseSampling::new(2, 2.0).estimate(&vs, &ys, 3);
+        // Both phases appear within the first 50 intervals, so early
+        // selection should stay inside them.
+        let max_early = early.intervals.iter().max().copied().unwrap_or(0);
+        assert!(max_early < 50, "early max index {max_early}");
+        assert!((early.cpi - mean(&ys)).abs() < 0.05);
+    }
+
+    #[test]
+    fn slack_one_behaves_like_best_representative() {
+        let (vs, ys) = phased(100);
+        let e = EarlyPhaseSampling::new(2, 1.0).estimate(&vs, &ys, 4);
+        assert!((e.cpi - mean(&ys)).abs() < 0.05);
+        assert!(e.cost() <= 2);
+    }
+}

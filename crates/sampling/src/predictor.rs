@@ -1,0 +1,275 @@
+//! Online CPI predictors (the paper's related work \[12\], Duesterwald et
+//! al.): instead of asking "can EIPs explain CPI?" they ask "can CPI's
+//! own history predict its next value?" — exploiting the periodicity the
+//! paper observes in many metrics.
+//!
+//! Three classic predictors are provided; the experiment harness compares
+//! their per-quadrant accuracy with the regression-tree bound.
+
+use serde::{Deserialize, Serialize};
+
+/// An online one-step-ahead predictor over a scalar series.
+pub trait OnlinePredictor {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Predicts the next value, then observes the truth.
+    fn predict_and_update(&mut self, actual: f64) -> f64;
+
+    /// Resets internal state.
+    fn reset(&mut self);
+}
+
+/// Last-value predictor: tomorrow looks like today.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl LastValue {
+    /// Creates the predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl OnlinePredictor for LastValue {
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+
+    fn predict_and_update(&mut self, actual: f64) -> f64 {
+        let pred = self.last.unwrap_or(actual);
+        self.last = Some(actual);
+        pred
+    }
+
+    fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+/// Exponentially-weighted moving average predictor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialAverage {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl ExponentialAverage {
+    /// Creates the predictor with smoothing factor `alpha` in (0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, state: None }
+    }
+}
+
+impl OnlinePredictor for ExponentialAverage {
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+
+    fn predict_and_update(&mut self, actual: f64) -> f64 {
+        let pred = self.state.unwrap_or(actual);
+        self.state = Some(pred + self.alpha * (actual - pred));
+        pred
+    }
+
+    fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+/// Duesterwald-style table-based history predictor: the last `depth`
+/// quantized values index a table whose entry remembers what followed
+/// that pattern last time. Captures periodic CPI (phases) that averaging
+/// predictors smear.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TablePredictor {
+    depth: usize,
+    levels: usize,
+    lo: f64,
+    hi: f64,
+    history: Vec<usize>,
+    table: Vec<Option<f64>>,
+    fallback: LastValue,
+}
+
+impl TablePredictor {
+    /// Creates a predictor with `depth` history entries quantized into
+    /// `levels` buckets over the expected value range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`, `levels < 2`, `hi <= lo`, or the table
+    /// would exceed 2^24 entries.
+    pub fn new(depth: usize, levels: usize, lo: f64, hi: f64) -> Self {
+        assert!(depth >= 1, "need at least one history entry");
+        assert!(levels >= 2, "need at least two quantization levels");
+        assert!(hi > lo, "value range must be non-empty");
+        let size = levels
+            .checked_pow(depth as u32)
+            .expect("table size overflow");
+        assert!(size <= 1 << 24, "table too large");
+        Self {
+            depth,
+            levels,
+            lo,
+            hi,
+            history: Vec::new(),
+            table: vec![None; size],
+            fallback: LastValue::new(),
+        }
+    }
+
+    fn quantize(&self, x: f64) -> usize {
+        let t = ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        ((t * self.levels as f64) as usize).min(self.levels - 1)
+    }
+
+    fn index(&self) -> Option<usize> {
+        if self.history.len() < self.depth {
+            return None;
+        }
+        let mut idx = 0usize;
+        for &h in &self.history {
+            idx = idx * self.levels + h;
+        }
+        Some(idx)
+    }
+}
+
+impl OnlinePredictor for TablePredictor {
+    fn name(&self) -> &'static str {
+        "table"
+    }
+
+    fn predict_and_update(&mut self, actual: f64) -> f64 {
+        let pred = match self.index().and_then(|i| self.table[i]) {
+            Some(p) => {
+                // Keep the fallback's state warm.
+                self.fallback.predict_and_update(actual);
+                p
+            }
+            None => self.fallback.predict_and_update(actual),
+        };
+        if let Some(i) = self.index() {
+            self.table[i] = Some(actual);
+        }
+        self.history.push(self.quantize(actual));
+        if self.history.len() > self.depth {
+            self.history.remove(0);
+        }
+        pred
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+        self.table.iter_mut().for_each(|e| *e = None);
+        self.fallback.reset();
+    }
+}
+
+/// The evaluation of one predictor over one series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictorScore {
+    /// Predictor name.
+    pub predictor: String,
+    /// Mean absolute relative error over the series (after a 10-step
+    /// warm-up).
+    pub mean_relative_error: f64,
+    /// `1 − MSE/Var`: the online analogue of explained variance
+    /// (clamped at 0).
+    pub explained_variance: f64,
+}
+
+/// Runs a predictor over a CPI series and scores it.
+///
+/// # Panics
+///
+/// Panics if the series has fewer than 12 points.
+pub fn score_predictor(p: &mut dyn OnlinePredictor, series: &[f64]) -> PredictorScore {
+    assert!(series.len() >= 12, "series too short to score");
+    p.reset();
+    let warmup = 10;
+    let mut abs_rel = 0.0;
+    let mut sq = 0.0;
+    let mut n = 0.0;
+    for (i, &y) in series.iter().enumerate() {
+        let pred = p.predict_and_update(y);
+        if i >= warmup {
+            abs_rel += (pred - y).abs() / y.abs().max(1e-9);
+            sq += (pred - y) * (pred - y);
+            n += 1.0;
+        }
+    }
+    let var = fuzzyphase_stats::variance(&series[warmup..]);
+    PredictorScore {
+        predictor: p.name().to_string(),
+        mean_relative_error: abs_rel / n,
+        explained_variance: if var <= 1e-15 {
+            0.0
+        } else {
+            (1.0 - (sq / n) / var).max(0.0)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_perfect_on_constant() {
+        let series = vec![2.0; 50];
+        let s = score_predictor(&mut LastValue::new(), &series);
+        assert_eq!(s.mean_relative_error, 0.0);
+    }
+
+    #[test]
+    fn table_beats_last_value_on_periodic() {
+        // Period-3 series: the table predictor learns the cycle, the
+        // last-value predictor is always one step behind.
+        let series: Vec<f64> = (0..120).map(|i| [1.0, 2.0, 4.0][i % 3]).collect();
+        let mut table = TablePredictor::new(3, 8, 0.5, 4.5);
+        let mut last = LastValue::new();
+        let st = score_predictor(&mut table, &series);
+        let sl = score_predictor(&mut last, &series);
+        assert!(st.mean_relative_error < 0.01, "table {}", st.mean_relative_error);
+        assert!(sl.mean_relative_error > 0.5, "last {}", sl.mean_relative_error);
+        assert!(st.explained_variance > 0.99);
+    }
+
+    #[test]
+    fn ewma_smooths_noise_better_than_last_value() {
+        use fuzzyphase_stats::seeded_rng;
+        use rand::Rng;
+        let mut rng = seeded_rng(1);
+        let series: Vec<f64> = (0..300).map(|_| 2.0 + rng.gen_range(-0.5..0.5)).collect();
+        let se = score_predictor(&mut ExponentialAverage::new(0.1), &series);
+        let sl = score_predictor(&mut LastValue::new(), &series);
+        assert!(se.mean_relative_error < sl.mean_relative_error);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = TablePredictor::new(2, 4, 0.0, 4.0);
+        for &y in &[1.0, 2.0, 1.0, 2.0, 1.0] {
+            p.predict_and_update(y);
+        }
+        p.reset();
+        // After reset the first prediction falls back to "no history".
+        let pred = p.predict_and_update(3.0);
+        assert_eq!(pred, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_series_rejected() {
+        score_predictor(&mut LastValue::new(), &[1.0; 5]);
+    }
+}

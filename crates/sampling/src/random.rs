@@ -1,0 +1,79 @@
+//! Simple random sampling of intervals.
+
+use crate::technique::{CpiEstimate, Technique};
+use fuzzyphase_stats::{seeded_rng, SparseVec};
+use rand::seq::SliceRandom;
+
+/// Picks `n` intervals uniformly at random (without replacement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomSampling {
+    n: usize,
+}
+
+impl RandomSampling {
+    /// Samples `n` intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one sample");
+        Self { n }
+    }
+}
+
+impl Technique for RandomSampling {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn estimate(&self, vectors: &[SparseVec], cpis: &[f64], seed: u64) -> CpiEstimate {
+        let total = vectors.len().min(cpis.len());
+        let n = self.n.min(total);
+        let mut rng = seeded_rng(seed);
+        let mut indices: Vec<usize> = (0..total).collect();
+        indices.shuffle(&mut rng);
+        let mut intervals: Vec<usize> = indices.into_iter().take(n).collect();
+        intervals.sort_unstable();
+        let cpi = intervals.iter().map(|&i| cpis[i]).sum::<f64>() / n as f64;
+        CpiEstimate { cpi, intervals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbiased_over_many_seeds() {
+        let vs: Vec<SparseVec> = (0..200).map(|_| SparseVec::new()).collect();
+        let ys: Vec<f64> = (0..200).map(|i| (i % 7) as f64).collect();
+        let true_mean = fuzzyphase_stats::mean(&ys);
+        let mut acc = 0.0;
+        let trials = 200;
+        for s in 0..trials {
+            acc += RandomSampling::new(20).estimate(&vs, &ys, s).cpi;
+        }
+        let mean = acc / trials as f64;
+        assert!((mean - true_mean).abs() < 0.1, "mean {mean} vs {true_mean}");
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let vs: Vec<SparseVec> = (0..50).map(|_| SparseVec::new()).collect();
+        let ys = vec![1.0; 50];
+        let e = RandomSampling::new(30).estimate(&vs, &ys, 1);
+        let mut seen = e.intervals.clone();
+        seen.dedup();
+        assert_eq!(seen.len(), 30);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let vs: Vec<SparseVec> = (0..50).map(|_| SparseVec::new()).collect();
+        let ys: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = RandomSampling::new(5).estimate(&vs, &ys, 9);
+        let b = RandomSampling::new(5).estimate(&vs, &ys, 9);
+        assert_eq!(a, b);
+    }
+}

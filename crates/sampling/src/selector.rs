@@ -1,0 +1,75 @@
+//! The paper's proposal (§7): pick the sampling technique from the
+//! quadrant a workload falls in.
+
+use serde::{Deserialize, Serialize};
+
+/// Which technique the quadrant calls for, with the paper's rationale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Recommendation {
+    /// Q-I / Q-II: CPI variance is tiny — "even a few random samples can
+    /// adequately capture CPI behavior". Use a handful of uniform
+    /// samples.
+    UniformFewSamples,
+    /// Q-IV: strong phases — "ideal candidates for phase based trace
+    /// sampling"; one representative per phase suffices.
+    PhaseBased,
+    /// Q-III: high variance the EIPs cannot explain — statistical
+    /// sampling with enough samples for a confidence bound (SMARTS
+    /// style).
+    Statistical,
+}
+
+impl Recommendation {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Recommendation::UniformFewSamples => "uniform (few samples)",
+            Recommendation::PhaseBased => "phase-based",
+            Recommendation::Statistical => "statistical (SMARTS-style)",
+        }
+    }
+}
+
+/// Recommends a technique from the two quadrant coordinates.
+///
+/// `cpi_variance` and `re` are compared against the paper's thresholds
+/// (0.01 and 0.15 by default in the core crate); the caller passes the
+/// already-thresholded booleans so threshold policy lives in one place.
+pub fn recommend(low_variance: bool, strong_phases: bool) -> Recommendation {
+    match (low_variance, strong_phases) {
+        // Q-I and Q-II: with negligible variance there is "no clear
+        // advantage of using phase based trace sampling over uniform
+        // sampling".
+        (true, _) => Recommendation::UniformFewSamples,
+        // Q-IV.
+        (false, true) => Recommendation::PhaseBased,
+        // Q-III.
+        (false, false) => Recommendation::Statistical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadrant_mapping() {
+        assert_eq!(recommend(true, false), Recommendation::UniformFewSamples); // Q-I
+        assert_eq!(recommend(true, true), Recommendation::UniformFewSamples); // Q-II
+        assert_eq!(recommend(false, false), Recommendation::Statistical); // Q-III
+        assert_eq!(recommend(false, true), Recommendation::PhaseBased); // Q-IV
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            Recommendation::UniformFewSamples.name(),
+            Recommendation::PhaseBased.name(),
+            Recommendation::Statistical.name(),
+        ];
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+}

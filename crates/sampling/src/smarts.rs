@@ -1,0 +1,130 @@
+//! SMARTS-style statistical sampling (the paper's reference \[30\]).
+//!
+//! Wunderlich et al. take very many, very small samples at regular
+//! intervals and size the sample count from the measured coefficient of
+//! variation so the CPI estimate meets a target confidence interval. At
+//! this crate's granularity the "tiny samples" are profiled intervals;
+//! the pilot-then-extend protocol and the CLT-based confidence math are
+//! the same.
+
+use crate::technique::{CpiEstimate, Technique};
+use fuzzyphase_stats::{SparseVec, Welford};
+
+/// Statistical sampling with a target relative confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmartsSampling {
+    /// Pilot sample count.
+    pub pilot: usize,
+    /// Target half-width of the CI relative to the mean (e.g. 0.03).
+    pub target_rel_ci: f64,
+    /// z-score of the confidence level (1.96 ⇒ 95 %).
+    pub z: f64,
+}
+
+impl SmartsSampling {
+    /// Creates the sampler with a pilot of `pilot` intervals and a target
+    /// ±`target_rel_ci` relative CI at 95 % confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pilot == 0` or `target_rel_ci <= 0`.
+    pub fn new(pilot: usize, target_rel_ci: f64) -> Self {
+        assert!(pilot >= 2, "pilot must have at least two samples");
+        assert!(target_rel_ci > 0.0, "target CI must be positive");
+        Self {
+            pilot,
+            target_rel_ci,
+            z: 1.96,
+        }
+    }
+
+    /// The sample count the CLT requires for the target CI, given a
+    /// coefficient of variation.
+    pub fn required_samples(&self, cv: f64) -> usize {
+        let n = (self.z * cv / self.target_rel_ci).powi(2);
+        n.ceil().max(2.0) as usize
+    }
+}
+
+impl Technique for SmartsSampling {
+    fn name(&self) -> &'static str {
+        "smarts"
+    }
+
+    fn estimate(&self, vectors: &[SparseVec], cpis: &[f64], _seed: u64) -> CpiEstimate {
+        let total = vectors.len().min(cpis.len());
+        // Pilot: systematic spread.
+        let pilot_n = self.pilot.min(total);
+        let pilot: Vec<usize> = (0..pilot_n)
+            .map(|i| ((2 * i + 1) * total) / (2 * pilot_n))
+            .collect();
+        let mut w = Welford::new();
+        for &i in &pilot {
+            w.push(cpis[i]);
+        }
+        let mean = w.mean();
+        let cv = if mean.abs() < 1e-12 {
+            0.0
+        } else {
+            w.std_population() / mean
+        };
+        let needed = self.required_samples(cv).min(total);
+
+        if needed <= pilot_n {
+            return CpiEstimate {
+                cpi: mean,
+                intervals: pilot,
+            };
+        }
+        // Extend to the required count, still systematic.
+        let intervals: Vec<usize> = (0..needed)
+            .map(|i| ((2 * i + 1) * total) / (2 * needed))
+            .collect();
+        let cpi = intervals.iter().map(|&i| cpis[i]).sum::<f64>() / needed as f64;
+        CpiEstimate { cpi, intervals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyphase_stats::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn low_variance_stops_at_pilot() {
+        let vs: Vec<SparseVec> = (0..300).map(|_| SparseVec::new()).collect();
+        let ys = vec![2.0; 300];
+        let s = SmartsSampling::new(10, 0.03);
+        let e = s.estimate(&vs, &ys, 0);
+        assert_eq!(e.cost(), 10);
+        assert_eq!(e.cpi, 2.0);
+    }
+
+    #[test]
+    fn high_variance_extends_sampling() {
+        let mut rng = seeded_rng(1);
+        let vs: Vec<SparseVec> = (0..300).map(|_| SparseVec::new()).collect();
+        let ys: Vec<f64> = (0..300).map(|_| rng.gen_range(0.5..4.0)).collect();
+        let s = SmartsSampling::new(10, 0.03);
+        let e = s.estimate(&vs, &ys, 0);
+        assert!(e.cost() > 10, "cost {}", e.cost());
+        let true_mean = fuzzyphase_stats::mean(&ys);
+        assert!((e.cpi - true_mean).abs() / true_mean < 0.1);
+    }
+
+    #[test]
+    fn required_samples_math() {
+        let s = SmartsSampling::new(10, 0.03);
+        // n = (1.96 * cv / 0.03)^2
+        assert_eq!(s.required_samples(0.0), 2);
+        let n = s.required_samples(0.3);
+        assert!((380..=390).contains(&n), "n {n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_pilot_rejected() {
+        SmartsSampling::new(1, 0.03);
+    }
+}

@@ -1,0 +1,55 @@
+//! The sampling-technique abstraction.
+
+use fuzzyphase_stats::SparseVec;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of applying a technique: which intervals were simulated
+/// (the cost) and the CPI estimate they produce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpiEstimate {
+    /// Estimated whole-program CPI.
+    pub cpi: f64,
+    /// Indices of the intervals the technique asked to simulate.
+    pub intervals: Vec<usize>,
+}
+
+impl CpiEstimate {
+    /// Number of intervals the estimate cost.
+    pub fn cost(&self) -> usize {
+        self.intervals.len()
+    }
+}
+
+/// A whole-program-CPI estimation strategy over profiled intervals.
+///
+/// The inputs mirror what a phase-analysis tool has *before* detailed
+/// simulation: the control-flow vectors of every interval (cheap to
+/// collect) and — only for the intervals the technique selects — the
+/// interval CPIs (expensive detailed simulation). Techniques therefore
+/// must choose their intervals from `vectors` alone, except that CPI
+/// values of *selected* intervals may inform iterative refinement.
+pub trait Technique {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Produces a CPI estimate.
+    ///
+    /// `cpis[i]` is interval `i`'s true CPI; implementations may only
+    /// read the entries of intervals they include in the returned
+    /// selection (enforced by convention and by the evaluation tests).
+    fn estimate(&self, vectors: &[SparseVec], cpis: &[f64], seed: u64) -> CpiEstimate;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_cost() {
+        let e = CpiEstimate {
+            cpi: 1.5,
+            intervals: vec![0, 10, 20],
+        };
+        assert_eq!(e.cost(), 3);
+    }
+}

@@ -1,0 +1,172 @@
+//! Fixed-width binned histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over a fixed range with equal-width bins.
+///
+/// Values below the range land in bin 0; values above land in the last bin
+/// (saturating, so no sample is ever dropped — the same convention VTune's
+/// histogram views use).
+///
+/// ```
+/// use fuzzyphase_stats::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.record(1.0);
+/// h.record(9.5);
+/// h.record(42.0); // clamps into the last bin
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bin_count(4), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `nbins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        let n = self.bins.len();
+        let idx = if x <= self.lo {
+            0
+        } else if x >= self.hi {
+            n - 1
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            ((frac * n as f64) as usize).min(n - 1)
+        };
+        self.bins[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Inclusive lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.bins.len() as f64
+    }
+
+    /// All bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Fraction of observations in bin `i`; 0.0 if empty.
+    pub fn bin_fraction(&self, i: usize) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / self.count as f64
+        }
+    }
+
+    /// Index of the most populated bin (first on ties).
+    pub fn mode_bin(&self) -> usize {
+        let mut best = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if c > self.bins[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mass_is_conserved() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 * 0.013 - 0.1);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.bins().iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn clamping() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-5.0);
+        h.record(5.0);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(3), 1);
+    }
+
+    #[test]
+    fn bin_edges() {
+        let h = Histogram::new(0.0, 8.0, 4);
+        assert_eq!(h.bin_lo(0), 0.0);
+        assert_eq!(h.bin_lo(1), 2.0);
+        assert_eq!(h.bin_lo(3), 6.0);
+    }
+
+    #[test]
+    fn uniform_fill_is_flat() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for i in 0..400 {
+            h.record((i as f64 + 0.5) / 400.0);
+        }
+        for i in 0..4 {
+            assert_eq!(h.bin_count(i), 100);
+        }
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(1.6);
+        assert_eq!(h.mode_bin(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_rejected() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! K-fold partitioning for cross-validation.
+//!
+//! §4.4 of the paper divides the (EIPV, CPI) data set into 10 random parts
+//! and builds one regression tree per left-out part. This module provides
+//! the shuffled partitioner.
+
+use rand::seq::SliceRandom;
+
+use crate::rng::seeded_rng;
+
+/// A K-fold split of `n` items into `k` near-equal shuffled parts.
+///
+/// Fold sizes differ by at most one; every index appears in exactly one
+/// fold.
+///
+/// ```
+/// use fuzzyphase_stats::KFold;
+/// let kf = KFold::new(10, 3, 42);
+/// let all: usize = kf.folds().iter().map(|f| f.len()).sum();
+/// assert_eq!(all, 10);
+/// assert_eq!(kf.num_folds(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Splits `0..n` into `k` shuffled folds using `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n`.
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k > 0, "need at least one fold");
+        assert!(k <= n, "cannot split {n} items into {k} folds");
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut rng = seeded_rng(seed);
+        indices.shuffle(&mut rng);
+        let base = n / k;
+        let extra = n % k;
+        let mut folds = Vec::with_capacity(k);
+        let mut start = 0;
+        for i in 0..k {
+            let len = base + usize::from(i < extra);
+            folds.push(indices[start..start + len].to_vec());
+            start += len;
+        }
+        Self { folds }
+    }
+
+    /// Number of folds.
+    pub fn num_folds(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// All folds.
+    pub fn folds(&self) -> &[Vec<usize>] {
+        &self.folds
+    }
+
+    /// The held-out ("test") indices of fold `i`.
+    pub fn test_indices(&self, i: usize) -> &[usize] {
+        &self.folds[i]
+    }
+
+    /// The training indices for fold `i` (everything not in fold `i`).
+    pub fn train_indices(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (j, fold) in self.folds.iter().enumerate() {
+            if j != i {
+                out.extend_from_slice(fold);
+            }
+        }
+        out
+    }
+
+    /// Iterates `(train, test)` pairs over all folds.
+    pub fn splits(&self) -> impl Iterator<Item = (Vec<usize>, &[usize])> + '_ {
+        (0..self.num_folds()).map(move |i| (self.train_indices(i), self.test_indices(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn partition_is_exact() {
+        let kf = KFold::new(23, 10, 7);
+        let mut seen = HashSet::new();
+        for fold in kf.folds() {
+            for &i in fold {
+                assert!(seen.insert(i), "index {i} in two folds");
+            }
+        }
+        assert_eq!(seen.len(), 23);
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let kf = KFold::new(23, 10, 7);
+        let sizes: Vec<usize> = kf.folds().iter().map(|f| f.len()).collect();
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+        assert_eq!(sizes.iter().sum::<usize>(), 23);
+    }
+
+    #[test]
+    fn train_test_disjoint_and_complete() {
+        let kf = KFold::new(30, 10, 1);
+        for i in 0..10 {
+            let train: HashSet<usize> = kf.train_indices(i).into_iter().collect();
+            let test: HashSet<usize> = kf.test_indices(i).iter().copied().collect();
+            assert!(train.is_disjoint(&test));
+            assert_eq!(train.len() + test.len(), 30);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(KFold::new(50, 5, 99), KFold::new(50, 5, 99));
+        assert_ne!(KFold::new(50, 5, 99), KFold::new(50, 5, 100));
+    }
+
+    #[test]
+    fn shuffling_happens() {
+        // With 100 items the identity permutation is astronomically unlikely.
+        let kf = KFold::new(100, 2, 3);
+        let first: Vec<usize> = kf.folds()[0].clone();
+        assert_ne!(first, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn splits_iterator_covers_all_folds() {
+        let kf = KFold::new(12, 4, 5);
+        assert_eq!(kf.splits().count(), 4);
+        for (train, test) in kf.splits() {
+            assert_eq!(train.len(), 9);
+            assert_eq!(test.len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn more_folds_than_items_rejected() {
+        KFold::new(3, 10, 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Statistical foundations for the `fuzzyphase` workspace.
+//!
+//! This crate bundles the numerical building blocks that every other crate
+//! in the workspace relies on:
+//!
+//! * [`rng`] — deterministic random-number management. Every stochastic
+//!   component in the workspace derives its randomness from an explicit
+//!   `u64` seed so that full experiment suites are reproducible.
+//! * [`welford`] — streaming mean/variance accumulators (Welford's
+//!   algorithm), including weighted and mergeable variants.
+//! * [`summary`] — one-shot descriptive statistics over slices.
+//! * [`histogram`] — fixed-width binned histograms.
+//! * [`dist`] — the sampling distributions used by the synthetic workload
+//!   models (Zipf, log-normal, Pareto, discrete alias tables, …).
+//! * [`kfold`] — the K-fold partitioner used by regression-tree
+//!   cross-validation (§4.4 of the paper).
+//! * [`sparse`] — sparse vectors, the representation of EIP vectors
+//!   (server workloads touch tens of thousands of unique EIPs but each
+//!   vector holds at most ~100 samples).
+//! * [`timeseries`] — small time-series helpers (autocorrelation, moving
+//!   averages) used for the EIP/CPI "spread" figures.
+//!
+//! # Example
+//!
+//! ```
+//! use fuzzyphase_stats::welford::Welford;
+//!
+//! let mut acc = Welford::new();
+//! for x in [1.0, 2.0, 3.0, 4.0] {
+//!     acc.push(x);
+//! }
+//! assert_eq!(acc.mean(), 2.5);
+//! assert!((acc.variance_population() - 1.25).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod histogram;
+pub mod kfold;
+pub mod rng;
+pub mod sparse;
+pub mod summary;
+pub mod timeseries;
+pub mod welford;
+
+pub use dist::{poisson, prob_round, Alias, Discrete, Exponential, LogNormal, Pareto, Zipf};
+pub use histogram::Histogram;
+pub use kfold::KFold;
+pub use rng::{seeded_rng, SeedSequence};
+pub use sparse::SparseVec;
+pub use summary::Summary;
+pub use welford::{MergeableWelford, WeightedWelford, Welford};
+
+/// Population variance of a slice in one pass.
+///
+/// Returns 0.0 for slices with fewer than one element.
+///
+/// ```
+/// let v = fuzzyphase_stats::variance(&[1.0, 2.0, 3.0, 4.0]);
+/// assert!((v - 1.25).abs() < 1e-12);
+/// ```
+pub fn variance(xs: &[f64]) -> f64 {
+    let mut w = Welford::new();
+    for &x in xs {
+        w.push(x);
+    }
+    w.variance_population()
+}
+
+/// Arithmetic mean of a slice; 0.0 if empty.
+///
+/// ```
+/// assert_eq!(fuzzyphase_stats::mean(&[2.0, 4.0]), 3.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}

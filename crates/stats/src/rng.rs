@@ -1,0 +1,162 @@
+//! Deterministic random-number management.
+//!
+//! Every stochastic component in the workspace takes an explicit `u64`
+//! seed. Components that need several independent random streams derive
+//! sub-seeds through a [`SeedSequence`], which applies a SplitMix64-style
+//! mix so that adjacent seeds (0, 1, 2, …) still produce statistically
+//! independent streams.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64 step: advances the state and returns the next 64-bit output.
+///
+/// This is the standard finalizer from Vigna's SplitMix64, used here to
+/// derive child seeds from `(seed, label)` pairs.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Creates a [`StdRng`] from a raw seed after one mixing round.
+///
+/// ```
+/// use rand::Rng;
+/// let mut a = fuzzyphase_stats::seeded_rng(7);
+/// let mut b = fuzzyphase_stats::seeded_rng(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded_rng(seed: u64) -> StdRng {
+    let mut s = seed;
+    let mixed = splitmix64(&mut s);
+    StdRng::seed_from_u64(mixed)
+}
+
+/// Derives independent child seeds from a root seed.
+///
+/// `SeedSequence` is the workspace convention for fanning one experiment
+/// seed out to many components (one stream for the workload generator, one
+/// for the scheduler, one per cross-validation shuffle, …) without the
+/// streams being correlated.
+///
+/// ```
+/// use fuzzyphase_stats::SeedSequence;
+/// let seq = SeedSequence::new(42);
+/// assert_ne!(seq.seed_for("workload"), seq.seed_for("scheduler"));
+/// // Deterministic: the same label always yields the same seed.
+/// assert_eq!(seq.seed_for("workload"), SeedSequence::new(42).seed_for("workload"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeedSequence {
+    root: u64,
+}
+
+impl SeedSequence {
+    /// Creates a sequence rooted at `root`.
+    pub fn new(root: u64) -> Self {
+        Self { root }
+    }
+
+    /// The root seed this sequence was created with.
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Derives a child seed for a string label.
+    pub fn seed_for(&self, label: &str) -> u64 {
+        // FNV-1a over the label, folded into the root via SplitMix64.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut s = self.root ^ h;
+        splitmix64(&mut s)
+    }
+
+    /// Derives a child seed for a numeric index (e.g. CV fold number).
+    pub fn seed_for_index(&self, index: u64) -> u64 {
+        let mut s = self.root ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        splitmix64(&mut s)
+    }
+
+    /// Convenience: an [`StdRng`] for a string label.
+    pub fn rng_for(&self, label: &str) -> StdRng {
+        seeded_rng(self.seed_for(label))
+    }
+
+    /// Convenience: an [`StdRng`] for a numeric index.
+    pub fn rng_for_index(&self, index: u64) -> StdRng {
+        seeded_rng(self.seed_for_index(index))
+    }
+
+    /// Derives a nested sequence, useful for per-benchmark sub-streams.
+    pub fn subsequence(&self, label: &str) -> SeedSequence {
+        SeedSequence::new(self.seed_for(label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splitmix_known_values() {
+        // Reference values for SplitMix64 seeded with 0.
+        let mut s = 0u64;
+        let first = splitmix64(&mut s);
+        assert_eq!(first, 0xE220_A839_7B1D_CDAF);
+        let second = splitmix64(&mut s);
+        assert_eq!(second, 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let xs: Vec<u32> = (0..16).map(|_| 0).collect();
+        let mut a = seeded_rng(123);
+        let mut b = seeded_rng(123);
+        let va: Vec<u32> = xs.iter().map(|_| a.gen()).collect();
+        let vb: Vec<u32> = xs.iter().map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn seed_sequence_labels_are_distinct() {
+        let seq = SeedSequence::new(0);
+        let mut seen = HashSet::new();
+        for label in ["a", "b", "c", "workload", "scheduler", "cv", "kmeans"] {
+            assert!(seen.insert(seq.seed_for(label)), "collision for {label}");
+        }
+    }
+
+    #[test]
+    fn seed_sequence_indices_are_distinct() {
+        let seq = SeedSequence::new(99);
+        let mut seen = HashSet::new();
+        for i in 0..1000 {
+            assert!(seen.insert(seq.seed_for_index(i)));
+        }
+    }
+
+    #[test]
+    fn subsequence_differs_from_parent() {
+        let seq = SeedSequence::new(7);
+        let sub = seq.subsequence("child");
+        assert_ne!(seq.seed_for("x"), sub.seed_for("x"));
+    }
+}

@@ -1,0 +1,307 @@
+//! Sparse vectors.
+//!
+//! An EIP vector (§3.2) conceptually has one dimension per unique EIP in
+//! the whole run — over 20,000 for ODB-C — but is built from only ~100
+//! samples, so at most 100 entries are non-zero. Vectors are therefore
+//! stored as sorted `(index, value)` pairs.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse vector of `f64` entries indexed by `u32`, sorted by index.
+///
+/// Absent indices are implicitly zero. All operations preserve the sorted,
+/// deduplicated invariant.
+///
+/// ```
+/// use fuzzyphase_stats::SparseVec;
+/// let mut v = SparseVec::new();
+/// v.add(5, 2.0);
+/// v.add(1, 1.0);
+/// v.add(5, 3.0); // accumulates
+/// assert_eq!(v.get(5), 5.0);
+/// assert_eq!(v.get(3), 0.0);
+/// assert_eq!(v.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SparseVec {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVec {
+    /// Creates an empty (all-zero) vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from unsorted `(index, value)` pairs, accumulating duplicates
+    /// and dropping zero results.
+    pub fn from_pairs<I: IntoIterator<Item = (u32, f64)>>(pairs: I) -> Self {
+        let mut entries: Vec<(u32, f64)> = pairs.into_iter().collect();
+        entries.sort_by_key(|&(i, _)| i);
+        let mut out: Vec<(u32, f64)> = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            match out.last_mut() {
+                Some(last) if last.0 == i => last.1 += v,
+                _ => out.push((i, v)),
+            }
+        }
+        out.retain(|&(_, v)| v != 0.0);
+        Self { entries: out }
+    }
+
+    /// Adds `value` to the entry at `index`.
+    pub fn add(&mut self, index: u32, value: f64) {
+        if value == 0.0 {
+            return;
+        }
+        match self.entries.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(pos) => {
+                self.entries[pos].1 += value;
+                if self.entries[pos].1 == 0.0 {
+                    self.entries.remove(pos);
+                }
+            }
+            Err(pos) => self.entries.insert(pos, (index, value)),
+        }
+    }
+
+    /// Value at `index` (0.0 if absent).
+    pub fn get(&self, index: u32) -> f64 {
+        match self.entries.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every entry is zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates stored `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(_, v)| v * v)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scales every entry by `factor` (dropping all entries when `factor`
+    /// is zero).
+    pub fn scale(&mut self, factor: f64) {
+        if factor == 0.0 {
+            self.entries.clear();
+            return;
+        }
+        for e in &mut self.entries {
+            e.1 *= factor;
+        }
+    }
+
+    /// Normalizes to unit L1 mass (no-op on the zero vector).
+    pub fn normalize_l1(&mut self) {
+        let s = self.sum();
+        if s != 0.0 {
+            self.scale(1.0 / s);
+        }
+    }
+
+    /// Dot product with another sparse vector.
+    pub fn dot(&self, other: &SparseVec) -> f64 {
+        let (mut a, mut b) = (self.entries.iter(), other.entries.iter());
+        let (mut x, mut y) = (a.next(), b.next());
+        let mut acc = 0.0;
+        while let (Some(&(i, vi)), Some(&(j, vj))) = (x, y) {
+            match i.cmp(&j) {
+                std::cmp::Ordering::Less => x = a.next(),
+                std::cmp::Ordering::Greater => y = b.next(),
+                std::cmp::Ordering::Equal => {
+                    acc += vi * vj;
+                    x = a.next();
+                    y = b.next();
+                }
+            }
+        }
+        acc
+    }
+
+    /// Squared Euclidean distance to another sparse vector.
+    pub fn dist2(&self, other: &SparseVec) -> f64 {
+        let (mut a, mut b) = (self.entries.iter(), other.entries.iter());
+        let (mut x, mut y) = (a.next(), b.next());
+        let mut acc = 0.0;
+        loop {
+            match (x, y) {
+                (Some(&(i, vi)), Some(&(j, vj))) => match i.cmp(&j) {
+                    std::cmp::Ordering::Less => {
+                        acc += vi * vi;
+                        x = a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        acc += vj * vj;
+                        y = b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        acc += (vi - vj) * (vi - vj);
+                        x = a.next();
+                        y = b.next();
+                    }
+                },
+                (Some(&(_, vi)), None) => {
+                    acc += vi * vi;
+                    x = a.next();
+                }
+                (None, Some(&(_, vj))) => {
+                    acc += vj * vj;
+                    y = b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        acc
+    }
+
+    /// Squared distance to a dense vector (used by k-means centroids).
+    ///
+    /// Dense entries beyond the sparse vector's support still contribute.
+    pub fn dist2_dense(&self, dense: &[f64]) -> f64 {
+        let mut acc: f64 = dense.iter().map(|&v| v * v).sum();
+        for &(i, v) in &self.entries {
+            let d = dense.get(i as usize).copied().unwrap_or(0.0);
+            // Replace d^2 with (v - d)^2.
+            acc += (v - d) * (v - d) - d * d;
+        }
+        acc.max(0.0)
+    }
+
+    /// Accumulates this vector into a dense buffer (`buf[i] += v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds for `buf`.
+    pub fn add_into_dense(&self, buf: &mut [f64]) {
+        for &(i, v) in &self.entries {
+            buf[i as usize] += v;
+        }
+    }
+
+    /// Largest stored index plus one (the minimum dense dimension that can
+    /// hold this vector); 0 if empty.
+    pub fn dim_bound(&self) -> usize {
+        self.entries.last().map_or(0, |&(i, _)| i as usize + 1)
+    }
+}
+
+impl FromIterator<(u32, f64)> for SparseVec {
+    fn from_iter<I: IntoIterator<Item = (u32, f64)>>(iter: I) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let v = SparseVec::from_pairs([(3, 1.0), (1, 2.0), (3, 4.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(1), 2.0);
+        assert_eq!(v.get(3), 5.0);
+        let idx: Vec<u32> = v.iter().map(|(i, _)| i).collect();
+        assert_eq!(idx, vec![1, 3]);
+    }
+
+    #[test]
+    fn zero_entries_dropped() {
+        let v = SparseVec::from_pairs([(1, 1.0), (1, -1.0), (2, 3.0)]);
+        assert_eq!(v.nnz(), 1);
+        let mut w = SparseVec::new();
+        w.add(5, 2.0);
+        w.add(5, -2.0);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = SparseVec::from_pairs([(0, 1.0), (2, 2.0), (4, 3.0)]);
+        let b = SparseVec::from_pairs([(2, 5.0), (3, 7.0), (4, 1.0)]);
+        assert_eq!(a.dot(&b), 13.0);
+    }
+
+    #[test]
+    fn dist2_symmetric_and_zero_on_self() {
+        let a = SparseVec::from_pairs([(0, 1.0), (7, 2.0)]);
+        let b = SparseVec::from_pairs([(7, 5.0), (9, 1.0)]);
+        assert_eq!(a.dist2(&a), 0.0);
+        assert_eq!(a.dist2(&b), b.dist2(&a));
+        // 1^2 + (2-5)^2 + 1^2 = 11
+        assert_eq!(a.dist2(&b), 11.0);
+    }
+
+    #[test]
+    fn dist2_dense_matches_sparse() {
+        let a = SparseVec::from_pairs([(1, 2.0), (3, 4.0)]);
+        let dense = [0.5, 1.0, 0.0, 4.0, 2.0];
+        let expected = 0.25 + 1.0 + 0.0 + 0.0 + 4.0;
+        assert!((a.dist2_dense(&dense) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_l1() {
+        let mut v = SparseVec::from_pairs([(0, 1.0), (1, 3.0)]);
+        v.normalize_l1();
+        assert!((v.sum() - 1.0).abs() < 1e-12);
+        assert_eq!(v.get(1), 0.75);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = SparseVec::new();
+        v.normalize_l1();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn add_into_dense() {
+        let v = SparseVec::from_pairs([(0, 1.0), (2, 2.0)]);
+        let mut buf = [10.0, 10.0, 10.0];
+        v.add_into_dense(&mut buf);
+        assert_eq!(buf, [11.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn dim_bound() {
+        assert_eq!(SparseVec::new().dim_bound(), 0);
+        assert_eq!(SparseVec::from_pairs([(9, 1.0)]).dim_bound(), 10);
+    }
+
+    #[test]
+    fn norm() {
+        let v = SparseVec::from_pairs([(0, 3.0), (5, 4.0)]);
+        assert_eq!(v.norm(), 5.0);
+    }
+
+    #[test]
+    fn scale_zero_clears() {
+        let mut v = SparseVec::from_pairs([(0, 3.0)]);
+        v.scale(0.0);
+        assert!(v.is_empty());
+    }
+}

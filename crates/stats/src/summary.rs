@@ -1,0 +1,163 @@
+//! One-shot descriptive statistics.
+
+use crate::welford::Welford;
+use serde::{Deserialize, Serialize};
+
+/// Descriptive statistics of a sample.
+///
+/// ```
+/// use fuzzyphase_stats::Summary;
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.count, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Smallest observation (`0.0` if empty).
+    pub min: f64,
+    /// Largest observation (`0.0` if empty).
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Median (linear-interpolated).
+    pub median: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a slice.
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Summary {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                variance: 0.0,
+                std_dev: 0.0,
+                median: 0.0,
+                p05: 0.0,
+                p95: 0.0,
+            };
+        }
+        let w: Welford = xs.iter().copied().collect();
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        Summary {
+            count: xs.len(),
+            min: sorted[0],
+            max: *sorted.last().expect("nonempty"),
+            mean: w.mean(),
+            variance: w.variance_population(),
+            std_dev: w.std_population(),
+            median: percentile_sorted(&sorted, 0.5),
+            p05: percentile_sorted(&sorted, 0.05),
+            p95: percentile_sorted(&sorted, 0.95),
+        }
+    }
+
+    /// Coefficient of variation (`std_dev / mean`); 0.0 when mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// Linear-interpolated percentile of an already-sorted slice.
+///
+/// `q` is in `[0, 1]`. Returns `0.0` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "percentile q out of range: {q}");
+    match sorted.len() {
+        0 => 0.0,
+        1 => sorted[0],
+        n => {
+            let pos = q * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
+    }
+}
+
+/// Sorts a copy of the input and takes a percentile.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_sorted(&sorted, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.variance, 0.0);
+    }
+
+    #[test]
+    fn median_even_count_interpolates() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_rejects_bad_q() {
+        percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let s = Summary::of(&[9.0, 1.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn cv_matches_definition() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.cv() - 2.0 / 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Small time-series helpers used for the EIP/CPI "spread" figures and for
+//! quantifying phase-like periodicity in CPI traces.
+
+/// Lag-`k` autocorrelation of a series.
+///
+/// Returns 0.0 when the series is too short or has zero variance.
+///
+/// ```
+/// // A period-2 alternating series has strong negative lag-1 autocorrelation.
+/// let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+/// let r = fuzzyphase_stats::timeseries::autocorrelation(&xs, 1);
+/// assert!(r < -0.9);
+/// ```
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    if xs.len() <= lag + 1 {
+        return 0.0;
+    }
+    let n = xs.len();
+    let mean = crate::mean(xs);
+    let denom: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+        .sum();
+    num / denom
+}
+
+/// Centered moving average with window `w` (clamped at the edges).
+///
+/// Returns the input unchanged when `w <= 1`.
+pub fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {
+    if w <= 1 || xs.is_empty() {
+        return xs.to_vec();
+    }
+    let half = w / 2;
+    (0..xs.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(xs.len());
+            xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `max_points` by averaging consecutive
+/// chunks. Used to print figure series at terminal-friendly resolution.
+pub fn downsample(xs: &[f64], max_points: usize) -> Vec<f64> {
+    if max_points == 0 || xs.is_empty() || xs.len() <= max_points {
+        return xs.to_vec();
+    }
+    let chunk = xs.len().div_ceil(max_points);
+    xs.chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Number of "runs" — maximal segments where the series stays on one side
+/// of its mean. Few long runs indicate coarse phase behaviour; many short
+/// runs indicate noise.
+pub fn mean_crossing_runs(xs: &[f64]) -> usize {
+    if xs.is_empty() {
+        return 0;
+    }
+    let mean = crate::mean(xs);
+    let mut runs = 1;
+    let mut above = xs[0] >= mean;
+    for &x in &xs[1..] {
+        let now = x >= mean;
+        if now != above {
+            runs += 1;
+            above = now;
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autocorr_constant_is_zero() {
+        let xs = [2.0; 10];
+        assert_eq!(autocorrelation(&xs, 1), 0.0);
+    }
+
+    #[test]
+    fn autocorr_linear_trend_positive() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(autocorrelation(&xs, 1) > 0.9);
+    }
+
+    #[test]
+    fn autocorr_short_series() {
+        assert_eq!(autocorrelation(&[1.0], 1), 0.0);
+        assert_eq!(autocorrelation(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let xs = [0.0, 10.0, 0.0, 10.0, 0.0, 10.0];
+        let sm = moving_average(&xs, 3);
+        assert_eq!(sm.len(), xs.len());
+        // Interior points average their neighborhood.
+        assert!((sm[2] - 20.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(moving_average(&xs, 1), xs.to_vec());
+    }
+
+    #[test]
+    fn downsample_preserves_mean_roughly() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let ds = downsample(&xs, 100);
+        assert!(ds.len() <= 100);
+        let m1 = crate::mean(&xs);
+        let m2 = crate::mean(&ds);
+        assert!((m1 - m2).abs() < 0.5);
+    }
+
+    #[test]
+    fn downsample_short_input_unchanged() {
+        let xs = [1.0, 2.0];
+        assert_eq!(downsample(&xs, 10), xs.to_vec());
+    }
+
+    #[test]
+    fn runs_alternating() {
+        let xs = [1.0, -1.0, 1.0, -1.0];
+        assert_eq!(mean_crossing_runs(&xs), 4);
+    }
+
+    #[test]
+    fn runs_two_phases() {
+        let xs = [0.0, 0.0, 0.0, 10.0, 10.0, 10.0];
+        assert_eq!(mean_crossing_runs(&xs), 2);
+    }
+
+    #[test]
+    fn runs_empty() {
+        assert_eq!(mean_crossing_runs(&[]), 0);
+    }
+}

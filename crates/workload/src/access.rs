@@ -1,0 +1,286 @@
+//! Data-access pattern generators.
+//!
+//! Workload threads describe their memory behaviour through a
+//! [`MemoryRegion`] (an address range standing for a buffer pool, heap,
+//! table, …) and pattern helpers that generate the sampled accesses a
+//! [`Quantum`](fuzzyphase_arch::Quantum) carries.
+
+use fuzzyphase_arch::{AccessKind, DataAccess};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Bit position where the address-space id is folded into addresses.
+///
+/// Distinct address spaces never alias in the cache models, so threads from
+/// different processes pollute each other's cache sets realistically.
+pub const ADDRESS_SPACE_SHIFT: u32 = 48;
+
+/// Tags an address with an address-space id.
+pub fn in_space(space: u16, addr: u64) -> u64 {
+    ((space as u64) << ADDRESS_SPACE_SHIFT) | (addr & ((1u64 << ADDRESS_SPACE_SHIFT) - 1))
+}
+
+/// A contiguous data address range.
+///
+/// ```
+/// use fuzzyphase_workload::MemoryRegion;
+/// let r = MemoryRegion::new(0x1000_0000, 4096);
+/// assert!(r.contains(r.addr_at(100)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRegion {
+    base: u64,
+    bytes: u64,
+}
+
+impl MemoryRegion {
+    /// Creates a region of `bytes` bytes at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn new(base: u64, bytes: u64) -> Self {
+        assert!(bytes > 0, "memory region must be non-empty");
+        Self { base, bytes }
+    }
+
+    /// Base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Address at byte offset `off` (wraps modulo the region size).
+    pub fn addr_at(&self, off: u64) -> u64 {
+        self.base + off % self.bytes
+    }
+
+    /// Whether `addr` falls inside the region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.bytes
+    }
+
+    /// A uniformly random address inside the region.
+    pub fn random_addr(&self, rng: &mut StdRng) -> u64 {
+        self.base + rng.gen_range(0..self.bytes)
+    }
+
+    /// A sub-region (`off`, `len` clamped to fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off >= bytes`.
+    pub fn slice(&self, off: u64, len: u64) -> MemoryRegion {
+        assert!(off < self.bytes, "slice offset out of range");
+        MemoryRegion::new(self.base + off, len.min(self.bytes - off))
+    }
+}
+
+/// A sequential cursor over a region: the access pattern of a table scan.
+///
+/// Successive calls return line-granular addresses walking the region and
+/// wrapping at the end.
+#[derive(Debug, Clone)]
+pub struct StreamCursor {
+    region: MemoryRegion,
+    pos: u64,
+    stride: u64,
+}
+
+impl StreamCursor {
+    /// Creates a cursor with the given stride in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn new(region: MemoryRegion, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            region,
+            pos: 0,
+            stride,
+        }
+    }
+
+    /// The next address in the stream.
+    pub fn next_addr(&mut self) -> u64 {
+        let a = self.region.addr_at(self.pos);
+        self.pos = (self.pos + self.stride) % self.region.bytes();
+        a
+    }
+
+    /// Current offset into the region.
+    pub fn offset(&self) -> u64 {
+        self.pos
+    }
+
+    /// Jumps to a byte offset (modulo the region size).
+    pub fn seek(&mut self, offset: u64) {
+        self.pos = offset % self.region.bytes();
+    }
+
+    /// Fraction of the region covered so far this lap.
+    pub fn progress(&self) -> f64 {
+        self.pos as f64 / self.region.bytes() as f64
+    }
+}
+
+/// Emits `count` weight-1 random reads into `region`.
+pub fn random_reads(
+    rng: &mut StdRng,
+    region: &MemoryRegion,
+    count: u64,
+    out: &mut Vec<DataAccess>,
+) {
+    for _ in 0..count {
+        out.push(DataAccess::read(region.random_addr(rng)));
+    }
+}
+
+/// Emits `samples` reads from a small hot set (stack/scratch), each with
+/// weight `total / samples`.
+///
+/// These model the dense, cheap traffic every piece of code performs; they
+/// mostly hit L1/L2, so amplifying a few samples is accurate.
+pub fn local_reads(
+    rng: &mut StdRng,
+    hot: &MemoryRegion,
+    samples: u64,
+    total: f64,
+    out: &mut Vec<DataAccess>,
+) {
+    if samples == 0 || total <= 0.0 {
+        return;
+    }
+    let w = total / samples as f64;
+    for _ in 0..samples {
+        let addr = hot.random_addr(rng) & !7; // 8-byte aligned
+        let kind = if rng.gen::<f64>() < 0.3 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        out.push(DataAccess {
+            addr,
+            kind,
+            weight: w,
+            stall_factor: 1.0,
+        });
+    }
+}
+
+/// Emits the scratch/stack traffic of typical code: 85 % of the mass goes
+/// to a tiny truly-hot slice (register-spill area, innermost buffers) that
+/// lives in L1/L2, 15 % to the full scratch region.
+pub fn scratch_traffic(
+    rng: &mut StdRng,
+    scratch: &MemoryRegion,
+    total: f64,
+    out: &mut Vec<DataAccess>,
+) {
+    let hot = scratch.slice(0, 2048.min(scratch.bytes()));
+    local_reads(rng, &hot, 10, total * 0.90, out);
+    local_reads(rng, scratch, 4, total * 0.10, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyphase_stats::seeded_rng;
+
+    #[test]
+    fn region_wraps() {
+        let r = MemoryRegion::new(0x100, 16);
+        assert_eq!(r.addr_at(0), 0x100);
+        assert_eq!(r.addr_at(17), 0x101);
+    }
+
+    #[test]
+    fn random_addr_in_bounds() {
+        let r = MemoryRegion::new(0x1000, 4096);
+        let mut rng = seeded_rng(1);
+        for _ in 0..1000 {
+            assert!(r.contains(r.random_addr(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn stream_cursor_walks_and_wraps() {
+        let mut c = StreamCursor::new(MemoryRegion::new(0, 256), 64);
+        let addrs: Vec<u64> = (0..6).map(|_| c.next_addr()).collect();
+        assert_eq!(addrs, vec![0, 64, 128, 192, 0, 64]);
+    }
+
+    #[test]
+    fn seek_wraps() {
+        let mut c = StreamCursor::new(MemoryRegion::new(0, 100), 10);
+        c.seek(250);
+        assert_eq!(c.offset(), 50);
+    }
+
+    #[test]
+    fn progress_tracks_position() {
+        let mut c = StreamCursor::new(MemoryRegion::new(0, 100), 10);
+        c.next_addr();
+        c.next_addr();
+        assert!((c.progress() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_reads_conserve_weight() {
+        let mut rng = seeded_rng(2);
+        let hot = MemoryRegion::new(0x2000, 1024);
+        let mut out = Vec::new();
+        local_reads(&mut rng, &hot, 8, 120.0, &mut out);
+        let total: f64 = out.iter().map(|a| a.weight).sum();
+        assert!((total - 120.0).abs() < 1e-9);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn local_reads_zero_cases() {
+        let mut rng = seeded_rng(3);
+        let hot = MemoryRegion::new(0, 64);
+        let mut out = Vec::new();
+        local_reads(&mut rng, &hot, 0, 10.0, &mut out);
+        local_reads(&mut rng, &hot, 4, 0.0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn address_space_tagging() {
+        let a = in_space(1, 0x1234);
+        let b = in_space(2, 0x1234);
+        assert_ne!(a, b);
+        assert_eq!(a & 0xFFFF, 0x1234);
+    }
+
+    #[test]
+    fn scratch_traffic_mass() {
+        let mut rng = seeded_rng(9);
+        let scratch = MemoryRegion::new(0x5000, 64 * 1024);
+        let mut out = Vec::new();
+        scratch_traffic(&mut rng, &scratch, 100.0, &mut out);
+        let total: f64 = out.iter().map(|a| a.weight).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        // Most of the mass lands in the hot 2 KB slice.
+        let hot_mass: f64 = out
+            .iter()
+            .filter(|a| a.addr < 0x5000 + 2048)
+            .map(|a| a.weight)
+            .sum();
+        assert!(hot_mass > 70.0, "hot mass {hot_mass}");
+    }
+
+    #[test]
+    fn slice_clamps() {
+        let r = MemoryRegion::new(0, 100);
+        let s = r.slice(90, 50);
+        assert_eq!(s.bytes(), 10);
+        assert_eq!(s.base(), 90);
+    }
+}

@@ -1,0 +1,447 @@
+//! The SPECjAppServer (SjAS) workload model.
+//!
+//! §2 and §5 of the paper characterize SjAS (running on the JRockit JVM
+//! atop BEA WebLogic) as:
+//!
+//! * an even larger EIP spread than ODB-C (~31 K unique sampled EIPs),
+//!   partly from *short dynamic code changes due to JIT compilation*
+//!   (which is why the paper samples it 10× faster),
+//! * L3 miss stalls at 30–40 % of CPI (Figure 5),
+//! * CPI variance ≈ 0.035 with only ~20 % of it explainable from EIPVs
+//!   (Figure 2),
+//! * ~5000 context switches/s.
+//!
+//! The model adds three JVM mechanisms on top of the OLTP-style thread
+//! pool:
+//!
+//! 1. **JIT warm-up** — the active code footprint grows over the run as
+//!    methods get compiled; compilation itself runs in compiler-code
+//!    bursts.
+//! 2. **Garbage collection** — allocation fills the heap; at the trigger
+//!    threshold a stop-the-world parallel GC runs from its own (small)
+//!    code region with pointer-chasing heap traversal. GC bursts raise
+//!    interval CPI *and* leave GC EIPs in the interval's EIPV — the
+//!    fraction of CPI variance EIPVs can explain.
+//! 3. **Heap-occupancy drift** — mutator locality degrades as the heap
+//!    fills (live objects spread out), so mutator CPI follows a sawtooth
+//!    the EIPs cannot see — the unexplained variance.
+
+use crate::access::{in_space, local_reads, scratch_traffic, MemoryRegion};
+use crate::code::CodeRegion;
+use crate::os::OsModel;
+use crate::{Workload, WorkloadEvent};
+use fuzzyphase_arch::{BranchEvent, DataAccess, Quantum};
+use fuzzyphase_stats::{prob_round, seeded_rng, Exponential, LogNormal, SeedSequence};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Address space of the JVM process.
+pub const JVM_SPACE: u16 = 200;
+
+/// Thread id reported for JIT-compiler quanta.
+pub const JIT_THREAD: u32 = 62;
+
+/// Tuning knobs for the SjAS model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SjasConfig {
+    /// Mutator thread-pool size (paper: 18 threads at injection rate 100).
+    pub threads: usize,
+    /// Full JIT code image size in EIP slots.
+    pub code_slots: u32,
+    /// Zipf exponent of method popularity.
+    pub code_zipf: f64,
+    /// Fraction of the code image compiled at t = 0.
+    pub warm_start: f64,
+    /// Instructions until the footprint closes ~63 % of its remaining gap.
+    pub warm_tau: f64,
+    /// Heap size in bytes.
+    pub heap_bytes: u64,
+    /// Mutator random heap probes per instruction (at empty heap).
+    pub heap_rate: f64,
+    /// Heap-fill fraction that triggers a GC.
+    pub gc_trigger: f64,
+    /// Abstract allocation per mutator instruction (fill fraction units).
+    pub alloc_per_instr: f64,
+    /// Mean GC duration in instructions per unit of live fraction.
+    pub gc_cost: f64,
+    /// GC heap probes per instruction.
+    pub gc_rate: f64,
+    /// Mean timeslice between context switches.
+    pub mean_timeslice: f64,
+    /// Kernel-time fraction.
+    pub os_fraction: f64,
+    /// Mutator inherent CPI.
+    pub base_cpi: f64,
+}
+
+impl Default for SjasConfig {
+    fn default() -> Self {
+        Self {
+            threads: 18,
+            code_slots: 40_960,
+            code_zipf: 0.30,
+            warm_start: 0.40,
+            warm_tau: 3.0e6,
+            heap_bytes: 256 * 1024 * 1024,
+            heap_rate: 0.0014,
+            gc_trigger: 0.85,
+            alloc_per_instr: 0.35 / 40_000.0,
+            gc_cost: 12_000.0,
+            gc_rate: 0.006,
+            mean_timeslice: 165.0,
+            os_fraction: 0.12,
+            base_cpi: 0.80,
+        }
+    }
+}
+
+/// Execution mode of the JVM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// Application threads running.
+    Mutator,
+    /// Stop-the-world collection; `remaining` instructions to go.
+    Gc { remaining: f64 },
+    /// JIT compiler burst; `remaining` instructions to go.
+    Jit { remaining: f64 },
+}
+
+/// The SjAS application-server workload.
+pub struct SjasWorkload {
+    cfg: SjasConfig,
+    rng: StdRng,
+    jit_code: CodeRegion,
+    gc_code: CodeRegion,
+    compiler_code: CodeRegion,
+    heap: MemoryRegion,
+    scratch: Vec<MemoryRegion>,
+    os: OsModel,
+    quantum_len: LogNormal,
+    timeslice: Exponential,
+    mode: Mode,
+    /// Instructions executed so far (drives JIT warm-up).
+    total_instr: f64,
+    /// Current heap-fill fraction in [0, 1].
+    heap_fill: f64,
+    /// Live fraction left behind by the last GC.
+    live_frac: f64,
+    current_thread: usize,
+    run_left: f64,
+    os_quanta_pending: u32,
+    switch_pending: bool,
+}
+
+impl SjasWorkload {
+    /// Creates the workload with default knobs.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(SjasConfig::default(), seed)
+    }
+
+    /// Creates the workload with custom knobs.
+    pub fn with_config(cfg: SjasConfig, seed: u64) -> Self {
+        let seq = SeedSequence::new(seed);
+        let jit_code = CodeRegion::new(
+            "jit-methods",
+            in_space(JVM_SPACE, 0x4_0000_0000),
+            cfg.code_slots,
+            cfg.code_zipf,
+        );
+        let gc_code = CodeRegion::new("gc", in_space(JVM_SPACE, 0x5_0000_0000), 640, 0.7);
+        let compiler_code =
+            CodeRegion::new("jit-compiler", in_space(JVM_SPACE, 0x5_1000_0000), 1536, 0.8);
+        let heap = MemoryRegion::new(in_space(JVM_SPACE, 0x1000_0000), cfg.heap_bytes);
+        let scratch = (0..cfg.threads)
+            .map(|i| {
+                MemoryRegion::new(
+                    in_space(JVM_SPACE, 0x8000_0000 + i as u64 * 0x10_0000),
+                    48 * 1024,
+                )
+            })
+            .collect();
+        let mut rng = seeded_rng(seq.seed_for("sjas"));
+        let timeslice = Exponential::new(1.0 / cfg.mean_timeslice);
+        let run_left = timeslice.sample(&mut rng);
+        Self {
+            cfg,
+            rng,
+            jit_code,
+            gc_code,
+            compiler_code,
+            heap,
+            scratch,
+            os: OsModel::new(),
+            quantum_len: LogNormal::new(110f64.ln() - 0.08, 0.4),
+            timeslice,
+            mode: Mode::Mutator,
+            total_instr: 0.0,
+            heap_fill: 0.45,
+            live_frac: 0.45,
+            current_thread: 0,
+            run_left,
+            os_quanta_pending: 0,
+            switch_pending: false,
+        }
+    }
+
+    /// Currently-compiled fraction of the code image.
+    fn active_slots(&self) -> u32 {
+        let warmed = 1.0
+            - (1.0 - self.cfg.warm_start) * (-self.total_instr / self.cfg.warm_tau).exp();
+        ((self.cfg.code_slots as f64 * warmed) as u32).max(1)
+    }
+
+    fn mutator_quantum(&mut self) -> Quantum {
+        let rng = &mut self.rng;
+        let instr = self.quantum_len.sample(rng).round().max(16.0) as u64;
+        let active = {
+            let warmed = 1.0
+                - (1.0 - self.cfg.warm_start) * (-self.total_instr / self.cfg.warm_tau).exp();
+            ((self.cfg.code_slots as f64 * warmed) as u32).max(1)
+        };
+        let eip = self.jit_code.sample_eip_bounded(rng, active);
+
+        let mut data: Vec<DataAccess> = Vec::with_capacity(12);
+        scratch_traffic(
+            rng,
+            &self.scratch[self.current_thread],
+            instr as f64 * 0.30,
+            &mut data,
+        );
+        // Heap locality degrades as the heap fills: the live set spreads
+        // over more pages, so the *effective* far-probe rate rises.
+        let locality = 0.62 + 0.72 * self.heap_fill;
+        let probes = prob_round(rng, instr as f64 * self.cfg.heap_rate * locality);
+        // Probes spread over the *filled* part of the heap.
+        let filled = self
+            .heap
+            .slice(0, ((self.heap.bytes() as f64) * self.heap_fill.max(0.05)) as u64);
+        for _ in 0..probes {
+            data.push(DataAccess::read(filled.random_addr(rng)));
+        }
+
+        let mut fetch = self.jit_code.fetch_run(eip, 2);
+        fetch.push(self.jit_code.sample_eip_bounded(rng, active));
+        fetch.push(self.jit_code.sample_eip_bounded(rng, active));
+        let branches: Vec<BranchEvent> = (0..4)
+            .map(|_| BranchEvent {
+                pc: self.jit_code.sample_eip_bounded(rng, active),
+                taken: rng.gen::<f64>() < 0.58,
+            })
+            .collect();
+
+        self.total_instr += instr as f64;
+        self.heap_fill =
+            (self.heap_fill + instr as f64 * self.cfg.alloc_per_instr).min(1.0);
+
+        Quantum::compute(eip, instr)
+            .with_base_cpi(self.cfg.base_cpi)
+            .with_data(data)
+            .with_fetches(fetch, instr as f64 / 32.0 / 4.0)
+            .with_branches(branches, instr as f64 * 0.16 / 4.0)
+            .with_thread(self.current_thread as u32)
+    }
+
+    fn gc_quantum(&mut self) -> Quantum {
+        let rng = &mut self.rng;
+        let instr = 120u64;
+        let eip = self.gc_code.sample_eip(rng);
+        let mut data: Vec<DataAccess> = Vec::with_capacity(12);
+        // Mark phase: pointer chasing across the live heap (demand misses)
+        // plus a sweeping component (prefetch-covered).
+        let live = self
+            .heap
+            .slice(0, ((self.heap.bytes() as f64) * self.heap_fill.max(0.05)) as u64);
+        let probes = prob_round(rng, instr as f64 * self.cfg.gc_rate);
+        for _ in 0..probes {
+            data.push(DataAccess::read(live.random_addr(rng)));
+        }
+        data.push(DataAccess::read(live.random_addr(rng)).prefetched().with_weight(instr as f64 * 0.05));
+        local_reads(rng, &self.scratch[0], 3, instr as f64 * 0.15, &mut data);
+
+        let fetch = self.gc_code.fetch_run(eip, 2);
+        let branches: Vec<BranchEvent> = (0..3)
+            .map(|_| BranchEvent {
+                pc: self.gc_code.sample_eip(rng),
+                taken: rng.gen::<f64>() < 0.7,
+            })
+            .collect();
+        // JRockit's parallel collector runs GC work on the application
+        // threads' contexts (thread-local stop-the-world phases), so the
+        // samples carry the mutator thread id — which is also what keeps
+        // per-thread EIPVs honest in the §5.2 separation experiment.
+        Quantum::compute(eip, instr)
+            .with_base_cpi(1.0)
+            .with_data(data)
+            .with_fetches(fetch, instr as f64 / 32.0 / 2.0)
+            .with_branches(branches, instr as f64 * 0.14 / 3.0)
+            .with_thread(self.current_thread as u32)
+    }
+
+    fn jit_quantum(&mut self) -> Quantum {
+        let rng = &mut self.rng;
+        let instr = 110u64;
+        let eip = self.compiler_code.sample_eip(rng);
+        let mut data = Vec::with_capacity(8);
+        local_reads(rng, &self.scratch[0], 5, instr as f64 * 0.35, &mut data);
+        let fetch = self.compiler_code.fetch_run(eip, 3);
+        let branches: Vec<BranchEvent> = (0..3)
+            .map(|_| BranchEvent {
+                pc: self.compiler_code.sample_eip(rng),
+                taken: rng.gen::<f64>() < 0.6,
+            })
+            .collect();
+        Quantum::compute(eip, instr)
+            .with_base_cpi(1.15)
+            .with_data(data)
+            .with_fetches(fetch, instr as f64 / 32.0 / 3.0)
+            .with_branches(branches, instr as f64 * 0.17 / 3.0)
+            .with_thread(JIT_THREAD)
+    }
+}
+
+impl Workload for SjasWorkload {
+    fn name(&self) -> &str {
+        "sjas"
+    }
+
+    fn next_event(&mut self) -> WorkloadEvent {
+        if self.switch_pending {
+            self.switch_pending = false;
+            return WorkloadEvent::ContextSwitch;
+        }
+        if self.os_quanta_pending > 0 {
+            self.os_quanta_pending -= 1;
+            let q = self.os.quantum(&mut self.rng, self.current_thread as u32);
+            return WorkloadEvent::Quantum(q);
+        }
+        match self.mode {
+            Mode::Gc { remaining } => {
+                let q = self.gc_quantum();
+                let left = remaining - q.instructions as f64;
+                if left <= 0.0 {
+                    // Collection done: compact to the live fraction.
+                    self.live_frac = self.rng.gen_range(0.35..0.55);
+                    self.heap_fill = self.live_frac;
+                    self.mode = Mode::Mutator;
+                } else {
+                    self.mode = Mode::Gc { remaining: left };
+                }
+                return WorkloadEvent::Quantum(q);
+            }
+            Mode::Jit { remaining } => {
+                let q = self.jit_quantum();
+                let left = remaining - q.instructions as f64;
+                self.mode = if left <= 0.0 {
+                    Mode::Mutator
+                } else {
+                    Mode::Jit { remaining: left }
+                };
+                return WorkloadEvent::Quantum(q);
+            }
+            Mode::Mutator => {}
+        }
+        // GC trigger check.
+        if self.heap_fill >= self.cfg.gc_trigger {
+            // Collection length scales with the live data it must trace.
+            let live = self.rng.gen_range(0.35..0.60);
+            let dur = self.cfg.gc_cost * (0.5 + live);
+            self.mode = Mode::Gc { remaining: dur };
+            self.switch_pending = true;
+            return self.next_event();
+        }
+        // JIT compilation bursts while the footprint is still growing.
+        let growth = 1.0 - self.active_slots() as f64 / self.cfg.code_slots as f64;
+        if growth > 0.01 && self.rng.gen::<f64>() < growth * 0.01 {
+            self.mode = Mode::Jit {
+                remaining: self.rng.gen_range(400.0..1600.0),
+            };
+            return self.next_event();
+        }
+        // Context switch?
+        if self.run_left <= 0.0 {
+            if self.cfg.threads > 1 {
+                let next = self.rng.gen_range(0..self.cfg.threads - 1);
+                self.current_thread = if next >= self.current_thread {
+                    next + 1
+                } else {
+                    next
+                };
+            }
+            self.run_left = self.timeslice.sample(&mut self.rng);
+            let os_per_switch = self.cfg.mean_timeslice * self.cfg.os_fraction
+                / (1.0 - self.cfg.os_fraction)
+                / self.os.burst_instructions as f64;
+            self.os_quanta_pending = prob_round(&mut self.rng, os_per_switch) as u32;
+            self.switch_pending = true;
+            return self.next_event();
+        }
+        let q = self.mutator_quantum();
+        self.run_left -= q.instructions as f64;
+        WorkloadEvent::Quantum(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut SjasWorkload, n: usize) -> Vec<Quantum> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            if let WorkloadEvent::Quantum(q) = w.next_event() {
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = SjasWorkload::new(5);
+        let mut b = SjasWorkload::new(5);
+        for _ in 0..300 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn gc_happens_periodically() {
+        let w0 = SjasWorkload::new(6);
+        let gc_base = w0.gc_code.base();
+        let gc_end = w0.gc_code.end();
+        let mut w = SjasWorkload::new(6);
+        let quanta = drain(&mut w, 30_000);
+        let gc_count = quanta
+            .iter()
+            .filter(|q| q.eip >= gc_base && q.eip < gc_end)
+            .count();
+        assert!(gc_count > 100, "expected GC bursts, got {gc_count}");
+        // But GC must not dominate.
+        assert!((gc_count as f64) < quanta.len() as f64 * 0.5);
+    }
+
+    #[test]
+    fn code_footprint_grows() {
+        let mut w = SjasWorkload::new(7);
+        let early = w.active_slots();
+        drain(&mut w, 40_000);
+        let late = w.active_slots();
+        assert!(late > early, "footprint should grow: {early} -> {late}");
+    }
+
+    #[test]
+    fn heap_fill_oscillates_below_one() {
+        let mut w = SjasWorkload::new(8);
+        let mut max_fill: f64 = 0.0;
+        let mut min_after_start: f64 = 1.0;
+        for i in 0..60_000 {
+            w.next_event();
+            max_fill = max_fill.max(w.heap_fill);
+            if i > 30_000 {
+                min_after_start = min_after_start.min(w.heap_fill);
+            }
+        }
+        assert!(max_fill >= SjasConfig::default().gc_trigger * 0.99);
+        assert!(min_after_start < 0.6, "GC should compact the heap");
+    }
+}

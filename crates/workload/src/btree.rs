@@ -1,0 +1,235 @@
+//! A bulk-loaded B-tree index.
+//!
+//! §6.2 of the paper traces Q18's unpredictability to the Oracle
+//! optimizer's use of an *index scan*: "index based table scans can have a
+//! highly unpredictable behavior due to the randomness of the tree
+//! traversal". To reproduce that mechanism rather than assert it, this is
+//! a real B-tree: keys are stored in real node arrays at real addresses,
+//! probes perform real binary-search descents, and the address trace a
+//! probe produces (hot root/branch nodes, cold scattered leaves) is what
+//! the cache model sees.
+
+use crate::access::MemoryRegion;
+
+/// A static, bulk-loaded B-tree over `u64` keys.
+///
+/// ```
+/// use fuzzyphase_workload::btree::BTree;
+/// use fuzzyphase_workload::MemoryRegion;
+/// let keys: Vec<u64> = (0..10_000).map(|i| i * 7).collect();
+/// let tree = BTree::bulk_load(&keys, 64, MemoryRegion::new(0x2000_0000, 64 << 20));
+/// let (found, path) = tree.probe(7 * 1234);
+/// assert!(found);
+/// assert_eq!(path.len() as u32, tree.depth());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BTree {
+    /// `levels[0]` is the leaf level; `levels.last()` is the root level.
+    /// Each level stores, per node, its separator/key array.
+    levels: Vec<Level>,
+    fanout: usize,
+    node_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Level {
+    /// Concatenated key arrays: node `i` owns `keys[i*fanout .. min((i+1)*fanout, len)]`.
+    keys: Vec<u64>,
+    /// Base address of this level's node array.
+    base: u64,
+    num_nodes: usize,
+}
+
+impl Level {
+    fn node_keys(&self, node: usize, fanout: usize) -> &[u64] {
+        let lo = node * fanout;
+        let hi = ((node + 1) * fanout).min(self.keys.len());
+        &self.keys[lo..hi]
+    }
+}
+
+impl BTree {
+    /// Bulk-loads a tree from **sorted** keys with the given fanout,
+    /// allocating node storage inside `arena`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty, unsorted, `fanout < 2`, or the arena is
+    /// too small for the node arrays.
+    pub fn bulk_load(keys: &[u64], fanout: usize, arena: MemoryRegion) -> Self {
+        assert!(!keys.is_empty(), "B-tree needs at least one key");
+        assert!(fanout >= 2, "fanout must be at least 2");
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "bulk_load requires sorted keys"
+        );
+        let node_bytes = (fanout * 8) as u64;
+
+        let mut levels: Vec<Level> = Vec::new();
+        let mut cursor = arena.base();
+        let mut level_keys: Vec<u64> = keys.to_vec();
+        loop {
+            let num_nodes = level_keys.len().div_ceil(fanout);
+            let bytes_needed = num_nodes as u64 * node_bytes;
+            assert!(
+                cursor + bytes_needed <= arena.base() + arena.bytes(),
+                "arena too small for B-tree nodes"
+            );
+            let level = Level {
+                base: cursor,
+                num_nodes,
+                keys: level_keys.clone(),
+            };
+            cursor += bytes_needed;
+            // Parent level: the max key of each node becomes the separator.
+            let parents: Vec<u64> = (0..num_nodes)
+                .map(|n| *level.node_keys(n, fanout).last().expect("non-empty node"))
+                .collect();
+            levels.push(level);
+            if num_nodes == 1 {
+                break;
+            }
+            level_keys = parents;
+        }
+        Self {
+            levels,
+            fanout,
+            node_bytes,
+        }
+    }
+
+    /// Tree depth in levels (root to leaf inclusive).
+    pub fn depth(&self) -> u32 {
+        self.levels.len() as u32
+    }
+
+    /// Number of leaf nodes.
+    pub fn num_leaves(&self) -> usize {
+        self.levels[0].num_nodes
+    }
+
+    /// Total bytes of node storage.
+    pub fn bytes(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| l.num_nodes as u64 * self.node_bytes)
+            .sum()
+    }
+
+    /// Searches for `key`, returning whether it exists and the addresses of
+    /// every node touched, root first.
+    ///
+    /// Each address points at the middle of the visited node so the cache
+    /// model sees one line per node visit.
+    pub fn probe(&self, key: u64) -> (bool, Vec<u64>) {
+        let mut path = Vec::with_capacity(self.levels.len());
+        // Descend from the root level (last) to the leaves (first).
+        let mut node = 0usize;
+        for li in (0..self.levels.len()).rev() {
+            let level = &self.levels[li];
+            path.push(level.base + node as u64 * self.node_bytes);
+            let keys = level.node_keys(node, self.fanout);
+            // Binary search for the first separator >= key.
+            let pos = keys.partition_point(|&k| k < key);
+            if li == 0 {
+                let found = pos < keys.len() && keys[pos] == key;
+                return (found, path);
+            }
+            let child_base = node * self.fanout;
+            node = (child_base + pos.min(keys.len() - 1)).min(self.levels[li - 1].num_nodes - 1);
+        }
+        unreachable!("descent always terminates at the leaf level");
+    }
+
+    /// Smallest and largest keys in the tree.
+    pub fn key_range(&self) -> (u64, u64) {
+        let leaf_keys = &self.levels[0].keys;
+        (leaf_keys[0], *leaf_keys.last().expect("non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(n: u64, fanout: usize) -> BTree {
+        let keys: Vec<u64> = (0..n).map(|i| i * 3).collect();
+        BTree::bulk_load(&keys, fanout, MemoryRegion::new(0x1000_0000, 256 << 20))
+    }
+
+    #[test]
+    fn finds_present_keys() {
+        let t = tree(50_000, 64);
+        for k in [0u64, 3, 300, 149_997] {
+            let (found, _) = t.probe(k);
+            assert!(found, "key {k} should exist");
+        }
+    }
+
+    #[test]
+    fn rejects_absent_keys() {
+        let t = tree(50_000, 64);
+        for k in [1u64, 2, 301, 149_998, 10_000_000] {
+            let (found, _) = t.probe(k);
+            assert!(!found, "key {k} should not exist");
+        }
+    }
+
+    #[test]
+    fn probe_path_length_equals_depth() {
+        let t = tree(100_000, 64);
+        let (_, path) = t.probe(33);
+        assert_eq!(path.len() as u32, t.depth());
+        // 100K keys at fanout 64: leaves=1563, l1=25, root=1 -> depth 3.
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn root_is_shared_leaves_differ() {
+        let t = tree(100_000, 64);
+        let (_, p1) = t.probe(0);
+        let (_, p2) = t.probe(299_997);
+        assert_eq!(p1[0], p2[0], "same root");
+        assert_ne!(p1.last(), p2.last(), "different leaves");
+    }
+
+    #[test]
+    fn nearby_keys_share_leaves() {
+        let t = tree(100_000, 64);
+        let (_, p1) = t.probe(3000);
+        let (_, p2) = t.probe(3003);
+        assert_eq!(p1.last(), p2.last(), "adjacent keys in one leaf");
+    }
+
+    #[test]
+    fn leaf_level_dwarfs_upper_levels() {
+        let t = tree(2_000_000, 128);
+        let leaf_bytes = t.num_leaves() as u64 * 128 * 8;
+        assert!(leaf_bytes * 10 > t.bytes() * 9, "leaves should dominate storage");
+        // Leaf storage must exceed the biggest L3 (4 MB) for the Q18
+        // mechanism to appear.
+        assert!(leaf_bytes > 8 << 20, "leaf level {leaf_bytes} too small");
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = tree(10, 64);
+        assert_eq!(t.depth(), 1);
+        let (found, path) = t.probe(9);
+        assert!(found);
+        assert_eq!(path.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_rejected() {
+        BTree::bulk_load(&[3, 1, 2], 4, MemoryRegion::new(0, 1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "arena too small")]
+    fn arena_overflow_rejected() {
+        let keys: Vec<u64> = (0..10_000).collect();
+        BTree::bulk_load(&keys, 4, MemoryRegion::new(0, 1024));
+    }
+}

@@ -1,0 +1,250 @@
+//! Code images: the static code layout a workload executes over.
+//!
+//! The paper characterizes workloads partly by their *EIP spread*: ODB-C
+//! touches ~24 K unique sampled EIPs in a minute, mcf only ~646 in 200 s
+//! (§5, Figure 3). A [`CodeRegion`] models one contiguous chunk of code
+//! (a module, a JIT compilation unit, the kernel) as a set of EIP "slots"
+//! with a popularity distribution; a [`CodeImage`] is a collection of
+//! regions.
+
+use fuzzyphase_stats::Zipf;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Spacing between EIP slots in bytes (an Itanium instruction bundle).
+pub const EIP_SPACING: u64 = 16;
+
+/// One contiguous code region.
+///
+/// ```
+/// use fuzzyphase_workload::CodeRegion;
+/// let r = CodeRegion::new("scan", 0x4000_0000, 64, 0.8);
+/// assert_eq!(r.eip(0), 0x4000_0000);
+/// assert_eq!(r.eip(1), 0x4000_0010);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CodeRegion {
+    name: String,
+    base: u64,
+    slots: u32,
+    popularity: Option<Zipf>,
+}
+
+impl CodeRegion {
+    /// Creates a region of `slots` EIPs starting at `base`, with Zipf
+    /// popularity exponent `zipf_s` (0.0 = uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn new(name: impl Into<String>, base: u64, slots: u32, zipf_s: f64) -> Self {
+        assert!(slots > 0, "code region needs at least one slot");
+        let popularity = if zipf_s == 0.0 {
+            None
+        } else {
+            Some(Zipf::new(slots as usize, zipf_s))
+        };
+        Self {
+            name: name.into(),
+            base,
+            slots,
+            popularity,
+        }
+    }
+
+    /// The region's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of EIP slots.
+    pub fn slots(&self) -> u32 {
+        self.slots
+    }
+
+    /// Address of slot `i` (wraps modulo the region size).
+    pub fn eip(&self, slot: u32) -> u64 {
+        self.base + (slot % self.slots) as u64 * EIP_SPACING
+    }
+
+    /// End address (exclusive).
+    pub fn end(&self) -> u64 {
+        self.base + self.slots as u64 * EIP_SPACING
+    }
+
+    /// Code footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.slots as u64 * EIP_SPACING
+    }
+
+    /// Samples a slot index according to the popularity distribution.
+    pub fn sample_slot(&self, rng: &mut StdRng) -> u32 {
+        match &self.popularity {
+            Some(z) => z.sample(rng) as u32,
+            None => rng.gen_range(0..self.slots),
+        }
+    }
+
+    /// Samples an EIP according to the popularity distribution.
+    pub fn sample_eip(&self, rng: &mut StdRng) -> u64 {
+        self.eip(self.sample_slot(rng))
+    }
+
+    /// Samples a restricted prefix of the region (used for JIT models where
+    /// only `active` slots exist yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active == 0` or `active > slots`.
+    pub fn sample_eip_bounded(&self, rng: &mut StdRng, active: u32) -> u64 {
+        assert!(active > 0 && active <= self.slots, "active slots out of range");
+        match &self.popularity {
+            Some(z) => {
+                // Rejection-sample the Zipf into the active prefix; ranks are
+                // popularity-ordered so the prefix keeps the hot slots.
+                for _ in 0..64 {
+                    let s = z.sample(rng) as u32;
+                    if s < active {
+                        return self.eip(s);
+                    }
+                }
+                self.eip(rng.gen_range(0..active))
+            }
+            None => self.eip(rng.gen_range(0..active)),
+        }
+    }
+
+    /// A short run of sequential fetch addresses starting at `eip`,
+    /// for modelling straight-line fetch within a quantum.
+    pub fn fetch_run(&self, eip: u64, lines: usize) -> Vec<u64> {
+        (0..lines).map(|i| eip + i as u64 * 64).collect()
+    }
+}
+
+/// A collection of code regions laid out without overlap.
+#[derive(Debug, Clone, Default)]
+pub struct CodeImage {
+    regions: Vec<CodeRegion>,
+}
+
+impl CodeImage {
+    /// Creates an empty image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a region allocated after the last one (64 KB guard gap),
+    /// returning its index.
+    pub fn add_region(&mut self, name: impl Into<String>, slots: u32, zipf_s: f64) -> usize {
+        let base = self
+            .regions
+            .last()
+            .map_or(0x4000_0000, |r| (r.end() + 0xFFFF) & !0xFFFF);
+        self.regions.push(CodeRegion::new(name, base, slots, zipf_s));
+        self.regions.len() - 1
+    }
+
+    /// The region at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn region(&self, idx: usize) -> &CodeRegion {
+        &self.regions[idx]
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the image has no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Total EIP slots across regions.
+    pub fn total_slots(&self) -> u64 {
+        self.regions.iter().map(|r| r.slots as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyphase_stats::seeded_rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut img = CodeImage::new();
+        img.add_region("a", 1000, 0.0);
+        img.add_region("b", 2000, 0.5);
+        img.add_region("c", 10, 0.0);
+        for w in img.regions.windows(2) {
+            assert!(w[0].end() <= w[1].base(), "{} overlaps {}", w[0].name(), w[1].name());
+        }
+    }
+
+    #[test]
+    fn uniform_region_covers_all_slots() {
+        let r = CodeRegion::new("u", 0x1000, 32, 0.0);
+        let mut rng = seeded_rng(1);
+        let mut seen = HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(r.sample_eip(&mut rng));
+        }
+        assert_eq!(seen.len(), 32);
+    }
+
+    #[test]
+    fn zipf_region_is_skewed() {
+        let r = CodeRegion::new("z", 0x1000, 1000, 1.2);
+        let mut rng = seeded_rng(2);
+        let mut hot = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if r.sample_slot(&mut rng) < 10 {
+                hot += 1;
+            }
+        }
+        // Top 1% of slots should take far more than 1% of samples.
+        assert!(hot as f64 / n as f64 > 0.2, "hot fraction {}", hot as f64 / n as f64);
+    }
+
+    #[test]
+    fn bounded_sampling_respects_prefix() {
+        let r = CodeRegion::new("jit", 0x1000, 100, 0.6);
+        let mut rng = seeded_rng(3);
+        for _ in 0..1000 {
+            let eip = r.sample_eip_bounded(&mut rng, 10);
+            assert!(eip < r.eip(0) + 10 * EIP_SPACING);
+        }
+    }
+
+    #[test]
+    fn fetch_run_is_sequential_lines() {
+        let r = CodeRegion::new("x", 0x0, 100, 0.0);
+        let run = r.fetch_run(0x100, 3);
+        assert_eq!(run, vec![0x100, 0x140, 0x180]);
+    }
+
+    #[test]
+    fn eip_wraps_modulo_slots() {
+        let r = CodeRegion::new("w", 0x0, 4, 0.0);
+        assert_eq!(r.eip(5), r.eip(1));
+    }
+
+    #[test]
+    fn total_slots() {
+        let mut img = CodeImage::new();
+        img.add_region("a", 10, 0.0);
+        img.add_region("b", 20, 0.0);
+        assert_eq!(img.total_slots(), 30);
+    }
+}

@@ -1,0 +1,648 @@
+//! The ODB-H (DSS) workload model: 22 decision-support queries composed
+//! from relational operator implementations.
+//!
+//! §6 of the paper contrasts two behaviours found across the 22 queries:
+//!
+//! * **Q13-like** (strong EIP↔CPI relationship): "executes a small segment
+//!   of code repeatedly over a large amount of data" — scan, join and sort
+//!   phases, each with its own code and its own CPI, alternating slowly.
+//!   EIPVs identify the operator; the operator determines CPI.
+//! * **Q18-like** (weak relationship): functionally similar, but the
+//!   optimizer picks a B-tree *index scan*, whose CPI depends on the
+//!   randomness of tree traversal — the same EIPs produce wildly
+//!   different CPIs depending on key locality in the data.
+//!
+//! Each query here is a cyclic script of operator *stages* run by a few
+//! parallel slave threads (ODB-H assigns one thread per operator
+//! instance, §6.1), where the operators do real work against synthetic
+//! tables: scans walk real cursors, index scans descend the real
+//! [`BTree`], joins hash into a real address range.
+
+use crate::access::{in_space, scratch_traffic, MemoryRegion, StreamCursor};
+use crate::btree::BTree;
+use crate::code::CodeRegion;
+use crate::scheduler::{MultiThreadWorkload, SchedulerConfig, ThreadBehavior};
+use fuzzyphase_arch::{BranchEvent, DataAccess, Quantum};
+use fuzzyphase_stats::{prob_round, SeedSequence};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Address space of the DSS database server process group.
+pub const DSS_SPACE: u16 = 150;
+
+/// Relational operator kinds with their tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpKind {
+    /// Sequential table scan: streaming, prefetch-covered line touches.
+    /// `lines_per_instr` is the fresh-cache-line rate.
+    Scan {
+        /// Fresh cache lines touched per instruction.
+        lines_per_instr: f64,
+    },
+    /// In-memory sort: merge passes stream the run buffer while a small
+    /// tournament structure takes random traffic; comparisons mispredict.
+    Sort {
+        /// Run buffer size in bytes.
+        ws_bytes: u64,
+        /// Run-buffer lines streamed per instruction.
+        rate: f64,
+    },
+    /// Hash-join build side: stream the inner table, scatter writes into
+    /// the hash area.
+    JoinBuild {
+        /// Hash-area writes per instruction.
+        rate: f64,
+    },
+    /// Hash-join probe side: stream the outer table, probe the hash area.
+    JoinProbe {
+        /// Hash-area probes per instruction.
+        rate: f64,
+    },
+    /// B-tree index scan with data-dependent key locality. The probe key
+    /// window wanders between `focus_min` and `focus_max` fractions of the
+    /// key space — narrow windows reuse cached leaves, wide windows miss.
+    IndexScan {
+        /// Index probes per instruction.
+        probe_rate: f64,
+        /// Narrowest key-window fraction.
+        focus_min: f64,
+        /// Widest key-window fraction.
+        focus_max: f64,
+    },
+    /// Aggregation: light streaming plus accumulator updates.
+    Aggregate {
+        /// Fresh cache lines touched per instruction.
+        lines_per_instr: f64,
+    },
+}
+
+impl OpKind {
+    /// Inherent (WORK) CPI of the operator's instruction mix.
+    fn base_cpi(&self) -> f64 {
+        match self {
+            OpKind::Scan { .. } => 0.60,
+            OpKind::Sort { .. } => 1.15,
+            OpKind::JoinBuild { .. } => 0.75,
+            OpKind::JoinProbe { .. } => 0.80,
+            OpKind::IndexScan { .. } => 0.90,
+            OpKind::Aggregate { .. } => 0.70,
+        }
+    }
+
+    /// Which code region index the operator executes from.
+    fn region_idx(&self) -> usize {
+        match self {
+            OpKind::Scan { .. } => 0,
+            OpKind::Sort { .. } => 1,
+            OpKind::JoinBuild { .. } => 2,
+            OpKind::JoinProbe { .. } => 3,
+            OpKind::IndexScan { .. } => 4,
+            OpKind::Aggregate { .. } => 5,
+        }
+    }
+
+    /// Branch misprediction propensity (probability a sampled branch is
+    /// data-dependent 50/50 rather than well-predicted).
+    fn branch_entropy(&self) -> f64 {
+        match self {
+            OpKind::Sort { .. } => 0.45,
+            OpKind::IndexScan { .. } => 0.30,
+            OpKind::JoinProbe { .. } => 0.25,
+            _ => 0.10,
+        }
+    }
+}
+
+/// One stage of a query plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stage {
+    /// Operator to run.
+    pub op: OpKind,
+    /// Stage length in instructions (per slave thread).
+    pub duration: f64,
+}
+
+/// Shared read-only database structures.
+#[derive(Debug)]
+pub struct DssDatabase {
+    /// Operator code regions, indexed by the operator kind.
+    pub code: Vec<CodeRegion>,
+    /// The big fact table (scanned).
+    pub lineitem: MemoryRegion,
+    /// The orders table (joined / indexed).
+    pub orders: MemoryRegion,
+    /// Hash-join working area.
+    pub hash_area: MemoryRegion,
+    /// Secondary index over orders.
+    pub index: BTree,
+}
+
+impl DssDatabase {
+    /// Builds the shared database image: a few hundred MB of table space
+    /// and a ~2 M-key order index (leaf level ≫ L3).
+    pub fn new() -> Arc<Self> {
+        let code = vec![
+            CodeRegion::new("op-scan", in_space(DSS_SPACE, 0x4_0000_0000), 700, 0.8),
+            CodeRegion::new("op-sort", in_space(DSS_SPACE, 0x4_1000_0000), 900, 0.8),
+            CodeRegion::new("op-join-build", in_space(DSS_SPACE, 0x4_2000_0000), 650, 0.8),
+            CodeRegion::new("op-join-probe", in_space(DSS_SPACE, 0x4_3000_0000), 750, 0.8),
+            CodeRegion::new("op-index", in_space(DSS_SPACE, 0x4_4000_0000), 800, 0.8),
+            CodeRegion::new("op-agg", in_space(DSS_SPACE, 0x4_5000_0000), 500, 0.8),
+        ];
+        let lineitem = MemoryRegion::new(in_space(DSS_SPACE, 0x1000_0000), 192 << 20);
+        let orders = MemoryRegion::new(in_space(DSS_SPACE, 0xD000_0000), 96 << 20);
+        let hash_area = MemoryRegion::new(in_space(DSS_SPACE, 0x1_4000_0000), 64 << 20);
+        // Order keys: dense even numbers so point probes alternate hit/miss.
+        let keys: Vec<u64> = (0..2_000_000u64).map(|i| i * 2).collect();
+        let index_arena = MemoryRegion::new(in_space(DSS_SPACE, 0x2_0000_0000), 256 << 20);
+        let index = BTree::bulk_load(&keys, 128, index_arena);
+        Arc::new(Self {
+            code,
+            lineitem,
+            orders,
+            hash_area,
+            index,
+        })
+    }
+}
+
+/// Shared query progress: all slave threads of one query derive their
+/// current stage from a single instruction counter, keeping them in
+/// lock-step the way ODB-H runs parallel instances of the same operator
+/// (§6.1). Without this, scheduler jitter would slowly de-align the
+/// slaves and blend operators within an interval.
+#[derive(Debug)]
+pub struct QueryProgress {
+    total_instr: AtomicU64,
+    /// Cumulative stage end boundaries, scaled by thread count.
+    boundaries: Vec<f64>,
+    cycle_len: f64,
+    /// Shared index-scan key-window regime (§6.2): all slaves work the
+    /// same key partition, so their locality regime is common.
+    focus: Mutex<FocusRegime>,
+}
+
+/// The current key-window regime of an index scan.
+#[derive(Debug, Clone, Copy)]
+struct FocusRegime {
+    center: f64,
+    width: f64,
+    expires_at: f64,
+}
+
+impl QueryProgress {
+    fn new(stages: &[Stage], threads: usize) -> Self {
+        let mut boundaries = Vec::with_capacity(stages.len());
+        let mut acc = 0.0;
+        for st in stages {
+            acc += st.duration * threads as f64;
+            boundaries.push(acc);
+        }
+        Self {
+            total_instr: AtomicU64::new(0),
+            boundaries,
+            cycle_len: acc,
+            focus: Mutex::new(FocusRegime {
+                center: 0.5,
+                width: 0.5,
+                expires_at: 0.0,
+            }),
+        }
+    }
+
+    /// The shared key-window regime, redrawing it when expired. Regime
+    /// lifetimes are long enough (a third to 1.5× of an EIPV interval)
+    /// that interval CPI genuinely swings, and the width distribution is
+    /// bimodal: clustered customers (narrow, cache-friendly) vs scattered
+    /// ones (wide, leaf misses).
+    fn focus(
+        &self,
+        rng: &mut StdRng,
+        focus_min: f64,
+        focus_max: f64,
+    ) -> (f64, f64) {
+        let total = self.total_instr.load(Ordering::Relaxed) as f64;
+        let mut f = self.focus.lock().expect("focus lock");
+        if total >= f.expires_at {
+            f.width = if rng.gen::<f64>() < 0.5 {
+                rng.gen_range(focus_min..(focus_min * 3.0).min(focus_max))
+            } else {
+                rng.gen_range((focus_max * 0.6).max(focus_min)..focus_max)
+            };
+            f.center = rng.gen_range(0.0..1.0);
+            f.expires_at = total + rng.gen_range(130_000.0..600_000.0);
+        }
+        (f.center, f.width)
+    }
+
+    /// Advances the shared counter and returns the current stage index.
+    fn advance(&self, instr: u64) -> usize {
+        let total = self.total_instr.fetch_add(instr, Ordering::Relaxed) as f64;
+        let pos = total % self.cycle_len;
+        self.boundaries
+            .iter()
+            .position(|&b| pos < b)
+            .unwrap_or(self.boundaries.len() - 1)
+    }
+}
+
+/// One DSS slave thread executing a query script in lock-step with its
+/// sibling slaves.
+pub struct DssThread {
+    db: Arc<DssDatabase>,
+    stages: Vec<Stage>,
+    progress: Arc<QueryProgress>,
+    stage_idx: usize,
+    scan_cursor: StreamCursor,
+    scratch: MemoryRegion,
+    /// Sort merge-stream position within the run buffer.
+    sort_pos: u64,
+    /// Cached index-scan key window (center, width) as key-space fractions.
+    focus_center: f64,
+    focus_width: f64,
+}
+
+impl DssThread {
+    fn new(
+        db: Arc<DssDatabase>,
+        stages: Vec<Stage>,
+        progress: Arc<QueryProgress>,
+        thread_idx: u16,
+    ) -> Self {
+        assert!(!stages.is_empty(), "query needs at least one stage");
+        // Each slave scans its own table partition: start cursors far
+        // apart so concurrent slaves don't ride each other's cache lines.
+        let mut scan_cursor = StreamCursor::new(db.lineitem, 64);
+        scan_cursor.seek(db.lineitem.bytes() / 4 * thread_idx as u64);
+        let scratch = MemoryRegion::new(
+            in_space(DSS_SPACE, 0x9000_0000 + thread_idx as u64 * 0x40_0000),
+            64 * 1024,
+        );
+        Self {
+            db,
+            stages,
+            progress,
+            stage_idx: 0,
+            scan_cursor,
+            scratch,
+            sort_pos: 0,
+            focus_center: 0.5,
+            focus_width: 0.5,
+        }
+    }
+
+    /// The currently-running stage.
+    pub fn current_stage(&self) -> &Stage {
+        &self.stages[self.stage_idx]
+    }
+}
+
+impl ThreadBehavior for DssThread {
+    fn next_quantum(&mut self, rng: &mut StdRng) -> Quantum {
+        let instr = 120u64;
+        let op = self.stages[self.stage_idx].op;
+        let code = &self.db.code[op.region_idx()];
+        let eip = code.sample_eip(rng);
+
+        let mut data: Vec<DataAccess> = Vec::with_capacity(14);
+        scratch_traffic(rng, &self.scratch, instr as f64 * 0.22, &mut data);
+
+        match op {
+            OpKind::Scan { lines_per_instr } | OpKind::Aggregate { lines_per_instr } => {
+                let lines = prob_round(rng, instr as f64 * lines_per_instr);
+                for _ in 0..lines {
+                    data.push(DataAccess::read(self.scan_cursor.next_addr()).prefetched());
+                }
+            }
+            OpKind::Sort { ws_bytes, rate } => {
+                // Merge passes stream the run...
+                let run = self.db.hash_area.slice(0, ws_bytes);
+                let lines = prob_round(rng, instr as f64 * rate);
+                for _ in 0..lines {
+                    let addr = run.addr_at(self.sort_pos);
+                    self.sort_pos = (self.sort_pos + 64) % ws_bytes;
+                    data.push(DataAccess::read(addr).prefetched());
+                }
+                // ...while the tournament tree takes random hits.
+                let heap = self.scratch.slice(0, 16 * 1024);
+                let n = prob_round(rng, instr as f64 * 0.02);
+                for _ in 0..n {
+                    data.push(DataAccess::read(heap.random_addr(rng)));
+                }
+            }
+            OpKind::JoinBuild { rate } => {
+                // Stream the inner table…
+                let lines = prob_round(rng, instr as f64 * 0.02);
+                for _ in 0..lines {
+                    data.push(DataAccess::read(self.scan_cursor.next_addr()).prefetched());
+                }
+                // …and scatter build tuples into the hash area.
+                let n = prob_round(rng, instr as f64 * rate);
+                for _ in 0..n {
+                    data.push(DataAccess::write(self.db.hash_area.random_addr(rng)));
+                }
+            }
+            OpKind::JoinProbe { rate } => {
+                let lines = prob_round(rng, instr as f64 * 0.02);
+                for _ in 0..lines {
+                    data.push(DataAccess::read(self.scan_cursor.next_addr()).prefetched());
+                }
+                let n = prob_round(rng, instr as f64 * rate);
+                for _ in 0..n {
+                    data.push(DataAccess::read(self.db.hash_area.random_addr(rng)));
+                }
+            }
+            OpKind::IndexScan {
+                probe_rate,
+                focus_min,
+                focus_max,
+            } => {
+                // The key window wanders on a data timescale: the index
+                // keys requested depend on which customers' orders cluster
+                // together, not on the code.
+                let (center, width) = self.progress.focus(rng, focus_min, focus_max);
+                self.focus_center = center;
+                self.focus_width = width;
+                let (klo, khi) = self.db.index.key_range();
+                let span = (khi - klo) as f64;
+                let n = prob_round(rng, instr as f64 * probe_rate);
+                for _ in 0..n {
+                    let frac = (self.focus_center
+                        + (rng.gen::<f64>() - 0.5) * self.focus_width)
+                        .rem_euclid(1.0);
+                    let key = klo + (frac * span) as u64;
+                    let (_, path) = self.db.index.probe(key);
+                    for addr in path {
+                        data.push(DataAccess::read(addr));
+                    }
+                }
+            }
+        }
+
+        let mut fetch = code.fetch_run(eip, 3);
+        fetch.push(code.sample_eip(rng));
+        let entropy = op.branch_entropy();
+        let branches: Vec<BranchEvent> = (0..4)
+            .map(|_| {
+                let taken = if rng.gen::<f64>() < entropy {
+                    rng.gen::<f64>() < 0.5
+                } else {
+                    rng.gen::<f64>() < 0.92
+                };
+                BranchEvent {
+                    pc: code.sample_eip(rng),
+                    taken,
+                }
+            })
+            .collect();
+
+        self.stage_idx = self.progress.advance(instr);
+
+        Quantum::compute(eip, instr)
+            .with_base_cpi(op.base_cpi())
+            .with_data(data)
+            .with_fetches(fetch, instr as f64 / 32.0 / 4.0)
+            .with_branches(branches, instr as f64 * 0.16 / 4.0)
+    }
+}
+
+/// Stage-duration unit: one EIPV interval's worth of instructions.
+const IVL: f64 = 100_000.0;
+
+/// The query plan (stage script) for ODB-H query `q` (1–22).
+///
+/// Plans are reconstructed from the quadrant each query lands in (see
+/// DESIGN.md): Q-IV queries alternate operators with contrasting CPIs on
+/// interval timescales; Q-III queries are index-scan or skew dominated;
+/// Q-II queries have mild, trackable phase contrast; Q-I queries are
+/// homogeneous.
+///
+/// # Panics
+///
+/// Panics if `q` is not in `1..=22`.
+pub fn query_stages(q: u8) -> Vec<Stage> {
+    let scan = |l: f64| OpKind::Scan { lines_per_instr: l };
+    let agg = |l: f64| OpKind::Aggregate { lines_per_instr: l };
+    let sort = |ws: u64, r: f64| OpKind::Sort { ws_bytes: ws, rate: r };
+    let build = |r: f64| OpKind::JoinBuild { rate: r };
+    let probe = |r: f64| OpKind::JoinProbe { rate: r };
+    let index = |r: f64, lo: f64, hi: f64| OpKind::IndexScan {
+        probe_rate: r,
+        focus_min: lo,
+        focus_max: hi,
+    };
+    let st = |op: OpKind, d: f64| Stage { op, duration: d * IVL };
+
+    match q {
+        // ---- Q-IV: strong phases, high variance ----
+        1 => vec![st(scan(0.040), 5.0), st(agg(0.008), 3.0), st(sort(1 << 20, 0.020), 3.0)],
+        3 => vec![st(scan(0.040), 4.0), st(build(0.005), 2.0), st(probe(0.006), 4.0)],
+        5 => vec![
+            st(scan(0.036), 3.0),
+            st(build(0.005), 2.0),
+            st(probe(0.006), 3.0),
+            st(sort(1 << 20, 0.020), 2.0),
+        ],
+        6 => vec![st(scan(0.044), 6.0), st(agg(0.006), 3.0)],
+        12 => vec![st(scan(0.040), 4.0), st(probe(0.005), 3.0), st(agg(0.008), 2.0)],
+        13 => vec![
+            // The paper's flagship: scan, join and sort of two large
+            // tables, ~7 GB of data, kopt ≈ 9 chambers.
+            st(scan(0.042), 4.0),
+            st(build(0.005), 2.0),
+            st(probe(0.006), 3.0),
+            st(sort(1 << 20, 0.022), 3.0),
+        ],
+        14 => vec![st(scan(0.038), 5.0), st(probe(0.0055), 3.0)],
+        19 => vec![st(scan(0.042), 4.0), st(probe(0.007), 2.0), st(sort(1 << 20, 0.018), 2.0)],
+        21 => vec![
+            st(scan(0.036), 3.0),
+            st(build(0.0045), 2.0),
+            st(probe(0.0065), 3.0),
+            st(agg(0.008), 2.0),
+        ],
+        // ---- Q-III: weak phases, high variance ----
+        2 => vec![st(index(0.008, 0.02, 0.9), 6.0), st(probe(0.005), 2.0)],
+        7 => vec![st(index(0.007, 0.02, 0.8), 5.0), st(sort(1 << 20, 0.016), 1.5)],
+        9 => vec![st(index(0.008, 0.03, 1.0), 7.0), st(build(0.004), 1.5)],
+        10 => vec![st(index(0.0076, 0.02, 0.85), 6.0)],
+        17 => vec![st(index(0.0084, 0.05, 0.95), 6.0), st(agg(0.006), 1.5)],
+        18 => vec![
+            // Functionally similar to Q13, but the optimizer picks an index
+            // scan over the order table (§6.2).
+            st(index(0.0080, 0.02, 0.95), 8.0),
+            st(sort(1 << 20, 0.016), 1.5),
+        ],
+        20 => vec![st(index(0.0072, 0.03, 0.9), 5.0), st(probe(0.0045), 2.0)],
+        // ---- Q-II: low variance but trackable phases. The phases must
+        // run *different operator code* (different EIPs) with only mildly
+        // different CPIs; alternating rates within one operator would be
+        // invisible to EIPVs.
+        4 => vec![st(scan(0.0105), 4.0), st(agg(0.0120), 4.0)],
+        15 => vec![st(agg(0.0115), 4.0), st(scan(0.0100), 4.0)],
+        // ---- Q-I: homogeneous, tiny variance ----
+        8 => vec![st(scan(0.012), 8.0)],
+        11 => vec![st(agg(0.011), 8.0)],
+        16 => vec![st(scan(0.013), 8.0)],
+        22 => vec![st(agg(0.009), 8.0)],
+        _ => panic!("ODB-H query number must be 1..=22, got {q}"),
+    }
+}
+
+/// Builds ODB-H query `q` as a 4-slave workload over a fresh database
+/// image.
+///
+/// # Panics
+///
+/// Panics if `q` is not in `1..=22`.
+pub fn odb_h_query(q: u8, seed: u64) -> MultiThreadWorkload<DssThread> {
+    let db = DssDatabase::new();
+    odb_h_query_on(db, q, seed)
+}
+
+/// Builds ODB-H query `q` over a shared database image (cheaper when
+/// running many queries).
+pub fn odb_h_query_on(
+    db: Arc<DssDatabase>,
+    q: u8,
+    seed: u64,
+) -> MultiThreadWorkload<DssThread> {
+    let stages = query_stages(q);
+    let seq = SeedSequence::new(seed);
+    let progress = Arc::new(QueryProgress::new(&stages, 4));
+    let threads: Vec<DssThread> = (0..4)
+        .map(|i| DssThread::new(Arc::clone(&db), stages.clone(), Arc::clone(&progress), i as u16))
+        .collect();
+    // ODB-H context-switches less than ODB-C (§6.1): identical slaves,
+    // longer slices, moderate OS time.
+    MultiThreadWorkload::new(
+        format!("q{q}"),
+        threads,
+        SchedulerConfig::new(5_000.0, 0.04).with_timeslice_cv(0.25),
+        seq.seed_for("dss"),
+    )
+}
+
+/// All 22 query numbers.
+pub fn all_queries() -> impl Iterator<Item = u8> {
+    1..=22
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Workload, WorkloadEvent};
+
+    #[test]
+    fn all_queries_have_stages() {
+        for q in all_queries() {
+            let stages = query_stages(q);
+            assert!(!stages.is_empty(), "q{q} empty");
+            assert!(stages.iter().all(|s| s.duration > 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=22")]
+    fn query_zero_rejected() {
+        query_stages(0);
+    }
+
+    #[test]
+    fn q_ii_queries_alternate_distinct_operators() {
+        // Same-code phase alternation is invisible to EIPVs, so the Q-II
+        // plans must use different operator code per stage.
+        for q in [4u8, 15] {
+            let stages = query_stages(q);
+            let regions: std::collections::HashSet<usize> = stages
+                .iter()
+                .map(|s| match s.op {
+                    OpKind::Scan { .. } => 0,
+                    OpKind::Sort { .. } => 1,
+                    OpKind::JoinBuild { .. } => 2,
+                    OpKind::JoinProbe { .. } => 3,
+                    OpKind::IndexScan { .. } => 4,
+                    OpKind::Aggregate { .. } => 5,
+                })
+                .collect();
+            assert!(regions.len() >= 2, "q{q} needs at least two operators");
+        }
+    }
+
+    #[test]
+    fn q_iii_queries_are_index_scan_dominated() {
+        for q in [2u8, 7, 9, 10, 17, 18, 20] {
+            let stages = query_stages(q);
+            let index_dur: f64 = stages
+                .iter()
+                .filter(|s| matches!(s.op, OpKind::IndexScan { .. }))
+                .map(|s| s.duration)
+                .sum();
+            let total: f64 = stages.iter().map(|s| s.duration).sum();
+            assert!(index_dur / total > 0.5, "q{q}: index share {}", index_dur / total);
+        }
+    }
+
+    #[test]
+    fn q13_cycles_through_operator_regions() {
+        let mut w = odb_h_query(13, 1);
+        let db = DssDatabase::new();
+        let scan_region = &db.code[0];
+        let sort_region = &db.code[1];
+        let mut in_scan = 0;
+        let mut in_sort = 0;
+        let mut quanta = 0;
+        // 13 intervals of stages per lap at 120-instr quanta over 4 threads:
+        // drain enough to see at least scan and later sort.
+        while quanta < 60_000 {
+            if let WorkloadEvent::Quantum(q) = w.next_event() {
+                quanta += 1;
+                if q.is_os {
+                    continue;
+                }
+                if q.eip >= scan_region.base() && q.eip < scan_region.end() {
+                    in_scan += 1;
+                }
+                if q.eip >= sort_region.base() && q.eip < sort_region.end() {
+                    in_sort += 1;
+                }
+            }
+        }
+        assert!(in_scan > 1000, "scan quanta {in_scan}");
+        assert!(in_sort > 100, "sort quanta {in_sort}");
+    }
+
+    #[test]
+    fn q18_emits_index_probes() {
+        let mut w = odb_h_query(18, 2);
+        let mut index_touches = 0usize;
+        let mut quanta = 0;
+        while quanta < 3_000 {
+            if let WorkloadEvent::Quantum(q) = w.next_event() {
+                quanta += 1;
+                // Index node addresses live in the index arena.
+                index_touches += q
+                    .data
+                    .iter()
+                    .filter(|a| {
+                        let off = a.addr & ((1u64 << 48) - 1);
+                        (0x2_0000_0000..0x2_0000_0000 + (256u64 << 20)).contains(&off)
+                    })
+                    .count();
+            }
+        }
+        assert!(index_touches > 300, "index touches {index_touches}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let db = DssDatabase::new();
+        let mut a = odb_h_query_on(Arc::clone(&db), 7, 9);
+        let mut b = odb_h_query_on(db, 7, 9);
+        for _ in 0..300 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Synthetic workload models.
+//!
+//! The paper's measurements come from three commercial server workloads
+//! (ODB-C, ODB-H, SPECjAppServer) and the SPEC CPU2K suite running on real
+//! hardware. None of those are available here, so this crate builds
+//! *generative models* of them: each workload is a stream of
+//! [`Quantum`]s (re-exported from `fuzzyphase-arch`) whose structural
+//! properties — code-footprint size, EIP popularity, working-set sizes and
+//! access patterns, thread counts, context-switch rates, OS time — are set
+//! from what the paper (and the server-workload literature it cites)
+//! reports. The CPI behaviour that the paper analyses is then *measured*
+//! from simulation, never scripted.
+//!
+//! The crate's workload inventory:
+//!
+//! * [`oltp`] — the ODB-C model: 16 server threads over a huge, flat code
+//!   footprint, random probes into a buffer pool far larger than the L3,
+//!   frequent context switches and significant OS time.
+//! * [`appserver`] — the SjAS model: JIT-compiled code that appears over
+//!   time, periodic garbage-collection bursts, the highest context-switch
+//!   rate.
+//! * [`dss`] — the ODB-H model: 22 queries composed from real relational
+//!   operator implementations (sequential scan, sort, hash join, B-tree
+//!   index scan, aggregation) over synthetic tables, with per-query
+//!   parallel slave threads.
+//! * [`spec`] — 26 parameterized single-threaded profiles standing in for
+//!   the SPEC CPU2K binaries.
+//!
+//! All workloads implement [`Workload`], an infinite generator of
+//! [`WorkloadEvent`]s consumed by the profiler crate.
+//!
+//! # Instruction scale
+//!
+//! One simulated instruction unit stands for [`INSTR_SCALE`] real
+//! instructions. All workload knobs (timeslices, phase lengths) are in
+//! simulated units; conversions to wall-clock rates multiply by the scale.
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod appserver;
+pub mod btree;
+pub mod code;
+pub mod dss;
+pub mod oltp;
+pub mod os;
+pub mod scheduler;
+pub mod spec;
+
+pub use access::MemoryRegion;
+pub use code::{CodeImage, CodeRegion};
+pub use scheduler::{MultiThreadWorkload, SchedulerConfig, ThreadBehavior};
+
+use fuzzyphase_arch::Quantum;
+
+/// How many real instructions one simulated instruction unit represents.
+///
+/// The paper's EIPV interval is 100 M instructions with one sample per
+/// 1 M; we keep the 100:1 ratio but run at 1/1000 scale so a 49-benchmark
+/// suite completes in minutes.
+pub const INSTR_SCALE: u64 = 1000;
+
+/// One step of a workload's execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadEvent {
+    /// The next burst of instructions to execute.
+    Quantum(Quantum),
+    /// The OS switched threads (cost and pollution are modelled by the
+    /// core and by address-space tags; this event marks the boundary).
+    ContextSwitch,
+}
+
+/// An infinite generator of execution events.
+///
+/// Workloads are deterministic functions of their construction seed.
+pub trait Workload: Send {
+    /// Short identifier ("odb-c", "q13", "mcf", …).
+    fn name(&self) -> &str;
+
+    /// Produces the next event.
+    fn next_event(&mut self) -> WorkloadEvent;
+}
+
+impl Workload for Box<dyn Workload> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn next_event(&mut self) -> WorkloadEvent {
+        self.as_mut().next_event()
+    }
+}

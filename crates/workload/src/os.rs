@@ -1,0 +1,127 @@
+//! The operating-system model.
+//!
+//! Server workloads spend up to ~15 % of their time in the kernel
+//! (scheduling, disk and network I/O — §5.2), and OS EIPs show up in the
+//! sampled stream like any other code. This module provides the kernel
+//! code/data image and a generator for OS quanta, shared by all
+//! multi-threaded workload models.
+
+use crate::access::{in_space, scratch_traffic, MemoryRegion};
+use crate::code::CodeRegion;
+use fuzzyphase_arch::{BranchEvent, DataAccess, Quantum};
+use fuzzyphase_stats::prob_round;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Address space id reserved for the kernel.
+pub const OS_SPACE: u16 = 0;
+
+/// The kernel model: scheduler/I-O/interrupt code plus kernel data.
+#[derive(Debug, Clone)]
+pub struct OsModel {
+    code: CodeRegion,
+    data: MemoryRegion,
+    hot: MemoryRegion,
+    /// Instructions per OS burst quantum.
+    pub burst_instructions: u64,
+}
+
+impl Default for OsModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OsModel {
+    /// Creates the standard kernel image: ~2 K sampled EIPs of moderately
+    /// skewed code, a 16 MB kernel data region.
+    pub fn new() -> Self {
+        let code = CodeRegion::new("kernel", in_space(OS_SPACE, 0xFFFF_8000_0000), 2048, 0.7);
+        let data = MemoryRegion::new(in_space(OS_SPACE, 0x100_0000), 16 * 1024 * 1024);
+        let hot = MemoryRegion::new(in_space(OS_SPACE, 0x10_0000), 32 * 1024);
+        Self {
+            code,
+            data,
+            hot,
+            burst_instructions: 100,
+        }
+    }
+
+    /// The kernel code region.
+    pub fn code(&self) -> &CodeRegion {
+        &self.code
+    }
+
+    /// Generates one OS quantum (scheduler path, interrupt handling,
+    /// I/O completion).
+    ///
+    /// Kernel code is branchy and dependence-heavy (base CPI ≈ 1.3) and
+    /// touches scattered kernel structures — run queues, file buffers —
+    /// that partially miss the caches.
+    pub fn quantum(&self, rng: &mut StdRng, thread: u32) -> Quantum {
+        let instr = self.burst_instructions;
+        let eip = self.code.sample_eip(rng);
+
+        let mut data: Vec<DataAccess> = Vec::with_capacity(10);
+        // Dense traffic to hot kernel structures.
+        scratch_traffic(rng, &self.hot, instr as f64 * 0.25, &mut data);
+        // Scattered touches of cold kernel data (I/O buffers, task structs).
+        let cold = prob_round(rng, instr as f64 * 0.002);
+        for _ in 0..cold {
+            data.push(DataAccess::read(self.data.random_addr(rng)));
+        }
+
+        // Kernel control flow: short runs, frequent calls.
+        let fetch = self.code.fetch_run(eip, 2);
+        let branches: Vec<BranchEvent> = (0..3)
+            .map(|_| BranchEvent {
+                pc: self.code.sample_eip(rng),
+                taken: rng.gen::<f64>() < 0.6,
+            })
+            .collect();
+        let branch_total = instr as f64 * 0.18;
+
+        Quantum::compute(eip, instr)
+            .with_base_cpi(1.3)
+            .with_data(data)
+            .with_fetches(fetch, instr as f64 / 32.0 / 2.0)
+            .with_branches(branches, branch_total / 3.0)
+            .with_thread(thread)
+            .as_os()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuzzyphase_stats::seeded_rng;
+
+    #[test]
+    fn os_quanta_are_marked() {
+        let os = OsModel::new();
+        let mut rng = seeded_rng(1);
+        let q = os.quantum(&mut rng, 7);
+        assert!(q.is_os);
+        assert_eq!(q.thread, 7);
+        assert_eq!(q.instructions, os.burst_instructions);
+    }
+
+    #[test]
+    fn os_addresses_live_in_kernel_space() {
+        let os = OsModel::new();
+        let mut rng = seeded_rng(2);
+        let q = os.quantum(&mut rng, 0);
+        for a in &q.data {
+            assert_eq!(a.addr >> crate::access::ADDRESS_SPACE_SHIFT, OS_SPACE as u64);
+        }
+        assert_eq!(q.eip >> crate::access::ADDRESS_SPACE_SHIFT, OS_SPACE as u64);
+    }
+
+    #[test]
+    fn os_quantum_deterministic_for_seed() {
+        let os = OsModel::new();
+        let mut a = seeded_rng(3);
+        let mut b = seeded_rng(3);
+        assert_eq!(os.quantum(&mut a, 1), os.quantum(&mut b, 1));
+    }
+}

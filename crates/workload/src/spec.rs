@@ -1,0 +1,548 @@
+//! Parameterized models of the 26 SPEC CPU2K benchmarks.
+//!
+//! The paper's Table 2 classifies the whole CPU2K suite into the four
+//! quadrants; surprisingly, half of it lands in Q-I (tiny CPI variance).
+//! The binaries themselves aren't available (and would need a full ISA
+//! simulator), so each benchmark is modelled by its published structural
+//! characterization: code footprint, phase structure, working sets,
+//! memory intensity and branch behaviour. Single thread, < 1 % OS time,
+//! ~25 context switches/s (§5.2).
+//!
+//! The knobs are *structural*: what makes mcf mcf here is a small loopy
+//! code image alternating pointer-chasing and compute phases over a large
+//! working set — its high CPI variance and high predictability are then
+//! measured, not scripted.
+
+use crate::access::{in_space, scratch_traffic, MemoryRegion, StreamCursor};
+use crate::code::{CodeImage, CodeRegion};
+use crate::scheduler::{SingleThreadWorkload, ThreadBehavior};
+use fuzzyphase_arch::{BranchEvent, DataAccess, Quantum};
+use fuzzyphase_stats::{prob_round, SeedSequence};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Address-space id base for SPEC benchmarks (each gets its own process).
+pub const SPEC_SPACE: u16 = 300;
+
+/// How a phase touches its working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Sequential, prefetch-covered (swim/applu-style array sweeps).
+    Streaming,
+    /// Uniform random within the working set (hash/table lookups).
+    Random,
+    /// Dependent pointer chasing: random *and* serialized (higher base
+    /// CPI is applied on top — mcf-style).
+    PointerChase,
+}
+
+/// One program phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSpec {
+    /// EIP slots of this phase's code region.
+    pub code_slots: u32,
+    /// Zipf exponent of the phase's code popularity.
+    pub code_zipf: f64,
+    /// Inherent CPI of the instruction mix.
+    pub base_cpi: f64,
+    /// Far-memory accesses per instruction into the working set.
+    pub mem_rate: f64,
+    /// Working-set size in bytes.
+    pub ws_bytes: u64,
+    /// Access pattern within the working set.
+    pub pattern: AccessPattern,
+    /// Conditional branches per instruction.
+    pub branch_rate: f64,
+    /// Probability a branch is data-dependent 50/50 (vs. 92 % taken).
+    pub branch_entropy: f64,
+    /// Mean phase duration in instructions.
+    pub mean_len: f64,
+}
+
+impl PhaseSpec {
+    /// A quiet compute phase (the common Q-I building block).
+    pub fn compute(code_slots: u32, base_cpi: f64) -> Self {
+        Self {
+            code_slots,
+            code_zipf: 1.0,
+            base_cpi,
+            mem_rate: 0.0008,
+            ws_bytes: 2 << 20,
+            pattern: AccessPattern::Random,
+            branch_rate: 0.12,
+            branch_entropy: 0.08,
+            mean_len: 400_000.0,
+        }
+    }
+}
+
+/// How the program moves between phases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhaseTransition {
+    /// Deterministic cycle 0 → 1 → … → 0 (loop-nest programs).
+    Cyclic,
+    /// Markov chain: `matrix[i][j]` is the probability of entering phase
+    /// `j` when phase `i` ends. Rows must be valid distributions. Models
+    /// input-driven phase orders (compilers, interpreters).
+    Markov(Vec<Vec<f64>>),
+}
+
+/// A full benchmark profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecProfile {
+    /// Benchmark name ("mcf", "gcc", …).
+    pub name: &'static str,
+    /// The phases.
+    pub phases: Vec<PhaseSpec>,
+    /// Phase-order model.
+    pub transition: PhaseTransition,
+    /// Log-normal σ of a data-dependent multiplier applied to `mem_rate`,
+    /// redrawn every `drift_period` instructions. This is the Q-III knob:
+    /// CPI changes the EIPs cannot see.
+    pub drift_sigma: f64,
+    /// Instructions between drift redraws.
+    pub drift_period: f64,
+}
+
+/// The runnable behaviour for a [`SpecProfile`].
+pub struct SpecThread {
+    profile: SpecProfile,
+    code: CodeImage,
+    ws: Vec<MemoryRegion>,
+    stream: Vec<StreamCursor>,
+    scratch: MemoryRegion,
+    phase_idx: usize,
+    phase_left: f64,
+    drift_mult: f64,
+    drift_left: f64,
+}
+
+impl SpecThread {
+    /// Builds the thread for a profile, laying out per-phase code regions
+    /// and working sets in the benchmark's own address space.
+    pub fn new(profile: SpecProfile, space: u16) -> Self {
+        assert!(!profile.phases.is_empty(), "profile needs phases");
+        if let PhaseTransition::Markov(matrix) = &profile.transition {
+            assert_eq!(matrix.len(), profile.phases.len(), "transition matrix shape");
+            for row in matrix {
+                assert_eq!(row.len(), profile.phases.len(), "transition matrix shape");
+                let total: f64 = row.iter().sum();
+                assert!((total - 1.0).abs() < 1e-9, "transition rows must sum to 1");
+                assert!(row.iter().all(|&p| p >= 0.0), "probabilities must be >= 0");
+            }
+        }
+        let mut code = CodeImage::new();
+        let mut ws = Vec::new();
+        let mut stream = Vec::new();
+        let mut data_cursor: u64 = 0x1000_0000;
+        for (i, p) in profile.phases.iter().enumerate() {
+            code.add_region(format!("{}-p{}", profile.name, i), p.code_slots, p.code_zipf);
+            let region = MemoryRegion::new(in_space(space, data_cursor), p.ws_bytes);
+            data_cursor += p.ws_bytes + 0x10_0000;
+            ws.push(region);
+            stream.push(StreamCursor::new(region, 64));
+        }
+        // Rebase code regions into the right address space.
+        let code = {
+            let mut img = CodeImage::new();
+            for (i, p) in profile.phases.iter().enumerate() {
+                let _ = i;
+                img.add_region(format!("{}-code", profile.name), p.code_slots, p.code_zipf);
+            }
+            img
+        };
+        let scratch = MemoryRegion::new(in_space(space, 0x0800_0000), 64 * 1024);
+        let phase_left = profile.phases[0].mean_len;
+        let drift_period = profile.drift_period;
+        Self {
+            profile,
+            code,
+            ws,
+            stream,
+            scratch,
+            phase_idx: 0,
+            phase_left,
+            drift_mult: 1.0,
+            drift_left: drift_period,
+        }
+    }
+
+    /// The current phase index.
+    pub fn phase(&self) -> usize {
+        self.phase_idx
+    }
+}
+
+impl ThreadBehavior for SpecThread {
+    fn next_quantum(&mut self, rng: &mut StdRng) -> Quantum {
+        let instr = 150u64;
+        let p = self.profile.phases[self.phase_idx];
+        let region: &CodeRegion = self.code.region(self.phase_idx);
+        let eip = region.sample_eip(rng);
+
+        // Data-dependent drift (Q-III mechanism).
+        if self.profile.drift_sigma > 0.0 {
+            self.drift_left -= instr as f64;
+            if self.drift_left <= 0.0 {
+                self.drift_left = self.profile.drift_period;
+                let ln = fuzzyphase_stats::dist::standard_normal(rng);
+                self.drift_mult = (self.profile.drift_sigma * ln).exp();
+            }
+        }
+
+        let mut data: Vec<DataAccess> = Vec::with_capacity(10);
+        scratch_traffic(rng, &self.scratch, instr as f64 * 0.28, &mut data);
+        let rate = p.mem_rate * self.drift_mult;
+        let n = prob_round(rng, instr as f64 * rate);
+        let region_ws = &self.ws[self.phase_idx];
+        for _ in 0..n {
+            let access = match p.pattern {
+                AccessPattern::Streaming => {
+                    DataAccess::read(self.stream[self.phase_idx].next_addr()).prefetched()
+                }
+                AccessPattern::Random | AccessPattern::PointerChase => {
+                    DataAccess::read(region_ws.random_addr(rng))
+                }
+            };
+            data.push(access);
+        }
+
+        // Loopy code: fetches concentrate on a short run.
+        let fetch = region.fetch_run(eip, 2);
+        let branches: Vec<BranchEvent> = (0..4)
+            .map(|_| {
+                let taken = if rng.gen::<f64>() < p.branch_entropy {
+                    rng.gen::<f64>() < 0.5
+                } else {
+                    rng.gen::<f64>() < 0.92
+                };
+                BranchEvent {
+                    pc: region.sample_eip(rng),
+                    taken,
+                }
+            })
+            .collect();
+
+        self.phase_left -= instr as f64;
+        if self.phase_left <= 0.0 {
+            self.phase_idx = match &self.profile.transition {
+                PhaseTransition::Cyclic => (self.phase_idx + 1) % self.profile.phases.len(),
+                PhaseTransition::Markov(matrix) => {
+                    let row = &matrix[self.phase_idx];
+                    let mut u: f64 = rng.gen();
+                    let mut next = row.len() - 1;
+                    for (j, &p) in row.iter().enumerate() {
+                        if u < p {
+                            next = j;
+                            break;
+                        }
+                        u -= p;
+                    }
+                    next
+                }
+            };
+            self.phase_left = self.profile.phases[self.phase_idx].mean_len;
+        }
+
+        Quantum::compute(eip, instr)
+            .with_base_cpi(p.base_cpi)
+            .with_data(data)
+            .with_fetches(fetch, instr as f64 / 32.0 / 2.0)
+            .with_branches(branches, instr as f64 * p.branch_rate / 4.0)
+    }
+}
+
+/// All 26 benchmark names in the modelled suite.
+pub const SPEC_NAMES: [&str; 26] = [
+    "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap", "vortex", "bzip2",
+    "twolf", "wupwise", "swim", "mgrid", "applu", "mesa", "galgel", "art", "equake", "facerec",
+    "ammp", "lucas", "fma3d", "sixtrack", "apsi",
+];
+
+/// The profile for benchmark `name`.
+///
+/// Targets (from the paper's Table 2 reconstruction, see DESIGN.md):
+/// * Q-I — twolf crafty eon vpr bzip2 parser mesa vortex gzip perlbmk
+///   applu mgrid sixtrack: one steady phase, tiny variance.
+/// * Q-II — wupwise apsi fma3d: slow phase alternation with *small* CPI
+///   contrast.
+/// * Q-III — gcc gap lucas equake galgel ammp facerec: data-dependent
+///   drift the code cannot explain.
+/// * Q-IV — art swim mcf: strong phases with large CPI contrast.
+///
+/// # Panics
+///
+/// Panics for unknown names.
+pub fn spec_profile(name: &str) -> SpecProfile {
+    let one = |code_slots: u32, base: f64, mem: f64, ws: u64, pat: AccessPattern, br: f64, ent: f64| SpecProfile {
+        name: leak_name(name),
+        phases: vec![PhaseSpec {
+            code_slots,
+            code_zipf: 1.0,
+            base_cpi: base,
+            mem_rate: mem,
+            ws_bytes: ws,
+            pattern: pat,
+            branch_rate: br,
+            branch_entropy: ent,
+            mean_len: 500_000.0,
+        }],
+        transition: PhaseTransition::Cyclic,
+        drift_sigma: 0.0,
+        drift_period: 30_000.0,
+    };
+    use AccessPattern::*;
+    match name {
+        // ---------------- Q-I: one steady personality ----------------
+        "twolf" => one(2200, 0.95, 0.0012, 4 << 20, Random, 0.14, 0.12),
+        "crafty" => one(2800, 0.85, 0.0008, 2 << 20, Random, 0.13, 0.10),
+        "eon" => one(3200, 0.90, 0.0006, 1 << 20, Random, 0.11, 0.06),
+        "vpr" => one(2000, 0.92, 0.0014, 4 << 20, Random, 0.13, 0.11),
+        "bzip2" => one(1200, 0.88, 0.0020, 8 << 20, Streaming, 0.14, 0.10),
+        "parser" => one(1800, 0.95, 0.0016, 8 << 20, Random, 0.15, 0.12),
+        "mesa" => one(2600, 0.78, 0.0008, 2 << 20, Streaming, 0.10, 0.05),
+        "vortex" => one(3400, 0.86, 0.0012, 8 << 20, Random, 0.12, 0.07),
+        "gzip" => one(900, 0.84, 0.0018, 8 << 20, Streaming, 0.14, 0.09),
+        "perlbmk" => one(3000, 0.90, 0.0010, 4 << 20, Random, 0.13, 0.08),
+        "applu" => one(1100, 0.80, 0.0040, 16 << 20, Streaming, 0.06, 0.03),
+        "mgrid" => one(800, 0.78, 0.0045, 16 << 20, Streaming, 0.05, 0.02),
+        "sixtrack" => one(1600, 0.82, 0.0010, 2 << 20, Streaming, 0.08, 0.04),
+        // ---------------- Q-II: mild but trackable phases ----------------
+        "wupwise" => SpecProfile {
+            name: "wupwise",
+            phases: vec![
+                PhaseSpec { code_slots: 500, code_zipf: 1.0, base_cpi: 0.78, mem_rate: 0.0026, ws_bytes: 16 << 20, pattern: Streaming, branch_rate: 0.06, branch_entropy: 0.03, mean_len: 400_000.0 },
+                PhaseSpec { code_slots: 450, code_zipf: 1.0, base_cpi: 0.90, mem_rate: 0.0050, ws_bytes: 16 << 20, pattern: Streaming, branch_rate: 0.06, branch_entropy: 0.03, mean_len: 300_000.0 },
+            ],
+            transition: PhaseTransition::Cyclic,
+            drift_sigma: 0.0,
+            drift_period: 30_000.0,
+        },
+        "apsi" => SpecProfile {
+            name: "apsi",
+            phases: vec![
+                PhaseSpec { code_slots: 700, code_zipf: 1.0, base_cpi: 0.86, mem_rate: 0.0026, ws_bytes: 8 << 20, pattern: Streaming, branch_rate: 0.07, branch_entropy: 0.04, mean_len: 700_000.0 },
+                PhaseSpec { code_slots: 650, code_zipf: 1.0, base_cpi: 0.95, mem_rate: 0.0034, ws_bytes: 8 << 20, pattern: Streaming, branch_rate: 0.07, branch_entropy: 0.04, mean_len: 600_000.0 },
+                PhaseSpec { code_slots: 600, code_zipf: 1.0, base_cpi: 0.79, mem_rate: 0.0018, ws_bytes: 8 << 20, pattern: Streaming, branch_rate: 0.08, branch_entropy: 0.05, mean_len: 500_000.0 },
+            ],
+            transition: PhaseTransition::Cyclic,
+            drift_sigma: 0.0,
+            drift_period: 30_000.0,
+        },
+        "fma3d" => SpecProfile {
+            name: "fma3d",
+            phases: vec![
+                PhaseSpec { code_slots: 1400, code_zipf: 1.0, base_cpi: 0.86, mem_rate: 0.0026, ws_bytes: 16 << 20, pattern: Streaming, branch_rate: 0.08, branch_entropy: 0.05, mean_len: 450_000.0 },
+                PhaseSpec { code_slots: 1200, code_zipf: 1.0, base_cpi: 0.99, mem_rate: 0.0044, ws_bytes: 16 << 20, pattern: Streaming, branch_rate: 0.08, branch_entropy: 0.05, mean_len: 350_000.0 },
+            ],
+            transition: PhaseTransition::Cyclic,
+            drift_sigma: 0.0,
+            drift_period: 30_000.0,
+        },
+        // ---------------- Q-III: drift the code cannot explain ----------------
+        "gcc" => SpecProfile {
+            name: "gcc",
+            phases: vec![
+                PhaseSpec { code_slots: 6000, code_zipf: 0.7, base_cpi: 1.00, mem_rate: 0.0035, ws_bytes: 32 << 20, pattern: Random, branch_rate: 0.18, branch_entropy: 0.30, mean_len: 120_000.0 },
+                PhaseSpec { code_slots: 5000, code_zipf: 0.7, base_cpi: 1.05, mem_rate: 0.0030, ws_bytes: 32 << 20, pattern: Random, branch_rate: 0.18, branch_entropy: 0.35, mean_len: 90_000.0 },
+            ],
+            // Compilation-unit-driven phase order: sticky, input-dependent.
+            transition: PhaseTransition::Markov(vec![vec![0.55, 0.45], vec![0.5, 0.5]]),
+            drift_sigma: 0.60,
+            drift_period: 70_000.0,
+        },
+        "gap" => SpecProfile {
+            name: "gap",
+            phases: vec![PhaseSpec { code_slots: 2400, code_zipf: 0.8, base_cpi: 0.95, mem_rate: 0.0040, ws_bytes: 64 << 20, pattern: Random, branch_rate: 0.14, branch_entropy: 0.15, mean_len: 150_000.0 }],
+            transition: PhaseTransition::Cyclic,
+            drift_sigma: 0.70,
+            drift_period: 80_000.0,
+        },
+        "lucas" => SpecProfile {
+            name: "lucas",
+            phases: vec![PhaseSpec { code_slots: 600, code_zipf: 1.0, base_cpi: 0.85, mem_rate: 0.0110, ws_bytes: 64 << 20, pattern: Streaming, branch_rate: 0.05, branch_entropy: 0.03, mean_len: 200_000.0 }],
+            transition: PhaseTransition::Cyclic,
+            drift_sigma: 0.80,
+            drift_period: 80_000.0,
+        },
+        "equake" => SpecProfile {
+            name: "equake",
+            phases: vec![PhaseSpec { code_slots: 700, code_zipf: 1.0, base_cpi: 0.90, mem_rate: 0.0055, ws_bytes: 32 << 20, pattern: Random, branch_rate: 0.08, branch_entropy: 0.06, mean_len: 180_000.0 }],
+            transition: PhaseTransition::Cyclic,
+            drift_sigma: 0.60,
+            drift_period: 75_000.0,
+        },
+        "galgel" => SpecProfile {
+            name: "galgel",
+            phases: vec![PhaseSpec { code_slots: 900, code_zipf: 1.0, base_cpi: 0.88, mem_rate: 0.0045, ws_bytes: 16 << 20, pattern: Random, branch_rate: 0.07, branch_entropy: 0.05, mean_len: 160_000.0 }],
+            transition: PhaseTransition::Cyclic,
+            drift_sigma: 0.65,
+            drift_period: 70_000.0,
+        },
+        "ammp" => SpecProfile {
+            name: "ammp",
+            phases: vec![PhaseSpec { code_slots: 1100, code_zipf: 1.0, base_cpi: 1.00, mem_rate: 0.0050, ws_bytes: 32 << 20, pattern: PointerChase, branch_rate: 0.10, branch_entropy: 0.08, mean_len: 200_000.0 }],
+            transition: PhaseTransition::Cyclic,
+            drift_sigma: 0.55,
+            drift_period: 80_000.0,
+        },
+        "facerec" => SpecProfile {
+            name: "facerec",
+            phases: vec![
+                PhaseSpec { code_slots: 800, code_zipf: 1.0, base_cpi: 0.85, mem_rate: 0.0040, ws_bytes: 16 << 20, pattern: Streaming, branch_rate: 0.07, branch_entropy: 0.04, mean_len: 140_000.0 },
+                PhaseSpec { code_slots: 750, code_zipf: 1.0, base_cpi: 0.92, mem_rate: 0.0050, ws_bytes: 16 << 20, pattern: Random, branch_rate: 0.08, branch_entropy: 0.06, mean_len: 110_000.0 },
+            ],
+            transition: PhaseTransition::Cyclic,
+            drift_sigma: 0.55,
+            drift_period: 70_000.0,
+        },
+        // ---------------- Q-IV: strong phases, big contrast ----------------
+        "mcf" => SpecProfile {
+            name: "mcf",
+            // ~646 unique sampled EIPs (§5): two small code regions.
+            phases: vec![
+                PhaseSpec { code_slots: 380, code_zipf: 0.9, base_cpi: 1.10, mem_rate: 0.0160, ws_bytes: 192 << 20, pattern: PointerChase, branch_rate: 0.12, branch_entropy: 0.18, mean_len: 300_000.0 },
+                PhaseSpec { code_slots: 280, code_zipf: 0.9, base_cpi: 0.95, mem_rate: 0.0020, ws_bytes: 4 << 20, pattern: Random, branch_rate: 0.14, branch_entropy: 0.12, mean_len: 250_000.0 },
+            ],
+            transition: PhaseTransition::Cyclic,
+            drift_sigma: 0.0,
+            drift_period: 30_000.0,
+        },
+        "art" => SpecProfile {
+            name: "art",
+            phases: vec![
+                PhaseSpec { code_slots: 300, code_zipf: 0.9, base_cpi: 0.90, mem_rate: 0.0110, ws_bytes: 64 << 20, pattern: Random, branch_rate: 0.08, branch_entropy: 0.05, mean_len: 350_000.0 },
+                PhaseSpec { code_slots: 260, code_zipf: 0.9, base_cpi: 0.80, mem_rate: 0.0015, ws_bytes: 2 << 20, pattern: Streaming, branch_rate: 0.07, branch_entropy: 0.04, mean_len: 300_000.0 },
+            ],
+            transition: PhaseTransition::Cyclic,
+            drift_sigma: 0.0,
+            drift_period: 30_000.0,
+        },
+        "swim" => SpecProfile {
+            name: "swim",
+            phases: vec![
+                PhaseSpec { code_slots: 420, code_zipf: 1.0, base_cpi: 0.82, mem_rate: 0.0300, ws_bytes: 128 << 20, pattern: Streaming, branch_rate: 0.05, branch_entropy: 0.02, mean_len: 400_000.0 },
+                PhaseSpec { code_slots: 380, code_zipf: 1.0, base_cpi: 0.85, mem_rate: 0.0030, ws_bytes: 8 << 20, pattern: Streaming, branch_rate: 0.05, branch_entropy: 0.02, mean_len: 300_000.0 },
+            ],
+            transition: PhaseTransition::Cyclic,
+            drift_sigma: 0.0,
+            drift_period: 30_000.0,
+        },
+        other => panic!("unknown SPEC benchmark: {other}"),
+    }
+}
+
+fn leak_name(name: &str) -> &'static str {
+    SPEC_NAMES
+        .iter()
+        .find(|&&n| n == name)
+        .copied()
+        .unwrap_or_else(|| panic!("unknown SPEC benchmark: {name}"))
+}
+
+/// Builds the workload for SPEC benchmark `name`.
+///
+/// ```
+/// use fuzzyphase_workload::{spec, Workload};
+/// let mut w = spec::spec_workload("mcf", 1);
+/// assert_eq!(w.name(), "mcf");
+/// let _ = w.next_event();
+/// ```
+///
+/// # Panics
+///
+/// Panics for unknown names.
+pub fn spec_workload(name: &str, seed: u64) -> SingleThreadWorkload<SpecThread> {
+    let profile = spec_profile(name);
+    let idx = SPEC_NAMES
+        .iter()
+        .position(|&n| n == name)
+        .expect("validated by spec_profile") as u16;
+    let seq = SeedSequence::new(seed).subsequence(name);
+    let thread = SpecThread::new(profile, SPEC_SPACE + idx);
+    SingleThreadWorkload::new(leak_name(name), thread, seq.seed_for("spec"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Workload, WorkloadEvent};
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_profiles_construct() {
+        for name in SPEC_NAMES {
+            let p = spec_profile(name);
+            assert!(!p.phases.is_empty(), "{name}");
+            let _ = SpecThread::new(p, 400);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown SPEC benchmark")]
+    fn unknown_name_rejected() {
+        spec_profile("notabenchmark");
+    }
+
+    #[test]
+    fn mcf_code_footprint_is_small() {
+        let mut w = spec_workload("mcf", 3);
+        let mut eips = HashSet::new();
+        let mut quanta = 0;
+        while quanta < 20_000 {
+            if let WorkloadEvent::Quantum(q) = w.next_event() {
+                if !q.is_os {
+                    eips.insert(q.eip);
+                }
+                quanta += 1;
+            }
+        }
+        // mcf touches only a few hundred unique EIPs (§5: 646 on hardware).
+        assert!(eips.len() < 700, "mcf unique EIPs {}", eips.len());
+        assert!(eips.len() > 200, "mcf unique EIPs {}", eips.len());
+    }
+
+    #[test]
+    fn mcf_alternates_phases() {
+        let p = spec_profile("mcf");
+        let mut t = SpecThread::new(p, 401);
+        let mut rng = fuzzyphase_stats::seeded_rng(4);
+        let mut seen = HashSet::new();
+        for _ in 0..6000 {
+            t.next_quantum(&mut rng);
+            seen.insert(t.phase());
+        }
+        assert_eq!(seen.len(), 2, "both phases visited");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = spec_workload("gcc", 8);
+        let mut b = spec_workload("gcc", 8);
+        for _ in 0..300 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn markov_transitions_visit_phases_in_long_run() {
+        let p = spec_profile("gcc");
+        assert!(matches!(p.transition, PhaseTransition::Markov(_)));
+        let mut t = SpecThread::new(p, 402);
+        let mut rng = fuzzyphase_stats::seeded_rng(5);
+        let mut visits = [0usize; 2];
+        for _ in 0..20_000 {
+            t.next_quantum(&mut rng);
+            visits[t.phase()] += 1;
+        }
+        assert!(visits[0] > 2000 && visits[1] > 2000, "{visits:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_markov_matrix_rejected() {
+        let mut p = spec_profile("gcc");
+        p.transition = PhaseTransition::Markov(vec![vec![0.5, 0.4], vec![0.5, 0.5]]);
+        SpecThread::new(p, 403);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the workload generators.
+
+use fuzzyphase_workload::access::{in_space, MemoryRegion, StreamCursor, ADDRESS_SPACE_SHIFT};
+use fuzzyphase_workload::btree::BTree;
+use fuzzyphase_workload::code::CodeRegion;
+use fuzzyphase_workload::dss::query_stages;
+use fuzzyphase_workload::spec::{spec_workload, SPEC_NAMES};
+use fuzzyphase_workload::{Workload, WorkloadEvent};
+use proptest::prelude::*;
+
+proptest! {
+    /// B-tree probes find exactly the stored keys, and every probe path
+    /// starts at the shared root.
+    #[test]
+    fn btree_membership(
+        step in 1u64..20,
+        n in 100usize..5_000,
+        probes in prop::collection::vec(0u64..200_000, 1..50),
+    ) {
+        let keys: Vec<u64> = (0..n as u64).map(|i| i * step).collect();
+        let t = BTree::bulk_load(&keys, 32, MemoryRegion::new(0x100_0000, 1 << 30));
+        let (_, root_path) = t.probe(0);
+        for &p in &probes {
+            let (found, path) = t.probe(p);
+            let expect = p % step == 0 && p < n as u64 * step;
+            prop_assert_eq!(found, expect, "key {}", p);
+            prop_assert_eq!(path.len() as u32, t.depth());
+            prop_assert_eq!(path[0], root_path[0], "shared root");
+        }
+    }
+
+    /// Stream cursors stay inside their region and advance by the stride.
+    #[test]
+    fn stream_cursor_bounded(
+        base in 0u64..1u64 << 40,
+        len_kb in 1u64..4096,
+        stride in 1u64..1024,
+        steps in 1usize..500,
+    ) {
+        let region = MemoryRegion::new(base, len_kb * 1024);
+        let mut c = StreamCursor::new(region, stride);
+        for _ in 0..steps {
+            let a = c.next_addr();
+            prop_assert!(region.contains(a));
+        }
+    }
+
+    /// Code regions only emit EIPs inside their own span, in their own
+    /// address space.
+    #[test]
+    fn code_region_eips_bounded(slots in 1u32..10_000, space in 0u16..500, seed in any::<u64>()) {
+        let r = CodeRegion::new("x", in_space(space, 0x4000_0000), slots, 0.8);
+        let mut rng = fuzzyphase_stats::seeded_rng(seed);
+        for _ in 0..100 {
+            let eip = r.sample_eip(&mut rng);
+            prop_assert!(eip >= r.base() && eip < r.end());
+            prop_assert_eq!(eip >> ADDRESS_SPACE_SHIFT, space as u64);
+        }
+    }
+
+    /// Every SPEC workload emits structurally valid quanta: positive
+    /// instruction counts, positive access weights, finite base CPI.
+    #[test]
+    fn spec_quanta_are_valid(idx in 0usize..26, seed in any::<u64>()) {
+        let mut w = spec_workload(SPEC_NAMES[idx], seed);
+        let mut quanta = 0;
+        while quanta < 50 {
+            match w.next_event() {
+                WorkloadEvent::Quantum(q) => {
+                    quanta += 1;
+                    prop_assert!(q.instructions > 0);
+                    prop_assert!(q.base_cpi > 0.0 && q.base_cpi.is_finite());
+                    for a in &q.data {
+                        prop_assert!(a.weight > 0.0 && a.weight.is_finite());
+                        prop_assert!((0.0..=1.0).contains(&a.stall_factor));
+                    }
+                }
+                WorkloadEvent::ContextSwitch => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn all_query_plans_are_finite_and_positive() {
+    for q in 1..=22u8 {
+        let stages = query_stages(q);
+        assert!(!stages.is_empty());
+        for s in &stages {
+            assert!(s.duration.is_finite() && s.duration > 0.0);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! The paper's proposed methodology (§7): classify a workload into a
+//! quadrant, pick the sampling technique the quadrant calls for, and
+//! check that the pick actually wins (or ties) on estimation error.
+//!
+//! ```text
+//! cargo run --release --example sampling_selector [benchmark]
+//! ```
+//!
+//! `benchmark` can be `odb-c`, `sjas`, `qN` (N = 1..22) or a SPEC name;
+//! default is `q13`.
+
+use fuzzyphase::prelude::*;
+use fuzzyphase::sampling::{
+    evaluate_technique, PhaseSampling, RandomSampling, SmartsSampling, StratifiedPhaseSampling,
+    Technique, UniformSampling,
+};
+
+fn parse_spec(arg: &str) -> BenchmarkSpec {
+    match arg {
+        "odb-c" => BenchmarkSpec::odb_c(),
+        "sjas" => BenchmarkSpec::sjas(),
+        q if q.starts_with('q') => {
+            let n: u8 = q[1..].parse().expect("query number after 'q'");
+            BenchmarkSpec::odb_h(n)
+        }
+        name => BenchmarkSpec::spec(name),
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "q13".to_string());
+    let spec = parse_spec(&arg);
+
+    let mut cfg = RunConfig::default();
+    cfg.profile.num_intervals = 120;
+
+    println!("classifying {} ...", spec.name());
+    let r = run_benchmark(&spec, &cfg);
+    println!(
+        "  variance {:.4}, RE_min {:.3} -> {}  (recommended: {})",
+        r.report.cpi_variance,
+        r.report.re_min,
+        r.quadrant,
+        r.quadrant.recommendation().name()
+    );
+
+    let eipvs = r.profile.eipvs();
+    let budget = 10;
+    let techniques: Vec<Box<dyn Technique>> = vec![
+        Box::new(UniformSampling::new(budget)),
+        Box::new(RandomSampling::new(budget)),
+        Box::new(PhaseSampling::new(budget)),
+        Box::new(StratifiedPhaseSampling::new(5, budget)),
+        Box::new(SmartsSampling::new(budget, 0.02)),
+    ];
+    println!("\ntechnique comparison (true CPI = {:.3}):", r.report.cpi_mean);
+    for t in &techniques {
+        let e = evaluate_technique(t.as_ref(), &eipvs.vectors, &eipvs.cpis, cfg.seed);
+        println!(
+            "  {:11} estimate {:.3}  error {:>6.2}%  cost {:>3} intervals",
+            e.technique,
+            e.estimated_cpi,
+            e.relative_error * 100.0,
+            e.cost_intervals
+        );
+    }
+    println!("\n(§7: no single technique suits every workload — the quadrant picks it.)");
+}

@@ -1,0 +1,80 @@
+//! Reproducibility: every stochastic component is a pure function of its
+//! seed, end to end.
+
+use fuzzyphase::prelude::*;
+
+fn cfg(seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::default();
+    cfg.profile.num_intervals = 20;
+    cfg.profile.warmup_intervals = 4;
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn same_seed_same_everything() {
+    let a = run_benchmark(&BenchmarkSpec::odb_h(13), &cfg(1));
+    let b = run_benchmark(&BenchmarkSpec::odb_h(13), &cfg(1));
+    assert_eq!(a.profile, b.profile);
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.quadrant, b.quadrant);
+}
+
+#[test]
+fn different_seed_different_samples_same_shape() {
+    let a = run_benchmark(&BenchmarkSpec::spec("mcf"), &cfg(1));
+    let b = run_benchmark(&BenchmarkSpec::spec("mcf"), &cfg(2));
+    assert_ne!(a.profile.samples, b.profile.samples);
+    // The *character* is seed-independent.
+    assert_eq!(a.quadrant, b.quadrant);
+    assert!((a.report.cpi_mean - b.report.cpi_mean).abs() < 0.4);
+}
+
+#[test]
+fn suite_parallelism_does_not_change_results() {
+    let specs = vec![
+        BenchmarkSpec::spec("gzip"),
+        BenchmarkSpec::spec("art"),
+        BenchmarkSpec::odb_h(8),
+    ];
+    let mut c1 = cfg(5);
+    c1.workers = 1;
+    let mut c3 = cfg(5);
+    c3.workers = 3;
+    let serial = fuzzyphase::run_suite(&specs, &c1);
+    let parallel = fuzzyphase::run_suite(&specs, &c3);
+    for (a, b) in serial.benchmarks.iter().zip(&parallel.benchmarks) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.report, b.report);
+    }
+}
+
+#[test]
+fn workloads_are_deterministic_generators() {
+    use fuzzyphase::workload::Workload;
+    for spec in [
+        BenchmarkSpec::odb_c(),
+        BenchmarkSpec::sjas(),
+        BenchmarkSpec::odb_h(18),
+        BenchmarkSpec::spec("gcc"),
+    ] {
+        let mut a = spec.build(9, None);
+        let mut b = spec.build(9, None);
+        for _ in 0..500 {
+            assert_eq!(a.next_event(), b.next_event(), "{}", spec.name());
+        }
+    }
+}
+
+#[test]
+fn cross_validation_depends_only_on_seed() {
+    use fuzzyphase::regtree::{cross_validate, Dataset};
+    use fuzzyphase::stats::SparseVec;
+    let rows: Vec<SparseVec> = (0..60)
+        .map(|i| SparseVec::from_pairs([((i % 6) as u32, 10.0 + i as f64)]))
+        .collect();
+    let ys: Vec<f64> = (0..60).map(|i| 1.0 + (i % 6) as f64 * 0.2).collect();
+    let ds = Dataset::new(rows, ys);
+    assert_eq!(cross_validate(&ds, 3), cross_validate(&ds, 3));
+    assert_ne!(cross_validate(&ds, 3).re, cross_validate(&ds, 4).re);
+}

@@ -1,0 +1,127 @@
+//! Integration coverage for the beyond-the-paper extensions: full-profile
+//! (BBV-style) vectors, phase-change detectors, online CPI predictors,
+//! and the SMP bus model.
+
+use fuzzyphase::arch::BusConfig;
+use fuzzyphase::cluster::{BranchCountDetector, PhaseDetector, SignatureDetector, VectorDetector};
+use fuzzyphase::prelude::*;
+use fuzzyphase::profiler::SmpProfileSession;
+use fuzzyphase::sampling::{score_predictor, LastValue, TablePredictor};
+use fuzzyphase::workload::spec::spec_workload;
+use fuzzyphase::workload::Workload;
+
+fn profile_full(name: &str, n: usize) -> ProfileData {
+    let mut w = spec_workload(name, 7);
+    let cfg = ProfileConfig {
+        num_intervals: n,
+        warmup_intervals: 5,
+        collect_full_profile: true,
+        ..Default::default()
+    };
+    ProfileSession::run(&mut w, &cfg)
+}
+
+#[test]
+fn full_profile_vectors_cover_all_instructions() {
+    let data = profile_full("mcf", 20);
+    assert_eq!(data.full_vectors.len(), data.intervals.len());
+    for v in &data.full_vectors {
+        // Instruction-weighted mass equals the interval length (within the
+        // quantum-boundary slack at the edges).
+        let mass = v.sum();
+        assert!(
+            (mass - data.interval_len as f64).abs() < 1_500.0,
+            "interval mass {mass}"
+        );
+    }
+}
+
+#[test]
+fn full_profile_no_less_predictive_than_sampled() {
+    // §3.3: full profiling can only add information for a predictable
+    // workload.
+    let data = profile_full("mcf", 60);
+    let sampled = analyze(&data.eipvs().vectors, &data.eipvs().cpis, &AnalysisOptions::default());
+    let full = data.full_profile();
+    let full_rep = analyze(&full.vectors, &full.cpis, &AnalysisOptions::default());
+    assert!(
+        full_rep.re_min <= sampled.re_min + 0.05,
+        "full {} vs sampled {}",
+        full_rep.re_min,
+        sampled.re_min
+    );
+}
+
+#[test]
+#[should_panic(expected = "collect_full_profile")]
+fn full_profile_requires_opt_in() {
+    let mut w = spec_workload("gzip", 1);
+    let cfg = ProfileConfig {
+        num_intervals: 5,
+        warmup_intervals: 2,
+        ..Default::default()
+    };
+    let data = ProfileSession::run(&mut w, &cfg);
+    let _ = data.full_profile();
+}
+
+#[test]
+fn detectors_fire_more_on_phased_than_flat_workloads() {
+    let phased = profile_full("mcf", 40);
+    let flat = profile_full("gzip", 40);
+    for det in [
+        &SignatureDetector::default() as &dyn PhaseDetector,
+        &VectorDetector::default(),
+        &BranchCountDetector::default(),
+    ] {
+        let count = |d: &ProfileData| {
+            let pki: Vec<f64> = d.intervals.iter().map(|i| i.branch_pki).collect();
+            det.detect(&d.full_vectors, &pki)
+                .iter()
+                .filter(|&&f| f)
+                .count()
+        };
+        let (p, f) = (count(&phased), count(&flat));
+        assert!(p > f, "{}: phased {p} <= flat {f}", det.name());
+        assert_eq!(f, 0, "{} must stay quiet on gzip", det.name());
+    }
+}
+
+#[test]
+fn table_predictor_wins_on_strong_phases() {
+    let data = profile_full("art", 80);
+    let cpis = data.interval_cpis();
+    let lo = cpis.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = cpis.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 1e-9;
+    let table = score_predictor(&mut TablePredictor::new(3, 8, lo, hi), &cpis);
+    let last = score_predictor(&mut LastValue::new(), &cpis);
+    assert!(
+        table.mean_relative_error < last.mean_relative_error,
+        "table {} vs last-value {}",
+        table.mean_relative_error,
+        last.mean_relative_error
+    );
+}
+
+#[test]
+fn smp_bus_contention_is_selective() {
+    // Memory-bound swim suffers from neighbours; compute-bound gzip does
+    // not (§9's "system level features" point).
+    let cfg = ProfileConfig {
+        num_intervals: 20,
+        warmup_intervals: 4,
+        ..Default::default()
+    };
+    let run = |monitored: &str, co: usize| {
+        let mut ws: Vec<Box<dyn Workload>> = vec![Box::new(spec_workload(monitored, 3))];
+        for i in 0..co {
+            ws.push(Box::new(spec_workload("swim", 50 + i as u64)));
+        }
+        SmpProfileSession::run(&mut ws, &cfg, BusConfig::default()).mean_cpi()
+    };
+    let swim_delta = run("swim", 3) / run("swim", 0);
+    let gzip_delta = run("gzip", 3) / run("gzip", 0);
+    assert!(swim_delta > 1.05, "swim inflation {swim_delta}");
+    assert!(gzip_delta < 1.03, "gzip inflation {gzip_delta}");
+    assert!(swim_delta > gzip_delta);
+}

@@ -1,0 +1,131 @@
+//! The paper's headline results must hold in the reproduction, at
+//! moderate (CI-friendly) run lengths.
+
+use fuzzyphase::prelude::*;
+
+fn cfg(n: usize) -> RunConfig {
+    let mut cfg = RunConfig::default();
+    cfg.profile.num_intervals = n;
+    cfg
+}
+
+/// §5 + Figure 2: ODB-C — flat CPI (variance ≈ 0.01 or below), EIPVs
+/// useless (RE ≥ ~1), L3-dominated EXE > 50 %, Q-I.
+#[test]
+fn odb_c_headline() {
+    let r = run_benchmark(&BenchmarkSpec::odb_c(), &cfg(120));
+    assert!(
+        r.report.cpi_variance <= 0.012,
+        "variance {}",
+        r.report.cpi_variance
+    );
+    assert!(r.report.re_min > 0.8, "RE_min {}", r.report.re_min);
+    assert!(
+        r.report.re_asymptote > 1.0,
+        "RE should rise above 1 with k (asymptote {})",
+        r.report.re_asymptote
+    );
+    let b = r.profile.mean_breakdown();
+    assert!(b.exe_fraction() > 0.5, "EXE fraction {}", b.exe_fraction());
+    assert_eq!(r.quadrant, Quadrant::I);
+    // Huge flat code footprint: thousands of unique EIPs from 12K samples.
+    assert!(r.profile.unique_eips() > 5_000, "{} EIPs", r.profile.unique_eips());
+}
+
+/// §5 + Figure 2: SjAS — ~20 % explainable, minimum RE around 0.75-0.85
+/// at small k, EXE 30-60 %, Q-III, even more unique EIPs than ODB-C.
+#[test]
+fn sjas_headline() {
+    let r = run_benchmark(&BenchmarkSpec::sjas(), &cfg(120));
+    assert!(r.report.cpi_variance > 0.012, "variance {}", r.report.cpi_variance);
+    assert!(
+        (0.6..0.95).contains(&r.report.re_min),
+        "RE_min {} (paper ~0.8)",
+        r.report.re_min
+    );
+    assert!(r.report.k_at_min <= 8, "k at min {}", r.report.k_at_min);
+    assert_eq!(r.quadrant, Quadrant::III);
+}
+
+/// §6.1 + Figure 8: Q13 — strong EIP↔CPI relationship: ≥ 85 % of CPI
+/// variance explained with ≤ ~12 chambers.
+#[test]
+fn q13_headline() {
+    let r = run_benchmark(&BenchmarkSpec::odb_h(13), &cfg(120));
+    assert!(
+        r.report.explained_variance >= 0.85,
+        "explained {}",
+        r.report.explained_variance
+    );
+    assert!(r.report.k_opt <= 14, "k_opt {}", r.report.k_opt);
+    assert_eq!(r.quadrant, Quadrant::IV);
+}
+
+/// §6.2 + Figure 10: Q18 — same code shape as Q13 but index-scan driven:
+/// high variance, RE stays high.
+#[test]
+fn q18_headline() {
+    let r = run_benchmark(&BenchmarkSpec::odb_h(18), &cfg(120));
+    assert!(r.report.cpi_variance > 0.012, "variance {}", r.report.cpi_variance);
+    assert!(r.report.re_min > 0.5, "RE_min {}", r.report.re_min);
+    assert_eq!(r.quadrant, Quadrant::III);
+}
+
+/// §5 / Figure 3: the code-footprint contrast — mcf's unique-EIP count is
+/// orders of magnitude below the server workloads'.
+#[test]
+fn eip_footprint_contrast() {
+    let c = cfg(60);
+    let mcf = run_benchmark(&BenchmarkSpec::spec("mcf"), &c);
+    let oltp = run_benchmark(&BenchmarkSpec::odb_c(), &c);
+    assert!(mcf.profile.unique_eips() < 700, "mcf {}", mcf.profile.unique_eips());
+    assert!(
+        oltp.profile.unique_eips() > 8 * mcf.profile.unique_eips(),
+        "oltp {} vs mcf {}",
+        oltp.profile.unique_eips(),
+        mcf.profile.unique_eips()
+    );
+}
+
+/// Table 2 anchors: one representative per quadrant classifies correctly.
+/// (Q-II needs enough phase laps for cross-validation, hence the longer
+/// run.)
+#[test]
+fn quadrant_representatives() {
+    let c = cfg(120);
+    for (spec, want) in [
+        (BenchmarkSpec::spec("gzip"), Quadrant::I),
+        (BenchmarkSpec::spec("wupwise"), Quadrant::II),
+        (BenchmarkSpec::spec("gcc"), Quadrant::III),
+        (BenchmarkSpec::spec("mcf"), Quadrant::IV),
+    ] {
+        let r = run_benchmark(&spec, &c);
+        assert_eq!(r.quadrant, want, "{}", r.name);
+    }
+}
+
+/// §5.2: context-switch and OS-time ordering — servers switch orders of
+/// magnitude more than SPEC, and ODB-C spends far more time in the OS.
+#[test]
+fn threading_statistics_ordering() {
+    let c = cfg(40);
+    let oltp = run_benchmark(&BenchmarkSpec::odb_c(), &c);
+    let spec = run_benchmark(&BenchmarkSpec::spec("gzip"), &c);
+    assert!(
+        oltp.profile.context_switches_per_second()
+            > 20.0 * spec.profile.context_switches_per_second(),
+        "oltp {}/s vs spec {}/s",
+        oltp.profile.context_switches_per_second(),
+        spec.profile.context_switches_per_second()
+    );
+    assert!(oltp.profile.os_fraction() > 0.10, "oltp OS {}", oltp.profile.os_fraction());
+    assert!(spec.profile.os_fraction() < 0.01, "spec OS {}", spec.profile.os_fraction());
+}
+
+/// §3.1: the overhead model hits the paper's anchors.
+#[test]
+fn sampling_overhead_anchors() {
+    use fuzzyphase::profiler::overhead_fraction;
+    assert!((overhead_fraction(1_000_000) - 0.02).abs() < 0.002);
+    assert!((overhead_fraction(100_000) - 0.05).abs() < 0.002);
+}

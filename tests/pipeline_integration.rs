@@ -1,0 +1,133 @@
+//! Cross-crate integration: workload → arch → profiler → regtree →
+//! quadrant, exercised through the public `fuzzyphase` API.
+
+use fuzzyphase::prelude::*;
+
+fn short_cfg(n: usize) -> RunConfig {
+    let mut cfg = RunConfig::default();
+    cfg.profile.num_intervals = n;
+    cfg.profile.warmup_intervals = 6;
+    cfg
+}
+
+#[test]
+fn profile_data_is_internally_consistent() {
+    let r = run_benchmark(&BenchmarkSpec::spec("twolf"), &short_cfg(30));
+    let p = &r.profile;
+    // One EIPV per interval, samples_per_interval samples each.
+    let spv = (p.interval_len / p.period) as usize;
+    assert_eq!(p.samples.len(), p.intervals.len() * spv);
+    // Interval CPI equals the mean of its samples' CPIs (same cycle span).
+    for (i, ivl) in p.intervals.iter().enumerate() {
+        let chunk = &p.samples[i * spv..(i + 1) * spv];
+        let mean = chunk.iter().map(|s| s.cpi).sum::<f64>() / spv as f64;
+        assert!((mean - ivl.cpi).abs() < 0.15, "interval {i}");
+    }
+    // Totals line up with interval means.
+    let overall = p.total_cycles as f64 / p.total_instructions as f64;
+    assert!((overall - p.mean_cpi()).abs() < 0.1);
+}
+
+#[test]
+fn eipv_vectors_conserve_sample_mass() {
+    let r = run_benchmark(&BenchmarkSpec::odb_h(8), &short_cfg(25));
+    let eipvs = r.profile.eipvs();
+    let spv = (r.profile.interval_len / r.profile.period) as f64;
+    for v in &eipvs.vectors {
+        assert_eq!(v.sum(), spv, "every vector holds exactly {spv} samples");
+    }
+    assert_eq!(eipvs.vectors.len(), r.profile.intervals.len());
+}
+
+#[test]
+fn per_thread_eipvs_are_thread_pure() {
+    let r = run_benchmark(&BenchmarkSpec::odb_c(), &short_cfg(20));
+    let per_thread = r.profile.eipvs_per_thread();
+    assert!(!per_thread.vector_threads.is_empty());
+    // Thread ids must be non-decreasing groups (grouped construction).
+    let mut seen = std::collections::HashSet::new();
+    let mut last = None;
+    for &t in &per_thread.vector_threads {
+        if last != Some(t) {
+            assert!(seen.insert(t), "thread {t} appears in two separate runs");
+            last = Some(t);
+        }
+    }
+}
+
+#[test]
+fn report_quadrant_consistent_with_thresholds() {
+    let cfg = short_cfg(30);
+    for name in ["gzip", "mcf", "gcc"] {
+        let r = run_benchmark(&BenchmarkSpec::spec(name), &cfg);
+        let expect = cfg
+            .thresholds
+            .classify(r.report.cpi_variance, r.report.re_min);
+        assert_eq!(r.quadrant, expect, "{name}");
+    }
+}
+
+#[test]
+fn sampler_rate_follows_benchmark_spec() {
+    // SjAS is profiled at the 10x rate (§3.1), giving 10x the samples.
+    let cfg = short_cfg(12);
+    let sjas = run_benchmark(&BenchmarkSpec::sjas(), &cfg);
+    let oltp = run_benchmark(&BenchmarkSpec::odb_c(), &cfg);
+    assert_eq!(sjas.profile.period * 10, oltp.profile.period);
+    assert_eq!(sjas.profile.samples.len(), 10 * oltp.profile.samples.len());
+}
+
+#[test]
+fn breakdown_components_cover_cpi() {
+    let r = run_benchmark(&BenchmarkSpec::odb_h(13), &short_cfg(25));
+    for ivl in &r.profile.intervals {
+        let total = ivl.breakdown.total();
+        // Context-switch cycles land in no quantum, so breakdown can run
+        // slightly under interval CPI, never meaningfully over.
+        assert!(total <= ivl.cpi + 0.02);
+        assert!(total >= ivl.cpi * 0.9, "breakdown {total} vs cpi {}", ivl.cpi);
+        assert!(ivl.breakdown.work > 0.0);
+    }
+}
+
+#[test]
+fn suite_subset_runs_in_parallel_and_ordered() {
+    let specs = vec![
+        BenchmarkSpec::spec("gzip"),
+        BenchmarkSpec::spec("swim"),
+        BenchmarkSpec::spec("wupwise"),
+        BenchmarkSpec::spec("gcc"),
+    ];
+    let mut cfg = short_cfg(25);
+    cfg.workers = 4;
+    let suite = fuzzyphase::run_suite(&specs, &cfg);
+    let names: Vec<&str> = suite.benchmarks.iter().map(|b| b.name.as_str()).collect();
+    assert_eq!(names, vec!["gzip", "swim", "wupwise", "gcc"]);
+    // Each quadrant matches the per-benchmark expectation at this length.
+    assert_eq!(suite.quadrant_counts().iter().sum::<usize>(), 4);
+}
+
+#[test]
+fn kmeans_baseline_never_beats_trees_substantially() {
+    // §4.6: CPI drives tree splits but not k-means clusters, so across
+    // workload types the tree's explained variance dominates.
+    let cfg = short_cfg(40);
+    for (q, _) in [(13u8, ()), (18, ())] {
+        let r = run_benchmark(&BenchmarkSpec::odb_h(q), &cfg);
+        let eipvs = r.profile.eipvs();
+        let km = fuzzyphase::cluster::kmeans_re_curve(
+            &eipvs.vectors,
+            &eipvs.cpis,
+            &[1, 2, 4, 8, 16],
+            15,
+            10,
+            7,
+        );
+        assert!(
+            r.report.explained_variance >= km.explained_variance() - 0.1,
+            "q{q}: tree {} vs kmeans {}",
+            r.report.explained_variance,
+            km.explained_variance()
+        );
+    }
+}
