@@ -193,7 +193,9 @@ impl BranchPredictor for HybridPredictor {
 
 /// Constructs the predictor a [`MachineConfig`](crate::MachineConfig)
 /// asks for.
-pub fn build_predictor(kind: crate::config::BranchPredictorKind) -> Box<dyn BranchPredictor + Send> {
+pub fn build_predictor(
+    kind: crate::config::BranchPredictorKind,
+) -> Box<dyn BranchPredictor + Send> {
     use crate::config::BranchPredictorKind::*;
     match kind {
         Bimodal { table_bits } => Box::new(self::Bimodal::new(table_bits)),
@@ -238,8 +240,7 @@ mod tests {
         // Period-4 pattern TTTN is hopeless for bimodal (75% at best) but
         // easy for global history.
         let pattern = [true, true, true, false];
-        let stream: Vec<(u64, bool)> =
-            (0..20_000).map(|i| (0x40u64, pattern[i % 4])).collect();
+        let stream: Vec<(u64, bool)> = (0..20_000).map(|i| (0x40u64, pattern[i % 4])).collect();
         let mut gs = Gshare::new(12);
         let mut bi = Bimodal::new(12);
         let acc_gs = accuracy(&mut gs, &stream);
@@ -251,8 +252,7 @@ mod tests {
     #[test]
     fn hybrid_tracks_the_better_component() {
         let pattern = [true, true, false, true, false, false];
-        let stream: Vec<(u64, bool)> =
-            (0..30_000).map(|i| (0x80u64, pattern[i % 6])).collect();
+        let stream: Vec<(u64, bool)> = (0..30_000).map(|i| (0x80u64, pattern[i % 6])).collect();
         let mut hy = HybridPredictor::new(12);
         let mut bi = Bimodal::new(12);
         let acc_hy = accuracy(&mut hy, &stream);

@@ -365,7 +365,11 @@ mod tests {
         for space in 0..64u64 {
             seen.insert(c.set_of((space << 48) | 0x6000_0000));
         }
-        assert!(seen.len() > 32, "spaces spread over {} sets only", seen.len());
+        assert!(
+            seen.len() > 32,
+            "spaces spread over {} sets only",
+            seen.len()
+        );
     }
 
     #[test]
@@ -441,7 +445,10 @@ mod tests {
         let cfg = MachineConfig::pentium4();
         let mut h = MemoryHierarchy::new(&cfg);
         assert!(!h.has_l3());
-        assert_eq!(h.access_data(0x1234_5678, AccessKind::Read), HitLevel::Memory);
+        assert_eq!(
+            h.access_data(0x1234_5678, AccessKind::Read),
+            HitLevel::Memory
+        );
     }
 
     #[test]

@@ -23,8 +23,14 @@ impl CacheConfig {
     /// Panics unless sizes are powers of two, the line fits the cache, and
     /// the capacity divides evenly into sets.
     pub fn new(size_bytes: u64, line_bytes: u64, associativity: u32, hit_latency: u32) -> Self {
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(associativity > 0, "associativity must be positive");
         assert!(
             size_bytes >= line_bytes * associativity as u64,

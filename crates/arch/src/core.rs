@@ -180,7 +180,10 @@ impl Core {
     /// Charges externally-computed stall cycles to the EXE component —
     /// used by the SMP bus model for memory-contention queueing delay.
     pub fn add_exe_stall(&mut self, cycles: f64) {
-        assert!(cycles >= 0.0 && cycles.is_finite(), "stall must be finite and >= 0");
+        assert!(
+            cycles >= 0.0 && cycles.is_finite(),
+            "stall must be finite and >= 0"
+        );
         self.cycles += cycles;
         self.exe_cycles += cycles;
     }
@@ -388,9 +391,13 @@ mod tests {
         // there is no L3 to hold them. Re-run the same addresses:
         let r_it2_warm = it2.execute(&q);
         let r_p4_warm = p4.execute(&q);
-        assert!(r_it2_warm.breakdown.exe < r_it2.breakdown.exe * 0.2,
-            "Itanium L3 absorbs the re-references");
-        assert!(r_p4_warm.breakdown.exe > r_p4.breakdown.exe * 0.5,
-            "P4 keeps missing to memory");
+        assert!(
+            r_it2_warm.breakdown.exe < r_it2.breakdown.exe * 0.2,
+            "Itanium L3 absorbs the re-references"
+        );
+        assert!(
+            r_p4_warm.breakdown.exe > r_p4.breakdown.exe * 0.5,
+            "P4 keeps missing to memory"
+        );
     }
 }

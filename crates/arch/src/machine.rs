@@ -66,8 +66,7 @@ impl Bus {
 
     /// Current utilization estimate in `[0, max_utilization]`.
     pub fn utilization(&self) -> f64 {
-        (self.occupied_in_window / self.cfg.window_cycles as f64)
-            .min(self.cfg.max_utilization)
+        (self.occupied_in_window / self.cfg.window_cycles as f64).min(self.cfg.max_utilization)
     }
 
     /// Records `transactions` memory transactions at time `now` and

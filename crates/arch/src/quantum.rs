@@ -196,7 +196,13 @@ mod tests {
             .with_hazard_cycles(50.0)
             .with_data(vec![DataAccess::read(0x20).with_weight(2.0)])
             .with_fetches(vec![0x10], 4.0)
-            .with_branches(vec![BranchEvent { pc: 0x14, taken: true }], 8.0);
+            .with_branches(
+                vec![BranchEvent {
+                    pc: 0x14,
+                    taken: true,
+                }],
+                8.0,
+            );
         assert_eq!(q.base_cpi, 0.8);
         assert_eq!(q.thread, 3);
         assert!(q.is_os);

@@ -27,7 +27,10 @@ impl Tlb {
     /// Panics if `entries == 0` or `page_bytes` is not a power of two.
     pub fn new(entries: usize, page_bytes: u64) -> Self {
         assert!(entries > 0, "TLB needs at least one entry");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Self {
             entries: vec![(u64::MAX, 0); entries],
             page_shift: page_bytes.trailing_zeros(),

@@ -3,7 +3,7 @@
 //! the paper describes literally).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use fuzzyphase::regtree::{cross_validate, Dataset, TreeBuilder};
+use fuzzyphase::regtree::{cross_validate, CrossValidation, Dataset, TreeBuilder};
 use fuzzyphase::stats::{seeded_rng, SparseVec};
 use rand::Rng;
 
@@ -82,8 +82,25 @@ fn bench_regtree(c: &mut Criterion) {
     c.bench_function("tree_build_250x20k", |b| {
         b.iter(|| TreeBuilder::new().fit(&large))
     });
+    // Split-entry-cache ablation: same tree, but every node re-gathers
+    // and re-sorts its non-zeros.
+    c.bench_function("tree_build_250x3k_rescan", |b| {
+        b.iter(|| TreeBuilder::new().fit_rescan(&small))
+    });
+    c.bench_function("tree_build_250x20k_rescan", |b| {
+        b.iter(|| TreeBuilder::new().fit_rescan(&large))
+    });
     c.bench_function("cross_validate_10fold_k50", |b| {
         b.iter(|| cross_validate(&small, 7))
+    });
+    // Fold-parallel cross-validation (bit-identical curve, 4 workers).
+    let cv4 = CrossValidation {
+        seed: 7,
+        workers: 4,
+        ..Default::default()
+    };
+    c.bench_function("cross_validate_10fold_k50_4workers", |b| {
+        b.iter(|| cv4.run(&small))
     });
 
     // D2 ablation: the sparsity-aware search (one root split via a

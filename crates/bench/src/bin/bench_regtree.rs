@@ -1,0 +1,219 @@
+//! Stage-level wall-time benchmark for the regression-tree pipeline,
+//! emitting `BENCH_regtree.json` for CI and regression tracking.
+//!
+//! ```text
+//! cargo run --release -p fuzzyphase-bench --bin bench_regtree -- [out.json]
+//! ```
+//!
+//! Times, on an EIPV-shaped dataset of ≥ 200 intervals:
+//!
+//! - `fit_rescan` — tree build with per-node re-gather + re-sort (the
+//!   pre-cache baseline),
+//! - `fit_cached` — tree build with the presorted split-entry cache,
+//! - `cv_baseline` — 10-fold × k=50 cross-validation as the seed
+//!   implemented it: serial folds, re-sorting split search (the recorded
+//!   serial baseline),
+//! - `cv_serial` — current cross-validation on one thread (cached split
+//!   search, serial folds),
+//! - `cv_parallel` — the same folds fanned across a worker pool.
+//!
+//! Every optimized stage is checked against its baseline for exact
+//! equality before timings are reported: the cached build must produce
+//! the identical tree, and the parallel curve must be bit-identical to
+//! the serial one.
+
+use fuzzyphase_regtree::{CrossValidation, Dataset, TreeBuilder};
+use fuzzyphase_stats::{seeded_rng, KFold, SparseVec};
+use rand::Rng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Wall time of one pipeline stage, median over `reps` repetitions.
+#[derive(Serialize)]
+struct Stage {
+    name: String,
+    reps: usize,
+    median_ms: f64,
+    min_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    intervals: usize,
+    features: u32,
+    nnz_per_row: usize,
+    folds: usize,
+    k_max: usize,
+    cv_workers: usize,
+    stages: Vec<Stage>,
+    fit_speedup: f64,
+    /// Current CV (cached search, worker pool) vs the recorded serial
+    /// baseline (`cv_baseline`): the headline improvement.
+    cv_speedup_vs_baseline: f64,
+    /// Fold-parallel CV vs current serial CV: the pool's contribution
+    /// alone (≈ 1.0 on a single-core machine).
+    cv_speedup_parallel: f64,
+    cached_tree_identical: bool,
+    parallel_curve_bit_identical: bool,
+}
+
+/// The seed's cross-validation loop, reconstructed as the recorded
+/// baseline: serial folds, per-node re-sorting split search.
+fn cv_baseline(ds: &Dataset, cv: &CrossValidation) -> Vec<f64> {
+    let kf = KFold::new(ds.len(), cv.folds, cv.seed);
+    let builder = TreeBuilder::new()
+        .max_leaves(cv.k_max)
+        .min_leaf(cv.min_leaf);
+    let mut sum_sq_err = vec![0.0f64; cv.k_max];
+    for (train, test) in kf.splits() {
+        let tree = builder.fit_rescan(&ds.subset(&train));
+        for &t in test {
+            let y = ds.target(t);
+            let path = tree.path_means(ds.row(t));
+            let mut pi = 0;
+            for k in 1..=cv.k_max {
+                while pi + 1 < path.len() && (path[pi + 1].0 as usize) < k {
+                    pi += 1;
+                }
+                let err = y - path[pi].1;
+                sum_sq_err[k - 1] += err * err;
+            }
+        }
+    }
+    sum_sq_err
+}
+
+/// A realistic EIPV-shaped dataset (mirrors the criterion bench).
+fn eipv_dataset(n: usize, features: u32, nnz: usize, seed: u64) -> Dataset {
+    let mut rng = seeded_rng(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let phase = (i / 20) % 3;
+        let base = phase as u32 * (features / 3);
+        let pairs: Vec<(u32, f64)> = (0..nnz)
+            .map(|_| {
+                (
+                    base + rng.gen_range(0..features / 3),
+                    rng.gen_range(1.0..5.0),
+                )
+            })
+            .collect();
+        rows.push(SparseVec::from_pairs(pairs));
+        ys.push(1.0 + phase as f64 * 0.8 + rng.gen_range(-0.05..0.05));
+    }
+    Dataset::new(rows, ys)
+}
+
+/// Runs `f` `reps` times, returning (median ms, min ms).
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, f64) {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let out = f();
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(out);
+            ms
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    (samples[samples.len() / 2], samples[0])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_regtree.json".to_string());
+
+    let (intervals, features, nnz) = (240, 6_000u32, 80);
+    let ds = eipv_dataset(intervals, features, nnz, 1);
+    let reps = 7;
+
+    let builder = TreeBuilder::new();
+    let (fit_rescan_med, fit_rescan_min) = time_ms(reps, || builder.fit_rescan(&ds));
+    let (fit_cached_med, fit_cached_min) = time_ms(reps, || builder.fit(&ds));
+    let cached_tree_identical = builder.fit(&ds) == builder.fit_rescan(&ds);
+
+    let serial_cv = CrossValidation {
+        seed: 7,
+        workers: 1,
+        ..Default::default()
+    };
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(serial_cv.folds);
+    let parallel_cv = CrossValidation {
+        workers,
+        ..serial_cv
+    };
+    let (cv_base_med, cv_base_min) = time_ms(reps, || cv_baseline(&ds, &serial_cv));
+    let (cv_serial_med, cv_serial_min) = time_ms(reps, || serial_cv.run(&ds));
+    let (cv_parallel_med, cv_parallel_min) = time_ms(reps, || parallel_cv.run(&ds));
+    let (a, b) = (serial_cv.run(&ds), parallel_cv.run(&ds));
+    let parallel_curve_bit_identical = a == b
+        && a.re
+            .iter()
+            .zip(&b.re)
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+
+    let stage = |name: &str, med: f64, min: f64| Stage {
+        name: name.to_string(),
+        reps,
+        median_ms: med,
+        min_ms: min,
+    };
+    let report = Report {
+        intervals,
+        features,
+        nnz_per_row: nnz,
+        folds: serial_cv.folds,
+        k_max: serial_cv.k_max,
+        cv_workers: workers,
+        stages: vec![
+            stage("fit_rescan", fit_rescan_med, fit_rescan_min),
+            stage("fit_cached", fit_cached_med, fit_cached_min),
+            stage("cv_baseline", cv_base_med, cv_base_min),
+            stage("cv_serial", cv_serial_med, cv_serial_min),
+            stage("cv_parallel", cv_parallel_med, cv_parallel_min),
+        ],
+        fit_speedup: fit_rescan_med / fit_cached_med,
+        cv_speedup_vs_baseline: cv_base_med / cv_parallel_med,
+        cv_speedup_parallel: cv_serial_med / cv_parallel_med,
+        cached_tree_identical,
+        parallel_curve_bit_identical,
+    };
+
+    assert!(
+        report.cached_tree_identical,
+        "split-entry cache changed the fitted tree"
+    );
+    assert!(
+        report.parallel_curve_bit_identical,
+        "parallel cross-validation changed the RE curve"
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("write bench report");
+
+    println!("dataset: {intervals} intervals x {features} features (~{nnz} nnz/row)");
+    for s in &report.stages {
+        println!(
+            "{:<12} median {:8.2} ms   min {:8.2} ms   ({} reps)",
+            s.name, s.median_ms, s.min_ms, s.reps
+        );
+    }
+    println!(
+        "fit speedup (cache):        {:.2}x  [tree identical: {}]",
+        report.fit_speedup, report.cached_tree_identical
+    );
+    println!(
+        "cv speedup vs baseline:     {:.2}x",
+        report.cv_speedup_vs_baseline
+    );
+    println!(
+        "cv speedup ({} fold workers): {:.2}x  [curve bit-identical: {}]",
+        report.cv_workers, report.cv_speedup_parallel, report.parallel_curve_bit_identical
+    );
+    println!("wrote {out_path}");
+}

@@ -11,12 +11,12 @@
 //! relative-error summary.
 
 use fuzzyphase_profiler::{ProfileConfig, ProfileSession, SamplerSpec};
+use fuzzyphase_regtree::{analyze, AnalysisOptions};
 use fuzzyphase_workload::appserver::SjasWorkload;
 use fuzzyphase_workload::dss::odb_h_query;
 use fuzzyphase_workload::oltp::odb_c;
 use fuzzyphase_workload::spec::spec_workload;
 use fuzzyphase_workload::Workload;
-use fuzzyphase_regtree::{analyze, AnalysisOptions};
 
 fn report(name: &str, data: &fuzzyphase_profiler::ProfileData) {
     let b = data.mean_breakdown();
@@ -56,9 +56,14 @@ fn run(mut w: impl Workload, cfg: &ProfileConfig) {
         let exe: Vec<f64> = data.intervals.iter().map(|i| i.breakdown.exe).collect();
         let oth: Vec<f64> = data.intervals.iter().map(|i| i.breakdown.other).collect();
         use fuzzyphase_stats::variance;
-        println!("   compvar: work={:.5} fe={:.5} exe={:.5} other={:.5} total={:.5}",
-            variance(&work), variance(&fe), variance(&exe), variance(&oth),
-            data.cpi_variance());
+        println!(
+            "   compvar: work={:.5} fe={:.5} exe={:.5} other={:.5} total={:.5}",
+            variance(&work),
+            variance(&fe),
+            variance(&exe),
+            variance(&oth),
+            data.cpi_variance()
+        );
     }
     if std::env::var("SERIES").is_ok() {
         let cpis = data.interval_cpis();
@@ -70,8 +75,15 @@ fn run(mut w: impl Workload, cfg: &ProfileConfig) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(60);
-    let cfg = ProfileConfig { num_intervals: n, ..Default::default() };
-    let sjas_cfg = ProfileConfig { num_intervals: n, sampler: SamplerSpec::sjas_rate(), ..Default::default() };
+    let cfg = ProfileConfig {
+        num_intervals: n,
+        ..Default::default()
+    };
+    let sjas_cfg = ProfileConfig {
+        num_intervals: n,
+        sampler: SamplerSpec::sjas_rate(),
+        ..Default::default()
+    };
 
     let which = args.get(1).map(String::as_str).unwrap_or("all");
     if which == "all" || which == "server" {
@@ -86,7 +98,9 @@ fn main() {
         }
     }
     if which == "all" || which == "spec" {
-        for name in ["gzip", "mcf", "gcc", "swim", "art", "wupwise", "twolf", "lucas"] {
+        for name in [
+            "gzip", "mcf", "gcc", "swim", "art", "wupwise", "twolf", "lucas",
+        ] {
             run(spec_workload(name, 42), &cfg);
         }
     }

@@ -217,7 +217,11 @@ fn print_spread(sp: &SpreadExport) {
         "  {:8} unique EIPs: {:>6}  ({:.0} simulated seconds)",
         sp.name, sp.unique_eips, sp.seconds
     );
-    println!("  {:8} EIP rank: {}", "", sparkline(&sp.eip_rank_series, 64));
+    println!(
+        "  {:8} EIP rank: {}",
+        "",
+        sparkline(&sp.eip_rank_series, 64)
+    );
     println!("  {:8} CPI:      {}", "", sparkline(&sp.cpi_series, 64));
 }
 
@@ -293,7 +297,9 @@ fn breakdown_figure(cfg: &RunConfig, spec: BenchmarkSpec, tag: &str) {
     match tag {
         "fig4" => println!("  (paper: ODB-C EXE > 50% of CPI throughout)"),
         "fig5" => println!("  (paper: SjAS EXE 30-40% of CPI)"),
-        "fig12" => println!("  (paper: Q18 has no single dominant bottleneck; it shifts over time)"),
+        "fig12" => {
+            println!("  (paper: Q18 has no single dominant bottleneck; it shifts over time)")
+        }
         _ => {}
     }
     export_json(tag, &ex);
@@ -308,11 +314,8 @@ fn thread_figure(cfg: &RunConfig, spec: BenchmarkSpec, tag: &str) {
     let nothread = r.report.clone();
 
     let per_thread = r.profile.eipvs_per_thread();
-    let thread_rep = fuzzyphase::regtree::analyze(
-        &per_thread.vectors,
-        &per_thread.cpis,
-        &cfg.analysis,
-    );
+    let thread_rep =
+        fuzzyphase::regtree::analyze(&per_thread.vectors, &per_thread.cpis, &cfg.analysis);
     print!("{}", re_curve_block("nothread", &nothread.re_curve));
     print!("{}", re_curve_block("thread", &thread_rep.re_curve));
     println!(
@@ -364,7 +367,11 @@ fn re_figure(cfg: &RunConfig, spec: BenchmarkSpec, tag: &str) {
             .iter()
             .take(5)
             .map(|&(f, g)| {
-                format!("{} ({:.0}%)", region_of(eipvs.index.eip(f)), g / total * 100.0)
+                format!(
+                    "{} ({:.0}%)",
+                    region_of(eipvs.index.eip(f)),
+                    g / total * 100.0
+                )
             })
             .collect();
         println!("  top split EIPs by variance reduction: {}", top.join(", "));
@@ -454,8 +461,7 @@ fn sec46(cfg: &RunConfig, fast: bool) {
         }
         rows.push(row);
     }
-    let mean_reduction: f64 =
-        improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
+    let mean_reduction: f64 = improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
     println!(
         "\n  mean CPI-predictability-error reduction, trees vs k-means, over the {} benchmarks with signal: {:.0}% (paper: ~80%)",
         improvements.len(),
@@ -519,7 +525,9 @@ struct MachineRow {
 fn sec71_machines(cfg: &RunConfig) {
     println!("== §7.1: machine robustness (SPEC subset on Itanium2/P4/Xeon) ==");
     println!("  (paper: variance higher on both; RE ~30% better on P4, ~7% worse on Xeon; mcf variance highest on the L3-less P4)");
-    let subset = ["gzip", "mcf", "gcc", "swim", "twolf", "art", "wupwise", "lucas"];
+    let subset = [
+        "gzip", "mcf", "gcc", "swim", "twolf", "art", "wupwise", "lucas",
+    ];
     let machines = [
         MachineConfig::itanium2(),
         MachineConfig::pentium4(),
@@ -607,16 +615,15 @@ fn sec71_eipv(cfg: &RunConfig, fast: bool) {
         for (m, frac) in [(100u64, 1.0), (50, 0.5), (10, 0.1)] {
             let spv = ((spv_100 as f64 * frac) as usize).max(1);
             let eipvs = r.profile.eipvs_with_samples_per_vector(spv);
-            let rep =
-                fuzzyphase::regtree::analyze(&eipvs.vectors, &eipvs.cpis, &cfg.analysis);
+            let rep = fuzzyphase::regtree::analyze(&eipvs.vectors, &eipvs.cpis, &cfg.analysis);
             let quad = cfg.thresholds.classify(rep.cpi_variance, rep.re_min);
             if m == 100 {
                 base = (rep.cpi_variance, rep.re_min);
             } else {
-                ratios
-                    .entry(m)
-                    .or_default()
-                    .push((rep.cpi_variance / base.0.max(1e-12), rep.re_min / base.1.max(1e-12)));
+                ratios.entry(m).or_default().push((
+                    rep.cpi_variance / base.0.max(1e-12),
+                    rep.re_min / base.1.max(1e-12),
+                ));
             }
             println!(
                 "  {:8} @{m:>3}M  var={:.4} re_min={:.3} -> {quad}",
@@ -633,8 +640,7 @@ fn sec71_eipv(cfg: &RunConfig, fast: bool) {
     }
     for m in [50u64, 10] {
         let v = &ratios[&m];
-        let var_up =
-            (v.iter().map(|x| x.0).sum::<f64>() / v.len() as f64 - 1.0) * 100.0;
+        let var_up = (v.iter().map(|x| x.0).sum::<f64>() / v.len() as f64 - 1.0) * 100.0;
         let re_up = (v.iter().map(|x| x.1).sum::<f64>() / v.len() as f64 - 1.0) * 100.0;
         println!("  {m}M vs 100M: variance {var_up:+.0}%  RE {re_up:+.0}%");
     }
@@ -650,7 +656,11 @@ fn sec31() {
     let mut rows = Vec::new();
     for period in [10_000_000u64, 1_000_000, 500_000, 100_000, 50_000] {
         let ov = overhead_fraction(period);
-        println!("  period {:>9} instructions -> overhead {:.1}%", period, ov * 100.0);
+        println!(
+            "  period {:>9} instructions -> overhead {:.1}%",
+            period,
+            ov * 100.0
+        );
         rows.push((period, ov));
     }
     export_json("sec31", &rows);
@@ -671,10 +681,10 @@ struct SamplingRow {
 fn sec7_sampling(cfg: &RunConfig) {
     println!("== §7: sampling technique error by quadrant ==");
     let reps = [
-        BenchmarkSpec::odb_c(),       // Q-I
+        BenchmarkSpec::odb_c(),         // Q-I
         BenchmarkSpec::spec("wupwise"), // Q-II
-        BenchmarkSpec::odb_h(18),     // Q-III
-        BenchmarkSpec::spec("mcf"),   // Q-IV
+        BenchmarkSpec::odb_h(18),       // Q-III
+        BenchmarkSpec::spec("mcf"),     // Q-IV
     ];
     let mut rows = Vec::new();
     for spec in reps {
@@ -887,7 +897,9 @@ fn ext_predictors(cfg: &RunConfig) {
             });
         }
     }
-    println!("  (history predicts strongly-phased CPI; random-data workloads defeat every predictor)");
+    println!(
+        "  (history predicts strongly-phased CPI; random-data workloads defeat every predictor)"
+    );
     export_json("ext_predictors", &rows);
 }
 
@@ -984,7 +996,11 @@ fn ext_metrics(cfg: &RunConfig) {
             ),
             (
                 "mispredict_pki",
-                r.profile.intervals.iter().map(|i| i.mispredict_pki).collect(),
+                r.profile
+                    .intervals
+                    .iter()
+                    .map(|i| i.mispredict_pki)
+                    .collect(),
             ),
         ];
         println!("  {}", r.name);

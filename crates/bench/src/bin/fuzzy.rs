@@ -57,17 +57,26 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--intervals" => {
-                args.intervals = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                args.intervals = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--machine" => args.machine = it.next().unwrap_or_else(|| usage()),
             "--seed" => {
-                args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--json" => args.json = Some(it.next().unwrap_or_else(|| usage())),
             "--threads" => args.threads = true,
             "--full" => args.full = true,
             "--budget" => {
-                args.budget = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                args.budget = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             b if !b.starts_with("--") && args.benchmark.is_none() => {
                 args.benchmark = Some(b.to_string())
@@ -105,7 +114,10 @@ fn main() {
     let args = parse_args();
     match args.command.as_str() {
         "list" => {
-            println!("{:<8} {:<9} sampler period (real instructions)", "name", "expected");
+            println!(
+                "{:<8} {:<9} sampler period (real instructions)",
+                "name", "expected"
+            );
             for spec in fuzzyphase::all_benchmarks() {
                 println!(
                     "{:<8} {:<9} {}",
@@ -116,7 +128,9 @@ fn main() {
             }
         }
         "run" | "classify" | "sample" => {
-            let Some(bname) = &args.benchmark else { usage() };
+            let Some(bname) = &args.benchmark else {
+                usage()
+            };
             let spec = parse_benchmark(bname);
             let mut cfg = RunConfig::default();
             cfg.profile.num_intervals = args.intervals;
@@ -126,7 +140,10 @@ fn main() {
 
             let r = fuzzyphase::pipeline::run_benchmark(&spec, &cfg);
             let b = r.profile.mean_breakdown();
-            println!("{} on {} ({} intervals, seed {:#x})", r.name, args.machine, args.intervals, args.seed);
+            println!(
+                "{} on {} ({} intervals, seed {:#x})",
+                r.name, args.machine, args.intervals, args.seed
+            );
             println!(
                 "  CPI {:.3} = WORK {:.2} + FE {:.2} + EXE {:.2} + OTHER {:.2}",
                 b.total(),
@@ -151,7 +168,10 @@ fn main() {
                 r.quadrant,
                 r.expected_quadrant
             );
-            println!("  recommended sampling: {}", r.quadrant.recommendation().name());
+            println!(
+                "  recommended sampling: {}",
+                r.quadrant.recommendation().name()
+            );
 
             if args.threads {
                 let per_thread = r.profile.eipvs_per_thread();

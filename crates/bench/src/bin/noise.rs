@@ -11,10 +11,10 @@
 //! ```
 use fuzzyphase_arch::{BranchEvent, DataAccess, Quantum};
 use fuzzyphase_profiler::{ProfileConfig, ProfileSession};
+use fuzzyphase_stats::prob_round;
 use fuzzyphase_workload::access::{in_space, scratch_traffic, MemoryRegion, StreamCursor};
 use fuzzyphase_workload::code::CodeRegion;
 use fuzzyphase_workload::scheduler::{MultiThreadWorkload, SchedulerConfig, ThreadBehavior};
-use fuzzyphase_stats::prob_round;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -42,8 +42,15 @@ impl ThreadBehavior for ScanThread {
             }
         }
         let branches: Vec<BranchEvent> = if self.branches {
-            (0..4).map(|_| BranchEvent { pc: self.code.sample_eip(rng), taken: rng.gen::<f64>() < 0.9 }).collect()
-        } else { vec![] };
+            (0..4)
+                .map(|_| BranchEvent {
+                    pc: self.code.sample_eip(rng),
+                    taken: rng.gen::<f64>() < 0.9,
+                })
+                .collect()
+        } else {
+            vec![]
+        };
         let mut fetch = self.code.fetch_run(eip, 3);
         fetch.push(self.code.sample_eip(rng));
         Quantum::compute(eip, instr)
@@ -56,26 +63,45 @@ impl ThreadBehavior for ScanThread {
 
 fn run(name: &str, locals: bool, branches: bool, stream: bool, os_frac: f64) {
     let table = MemoryRegion::new(in_space(150, 0x1000_0000), 192 << 20);
-    let threads: Vec<ScanThread> = (0..4).map(|i| {
-        let mut cursor = StreamCursor::new(table, 64);
-        cursor.seek(table.bytes() / 4 * i as u64);
-        ScanThread {
-            code: CodeRegion::new("scan", in_space(150, 0x4_0000_0000), 700, 0.8),
-            cursor,
-            scratch: MemoryRegion::new(in_space(150, 0x9000_0000 + i as u64 * 0x40_0000), 64 * 1024),
-            locals, branches, stream,
-        }
-    }).collect();
-    let mut w = MultiThreadWorkload::new("noise", threads, SchedulerConfig::new(5000.0, os_frac), 42);
-    let cfg = ProfileConfig { num_intervals: 100, warmup_intervals: 10, ..Default::default() };
+    let threads: Vec<ScanThread> = (0..4)
+        .map(|i| {
+            let mut cursor = StreamCursor::new(table, 64);
+            cursor.seek(table.bytes() / 4 * i as u64);
+            ScanThread {
+                code: CodeRegion::new("scan", in_space(150, 0x4_0000_0000), 700, 0.8),
+                cursor,
+                scratch: MemoryRegion::new(
+                    in_space(150, 0x9000_0000 + i as u64 * 0x40_0000),
+                    64 * 1024,
+                ),
+                locals,
+                branches,
+                stream,
+            }
+        })
+        .collect();
+    let mut w =
+        MultiThreadWorkload::new("noise", threads, SchedulerConfig::new(5000.0, os_frac), 42);
+    let cfg = ProfileConfig {
+        num_intervals: 100,
+        warmup_intervals: 10,
+        ..Default::default()
+    };
     let data = ProfileSession::run(&mut w, &cfg);
     let work: Vec<f64> = data.intervals.iter().map(|i| i.breakdown.work).collect();
     let fe: Vec<f64> = data.intervals.iter().map(|i| i.breakdown.fe).collect();
     let exe: Vec<f64> = data.intervals.iter().map(|i| i.breakdown.exe).collect();
     let oth: Vec<f64> = data.intervals.iter().map(|i| i.breakdown.other).collect();
     use fuzzyphase_stats::variance;
-    println!("{name:28} cpi={:.3} var={:.5} [work={:.5} fe={:.5} exe={:.5} oth={:.5}]",
-        data.mean_cpi(), data.cpi_variance(), variance(&work), variance(&fe), variance(&exe), variance(&oth));
+    println!(
+        "{name:28} cpi={:.3} var={:.5} [work={:.5} fe={:.5} exe={:.5} oth={:.5}]",
+        data.mean_cpi(),
+        data.cpi_variance(),
+        variance(&work),
+        variance(&fe),
+        variance(&exe),
+        variance(&oth)
+    );
 }
 
 fn main() {

@@ -69,8 +69,7 @@ pub fn kmeans_re_curve(
     for &k in ks {
         let mut sse = 0.0;
         for (train, test) in kf.splits() {
-            let train_points: Vec<Vec<f64>> =
-                train.iter().map(|&i| points[i].clone()).collect();
+            let train_points: Vec<Vec<f64>> = train.iter().map(|&i| points[i].clone()).collect();
             let kk = k.min(train_points.len());
             let clustering = KMeans::new(kk).fit(&train_points, seed ^ k as u64);
             // Cluster mean CPIs from the training fold.
@@ -94,7 +93,11 @@ pub fn kmeans_re_curve(
             }
         }
         let mse = sse / n as f64;
-        re.push(if variance <= 1e-15 { 1.0 } else { mse / variance });
+        re.push(if variance <= 1e-15 {
+            1.0
+        } else {
+            mse / variance
+        });
     }
     KmeansEvaluation {
         ks: ks.to_vec(),

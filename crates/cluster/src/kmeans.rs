@@ -201,10 +201,7 @@ impl KMeans {
     fn init_plus_plus(&self, points: &[Vec<f64>], rng: &mut StdRng) -> Vec<Vec<f64>> {
         let mut centroids = Vec::with_capacity(self.k);
         centroids.push(points[rng.gen_range(0..points.len())].clone());
-        let mut d2: Vec<f64> = points
-            .iter()
-            .map(|p| dist2(p, &centroids[0]))
-            .collect();
+        let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centroids[0])).collect();
         while centroids.len() < self.k {
             let total: f64 = d2.iter().sum();
             let pick = if total <= 0.0 {

@@ -33,8 +33,8 @@ pub mod stratified;
 pub use bic::{bic, choose_k_bic};
 pub use evaluate::{default_k_grid, kmeans_re_curve, KmeansEvaluation};
 pub use kmeans::{Clustering, KMeans};
-pub use projection::project;
 pub use phase_detect::{
     agreement, BranchCountDetector, PhaseDetector, SignatureDetector, VectorDetector,
 };
+pub use projection::project;
 pub use stratified::neyman_allocation;

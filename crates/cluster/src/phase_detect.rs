@@ -206,9 +206,7 @@ mod tests {
         for i in 0..n {
             let phase = (i / period) % 2;
             let base = phase as u32 * 1000;
-            vs.push(SparseVec::from_pairs(
-                (0..50).map(|j| (base + j, 2.0)),
-            ));
+            vs.push(SparseVec::from_pairs((0..50).map(|j| (base + j, 2.0))));
             br.push(if phase == 0 { 150.0 } else { 190.0 });
         }
         (vs, br)

@@ -44,14 +44,18 @@ pub mod quadrant;
 pub mod report;
 pub mod suite;
 
-pub use pipeline::{run_benchmark, run_suite, BenchmarkResult, RunConfig, SuiteResult};
+pub use pipeline::{
+    run_benchmark, run_suite, BenchmarkResult, RunConfig, SuiteResult, WorkerBudget,
+};
 pub use quadrant::{Quadrant, Thresholds};
 pub use report::{format_table2, Table2Row};
 pub use suite::{all_benchmarks, BenchmarkId, BenchmarkSpec};
 
 /// Everything most users need.
 pub mod prelude {
-    pub use crate::pipeline::{run_benchmark, run_suite, BenchmarkResult, RunConfig, SuiteResult};
+    pub use crate::pipeline::{
+        run_benchmark, run_suite, BenchmarkResult, RunConfig, SuiteResult, WorkerBudget,
+    };
     pub use crate::quadrant::{Quadrant, Thresholds};
     pub use crate::suite::{all_benchmarks, BenchmarkId, BenchmarkSpec};
     pub use fuzzyphase_profiler::{ProfileConfig, ProfileData, ProfileSession, SamplerSpec};

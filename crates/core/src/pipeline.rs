@@ -2,7 +2,7 @@
 //! analysis → quadrant.
 
 use crate::quadrant::{Quadrant, Thresholds};
-use crate::suite::{BenchmarkSpec, BenchmarkId};
+use crate::suite::{BenchmarkId, BenchmarkSpec};
 use fuzzyphase_profiler::{ProfileConfig, ProfileData, ProfileSession};
 use fuzzyphase_regtree::{analyze, AnalysisOptions, PredictabilityReport};
 use fuzzyphase_workload::dss::DssDatabase;
@@ -10,21 +10,81 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
+/// The run's thread budget: `suite` benchmarks in flight, each using
+/// `fold` threads for its cross-validation — `suite × fold` threads
+/// total, made explicit so the two layers of parallelism can't silently
+/// oversubscribe each other.
+///
+/// Either component may be `0` ("auto"): an auto `suite` takes one slot
+/// per available core (capped at 8, and at the number of benchmarks); an
+/// auto `fold` divides whatever budget the resolved suite width leaves
+/// over. The defaults (`suite: 0, fold: 1`) keep the pre-budget
+/// behavior: parallelism across benchmarks, serial folds within each.
+///
+/// Results never depend on the budget — benchmark seeds derive from
+/// names and fold partials merge in fold order — so any budget is safe;
+/// it only changes wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerBudget {
+    /// Concurrent benchmarks (0 = auto).
+    pub suite: usize,
+    /// Cross-validation fold threads per benchmark (0 = auto).
+    pub fold: usize,
+}
+
+impl Default for WorkerBudget {
+    fn default() -> Self {
+        Self { suite: 0, fold: 1 }
+    }
+}
+
+impl WorkerBudget {
+    /// A budget that parallelizes across benchmarks only.
+    pub fn suite_only(suite: usize) -> Self {
+        Self { suite, fold: 1 }
+    }
+
+    /// A budget that parallelizes inside each benchmark's
+    /// cross-validation only (what a single-benchmark run wants).
+    pub fn fold_only(fold: usize) -> Self {
+        Self { suite: 1, fold }
+    }
+
+    /// Resolves the auto components against the machine and `jobs`
+    /// pending benchmarks, returning concrete `(suite, fold)` widths.
+    pub fn resolve(&self, jobs: usize) -> (usize, usize) {
+        let cap = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8);
+        let suite = match self.suite {
+            0 => cap.min(jobs).max(1),
+            n => n,
+        };
+        let fold = match self.fold {
+            0 => (cap / suite).max(1),
+            n => n,
+        };
+        (suite, fold)
+    }
+}
+
 /// Configuration for one benchmark run or a whole suite run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
     /// Profiling parameters (the per-benchmark sampler rate from the
     /// [`BenchmarkSpec`] overrides `profile.sampler`).
     pub profile: ProfileConfig,
-    /// Regression-tree analysis parameters.
+    /// Regression-tree analysis parameters. The pipeline overwrites
+    /// `analysis.cv.workers` from the resolved [`WorkerBudget`]; set that
+    /// knob directly only when calling the regtree API yourself.
     pub analysis: AnalysisOptions,
     /// Quadrant thresholds.
     pub thresholds: Thresholds,
     /// Root seed; every benchmark derives its own stream from it.
     pub seed: u64,
-    /// Worker threads for suite runs (0 = one per available core, capped
-    /// at 8).
-    pub workers: usize,
+    /// Thread budget (suite × fold workers).
+    pub workers: WorkerBudget,
 }
 
 impl Default for RunConfig {
@@ -34,7 +94,7 @@ impl Default for RunConfig {
             analysis: AnalysisOptions::default(),
             thresholds: Thresholds::default(),
             seed: 0xF022_2004, // MICRO-37, 2004
-            workers: 0,
+            workers: WorkerBudget::default(),
         }
     }
 }
@@ -114,9 +174,13 @@ pub struct BenchmarkSummary {
     pub expected: Quadrant,
 }
 
-/// Runs one benchmark end-to-end.
+/// Runs one benchmark end-to-end, applying the fold component of the
+/// worker budget to its cross-validation.
 pub fn run_benchmark(spec: &BenchmarkSpec, cfg: &RunConfig) -> BenchmarkResult {
-    run_benchmark_with_db(spec, cfg, None)
+    let (_, fold_workers) = cfg.workers.resolve(1);
+    let mut cfg = cfg.clone();
+    cfg.analysis.cv.workers = fold_workers;
+    run_benchmark_with_db(spec, &cfg, None)
 }
 
 /// Runs one benchmark, reusing a shared DSS database image if given.
@@ -142,19 +206,20 @@ pub fn run_benchmark_with_db(
     }
 }
 
-/// Runs a set of benchmarks, in parallel across worker threads.
+/// Runs a set of benchmarks, in parallel across worker threads, with
+/// each benchmark's cross-validation given the budget's fold workers.
 ///
-/// Deterministic regardless of worker count: each benchmark's seed
-/// depends only on the root seed and its name.
+/// Deterministic regardless of the worker budget: each benchmark's seed
+/// depends only on the root seed and its name, and fold results merge in
+/// fold order.
 pub fn run_suite(specs: &[BenchmarkSpec], cfg: &RunConfig) -> SuiteResult {
-    let workers = if cfg.workers == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(8)
-    } else {
-        cfg.workers
+    let (workers, fold_workers) = cfg.workers.resolve(specs.len());
+    let cfg = {
+        let mut c = cfg.clone();
+        c.analysis.cv.workers = fold_workers;
+        c
     };
+    let cfg = &cfg;
     // One shared read-only database image for all ODB-H queries.
     let db = if specs.iter().any(|s| matches!(s.id, BenchmarkId::OdbH(_))) {
         Some(DssDatabase::new())
@@ -221,9 +286,9 @@ mod tests {
     fn suite_run_is_deterministic_and_ordered() {
         let specs = vec![BenchmarkSpec::spec("gzip"), BenchmarkSpec::spec("mcf")];
         let mut cfg = tiny_cfg();
-        cfg.workers = 2;
+        cfg.workers = WorkerBudget { suite: 2, fold: 2 };
         let a = run_suite(&specs, &cfg);
-        cfg.workers = 1;
+        cfg.workers = WorkerBudget::suite_only(1);
         let b = run_suite(&specs, &cfg);
         assert_eq!(a.benchmarks[0].name, "gzip");
         assert_eq!(a.benchmarks[1].name, "mcf");

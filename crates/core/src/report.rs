@@ -75,7 +75,11 @@ pub fn format_table2(suite: &SuiteResult) -> String {
             r.k,
             r.quadrant.to_string(),
             r.expected.to_string(),
-            if r.quadrant == r.expected { "yes" } else { "NO" },
+            if r.quadrant == r.expected {
+                "yes"
+            } else {
+                "NO"
+            },
         )
         .expect("string write");
     }
@@ -104,7 +108,10 @@ mod tests {
         let mut cfg = RunConfig::default();
         cfg.profile.num_intervals = 25;
         cfg.profile.warmup_intervals = 4;
-        let suite = run_suite(&[BenchmarkSpec::spec("gzip"), BenchmarkSpec::spec("mcf")], &cfg);
+        let suite = run_suite(
+            &[BenchmarkSpec::spec("gzip"), BenchmarkSpec::spec("mcf")],
+            &cfg,
+        );
         let table = format_table2(&suite);
         assert!(table.contains("gzip"));
         assert!(table.contains("mcf"));

@@ -173,12 +173,7 @@ mod tests {
     #[test]
     fn quadrant_counts_match_the_paper_prose() {
         let suite = all_benchmarks();
-        let count = |q: Quadrant| {
-            suite
-                .iter()
-                .filter(|b| b.expected_quadrant == q)
-                .count()
-        };
+        let count = |q: Quadrant| suite.iter().filter(|b| b.expected_quadrant == q).count();
         // Q-I: 13 SPEC + ODB-C + 4 reconstructed ODB-H.
         assert_eq!(count(Quadrant::I), 18);
         // Q-II: "There are only five benchmarks in Q-II".

@@ -31,7 +31,11 @@ pub fn samples_csv(data: &ProfileData) -> String {
         writeln!(
             out,
             "{},{:#x},{},{},{:.4}",
-            i, s.eip, s.thread, u8::from(s.is_os), s.cpi
+            i,
+            s.eip,
+            s.thread,
+            u8::from(s.is_os),
+            s.cpi
         )
         .expect("writing to String cannot fail");
     }
@@ -56,8 +60,7 @@ pub fn save_profile(data: &ProfileData, path: impl AsRef<Path>) -> io::Result<()
 /// Returns I/O errors and JSON parse errors (as `InvalidData`).
 pub fn load_profile(path: impl AsRef<Path>) -> io::Result<ProfileData> {
     let json = std::fs::read_to_string(path)?;
-    serde_json::from_str(&json)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

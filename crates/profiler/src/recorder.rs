@@ -4,8 +4,8 @@
 //! sample emission, interval closing, and final assembly.
 
 use crate::eipv::EipIndex;
-use crate::session::{IntervalStat, ProfileData, ProfileConfig, Sample};
-use fuzzyphase_arch::{Core, CounterSet, CpiBreakdown, QuantumResult, Quantum};
+use crate::session::{IntervalStat, ProfileConfig, ProfileData, Sample};
+use fuzzyphase_arch::{Core, CounterSet, CpiBreakdown, Quantum, QuantumResult};
 use fuzzyphase_stats::SparseVec;
 use fuzzyphase_workload::INSTR_SCALE;
 
@@ -94,8 +94,8 @@ impl Recorder {
         // Emit any samples this quantum crossed.
         while self.instr_done >= self.next_sample {
             let cycles_now = core.cycle();
-            let cpi = (cycles_now - self.last_sample_cycles) as f64
-                / self.cfg.sampler.period as f64;
+            let cpi =
+                (cycles_now - self.last_sample_cycles) as f64 / self.cfg.sampler.period as f64;
             self.last_sample_cycles = cycles_now;
             self.samples.push(Sample {
                 eip: q.eip,
@@ -130,8 +130,8 @@ impl Recorder {
             }
             self.interval_start_instr += self.cfg.interval_len;
             self.interval_start_cycles = cycles_now;
-            self.interval_start_seconds = (cycles_now - self.rec_cycles) as f64
-                / self.cfg.machine.cycles_per_second();
+            self.interval_start_seconds =
+                (cycles_now - self.rec_cycles) as f64 / self.cfg.machine.cycles_per_second();
             self.interval_breakdown = CpiBreakdown::default();
         }
     }
@@ -170,8 +170,7 @@ impl Recorder {
             total_cycles: core.cycle() - self.rec_cycles,
             context_switches: counters.context_switches - self.rec_context_switches,
             os_instructions: core.os_instructions() - self.rec_os_instructions,
-            seconds: (core.cycle() - self.rec_cycles) as f64
-                / self.cfg.machine.cycles_per_second()
+            seconds: (core.cycle() - self.rec_cycles) as f64 / self.cfg.machine.cycles_per_second()
                 * INSTR_SCALE as f64,
         }
     }

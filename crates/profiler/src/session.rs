@@ -309,7 +309,11 @@ mod tests {
         // SPEC: tens of switches per second (paper: ~25).
         let rate = data.context_switches_per_second();
         assert!(rate > 2.0 && rate < 400.0, "switch rate {rate}");
-        assert!(data.os_fraction() < 0.03, "os fraction {}", data.os_fraction());
+        assert!(
+            data.os_fraction() < 0.03,
+            "os fraction {}",
+            data.os_fraction()
+        );
     }
 
     #[test]

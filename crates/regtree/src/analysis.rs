@@ -6,13 +6,11 @@ use fuzzyphase_stats::SparseVec;
 use serde::{Deserialize, Serialize};
 
 /// Options for [`analyze`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AnalysisOptions {
     /// Cross-validation settings.
     pub cv: CrossValidation,
 }
-
 
 /// The per-benchmark result the paper reports: CPI variance, the RE
 /// curve, and the §4.5 summary statistics.
@@ -64,7 +62,11 @@ impl PredictabilityReport {
 ///
 /// Panics if `vectors` and `cpis` lengths differ or there are fewer
 /// vectors than CV folds.
-pub fn analyze(vectors: &[SparseVec], cpis: &[f64], opts: &AnalysisOptions) -> PredictabilityReport {
+pub fn analyze(
+    vectors: &[SparseVec],
+    cpis: &[f64],
+    opts: &AnalysisOptions,
+) -> PredictabilityReport {
     let num_features = vectors.iter().map(SparseVec::dim_bound).max().unwrap_or(0);
     let ds = Dataset::new(vectors.to_vec(), cpis.to_vec());
     let curve = opts.cv.run(&ds);
@@ -94,7 +96,11 @@ mod tests {
         assert_eq!(rep.num_vectors, 120);
         assert_eq!(rep.re_curve.len(), 50);
         assert!(rep.re_min <= rep.re_asymptote + 1e-12);
-        assert!(rep.explained_variance > 0.9, "ev {}", rep.explained_variance);
+        assert!(
+            rep.explained_variance > 0.9,
+            "ev {}",
+            rep.explained_variance
+        );
         assert!(rep.cpi_variance > 0.2);
         assert!((rep.cpi_mean - 1.5).abs() < 0.1);
         assert!(rep.k_at_min >= 2);

@@ -9,6 +9,16 @@
 //! sparsity: only counts that are non-zero somewhere in a node can define
 //! a useful threshold, so the scan is O(non-zeros · log) per node rather
 //! than O(features · rows).
+//!
+//! On top of the sparse scan, [`TreeBuilder::fit`] keeps a presorted
+//! split-entry cache: the root's `(feature, value, row)` triples are
+//! sorted once, and each expansion stably partitions its node's triples
+//! into the two children. A stable partition of a sorted sequence is
+//! still sorted — and ties stay in node-row order, exactly as a fresh
+//! per-node sort would leave them — so every node's split search sees
+//! the same entry sequence the re-sorting implementation
+//! ([`TreeBuilder::fit_rescan`]) would build, at O(non-zeros) per
+//! expansion instead of O(non-zeros · log non-zeros).
 
 use crate::dataset::Dataset;
 use crate::tree::{Node, RegressionTree, Split};
@@ -61,11 +71,18 @@ struct Candidate {
     gain: f64,
 }
 
+/// A non-zero count in a node: `(feature, value, row)`. Kept sorted by
+/// `(feature, value)` with ties in node-row order — the order the split
+/// scan consumes.
+type Entry = (u32, f64, u32);
+
 /// One growable leaf.
 #[derive(Debug)]
 struct LeafState {
     node: u32,
     rows: Vec<u32>,
+    /// The node's sorted split entries (see [`Entry`]).
+    entries: Vec<Entry>,
     best: Option<Candidate>,
 }
 
@@ -122,10 +139,26 @@ impl TreeBuilder {
         self
     }
 
-    /// Fits a tree to the dataset.
+    /// Fits a tree to the dataset using the presorted split-entry cache:
+    /// sort the non-zeros once at the root, stably partition them on
+    /// every expansion.
     pub fn fit(&self, ds: &Dataset) -> RegressionTree {
+        self.fit_impl(ds, true)
+    }
+
+    /// Reference fit without the split-entry cache: every node re-gathers
+    /// and re-sorts its non-zeros, as a literal reading of the paper's
+    /// algorithm would. Produces a tree identical to [`TreeBuilder::fit`]
+    /// (property-tested); kept as the ablation baseline for benches and
+    /// as the oracle for cache-correctness tests.
+    pub fn fit_rescan(&self, ds: &Dataset) -> RegressionTree {
+        self.fit_impl(ds, false)
+    }
+
+    fn fit_impl(&self, ds: &Dataset, cache_entries: bool) -> RegressionTree {
         let all_rows: Vec<u32> = (0..ds.len() as u32).collect();
         let root_stats = subset_stats(ds, &all_rows);
+        let root_entries = gather_sorted(ds, &all_rows);
         let mut nodes = vec![Node {
             mean: root_stats.mean(),
             count: all_rows.len() as u32,
@@ -136,9 +169,13 @@ impl TreeBuilder {
         }];
         let mut leaves = vec![LeafState {
             node: 0,
-            best: self.search(ds, &all_rows, &root_stats),
+            best: self.search(ds, &root_stats, &root_entries),
             rows: all_rows,
+            entries: root_entries,
         }];
+        // Row → side-of-split lookup, reused across expansions; only the
+        // expanded node's rows are consulted, so stale slots are harmless.
+        let mut goes_left = vec![false; ds.len()];
 
         let mut order = 0u32;
         while nodes.iter().filter(|n| n.is_leaf()).count() < self.max_leaves {
@@ -167,13 +204,37 @@ impl TreeBuilder {
             let mut left_rows = Vec::new();
             let mut right_rows = Vec::new();
             for &r in &leaf.rows {
-                if ds.row(r as usize).get(cand.feature) <= cand.threshold {
+                let left = ds.row(r as usize).get(cand.feature) <= cand.threshold;
+                goes_left[r as usize] = left;
+                if left {
                     left_rows.push(r);
                 } else {
                     right_rows.push(r);
                 }
             }
             debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
+
+            // Partition the node's sorted entries into the children. The
+            // partition is stable, so both children stay sorted with ties
+            // in node-row order — byte-for-byte what `gather_sorted`
+            // would rebuild.
+            let (left_entries, right_entries) = if cache_entries {
+                let mut le = Vec::new();
+                let mut re = Vec::new();
+                for e in &leaf.entries {
+                    if goes_left[e.2 as usize] {
+                        le.push(*e);
+                    } else {
+                        re.push(*e);
+                    }
+                }
+                (le, re)
+            } else {
+                (
+                    gather_sorted(ds, &left_rows),
+                    gather_sorted(ds, &right_rows),
+                )
+            };
 
             let ls = subset_stats(ds, &left_rows);
             let rs = subset_stats(ds, &right_rows);
@@ -207,40 +268,31 @@ impl TreeBuilder {
 
             leaves.push(LeafState {
                 node: li,
-                best: self.search(ds, &left_rows, &ls),
+                best: self.search(ds, &ls, &left_entries),
                 rows: left_rows,
+                entries: left_entries,
             });
             leaves.push(LeafState {
                 node: ri,
-                best: self.search(ds, &right_rows, &rs),
+                best: self.search(ds, &rs, &right_entries),
                 rows: right_rows,
+                entries: right_entries,
             });
         }
 
         RegressionTree::from_nodes(nodes)
     }
 
-    /// Finds the variance-minimizing split of a row subset, if any.
-    fn search(&self, ds: &Dataset, rows: &[u32], node_stats: &Stats) -> Option<Candidate> {
+    /// Finds the variance-minimizing split of a node, if any, given the
+    /// node's presorted split entries.
+    fn search(&self, ds: &Dataset, node_stats: &Stats, entries: &[Entry]) -> Option<Candidate> {
         // Degeneracy and tie thresholds are *relative* to the node's scale
         // so that fitted trees are invariant under exact rescaling of the
         // targets (RE is dimensionless).
         let scale = node_stats.sumsq.max(f64::MIN_POSITIVE);
-        if rows.len() < 2 * self.min_leaf || node_stats.sse() <= scale * 1e-12 {
+        if (node_stats.n as usize) < 2 * self.min_leaf || node_stats.sse() <= scale * 1e-12 {
             return None;
         }
-        // Gather all non-zero (feature, value, y) triples in this node.
-        let mut entries: Vec<(u32, f64, f64)> = Vec::new();
-        for &r in rows {
-            let y = ds.target(r as usize);
-            for (f, v) in ds.row(r as usize).iter() {
-                entries.push((f, v, y));
-            }
-        }
-        entries.sort_by(|a, b| {
-            a.0.cmp(&b.0)
-                .then(a.1.partial_cmp(&b.1).expect("counts are finite"))
-        });
 
         let node_sse = node_stats.sse();
         let mut best: Option<Candidate> = None;
@@ -253,7 +305,7 @@ impl TreeBuilder {
             // Group totals for this feature.
             let mut group = Stats::default();
             while j < entries.len() && entries[j].0 == feature {
-                group.push(entries[j].2);
+                group.push(ds.target(entries[j].2 as usize));
                 j += 1;
             }
             // Rows where this feature is zero.
@@ -278,7 +330,7 @@ impl TreeBuilder {
                         }
                     }
                 }
-                left.push(e.2);
+                left.push(ds.target(e.2 as usize));
                 prev_value = e.1;
                 have_left = true;
             }
@@ -294,6 +346,23 @@ fn subset_stats(ds: &Dataset, rows: &[u32]) -> Stats {
         s.push(ds.target(r as usize));
     }
     s
+}
+
+/// Collects a row subset's non-zero `(feature, value, row)` triples,
+/// sorted by `(feature, value)`. The sort is stable and rows are visited
+/// in node order, so ties keep node-row order.
+fn gather_sorted(ds: &Dataset, rows: &[u32]) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    for &r in rows {
+        for (f, v) in ds.row(r as usize).iter() {
+            entries.push((f, v, r));
+        }
+    }
+    entries.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.partial_cmp(&b.1).expect("counts are finite"))
+    });
+    entries
 }
 
 #[cfg(test)]
@@ -385,6 +454,40 @@ mod tests {
                 let (l, r) = (&tree.nodes()[l as usize], &tree.nodes()[r as usize]);
                 assert_eq!(l.count + r.count, n.count);
             }
+        }
+    }
+
+    #[test]
+    fn cached_entries_match_rescan_on_paper_example() {
+        let ds = Dataset::paper_example();
+        for cap in 1..=8 {
+            let cached = TreeBuilder::new().max_leaves(cap).fit(&ds);
+            let rescan = TreeBuilder::new().max_leaves(cap).fit_rescan(&ds);
+            assert_eq!(cached, rescan, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn cached_entries_match_rescan_on_random_data() {
+        use fuzzyphase_stats::seeded_rng;
+        use rand::Rng;
+        for seed in 0..5u64 {
+            let mut rng = seeded_rng(seed);
+            let n = 80;
+            let mut rows = Vec::new();
+            let mut ys = Vec::new();
+            for _ in 0..n {
+                let nnz = rng.gen_range(1..6);
+                let pairs: Vec<(u32, f64)> = (0..nnz)
+                    .map(|_| (rng.gen_range(0..15u32), rng.gen_range(1.0..50.0)))
+                    .collect();
+                rows.push(SparseVec::from_pairs(pairs));
+                ys.push(rng.gen_range(0.0..4.0));
+            }
+            let ds = Dataset::new(rows, ys);
+            let cached = TreeBuilder::new().min_leaf(2).fit(&ds);
+            let rescan = TreeBuilder::new().min_leaf(2).fit_rescan(&ds);
+            assert_eq!(cached, rescan, "seed {seed}");
         }
     }
 

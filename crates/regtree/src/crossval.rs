@@ -16,6 +16,7 @@
 use crate::builder::TreeBuilder;
 use crate::dataset::Dataset;
 use fuzzyphase_stats::KFold;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// The relative-error curve and its summary statistics.
@@ -94,6 +95,12 @@ pub struct CrossValidation {
     pub seed: u64,
     /// Minimum rows per chamber during growth.
     pub min_leaf: usize,
+    /// Worker threads evaluating folds: `1` runs in the calling thread
+    /// (default), `0` spawns one per available core, `n` spawns exactly
+    /// `n` (both capped at the fold count). The resulting [`ReCurve`] is
+    /// bit-identical for every setting: each fold accumulates its own
+    /// partial error vector and partials are merged in fold order.
+    pub workers: usize,
 }
 
 impl Default for CrossValidation {
@@ -103,6 +110,7 @@ impl Default for CrossValidation {
             k_max: 50,
             seed: 0x5EED,
             min_leaf: 1,
+            workers: 1,
         }
     }
 }
@@ -125,25 +133,59 @@ impl CrossValidation {
         let builder = TreeBuilder::new()
             .max_leaves(self.k_max)
             .min_leaf(self.min_leaf);
+        let splits: Vec<(Vec<usize>, &[usize])> = kf.splits().collect();
 
-        // sum_sq_err[k-1] accumulates over all held-out points.
-        let mut sum_sq_err = vec![0.0f64; self.k_max];
-        for (train, test) in kf.splits() {
-            let train_ds = ds.subset(&train);
-            let tree = builder.fit(&train_ds);
-            for &t in test {
-                let y = ds.target(t);
-                let path = tree.path_means(ds.row(t));
-                // path[(needed_k_minus_1, mean)]: prediction for T_k is
-                // the deepest path entry with needed ≤ k - 1.
-                let mut pi = 0;
-                for k in 1..=self.k_max {
-                    while pi + 1 < path.len() && (path[pi + 1].0 as usize) < k {
-                        pi += 1;
-                    }
-                    let err = y - path[pi].1;
-                    sum_sq_err[k - 1] += err * err;
+        // Each fold produces its own partial sum-of-squared-errors
+        // vector; partials are merged in fold order below, so the
+        // floating-point reduction — and therefore the curve — is
+        // bit-identical no matter how many workers evaluated the folds.
+        let workers = match self.workers {
+            0 => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(self.folds),
+            w => w.min(self.folds),
+        };
+        let partials: Vec<Vec<f64>> = if workers <= 1 {
+            splits
+                .iter()
+                .map(|(train, test)| self.fold_sse(ds, &builder, train, test))
+                .collect()
+        } else {
+            // Work-queue over fold indices (same idiom as the suite
+            // runner in fuzzyphase::pipeline): workers pull the next
+            // unclaimed fold until none remain.
+            let results: Mutex<Vec<(usize, Vec<f64>)>> =
+                Mutex::new(Vec::with_capacity(splits.len()));
+            let next: Mutex<usize> = Mutex::new(0);
+            crossbeam::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|_| loop {
+                        let i = {
+                            let mut n = next.lock();
+                            if *n >= splits.len() {
+                                break;
+                            }
+                            let i = *n;
+                            *n += 1;
+                            i
+                        };
+                        let sse = self.fold_sse(ds, &builder, &splits[i].0, splits[i].1);
+                        results.lock().push((i, sse));
+                    });
                 }
+            })
+            .expect("fold workers must not panic");
+            let mut results = results.into_inner();
+            results.sort_by_key(|(i, _)| *i);
+            results.into_iter().map(|(_, sse)| sse).collect()
+        };
+
+        // Merge in fold order: sum_sq_err[k-1] over all held-out points.
+        let mut sum_sq_err = vec![0.0f64; self.k_max];
+        for partial in &partials {
+            for (acc, &p) in sum_sq_err.iter_mut().zip(partial) {
+                *acc += p;
             }
         }
 
@@ -161,6 +203,36 @@ impl CrossValidation {
             })
             .collect();
         ReCurve { re, variance, n }
+    }
+
+    /// Evaluates one fold: grows a tree on `train`, drops every `test`
+    /// point through it, and returns the fold's partial per-`k`
+    /// sum-of-squared-errors vector.
+    fn fold_sse(
+        &self,
+        ds: &Dataset,
+        builder: &TreeBuilder,
+        train: &[usize],
+        test: &[usize],
+    ) -> Vec<f64> {
+        let train_ds = ds.subset(train);
+        let tree = builder.fit(&train_ds);
+        let mut sse = vec![0.0f64; self.k_max];
+        for &t in test {
+            let y = ds.target(t);
+            let path = tree.path_means(ds.row(t));
+            // path[(needed_k_minus_1, mean)]: prediction for T_k is
+            // the deepest path entry with needed ≤ k - 1.
+            let mut pi = 0;
+            for k in 1..=self.k_max {
+                while pi + 1 < path.len() && (path[pi + 1].0 as usize) < k {
+                    pi += 1;
+                }
+                let err = y - path[pi].1;
+                sse[k - 1] += err * err;
+            }
+        }
+        sse
     }
 }
 
@@ -265,7 +337,11 @@ mod tests {
             curve.re_min().0
         );
         // "more complex models performing worse than simple ones (RE>1)!"
-        assert!(curve.re_asymptote() > 0.95, "asymptote {}", curve.re_asymptote());
+        assert!(
+            curve.re_asymptote() > 0.95,
+            "asymptote {}",
+            curve.re_asymptote()
+        );
     }
 
     #[test]
@@ -310,16 +386,44 @@ mod tests {
     #[test]
     fn ensemble_reports_low_spread_on_clean_data() {
         let ds = separable(200, 10);
-        let (mean, std) = cross_validate_ensemble(
-            &ds,
-            &CrossValidation::default(),
-            &[1, 2, 3, 4, 5],
-        );
+        let (mean, std) =
+            cross_validate_ensemble(&ds, &CrossValidation::default(), &[1, 2, 3, 4, 5]);
         assert_eq!(mean.len(), 50);
         // RE_1 ~ 1 with tiny spread; deep-k RE small with tiny spread.
         assert!((mean[0] - 1.0).abs() < 0.1);
         assert!(std.iter().all(|&s| s < 0.2), "spreads {std:?}");
         assert!(mean[9] < 0.1);
+    }
+
+    #[test]
+    fn parallel_folds_bit_identical_to_serial() {
+        let ds = separable(240, 15);
+        let serial = CrossValidation {
+            workers: 1,
+            ..Default::default()
+        }
+        .run(&ds);
+        for workers in [2, 3, 7, 0] {
+            let parallel = CrossValidation {
+                workers,
+                ..Default::default()
+            }
+            .run(&ds);
+            assert_eq!(serial, parallel, "workers {workers}");
+            for (a, b) in serial.re.iter().zip(&parallel.re) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_above_fold_count_is_capped() {
+        let ds = separable(60, 16);
+        let cv = CrossValidation {
+            workers: 64,
+            ..Default::default()
+        };
+        assert_eq!(cv.run(&ds), cross_validate(&ds, cv.seed));
     }
 
     #[test]

@@ -149,8 +149,7 @@ impl RegressionTree {
         let mut gains: std::collections::HashMap<u32, f64> = Default::default();
         for n in self.nodes() {
             if let (Some(split), Some(l), Some(r)) = (n.split, n.left, n.right) {
-                let gain =
-                    n.sse - self.nodes[l as usize].sse - self.nodes[r as usize].sse;
+                let gain = n.sse - self.nodes[l as usize].sse - self.nodes[r as usize].sse;
                 *gains.entry(split.feature).or_insert(0.0) += gain.max(0.0);
             }
         }

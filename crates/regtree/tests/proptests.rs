@@ -1,23 +1,17 @@
 //! Property tests for the regression-tree analysis core.
 
-use fuzzyphase_regtree::{cross_validate, Dataset, TreeBuilder};
+use fuzzyphase_regtree::{cross_validate, CrossValidation, Dataset, TreeBuilder};
 use fuzzyphase_stats::SparseVec;
 use proptest::prelude::*;
 
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
     (20usize..80).prop_flat_map(|n| {
         (
-            prop::collection::vec(
-                prop::collection::vec((0u32..12, 1f64..100.0), 1..5),
-                n..=n,
-            ),
+            prop::collection::vec(prop::collection::vec((0u32..12, 1f64..100.0), 1..5), n..=n),
             prop::collection::vec(0f64..5.0, n..=n),
         )
             .prop_map(|(rows, ys)| {
-                Dataset::new(
-                    rows.into_iter().map(SparseVec::from_pairs).collect(),
-                    ys,
-                )
+                Dataset::new(rows.into_iter().map(SparseVec::from_pairs).collect(), ys)
             })
     })
 }
@@ -72,6 +66,34 @@ proptest! {
         let b = cross_validate(&transformed, 3);
         for (x, y) in a.re.iter().zip(&b.re) {
             prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    /// The presorted split-entry cache is invisible: [`TreeBuilder::fit`]
+    /// grows exactly the tree the per-node re-sorting reference
+    /// ([`TreeBuilder::fit_rescan`]) grows, on arbitrary sparse data and
+    /// across leaf caps and leaf minima.
+    #[test]
+    fn cached_split_search_matches_rescan(
+        ds in dataset_strategy(),
+        cap in 2usize..20,
+        min_leaf in 1usize..4,
+    ) {
+        let b = TreeBuilder::new().max_leaves(cap).min_leaf(min_leaf);
+        prop_assert_eq!(b.fit(&ds), b.fit_rescan(&ds));
+    }
+
+    /// Fold-parallel cross-validation returns the bit-identical curve to
+    /// the serial run, for any worker count.
+    #[test]
+    fn parallel_cv_is_bit_identical(ds in dataset_strategy(), workers in 2usize..6) {
+        let serial = CrossValidation { workers: 1, folds: 5, ..Default::default() };
+        let parallel = CrossValidation { workers, ..serial };
+        let a = serial.run(&ds);
+        let b = parallel.run(&ds);
+        prop_assert_eq!(&a, &b);
+        for (x, y) in a.re.iter().zip(&b.re) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

@@ -34,11 +34,10 @@ pub mod uniform;
 
 pub use evaluate::{evaluate_technique, TechniqueError};
 pub use phase::{EarlyPhaseSampling, PhaseSampling, StratifiedPhaseSampling};
-pub use random::RandomSampling;
 pub use predictor::{
-    score_predictor, ExponentialAverage, LastValue, OnlinePredictor, PredictorScore,
-    TablePredictor,
+    score_predictor, ExponentialAverage, LastValue, OnlinePredictor, PredictorScore, TablePredictor,
 };
+pub use random::RandomSampling;
 pub use selector::{recommend, Recommendation};
 pub use smarts::SmartsSampling;
 pub use technique::{CpiEstimate, Technique};

@@ -141,8 +141,7 @@ impl Technique for StratifiedPhaseSampling {
             pool.shuffle(&mut rng);
             let take = alloc[c].min(pool.len());
             let chosen = &pool[..take];
-            let cluster_mean: f64 =
-                chosen.iter().map(|&i| cpis[i]).sum::<f64>() / take as f64;
+            let cluster_mean: f64 = chosen.iter().map(|&i| cpis[i]).sum::<f64>() / take as f64;
             weighted += cluster_mean * sizes[c] as f64;
             weight_total += sizes[c] as f64;
             intervals.extend_from_slice(chosen);

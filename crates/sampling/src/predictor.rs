@@ -239,8 +239,16 @@ mod tests {
         let mut last = LastValue::new();
         let st = score_predictor(&mut table, &series);
         let sl = score_predictor(&mut last, &series);
-        assert!(st.mean_relative_error < 0.01, "table {}", st.mean_relative_error);
-        assert!(sl.mean_relative_error > 0.5, "last {}", sl.mean_relative_error);
+        assert!(
+            st.mean_relative_error < 0.01,
+            "table {}",
+            st.mean_relative_error
+        );
+        assert!(
+            sl.mean_relative_error > 0.5,
+            "last {}",
+            sl.mean_relative_error
+        );
         assert!(st.explained_variance > 0.99);
     }
 

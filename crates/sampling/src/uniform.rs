@@ -35,9 +35,7 @@ impl Technique for UniformSampling {
         let total = vectors.len().min(cpis.len());
         let n = self.n.min(total);
         // Centered systematic sampling: stride through the run.
-        let intervals: Vec<usize> = (0..n)
-            .map(|i| ((2 * i + 1) * total) / (2 * n))
-            .collect();
+        let intervals: Vec<usize> = (0..n).map(|i| ((2 * i + 1) * total) / (2 * n)).collect();
         let cpi = intervals.iter().map(|&i| cpis[i]).sum::<f64>() / n as f64;
         CpiEstimate { cpi, intervals }
     }
@@ -77,7 +75,9 @@ mod tests {
     fn periodic_aliasing_hurts() {
         // A classic uniform-sampling failure: period-matching phases.
         let vs: Vec<SparseVec> = (0..100).map(|_| SparseVec::new()).collect();
-        let ys: Vec<f64> = (0..100).map(|i| if (i / 25) % 2 == 0 { 1.0 } else { 3.0 }).collect();
+        let ys: Vec<f64> = (0..100)
+            .map(|i| if (i / 25) % 2 == 0 { 1.0 } else { 3.0 })
+            .collect();
         let e = UniformSampling::new(2).estimate(&vs, &ys, 0);
         // With 2 samples at 25 and 75, both land in different phases here;
         // just confirm the estimate is within the value range.

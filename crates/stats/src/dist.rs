@@ -114,7 +114,10 @@ impl LogNormal {
     ///
     /// Panics if `sigma < 0` or parameters are not finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite(), "parameters must be finite");
+        assert!(
+            mu.is_finite() && sigma.is_finite(),
+            "parameters must be finite"
+        );
         assert!(sigma >= 0.0, "sigma must be >= 0");
         Self { mu, sigma }
     }
@@ -425,7 +428,11 @@ mod tests {
         let mut rng = seeded_rng(7);
         let n = 200_000;
         let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean - d.mean()).abs() < 0.02, "got {mean}, want {}", d.mean());
+        assert!(
+            (mean - d.mean()).abs() < 0.02,
+            "got {mean}, want {}",
+            d.mean()
+        );
     }
 
     #[test]
@@ -527,7 +534,10 @@ pub fn prob_round<R: Rng + ?Sized>(rng: &mut R, x: f64) -> u64 {
 ///
 /// Panics if `lambda` is negative or not finite.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "poisson needs finite lambda >= 0");
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "poisson needs finite lambda >= 0"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -578,8 +588,14 @@ mod more_tests {
             let xs: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
             let mean = crate::mean(&xs);
             let var = crate::variance(&xs);
-            assert!((mean - lambda).abs() < 0.05 * lambda + 0.05, "mean {mean} for {lambda}");
-            assert!((var - lambda).abs() < 0.1 * lambda + 0.1, "var {var} for {lambda}");
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda + 0.05,
+                "mean {mean} for {lambda}"
+            );
+            assert!(
+                (var - lambda).abs() < 0.1 * lambda + 0.1,
+                "var {var} for {lambda}"
+            );
         }
     }
 

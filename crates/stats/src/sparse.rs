@@ -95,11 +95,7 @@ impl SparseVec {
 
     /// Euclidean norm.
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|&(_, v)| v * v)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt()
     }
 
     /// Scales every entry by `factor` (dropping all entries when `factor`

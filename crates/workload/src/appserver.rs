@@ -147,8 +147,12 @@ impl SjasWorkload {
             cfg.code_zipf,
         );
         let gc_code = CodeRegion::new("gc", in_space(JVM_SPACE, 0x5_0000_0000), 640, 0.7);
-        let compiler_code =
-            CodeRegion::new("jit-compiler", in_space(JVM_SPACE, 0x5_1000_0000), 1536, 0.8);
+        let compiler_code = CodeRegion::new(
+            "jit-compiler",
+            in_space(JVM_SPACE, 0x5_1000_0000),
+            1536,
+            0.8,
+        );
         let heap = MemoryRegion::new(in_space(JVM_SPACE, 0x1000_0000), cfg.heap_bytes);
         let scratch = (0..cfg.threads)
             .map(|i| {
@@ -185,8 +189,8 @@ impl SjasWorkload {
 
     /// Currently-compiled fraction of the code image.
     fn active_slots(&self) -> u32 {
-        let warmed = 1.0
-            - (1.0 - self.cfg.warm_start) * (-self.total_instr / self.cfg.warm_tau).exp();
+        let warmed =
+            1.0 - (1.0 - self.cfg.warm_start) * (-self.total_instr / self.cfg.warm_tau).exp();
         ((self.cfg.code_slots as f64 * warmed) as u32).max(1)
     }
 
@@ -194,8 +198,8 @@ impl SjasWorkload {
         let rng = &mut self.rng;
         let instr = self.quantum_len.sample(rng).round().max(16.0) as u64;
         let active = {
-            let warmed = 1.0
-                - (1.0 - self.cfg.warm_start) * (-self.total_instr / self.cfg.warm_tau).exp();
+            let warmed =
+                1.0 - (1.0 - self.cfg.warm_start) * (-self.total_instr / self.cfg.warm_tau).exp();
             ((self.cfg.code_slots as f64 * warmed) as u32).max(1)
         };
         let eip = self.jit_code.sample_eip_bounded(rng, active);
@@ -212,9 +216,10 @@ impl SjasWorkload {
         let locality = 0.62 + 0.72 * self.heap_fill;
         let probes = prob_round(rng, instr as f64 * self.cfg.heap_rate * locality);
         // Probes spread over the *filled* part of the heap.
-        let filled = self
-            .heap
-            .slice(0, ((self.heap.bytes() as f64) * self.heap_fill.max(0.05)) as u64);
+        let filled = self.heap.slice(
+            0,
+            ((self.heap.bytes() as f64) * self.heap_fill.max(0.05)) as u64,
+        );
         for _ in 0..probes {
             data.push(DataAccess::read(filled.random_addr(rng)));
         }
@@ -230,8 +235,7 @@ impl SjasWorkload {
             .collect();
 
         self.total_instr += instr as f64;
-        self.heap_fill =
-            (self.heap_fill + instr as f64 * self.cfg.alloc_per_instr).min(1.0);
+        self.heap_fill = (self.heap_fill + instr as f64 * self.cfg.alloc_per_instr).min(1.0);
 
         Quantum::compute(eip, instr)
             .with_base_cpi(self.cfg.base_cpi)
@@ -248,14 +252,19 @@ impl SjasWorkload {
         let mut data: Vec<DataAccess> = Vec::with_capacity(12);
         // Mark phase: pointer chasing across the live heap (demand misses)
         // plus a sweeping component (prefetch-covered).
-        let live = self
-            .heap
-            .slice(0, ((self.heap.bytes() as f64) * self.heap_fill.max(0.05)) as u64);
+        let live = self.heap.slice(
+            0,
+            ((self.heap.bytes() as f64) * self.heap_fill.max(0.05)) as u64,
+        );
         let probes = prob_round(rng, instr as f64 * self.cfg.gc_rate);
         for _ in 0..probes {
             data.push(DataAccess::read(live.random_addr(rng)));
         }
-        data.push(DataAccess::read(live.random_addr(rng)).prefetched().with_weight(instr as f64 * 0.05));
+        data.push(
+            DataAccess::read(live.random_addr(rng))
+                .prefetched()
+                .with_weight(instr as f64 * 0.05),
+        );
         local_reads(rng, &self.scratch[0], 3, instr as f64 * 0.15, &mut data);
 
         let fetch = self.gc_code.fetch_run(eip, 2);

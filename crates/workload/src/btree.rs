@@ -205,7 +205,10 @@ mod tests {
     fn leaf_level_dwarfs_upper_levels() {
         let t = tree(2_000_000, 128);
         let leaf_bytes = t.num_leaves() as u64 * 128 * 8;
-        assert!(leaf_bytes * 10 > t.bytes() * 9, "leaves should dominate storage");
+        assert!(
+            leaf_bytes * 10 > t.bytes() * 9,
+            "leaves should dominate storage"
+        );
         // Leaf storage must exceed the biggest L3 (4 MB) for the Q18
         // mechanism to appear.
         assert!(leaf_bytes > 8 << 20, "leaf level {leaf_bytes} too small");

@@ -102,7 +102,10 @@ impl CodeRegion {
     ///
     /// Panics if `active == 0` or `active > slots`.
     pub fn sample_eip_bounded(&self, rng: &mut StdRng, active: u32) -> u64 {
-        assert!(active > 0 && active <= self.slots, "active slots out of range");
+        assert!(
+            active > 0 && active <= self.slots,
+            "active slots out of range"
+        );
         match &self.popularity {
             Some(z) => {
                 // Rejection-sample the Zipf into the active prefix; ranks are
@@ -145,7 +148,8 @@ impl CodeImage {
             .regions
             .last()
             .map_or(0x4000_0000, |r| (r.end() + 0xFFFF) & !0xFFFF);
-        self.regions.push(CodeRegion::new(name, base, slots, zipf_s));
+        self.regions
+            .push(CodeRegion::new(name, base, slots, zipf_s));
         self.regions.len() - 1
     }
 
@@ -187,7 +191,12 @@ mod tests {
         img.add_region("b", 2000, 0.5);
         img.add_region("c", 10, 0.0);
         for w in img.regions.windows(2) {
-            assert!(w[0].end() <= w[1].base(), "{} overlaps {}", w[0].name(), w[1].name());
+            assert!(
+                w[0].end() <= w[1].base(),
+                "{} overlaps {}",
+                w[0].name(),
+                w[1].name()
+            );
         }
     }
 
@@ -214,7 +223,11 @@ mod tests {
             }
         }
         // Top 1% of slots should take far more than 1% of samples.
-        assert!(hot as f64 / n as f64 > 0.2, "hot fraction {}", hot as f64 / n as f64);
+        assert!(
+            hot as f64 / n as f64 > 0.2,
+            "hot fraction {}",
+            hot as f64 / n as f64
+        );
     }
 
     #[test]

@@ -146,8 +146,18 @@ impl DssDatabase {
         let code = vec![
             CodeRegion::new("op-scan", in_space(DSS_SPACE, 0x4_0000_0000), 700, 0.8),
             CodeRegion::new("op-sort", in_space(DSS_SPACE, 0x4_1000_0000), 900, 0.8),
-            CodeRegion::new("op-join-build", in_space(DSS_SPACE, 0x4_2000_0000), 650, 0.8),
-            CodeRegion::new("op-join-probe", in_space(DSS_SPACE, 0x4_3000_0000), 750, 0.8),
+            CodeRegion::new(
+                "op-join-build",
+                in_space(DSS_SPACE, 0x4_2000_0000),
+                650,
+                0.8,
+            ),
+            CodeRegion::new(
+                "op-join-probe",
+                in_space(DSS_SPACE, 0x4_3000_0000),
+                750,
+                0.8,
+            ),
             CodeRegion::new("op-index", in_space(DSS_SPACE, 0x4_4000_0000), 800, 0.8),
             CodeRegion::new("op-agg", in_space(DSS_SPACE, 0x4_5000_0000), 500, 0.8),
         ];
@@ -217,12 +227,7 @@ impl QueryProgress {
     /// that interval CPI genuinely swings, and the width distribution is
     /// bimodal: clustered customers (narrow, cache-friendly) vs scattered
     /// ones (wide, leaf misses).
-    fn focus(
-        &self,
-        rng: &mut StdRng,
-        focus_min: f64,
-        focus_max: f64,
-    ) -> (f64, f64) {
+    fn focus(&self, rng: &mut StdRng, focus_min: f64, focus_max: f64) -> (f64, f64) {
         let total = self.total_instr.load(Ordering::Relaxed) as f64;
         let mut f = self.focus.lock().expect("focus lock");
         if total >= f.expires_at {
@@ -369,8 +374,7 @@ impl ThreadBehavior for DssThread {
                 let span = (khi - klo) as f64;
                 let n = prob_round(rng, instr as f64 * probe_rate);
                 for _ in 0..n {
-                    let frac = (self.focus_center
-                        + (rng.gen::<f64>() - 0.5) * self.focus_width)
+                    let frac = (self.focus_center + (rng.gen::<f64>() - 0.5) * self.focus_width)
                         .rem_euclid(1.0);
                     let key = klo + (frac * span) as u64;
                     let (_, path) = self.db.index.probe(key);
@@ -425,7 +429,10 @@ const IVL: f64 = 100_000.0;
 pub fn query_stages(q: u8) -> Vec<Stage> {
     let scan = |l: f64| OpKind::Scan { lines_per_instr: l };
     let agg = |l: f64| OpKind::Aggregate { lines_per_instr: l };
-    let sort = |ws: u64, r: f64| OpKind::Sort { ws_bytes: ws, rate: r };
+    let sort = |ws: u64, r: f64| OpKind::Sort {
+        ws_bytes: ws,
+        rate: r,
+    };
     let build = |r: f64| OpKind::JoinBuild { rate: r };
     let probe = |r: f64| OpKind::JoinProbe { rate: r };
     let index = |r: f64, lo: f64, hi: f64| OpKind::IndexScan {
@@ -433,12 +440,23 @@ pub fn query_stages(q: u8) -> Vec<Stage> {
         focus_min: lo,
         focus_max: hi,
     };
-    let st = |op: OpKind, d: f64| Stage { op, duration: d * IVL };
+    let st = |op: OpKind, d: f64| Stage {
+        op,
+        duration: d * IVL,
+    };
 
     match q {
         // ---- Q-IV: strong phases, high variance ----
-        1 => vec![st(scan(0.040), 5.0), st(agg(0.008), 3.0), st(sort(1 << 20, 0.020), 3.0)],
-        3 => vec![st(scan(0.040), 4.0), st(build(0.005), 2.0), st(probe(0.006), 4.0)],
+        1 => vec![
+            st(scan(0.040), 5.0),
+            st(agg(0.008), 3.0),
+            st(sort(1 << 20, 0.020), 3.0),
+        ],
+        3 => vec![
+            st(scan(0.040), 4.0),
+            st(build(0.005), 2.0),
+            st(probe(0.006), 4.0),
+        ],
         5 => vec![
             st(scan(0.036), 3.0),
             st(build(0.005), 2.0),
@@ -446,7 +464,11 @@ pub fn query_stages(q: u8) -> Vec<Stage> {
             st(sort(1 << 20, 0.020), 2.0),
         ],
         6 => vec![st(scan(0.044), 6.0), st(agg(0.006), 3.0)],
-        12 => vec![st(scan(0.040), 4.0), st(probe(0.005), 3.0), st(agg(0.008), 2.0)],
+        12 => vec![
+            st(scan(0.040), 4.0),
+            st(probe(0.005), 3.0),
+            st(agg(0.008), 2.0),
+        ],
         13 => vec![
             // The paper's flagship: scan, join and sort of two large
             // tables, ~7 GB of data, kopt ≈ 9 chambers.
@@ -456,7 +478,11 @@ pub fn query_stages(q: u8) -> Vec<Stage> {
             st(sort(1 << 20, 0.022), 3.0),
         ],
         14 => vec![st(scan(0.038), 5.0), st(probe(0.0055), 3.0)],
-        19 => vec![st(scan(0.042), 4.0), st(probe(0.007), 2.0), st(sort(1 << 20, 0.018), 2.0)],
+        19 => vec![
+            st(scan(0.042), 4.0),
+            st(probe(0.007), 2.0),
+            st(sort(1 << 20, 0.018), 2.0),
+        ],
         21 => vec![
             st(scan(0.036), 3.0),
             st(build(0.0045), 2.0),
@@ -465,7 +491,10 @@ pub fn query_stages(q: u8) -> Vec<Stage> {
         ],
         // ---- Q-III: weak phases, high variance ----
         2 => vec![st(index(0.008, 0.02, 0.9), 6.0), st(probe(0.005), 2.0)],
-        7 => vec![st(index(0.007, 0.02, 0.8), 5.0), st(sort(1 << 20, 0.016), 1.5)],
+        7 => vec![
+            st(index(0.007, 0.02, 0.8), 5.0),
+            st(sort(1 << 20, 0.016), 1.5),
+        ],
         9 => vec![st(index(0.008, 0.03, 1.0), 7.0), st(build(0.004), 1.5)],
         10 => vec![st(index(0.0076, 0.02, 0.85), 6.0)],
         17 => vec![st(index(0.0084, 0.05, 0.95), 6.0), st(agg(0.006), 1.5)],
@@ -504,16 +533,19 @@ pub fn odb_h_query(q: u8, seed: u64) -> MultiThreadWorkload<DssThread> {
 
 /// Builds ODB-H query `q` over a shared database image (cheaper when
 /// running many queries).
-pub fn odb_h_query_on(
-    db: Arc<DssDatabase>,
-    q: u8,
-    seed: u64,
-) -> MultiThreadWorkload<DssThread> {
+pub fn odb_h_query_on(db: Arc<DssDatabase>, q: u8, seed: u64) -> MultiThreadWorkload<DssThread> {
     let stages = query_stages(q);
     let seq = SeedSequence::new(seed);
     let progress = Arc::new(QueryProgress::new(&stages, 4));
     let threads: Vec<DssThread> = (0..4)
-        .map(|i| DssThread::new(Arc::clone(&db), stages.clone(), Arc::clone(&progress), i as u16))
+        .map(|i| {
+            DssThread::new(
+                Arc::clone(&db),
+                stages.clone(),
+                Arc::clone(&progress),
+                i as u16,
+            )
+        })
         .collect();
     // ODB-H context-switches less than ODB-C (§6.1): identical slaves,
     // longer slices, moderate OS time.
@@ -581,7 +613,11 @@ mod tests {
                 .map(|s| s.duration)
                 .sum();
             let total: f64 = stages.iter().map(|s| s.duration).sum();
-            assert!(index_dur / total > 0.5, "q{q}: index share {}", index_dur / total);
+            assert!(
+                index_dur / total > 0.5,
+                "q{q}: index share {}",
+                index_dur / total
+            );
         }
     }
 

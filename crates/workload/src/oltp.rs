@@ -89,7 +89,10 @@ impl OltpThread {
         // are shared segments.
         let scratch = MemoryRegion::new(in_space(thread_idx + 1, 0x6000_0000), 64 * 1024);
         let sga = MemoryRegion::new(in_space(SGA_SPACE, 0x0), cfg.sga_bytes);
-        let log_buf = MemoryRegion::new(in_space(SGA_SPACE, cfg.sga_bytes + 0x1000_0000), 1024 * 1024);
+        let log_buf = MemoryRegion::new(
+            in_space(SGA_SPACE, cfg.sga_bytes + 0x1000_0000),
+            1024 * 1024,
+        );
         Self {
             code,
             sga,
@@ -108,7 +111,12 @@ impl ThreadBehavior for OltpThread {
 
         let mut data: Vec<DataAccess> = Vec::with_capacity(12);
         // Dense private traffic (row buffers, cursors, stack).
-        scratch_traffic(rng, &self.scratch, instr as f64 * self.cfg.local_rate, &mut data);
+        scratch_traffic(
+            rng,
+            &self.scratch,
+            instr as f64 * self.cfg.local_rate,
+            &mut data,
+        );
         // Uniform random probes into the SGA: the L3-miss engine.
         let probes = prob_round(rng, instr as f64 * self.cfg.sga_rate);
         for _ in 0..probes {
@@ -232,8 +240,7 @@ mod tests {
                         .filter(|a| {
                             a.weight == 1.0
                                 && a.kind == AccessKind::Read
-                                && a.addr >> crate::access::ADDRESS_SPACE_SHIFT
-                                    == SGA_SPACE as u64
+                                && a.addr >> crate::access::ADDRESS_SPACE_SHIFT == SGA_SPACE as u64
                         })
                         .count() as f64;
                 }

@@ -112,7 +112,10 @@ mod tests {
         let mut rng = seeded_rng(2);
         let q = os.quantum(&mut rng, 0);
         for a in &q.data {
-            assert_eq!(a.addr >> crate::access::ADDRESS_SPACE_SHIFT, OS_SPACE as u64);
+            assert_eq!(
+                a.addr >> crate::access::ADDRESS_SPACE_SHIFT,
+                OS_SPACE as u64
+            );
         }
         assert_eq!(q.eip >> crate::access::ADDRESS_SPACE_SHIFT, OS_SPACE as u64);
     }

@@ -107,12 +107,7 @@ impl<B: ThreadBehavior> MultiThreadWorkload<B> {
     /// # Panics
     ///
     /// Panics if `threads` is empty.
-    pub fn new(
-        name: impl Into<String>,
-        threads: Vec<B>,
-        cfg: SchedulerConfig,
-        seed: u64,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, threads: Vec<B>, cfg: SchedulerConfig, seed: u64) -> Self {
         assert!(!threads.is_empty(), "need at least one thread");
         let mut rng = seeded_rng(seed);
         let timeslice_dist = cfg.timeslice_dist();
@@ -137,8 +132,8 @@ impl<B: ThreadBehavior> MultiThreadWorkload<B> {
         if self.cfg.os_fraction == 0.0 {
             return 0.0;
         }
-        let os_per_switch = self.cfg.mean_timeslice * self.cfg.os_fraction
-            / (1.0 - self.cfg.os_fraction);
+        let os_per_switch =
+            self.cfg.mean_timeslice * self.cfg.os_fraction / (1.0 - self.cfg.os_fraction);
         os_per_switch / self.os.burst_instructions as f64
     }
 
@@ -252,8 +247,7 @@ mod tests {
     #[test]
     fn all_threads_get_cpu_time() {
         let threads: Vec<Fixed> = (0..4).map(|i| Fixed(0x1000 * (i + 1))).collect();
-        let mut w =
-            MultiThreadWorkload::new("t", threads, SchedulerConfig::new(500.0, 0.1), 42);
+        let mut w = MultiThreadWorkload::new("t", threads, SchedulerConfig::new(500.0, 0.1), 42);
         let (quanta, switches) = drain(&mut w, 2000);
         assert!(switches > 50, "expected many switches, got {switches}");
         for t in 0..4u32 {
@@ -265,10 +259,13 @@ mod tests {
     #[test]
     fn os_fraction_is_respected() {
         let threads: Vec<Fixed> = (0..4).map(|i| Fixed(0x1000 * (i + 1))).collect();
-        let mut w =
-            MultiThreadWorkload::new("t", threads, SchedulerConfig::new(600.0, 0.15), 7);
+        let mut w = MultiThreadWorkload::new("t", threads, SchedulerConfig::new(600.0, 0.15), 7);
         let (quanta, _) = drain(&mut w, 20_000);
-        let os_instr: u64 = quanta.iter().filter(|q| q.is_os).map(|q| q.instructions).sum();
+        let os_instr: u64 = quanta
+            .iter()
+            .filter(|q| q.is_os)
+            .map(|q| q.instructions)
+            .sum();
         let total: u64 = quanta.iter().map(|q| q.instructions).sum();
         let frac = os_instr as f64 / total as f64;
         assert!((frac - 0.15).abs() < 0.03, "os fraction {frac}");
@@ -277,8 +274,7 @@ mod tests {
     #[test]
     fn switch_rate_tracks_timeslice() {
         let threads: Vec<Fixed> = (0..2).map(|i| Fixed(0x1000 * (i + 1))).collect();
-        let mut w =
-            MultiThreadWorkload::new("t", threads, SchedulerConfig::new(1000.0, 0.0), 3);
+        let mut w = MultiThreadWorkload::new("t", threads, SchedulerConfig::new(1000.0, 0.0), 3);
         let (quanta, switches) = drain(&mut w, 10_000);
         let total: u64 = quanta.iter().map(|q| q.instructions).sum();
         let observed_slice = total as f64 / switches as f64;
@@ -355,7 +351,10 @@ mod tests {
         };
         let hi = fuzzyphase_stats::variance(&run(1.0));
         let lo = fuzzyphase_stats::variance(&run(0.25));
-        assert!(lo < hi, "cv=0.25 variance {lo} should undercut cv=1 variance {hi}");
+        assert!(
+            lo < hi,
+            "cv=0.25 variance {lo} should undercut cv=1 variance {hi}"
+        );
     }
 
     #[test]

@@ -123,7 +123,11 @@ impl SpecThread {
     pub fn new(profile: SpecProfile, space: u16) -> Self {
         assert!(!profile.phases.is_empty(), "profile needs phases");
         if let PhaseTransition::Markov(matrix) = &profile.transition {
-            assert_eq!(matrix.len(), profile.phases.len(), "transition matrix shape");
+            assert_eq!(
+                matrix.len(),
+                profile.phases.len(),
+                "transition matrix shape"
+            );
             for row in matrix {
                 assert_eq!(row.len(), profile.phases.len(), "transition matrix shape");
                 let total: f64 = row.iter().sum();
@@ -136,7 +140,11 @@ impl SpecThread {
         let mut stream = Vec::new();
         let mut data_cursor: u64 = 0x1000_0000;
         for (i, p) in profile.phases.iter().enumerate() {
-            code.add_region(format!("{}-p{}", profile.name, i), p.code_slots, p.code_zipf);
+            code.add_region(
+                format!("{}-p{}", profile.name, i),
+                p.code_slots,
+                p.code_zipf,
+            );
             let region = MemoryRegion::new(in_space(space, data_cursor), p.ws_bytes);
             data_cursor += p.ws_bytes + 0x10_0000;
             ws.push(region);
@@ -274,23 +282,26 @@ pub const SPEC_NAMES: [&str; 26] = [
 ///
 /// Panics for unknown names.
 pub fn spec_profile(name: &str) -> SpecProfile {
-    let one = |code_slots: u32, base: f64, mem: f64, ws: u64, pat: AccessPattern, br: f64, ent: f64| SpecProfile {
-        name: leak_name(name),
-        phases: vec![PhaseSpec {
-            code_slots,
-            code_zipf: 1.0,
-            base_cpi: base,
-            mem_rate: mem,
-            ws_bytes: ws,
-            pattern: pat,
-            branch_rate: br,
-            branch_entropy: ent,
-            mean_len: 500_000.0,
-        }],
-        transition: PhaseTransition::Cyclic,
-        drift_sigma: 0.0,
-        drift_period: 30_000.0,
-    };
+    let one =
+        |code_slots: u32, base: f64, mem: f64, ws: u64, pat: AccessPattern, br: f64, ent: f64| {
+            SpecProfile {
+                name: leak_name(name),
+                phases: vec![PhaseSpec {
+                    code_slots,
+                    code_zipf: 1.0,
+                    base_cpi: base,
+                    mem_rate: mem,
+                    ws_bytes: ws,
+                    pattern: pat,
+                    branch_rate: br,
+                    branch_entropy: ent,
+                    mean_len: 500_000.0,
+                }],
+                transition: PhaseTransition::Cyclic,
+                drift_sigma: 0.0,
+                drift_period: 30_000.0,
+            }
+        };
     use AccessPattern::*;
     match name {
         // ---------------- Q-I: one steady personality ----------------
@@ -311,8 +322,28 @@ pub fn spec_profile(name: &str) -> SpecProfile {
         "wupwise" => SpecProfile {
             name: "wupwise",
             phases: vec![
-                PhaseSpec { code_slots: 500, code_zipf: 1.0, base_cpi: 0.78, mem_rate: 0.0026, ws_bytes: 16 << 20, pattern: Streaming, branch_rate: 0.06, branch_entropy: 0.03, mean_len: 400_000.0 },
-                PhaseSpec { code_slots: 450, code_zipf: 1.0, base_cpi: 0.90, mem_rate: 0.0050, ws_bytes: 16 << 20, pattern: Streaming, branch_rate: 0.06, branch_entropy: 0.03, mean_len: 300_000.0 },
+                PhaseSpec {
+                    code_slots: 500,
+                    code_zipf: 1.0,
+                    base_cpi: 0.78,
+                    mem_rate: 0.0026,
+                    ws_bytes: 16 << 20,
+                    pattern: Streaming,
+                    branch_rate: 0.06,
+                    branch_entropy: 0.03,
+                    mean_len: 400_000.0,
+                },
+                PhaseSpec {
+                    code_slots: 450,
+                    code_zipf: 1.0,
+                    base_cpi: 0.90,
+                    mem_rate: 0.0050,
+                    ws_bytes: 16 << 20,
+                    pattern: Streaming,
+                    branch_rate: 0.06,
+                    branch_entropy: 0.03,
+                    mean_len: 300_000.0,
+                },
             ],
             transition: PhaseTransition::Cyclic,
             drift_sigma: 0.0,
@@ -321,9 +352,39 @@ pub fn spec_profile(name: &str) -> SpecProfile {
         "apsi" => SpecProfile {
             name: "apsi",
             phases: vec![
-                PhaseSpec { code_slots: 700, code_zipf: 1.0, base_cpi: 0.86, mem_rate: 0.0026, ws_bytes: 8 << 20, pattern: Streaming, branch_rate: 0.07, branch_entropy: 0.04, mean_len: 700_000.0 },
-                PhaseSpec { code_slots: 650, code_zipf: 1.0, base_cpi: 0.95, mem_rate: 0.0034, ws_bytes: 8 << 20, pattern: Streaming, branch_rate: 0.07, branch_entropy: 0.04, mean_len: 600_000.0 },
-                PhaseSpec { code_slots: 600, code_zipf: 1.0, base_cpi: 0.79, mem_rate: 0.0018, ws_bytes: 8 << 20, pattern: Streaming, branch_rate: 0.08, branch_entropy: 0.05, mean_len: 500_000.0 },
+                PhaseSpec {
+                    code_slots: 700,
+                    code_zipf: 1.0,
+                    base_cpi: 0.86,
+                    mem_rate: 0.0026,
+                    ws_bytes: 8 << 20,
+                    pattern: Streaming,
+                    branch_rate: 0.07,
+                    branch_entropy: 0.04,
+                    mean_len: 700_000.0,
+                },
+                PhaseSpec {
+                    code_slots: 650,
+                    code_zipf: 1.0,
+                    base_cpi: 0.95,
+                    mem_rate: 0.0034,
+                    ws_bytes: 8 << 20,
+                    pattern: Streaming,
+                    branch_rate: 0.07,
+                    branch_entropy: 0.04,
+                    mean_len: 600_000.0,
+                },
+                PhaseSpec {
+                    code_slots: 600,
+                    code_zipf: 1.0,
+                    base_cpi: 0.79,
+                    mem_rate: 0.0018,
+                    ws_bytes: 8 << 20,
+                    pattern: Streaming,
+                    branch_rate: 0.08,
+                    branch_entropy: 0.05,
+                    mean_len: 500_000.0,
+                },
             ],
             transition: PhaseTransition::Cyclic,
             drift_sigma: 0.0,
@@ -332,8 +393,28 @@ pub fn spec_profile(name: &str) -> SpecProfile {
         "fma3d" => SpecProfile {
             name: "fma3d",
             phases: vec![
-                PhaseSpec { code_slots: 1400, code_zipf: 1.0, base_cpi: 0.86, mem_rate: 0.0026, ws_bytes: 16 << 20, pattern: Streaming, branch_rate: 0.08, branch_entropy: 0.05, mean_len: 450_000.0 },
-                PhaseSpec { code_slots: 1200, code_zipf: 1.0, base_cpi: 0.99, mem_rate: 0.0044, ws_bytes: 16 << 20, pattern: Streaming, branch_rate: 0.08, branch_entropy: 0.05, mean_len: 350_000.0 },
+                PhaseSpec {
+                    code_slots: 1400,
+                    code_zipf: 1.0,
+                    base_cpi: 0.86,
+                    mem_rate: 0.0026,
+                    ws_bytes: 16 << 20,
+                    pattern: Streaming,
+                    branch_rate: 0.08,
+                    branch_entropy: 0.05,
+                    mean_len: 450_000.0,
+                },
+                PhaseSpec {
+                    code_slots: 1200,
+                    code_zipf: 1.0,
+                    base_cpi: 0.99,
+                    mem_rate: 0.0044,
+                    ws_bytes: 16 << 20,
+                    pattern: Streaming,
+                    branch_rate: 0.08,
+                    branch_entropy: 0.05,
+                    mean_len: 350_000.0,
+                },
             ],
             transition: PhaseTransition::Cyclic,
             drift_sigma: 0.0,
@@ -343,8 +424,28 @@ pub fn spec_profile(name: &str) -> SpecProfile {
         "gcc" => SpecProfile {
             name: "gcc",
             phases: vec![
-                PhaseSpec { code_slots: 6000, code_zipf: 0.7, base_cpi: 1.00, mem_rate: 0.0035, ws_bytes: 32 << 20, pattern: Random, branch_rate: 0.18, branch_entropy: 0.30, mean_len: 120_000.0 },
-                PhaseSpec { code_slots: 5000, code_zipf: 0.7, base_cpi: 1.05, mem_rate: 0.0030, ws_bytes: 32 << 20, pattern: Random, branch_rate: 0.18, branch_entropy: 0.35, mean_len: 90_000.0 },
+                PhaseSpec {
+                    code_slots: 6000,
+                    code_zipf: 0.7,
+                    base_cpi: 1.00,
+                    mem_rate: 0.0035,
+                    ws_bytes: 32 << 20,
+                    pattern: Random,
+                    branch_rate: 0.18,
+                    branch_entropy: 0.30,
+                    mean_len: 120_000.0,
+                },
+                PhaseSpec {
+                    code_slots: 5000,
+                    code_zipf: 0.7,
+                    base_cpi: 1.05,
+                    mem_rate: 0.0030,
+                    ws_bytes: 32 << 20,
+                    pattern: Random,
+                    branch_rate: 0.18,
+                    branch_entropy: 0.35,
+                    mean_len: 90_000.0,
+                },
             ],
             // Compilation-unit-driven phase order: sticky, input-dependent.
             transition: PhaseTransition::Markov(vec![vec![0.55, 0.45], vec![0.5, 0.5]]),
@@ -353,35 +454,85 @@ pub fn spec_profile(name: &str) -> SpecProfile {
         },
         "gap" => SpecProfile {
             name: "gap",
-            phases: vec![PhaseSpec { code_slots: 2400, code_zipf: 0.8, base_cpi: 0.95, mem_rate: 0.0040, ws_bytes: 64 << 20, pattern: Random, branch_rate: 0.14, branch_entropy: 0.15, mean_len: 150_000.0 }],
+            phases: vec![PhaseSpec {
+                code_slots: 2400,
+                code_zipf: 0.8,
+                base_cpi: 0.95,
+                mem_rate: 0.0040,
+                ws_bytes: 64 << 20,
+                pattern: Random,
+                branch_rate: 0.14,
+                branch_entropy: 0.15,
+                mean_len: 150_000.0,
+            }],
             transition: PhaseTransition::Cyclic,
             drift_sigma: 0.70,
             drift_period: 80_000.0,
         },
         "lucas" => SpecProfile {
             name: "lucas",
-            phases: vec![PhaseSpec { code_slots: 600, code_zipf: 1.0, base_cpi: 0.85, mem_rate: 0.0110, ws_bytes: 64 << 20, pattern: Streaming, branch_rate: 0.05, branch_entropy: 0.03, mean_len: 200_000.0 }],
+            phases: vec![PhaseSpec {
+                code_slots: 600,
+                code_zipf: 1.0,
+                base_cpi: 0.85,
+                mem_rate: 0.0110,
+                ws_bytes: 64 << 20,
+                pattern: Streaming,
+                branch_rate: 0.05,
+                branch_entropy: 0.03,
+                mean_len: 200_000.0,
+            }],
             transition: PhaseTransition::Cyclic,
             drift_sigma: 0.80,
             drift_period: 80_000.0,
         },
         "equake" => SpecProfile {
             name: "equake",
-            phases: vec![PhaseSpec { code_slots: 700, code_zipf: 1.0, base_cpi: 0.90, mem_rate: 0.0055, ws_bytes: 32 << 20, pattern: Random, branch_rate: 0.08, branch_entropy: 0.06, mean_len: 180_000.0 }],
+            phases: vec![PhaseSpec {
+                code_slots: 700,
+                code_zipf: 1.0,
+                base_cpi: 0.90,
+                mem_rate: 0.0055,
+                ws_bytes: 32 << 20,
+                pattern: Random,
+                branch_rate: 0.08,
+                branch_entropy: 0.06,
+                mean_len: 180_000.0,
+            }],
             transition: PhaseTransition::Cyclic,
             drift_sigma: 0.60,
             drift_period: 75_000.0,
         },
         "galgel" => SpecProfile {
             name: "galgel",
-            phases: vec![PhaseSpec { code_slots: 900, code_zipf: 1.0, base_cpi: 0.88, mem_rate: 0.0045, ws_bytes: 16 << 20, pattern: Random, branch_rate: 0.07, branch_entropy: 0.05, mean_len: 160_000.0 }],
+            phases: vec![PhaseSpec {
+                code_slots: 900,
+                code_zipf: 1.0,
+                base_cpi: 0.88,
+                mem_rate: 0.0045,
+                ws_bytes: 16 << 20,
+                pattern: Random,
+                branch_rate: 0.07,
+                branch_entropy: 0.05,
+                mean_len: 160_000.0,
+            }],
             transition: PhaseTransition::Cyclic,
             drift_sigma: 0.65,
             drift_period: 70_000.0,
         },
         "ammp" => SpecProfile {
             name: "ammp",
-            phases: vec![PhaseSpec { code_slots: 1100, code_zipf: 1.0, base_cpi: 1.00, mem_rate: 0.0050, ws_bytes: 32 << 20, pattern: PointerChase, branch_rate: 0.10, branch_entropy: 0.08, mean_len: 200_000.0 }],
+            phases: vec![PhaseSpec {
+                code_slots: 1100,
+                code_zipf: 1.0,
+                base_cpi: 1.00,
+                mem_rate: 0.0050,
+                ws_bytes: 32 << 20,
+                pattern: PointerChase,
+                branch_rate: 0.10,
+                branch_entropy: 0.08,
+                mean_len: 200_000.0,
+            }],
             transition: PhaseTransition::Cyclic,
             drift_sigma: 0.55,
             drift_period: 80_000.0,
@@ -389,8 +540,28 @@ pub fn spec_profile(name: &str) -> SpecProfile {
         "facerec" => SpecProfile {
             name: "facerec",
             phases: vec![
-                PhaseSpec { code_slots: 800, code_zipf: 1.0, base_cpi: 0.85, mem_rate: 0.0040, ws_bytes: 16 << 20, pattern: Streaming, branch_rate: 0.07, branch_entropy: 0.04, mean_len: 140_000.0 },
-                PhaseSpec { code_slots: 750, code_zipf: 1.0, base_cpi: 0.92, mem_rate: 0.0050, ws_bytes: 16 << 20, pattern: Random, branch_rate: 0.08, branch_entropy: 0.06, mean_len: 110_000.0 },
+                PhaseSpec {
+                    code_slots: 800,
+                    code_zipf: 1.0,
+                    base_cpi: 0.85,
+                    mem_rate: 0.0040,
+                    ws_bytes: 16 << 20,
+                    pattern: Streaming,
+                    branch_rate: 0.07,
+                    branch_entropy: 0.04,
+                    mean_len: 140_000.0,
+                },
+                PhaseSpec {
+                    code_slots: 750,
+                    code_zipf: 1.0,
+                    base_cpi: 0.92,
+                    mem_rate: 0.0050,
+                    ws_bytes: 16 << 20,
+                    pattern: Random,
+                    branch_rate: 0.08,
+                    branch_entropy: 0.06,
+                    mean_len: 110_000.0,
+                },
             ],
             transition: PhaseTransition::Cyclic,
             drift_sigma: 0.55,
@@ -401,8 +572,28 @@ pub fn spec_profile(name: &str) -> SpecProfile {
             name: "mcf",
             // ~646 unique sampled EIPs (§5): two small code regions.
             phases: vec![
-                PhaseSpec { code_slots: 380, code_zipf: 0.9, base_cpi: 1.10, mem_rate: 0.0160, ws_bytes: 192 << 20, pattern: PointerChase, branch_rate: 0.12, branch_entropy: 0.18, mean_len: 300_000.0 },
-                PhaseSpec { code_slots: 280, code_zipf: 0.9, base_cpi: 0.95, mem_rate: 0.0020, ws_bytes: 4 << 20, pattern: Random, branch_rate: 0.14, branch_entropy: 0.12, mean_len: 250_000.0 },
+                PhaseSpec {
+                    code_slots: 380,
+                    code_zipf: 0.9,
+                    base_cpi: 1.10,
+                    mem_rate: 0.0160,
+                    ws_bytes: 192 << 20,
+                    pattern: PointerChase,
+                    branch_rate: 0.12,
+                    branch_entropy: 0.18,
+                    mean_len: 300_000.0,
+                },
+                PhaseSpec {
+                    code_slots: 280,
+                    code_zipf: 0.9,
+                    base_cpi: 0.95,
+                    mem_rate: 0.0020,
+                    ws_bytes: 4 << 20,
+                    pattern: Random,
+                    branch_rate: 0.14,
+                    branch_entropy: 0.12,
+                    mean_len: 250_000.0,
+                },
             ],
             transition: PhaseTransition::Cyclic,
             drift_sigma: 0.0,
@@ -411,8 +602,28 @@ pub fn spec_profile(name: &str) -> SpecProfile {
         "art" => SpecProfile {
             name: "art",
             phases: vec![
-                PhaseSpec { code_slots: 300, code_zipf: 0.9, base_cpi: 0.90, mem_rate: 0.0110, ws_bytes: 64 << 20, pattern: Random, branch_rate: 0.08, branch_entropy: 0.05, mean_len: 350_000.0 },
-                PhaseSpec { code_slots: 260, code_zipf: 0.9, base_cpi: 0.80, mem_rate: 0.0015, ws_bytes: 2 << 20, pattern: Streaming, branch_rate: 0.07, branch_entropy: 0.04, mean_len: 300_000.0 },
+                PhaseSpec {
+                    code_slots: 300,
+                    code_zipf: 0.9,
+                    base_cpi: 0.90,
+                    mem_rate: 0.0110,
+                    ws_bytes: 64 << 20,
+                    pattern: Random,
+                    branch_rate: 0.08,
+                    branch_entropy: 0.05,
+                    mean_len: 350_000.0,
+                },
+                PhaseSpec {
+                    code_slots: 260,
+                    code_zipf: 0.9,
+                    base_cpi: 0.80,
+                    mem_rate: 0.0015,
+                    ws_bytes: 2 << 20,
+                    pattern: Streaming,
+                    branch_rate: 0.07,
+                    branch_entropy: 0.04,
+                    mean_len: 300_000.0,
+                },
             ],
             transition: PhaseTransition::Cyclic,
             drift_sigma: 0.0,
@@ -421,8 +632,28 @@ pub fn spec_profile(name: &str) -> SpecProfile {
         "swim" => SpecProfile {
             name: "swim",
             phases: vec![
-                PhaseSpec { code_slots: 420, code_zipf: 1.0, base_cpi: 0.82, mem_rate: 0.0300, ws_bytes: 128 << 20, pattern: Streaming, branch_rate: 0.05, branch_entropy: 0.02, mean_len: 400_000.0 },
-                PhaseSpec { code_slots: 380, code_zipf: 1.0, base_cpi: 0.85, mem_rate: 0.0030, ws_bytes: 8 << 20, pattern: Streaming, branch_rate: 0.05, branch_entropy: 0.02, mean_len: 300_000.0 },
+                PhaseSpec {
+                    code_slots: 420,
+                    code_zipf: 1.0,
+                    base_cpi: 0.82,
+                    mem_rate: 0.0300,
+                    ws_bytes: 128 << 20,
+                    pattern: Streaming,
+                    branch_rate: 0.05,
+                    branch_entropy: 0.02,
+                    mean_len: 400_000.0,
+                },
+                PhaseSpec {
+                    code_slots: 380,
+                    code_zipf: 1.0,
+                    base_cpi: 0.85,
+                    mem_rate: 0.0030,
+                    ws_bytes: 8 << 20,
+                    pattern: Streaming,
+                    branch_rate: 0.05,
+                    branch_entropy: 0.02,
+                    mean_len: 300_000.0,
+                },
             ],
             transition: PhaseTransition::Cyclic,
             drift_sigma: 0.0,

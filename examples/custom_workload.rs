@@ -103,12 +103,8 @@ impl ThreadBehavior for CacheWorker {
 fn main() {
     // Assemble: 8 workers behind the standard scheduler.
     let workers: Vec<CacheWorker> = (0..8).map(CacheWorker::new).collect();
-    let mut workload = MultiThreadWorkload::new(
-        "webcache",
-        workers,
-        SchedulerConfig::new(1_500.0, 0.05),
-        42,
-    );
+    let mut workload =
+        MultiThreadWorkload::new("webcache", workers, SchedulerConfig::new(1_500.0, 0.05), 42);
 
     // Profile on the simulated Itanium 2.
     let cfg = ProfileConfig {

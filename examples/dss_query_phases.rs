@@ -17,7 +17,10 @@ fn main() {
     let mut cfg = RunConfig::default();
     cfg.profile.num_intervals = 120;
 
-    for (q, expectation) in [(13u8, "strong phases (Q-IV)"), (18u8, "weak phases (Q-III)")] {
+    for (q, expectation) in [
+        (13u8, "strong phases (Q-IV)"),
+        (18u8, "weak phases (Q-III)"),
+    ] {
         println!("=== ODB-H Q{q} — paper expectation: {expectation} ===");
         let r = run_benchmark(&BenchmarkSpec::odb_h(q), &cfg);
 
@@ -40,11 +43,7 @@ fn main() {
         );
         println!(
             "  RE_min {:.3} at k={} (asymptote {:.3}, k_opt {}) -> {}",
-            r.report.re_min,
-            r.report.k_at_min,
-            r.report.re_asymptote,
-            r.report.k_opt,
-            r.quadrant
+            r.report.re_min, r.report.k_at_min, r.report.re_asymptote, r.report.k_opt, r.quadrant
         );
         println!(
             "  EIPVs explain {:.0}% of the CPI variance\n",

@@ -30,7 +30,14 @@ fn main() {
     // §5.1: CPI breakdown.
     let b = r.profile.mean_breakdown();
     println!("\nCPI breakdown (§5.1, Figure 4):");
-    println!("  CPI {:.2} = WORK {:.2} + FE {:.2} + EXE {:.2} + OTHER {:.2}", b.total(), b.work, b.fe, b.exe, b.other);
+    println!(
+        "  CPI {:.2} = WORK {:.2} + FE {:.2} + EXE {:.2} + OTHER {:.2}",
+        b.total(),
+        b.work,
+        b.fe,
+        b.exe,
+        b.other
+    );
     println!(
         "  EXE (data-miss stalls, mostly L3) share: {:.0}% (paper: >50%)",
         b.exe_fraction() * 100.0
@@ -42,7 +49,11 @@ fn main() {
         "  CPI variance {:.4} (tiny), RE_min {:.3} (≈1: EIPs explain nothing)",
         r.report.cpi_variance, r.report.re_min
     );
-    println!("  quadrant: {} — {}", r.quadrant, r.quadrant.recommendation().name());
+    println!(
+        "  quadrant: {} — {}",
+        r.quadrant,
+        r.quadrant.recommendation().name()
+    );
 
     // §5.2: does per-thread separation help?
     let per_thread = r.profile.eipvs_per_thread();

@@ -53,7 +53,10 @@ fn main() {
         Box::new(StratifiedPhaseSampling::new(5, budget)),
         Box::new(SmartsSampling::new(budget, 0.02)),
     ];
-    println!("\ntechnique comparison (true CPI = {:.3}):", r.report.cpi_mean);
+    println!(
+        "\ntechnique comparison (true CPI = {:.3}):",
+        r.report.cpi_mean
+    );
     for t in &techniques {
         let e = evaluate_technique(t.as_ref(), &eipvs.vectors, &eipvs.cpis, cfg.seed);
         println!(

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build + full test suite.
+# This is the gate every PR must keep green (see ROADMAP.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace

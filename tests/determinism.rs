@@ -38,9 +38,9 @@ fn suite_parallelism_does_not_change_results() {
         BenchmarkSpec::odb_h(8),
     ];
     let mut c1 = cfg(5);
-    c1.workers = 1;
+    c1.workers = WorkerBudget::suite_only(1);
     let mut c3 = cfg(5);
-    c3.workers = 3;
+    c3.workers = WorkerBudget { suite: 3, fold: 2 };
     let serial = fuzzyphase::run_suite(&specs, &c1);
     let parallel = fuzzyphase::run_suite(&specs, &c3);
     for (a, b) in serial.benchmarks.iter().zip(&parallel.benchmarks) {

@@ -41,7 +41,11 @@ fn full_profile_no_less_predictive_than_sampled() {
     // §3.3: full profiling can only add information for a predictable
     // workload.
     let data = profile_full("mcf", 60);
-    let sampled = analyze(&data.eipvs().vectors, &data.eipvs().cpis, &AnalysisOptions::default());
+    let sampled = analyze(
+        &data.eipvs().vectors,
+        &data.eipvs().cpis,
+        &AnalysisOptions::default(),
+    );
     let full = data.full_profile();
     let full_rep = analyze(&full.vectors, &full.cpis, &AnalysisOptions::default());
     assert!(

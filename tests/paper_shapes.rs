@@ -29,7 +29,11 @@ fn odb_c_headline() {
     assert!(b.exe_fraction() > 0.5, "EXE fraction {}", b.exe_fraction());
     assert_eq!(r.quadrant, Quadrant::I);
     // Huge flat code footprint: thousands of unique EIPs from 12K samples.
-    assert!(r.profile.unique_eips() > 5_000, "{} EIPs", r.profile.unique_eips());
+    assert!(
+        r.profile.unique_eips() > 5_000,
+        "{} EIPs",
+        r.profile.unique_eips()
+    );
 }
 
 /// §5 + Figure 2: SjAS — ~20 % explainable, minimum RE around 0.75-0.85
@@ -37,7 +41,11 @@ fn odb_c_headline() {
 #[test]
 fn sjas_headline() {
     let r = run_benchmark(&BenchmarkSpec::sjas(), &cfg(120));
-    assert!(r.report.cpi_variance > 0.012, "variance {}", r.report.cpi_variance);
+    assert!(
+        r.report.cpi_variance > 0.012,
+        "variance {}",
+        r.report.cpi_variance
+    );
     assert!(
         (0.6..0.95).contains(&r.report.re_min),
         "RE_min {} (paper ~0.8)",
@@ -66,7 +74,11 @@ fn q13_headline() {
 #[test]
 fn q18_headline() {
     let r = run_benchmark(&BenchmarkSpec::odb_h(18), &cfg(120));
-    assert!(r.report.cpi_variance > 0.012, "variance {}", r.report.cpi_variance);
+    assert!(
+        r.report.cpi_variance > 0.012,
+        "variance {}",
+        r.report.cpi_variance
+    );
     assert!(r.report.re_min > 0.5, "RE_min {}", r.report.re_min);
     assert_eq!(r.quadrant, Quadrant::III);
 }
@@ -78,7 +90,11 @@ fn eip_footprint_contrast() {
     let c = cfg(60);
     let mcf = run_benchmark(&BenchmarkSpec::spec("mcf"), &c);
     let oltp = run_benchmark(&BenchmarkSpec::odb_c(), &c);
-    assert!(mcf.profile.unique_eips() < 700, "mcf {}", mcf.profile.unique_eips());
+    assert!(
+        mcf.profile.unique_eips() < 700,
+        "mcf {}",
+        mcf.profile.unique_eips()
+    );
     assert!(
         oltp.profile.unique_eips() > 8 * mcf.profile.unique_eips(),
         "oltp {} vs mcf {}",
@@ -118,8 +134,16 @@ fn threading_statistics_ordering() {
         oltp.profile.context_switches_per_second(),
         spec.profile.context_switches_per_second()
     );
-    assert!(oltp.profile.os_fraction() > 0.10, "oltp OS {}", oltp.profile.os_fraction());
-    assert!(spec.profile.os_fraction() < 0.01, "spec OS {}", spec.profile.os_fraction());
+    assert!(
+        oltp.profile.os_fraction() > 0.10,
+        "oltp OS {}",
+        oltp.profile.os_fraction()
+    );
+    assert!(
+        spec.profile.os_fraction() < 0.01,
+        "spec OS {}",
+        spec.profile.os_fraction()
+    );
 }
 
 /// §3.1: the overhead model hits the paper's anchors.

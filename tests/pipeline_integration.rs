@@ -85,7 +85,11 @@ fn breakdown_components_cover_cpi() {
         // Context-switch cycles land in no quantum, so breakdown can run
         // slightly under interval CPI, never meaningfully over.
         assert!(total <= ivl.cpi + 0.02);
-        assert!(total >= ivl.cpi * 0.9, "breakdown {total} vs cpi {}", ivl.cpi);
+        assert!(
+            total >= ivl.cpi * 0.9,
+            "breakdown {total} vs cpi {}",
+            ivl.cpi
+        );
         assert!(ivl.breakdown.work > 0.0);
     }
 }
@@ -99,7 +103,7 @@ fn suite_subset_runs_in_parallel_and_ordered() {
         BenchmarkSpec::spec("gcc"),
     ];
     let mut cfg = short_cfg(25);
-    cfg.workers = 4;
+    cfg.workers = WorkerBudget { suite: 4, fold: 1 };
     let suite = fuzzyphase::run_suite(&specs, &cfg);
     let names: Vec<&str> = suite.benchmarks.iter().map(|b| b.name.as_str()).collect();
     assert_eq!(names, vec!["gzip", "swim", "wupwise", "gcc"]);

@@ -1,0 +1,85 @@
+//! Offline vendored subset of the `crossbeam` API: scoped threads.
+//!
+//! Since Rust 1.63 the standard library has scoped threads, so this
+//! stand-in is a thin adapter giving them crossbeam's calling
+//! convention: `crossbeam::scope(|s| { s.spawn(|_| ...); })` where the
+//! spawn closure receives the scope again (crossbeam passes it so
+//! spawned threads can spawn more threads).
+//!
+//! Panic semantics differ slightly: real crossbeam returns `Err` with
+//! the panic payload when a child panics, while `std::thread::scope`
+//! resumes the panic on join. Callers here only `.expect()` the result,
+//! so both surface as a test/process failure.
+
+use std::any::Any;
+
+/// Scoped-thread types (subset of `crossbeam::thread`).
+pub mod thread {
+    /// A scope handle passed to [`scope`](super::scope) closures and to
+    /// every spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        pub(crate) inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, as in
+        /// crossbeam, so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+}
+
+/// Runs `f` with a thread scope; all threads spawned within are joined
+/// before this returns.
+///
+/// # Errors
+///
+/// Kept for crossbeam API compatibility. Child panics propagate as
+/// panics (std semantics) rather than as `Err`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&thread::Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&thread::Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_can_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        let counter_ref = &counter;
+        super::scope(|s| {
+            for &x in &data {
+                s.spawn(move |_| {
+                    counter_ref.fetch_add(x, Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

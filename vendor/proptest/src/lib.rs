@@ -1,0 +1,492 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Implements the strategy combinators and macros this workspace's
+//! property tests use, over the vendored `rand`. Differences from the
+//! real crate, chosen for simplicity and reproducibility:
+//!
+//! * cases are generated from a seed derived from the test name, so runs
+//!   are deterministic (set `PROPTEST_CASES` to change the count,
+//!   default 32);
+//! * failing inputs are reported but not shrunk;
+//! * `.proptest-regressions` files are ignored.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — generate another.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Retries generation until `f` accepts the value.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 10000 candidates: {}", self.whence);
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_impl {
+    ($($ty:ty),+) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        })+
+    };
+}
+
+arbitrary_impl! { u8, u16, u32, u64, usize, i32, i64, bool, f64 }
+
+/// The whole-domain strategy for `T` — `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy_impl {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+
+    };
+}
+
+range_strategy_impl! { u8, u16, u32, u64, usize, i8, i16, i32, i64, f32, f64 }
+
+macro_rules! tuple_strategy_impl {
+    ($($($name:ident $idx:tt),+;)+) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy_impl! {
+    A 0;
+    A 0, B 1;
+    A 0, B 1, C 2;
+    A 0, B 1, C 2, D 3;
+    A 0, B 1, C 2, D 3, E 4;
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// An inclusive collection-size range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+/// Namespace alias so `prop::collection::vec(...)` works as in the real
+/// crate's prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The case runner behind the [`proptest!`] macro.
+pub mod test_runner {
+    use super::{Strategy, TestCaseError};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    fn fnv1a(data: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in data.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `cases` generated inputs through `test`, panicking on the
+    /// first failure with the offending input. Deterministic per `name`.
+    pub fn run<S, F>(strategy: S, test: F, name: &str)
+    where
+        S: Strategy,
+        S::Value: Clone + fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let cases: usize = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32);
+        let mut rng = StdRng::seed_from_u64(fnv1a(name));
+        let mut ran = 0usize;
+        let mut rejected = 0usize;
+        while ran < cases {
+            let input = strategy.generate(&mut rng);
+            match test(input.clone()) {
+                Ok(()) => ran += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= cases.saturating_mul(64),
+                        "{name}: too many prop_assume rejections ({why})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{name}: case {ran} failed: {msg}\ninput: {input:#?}");
+                }
+            }
+        }
+    }
+}
+
+/// Everything the tests import (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Just, Strategy, TestCaseError,
+    };
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(why) => write!(f, "rejected: {why}"),
+            TestCaseError::Fail(msg) => write!(f, "failed: {msg}"),
+        }
+    }
+}
+
+/// Defines property-test functions; see the real proptest for the shape.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::test_runner::run(
+                    ($($strat,)+),
+                    |($($arg,)+)| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                    stringify!($name),
+                );
+            }
+        )+
+    };
+}
+
+/// Fails the current case (with an optional message) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}: {}", stringify!($cond), ::std::format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                ::std::format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -1.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for e in &v {
+                prop_assert!(*e < 10, "element {}", e);
+            }
+        }
+
+        #[test]
+        fn flat_map_and_assume(n in (1usize..5).prop_flat_map(|n| {
+            prop::collection::vec(0u64..100, n..=n)
+        })) {
+            prop_assume!(!n.is_empty());
+            prop_assert_eq!(n.capacity() >= n.len(), true);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::Strategy;
+        let strat = crate::collection::vec(0u32..1000, 3..10);
+        let mut a = rand::rngs::StdRng::seed_from_u64(1);
+        let mut b = rand::rngs::StdRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failures_panic_with_input() {
+        crate::test_runner::run(
+            (0u32..10,),
+            |(x,)| {
+                crate::prop_assert!(x < 5);
+                Ok(())
+            },
+            "failures_panic_with_input",
+        );
+    }
+}

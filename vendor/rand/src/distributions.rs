@@ -1,0 +1,90 @@
+//! The `Standard` distribution (subset of `rand::distributions`).
+
+use crate::RngCore;
+
+/// Types that can produce values of type `T` from a generator.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution, matching rand 0.8's conventions per type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_from_u32 {
+    ($($ty:ty),+) => {
+        $(impl Distribution<$ty> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u32() as $ty
+            }
+        })+
+    };
+}
+
+macro_rules! standard_from_u64 {
+    ($($ty:ty),+) => {
+        $(impl Distribution<$ty> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        })+
+    };
+}
+
+standard_from_u32! { u8, u16, u32, i8, i16, i32 }
+standard_from_u64! { u64, i64, usize, isize }
+
+impl Distribution<f64> for Standard {
+    /// 53 random bits scaled into `[0, 1)` — rand's `Standard` for `f64`.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        const SCALE: f64 = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * SCALE
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// 24 random bits scaled into `[0, 1)` — rand's `Standard` for `f32`.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        const SCALE: f32 = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * SCALE
+    }
+}
+
+impl Distribution<bool> for Standard {
+    /// Sign test on the most significant bit, as in rand 0.8.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_uses_one_u32_draw() {
+        use crate::RngCore;
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let bit = a.gen::<bool>();
+        assert_eq!(bit, (b.next_u32() as i32) < 0);
+        // Streams stay in lockstep afterwards.
+        assert_eq!(a.next_u32(), b.next_u32());
+    }
+}

@@ -1,0 +1,206 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! the external crates the workspace depends on are vendored as minimal
+//! API-compatible implementations (see `vendor/README.md`). This crate
+//! reimplements the parts of `rand` 0.8 the workspace uses — and, because
+//! every quantitative result in the repository is seed-tuned, it is
+//! **stream-compatible** with the real thing:
+//!
+//! * `StdRng` is ChaCha12 with rand's 64-`u32` block buffering,
+//! * `SeedableRng::seed_from_u64` is the PCG32 expansion of rand_core 0.6,
+//! * integer `gen_range` is Lemire widening-multiply rejection with
+//!   rand 0.8's `sample_single` zone,
+//! * float `gen` / `gen_range` use the 53-bit multiply conventions,
+//! * `shuffle` is rand's Fisher–Yates with `u32` index sampling.
+//!
+//! Known-answer tests at the bottom pin the stream against reference
+//! vectors computed from an independent implementation.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+mod chacha;
+mod uniform;
+
+pub use distributions::{Distribution, Standard};
+pub use uniform::{SampleRange, SampleUniform};
+
+/// Core random-number generation primitives (subset of `rand_core`).
+pub trait RngCore {
+    /// Returns the next 32 bits of the stream.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing generation methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        if p == 1.0 {
+            return true;
+        }
+        // rand 0.8 Bernoulli: p is scaled to a 64-bit integer threshold.
+        let p_int = (p * exp2_64()) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[inline]
+fn exp2_64() -> f64 {
+    // 2^64 as f64 (exactly representable).
+    18_446_744_073_709_551_616.0
+}
+
+/// Seedable construction (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with PCG32 exactly
+    /// as rand_core 0.6 does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let n = chunk.len();
+            chunk.copy_from_slice(&x.to_le_bytes()[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// Reference vectors computed with an independent Python model of
+    /// ChaCha12 + the rand_core PCG32 seed expansion.
+    #[test]
+    fn seed_expansion_matches_pcg32_reference() {
+        // Expansion of seed 0 and 1 (hex of the 32-byte ChaCha key).
+        let expect0 = "ecf273f981b5cd4587f0467306ad6cadd0d0a3e33317e767f29bea72d78a7dfe";
+        let expect1 = "ead81d725d26104e899c3bf842ce782ebad303da9997d2c2120256ac7366fb1b";
+        for (seed, expect) in [(0u64, expect0), (1u64, expect1)] {
+            let rng = StdRng::seed_from_u64(seed);
+            let hex: String = rng.key_bytes().iter().map(|b| format!("{b:02x}")).collect();
+            assert_eq!(hex, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stdrng_u32_stream_matches_reference() {
+        let mut r = StdRng::seed_from_u64(0);
+        let got: Vec<u32> = (0..4).map(|_| r.next_u32()).collect();
+        assert_eq!(got, [0xcd2c_6f7f, 0xbb2a_3fb2, 0x8e27_697b, 0xc601_7c94]);
+    }
+
+    #[test]
+    fn stdrng_u64_stream_matches_reference() {
+        let mut r = StdRng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            [
+                0xbb2a_3fb2_cd2c_6f7f,
+                0xc601_7c94_8e27_697b,
+                0x069d_c102_cf31_0a16,
+                0x958b_761d_abe5_f6d0,
+            ]
+        );
+        let mut r = StdRng::seed_from_u64(12345);
+        let got: Vec<u64> = (0..3).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            [
+                0x4e51_9426_885d_d156,
+                0xe213_dd9e_ee42_544b,
+                0x8bed_72a9_a6e5_1e67,
+            ]
+        );
+    }
+
+    #[test]
+    fn stdrng_f64_stream_matches_reference() {
+        let mut r = StdRng::seed_from_u64(7);
+        let got: Vec<f64> = (0..3).map(|_| r.gen::<f64>()).collect();
+        assert_eq!(
+            got,
+            [
+                0.030317360865101395,
+                0.3070862833742408,
+                0.14264215670077263,
+            ]
+        );
+    }
+
+    #[test]
+    fn stdrng_u64_straddles_block_buffer_like_blockrng() {
+        // After 63 u32 draws the buffer holds one u32; rand's BlockRng
+        // uses it as the low half and refills for the high half.
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..63 {
+            r.next_u32();
+        }
+        assert_eq!(r.next_u64(), 0xce16_f2e5_cd10_30b2);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+    }
+}

@@ -1,0 +1,75 @@
+//! The standard generator.
+
+use crate::chacha::{ChaCha12Core, BUF_LEN};
+use crate::{RngCore, SeedableRng};
+
+/// The rand 0.8 standard generator: ChaCha12 behind a 64-`u32` block
+/// buffer, bit-compatible with `rand::rngs::StdRng`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    core: ChaCha12Core,
+    buf: [u32; BUF_LEN],
+    /// Next unread index into `buf`; `BUF_LEN` means "empty".
+    index: usize,
+}
+
+impl StdRng {
+    #[inline]
+    fn refill(&mut self) {
+        self.core.generate(&mut self.buf);
+    }
+
+    /// The raw key bytes (test support).
+    pub fn key_bytes(&self) -> [u8; 32] {
+        self.core.key_bytes()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self {
+            core: ChaCha12Core::new(&seed),
+            buf: [0; BUF_LEN],
+            index: BUF_LEN,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_LEN {
+            self.refill();
+            self.index = 0;
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Exactly rand_core's BlockRng::next_u64 over a u32 buffer.
+        let index = self.index;
+        if index < BUF_LEN - 1 {
+            self.index += 2;
+            u64::from(self.buf[index]) | (u64::from(self.buf[index + 1]) << 32)
+        } else if index >= BUF_LEN {
+            self.refill();
+            self.index = 2;
+            u64::from(self.buf[0]) | (u64::from(self.buf[1]) << 32)
+        } else {
+            let lo = u64::from(self.buf[BUF_LEN - 1]);
+            self.refill();
+            self.index = 1;
+            lo | (u64::from(self.buf[0]) << 32)
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let n = chunk.len();
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes()[..n]);
+        }
+    }
+}

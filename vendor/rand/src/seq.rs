@@ -1,0 +1,84 @@
+//! Slice helpers (subset of `rand::seq`).
+
+use crate::{Rng, RngCore};
+
+/// Uniform index below `ubound`, matching rand 0.8's `gen_index`: bounds
+/// that fit a `u32` sample with `u32` draws.
+#[inline]
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        rng.gen_range(0..ubound as u32) as usize
+    } else {
+        rng.gen_range(0..ubound)
+    }
+}
+
+/// Extension methods on slices (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, rand 0.8 order).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns one uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, gen_index(rng, i + 1));
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(gen_index(rng, self.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SliceRandom;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut a: Vec<usize> = (0..100).collect();
+        let mut b: Vec<usize> = (0..100).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(77));
+        b.shuffle(&mut StdRng::seed_from_u64(77));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "seed 77 should move something");
+    }
+
+    #[test]
+    fn shuffle_matches_rand_08_reference() {
+        // Fisher–Yates over 0..100 with StdRng seed 77, computed with an
+        // independent Python model of rand 0.8's shuffle (u32 Lemire
+        // index sampling, high-to-low swaps).
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(77));
+        assert_eq!(
+            &v[..16],
+            [7, 66, 42, 84, 91, 44, 2, 97, 83, 4, 93, 10, 86, 46, 12, 41]
+        );
+        assert_eq!(&v[96..], [55, 98, 79, 35]);
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut StdRng::seed_from_u64(0)).is_none());
+    }
+}

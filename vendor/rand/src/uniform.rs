@@ -1,0 +1,269 @@
+//! Uniform range sampling, matching rand 0.8's `sample_single` /
+//! `sample_single_inclusive` algorithms (Lemire widening-multiply
+//! rejection for integers, 53-bit multiply for floats).
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Samples from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Samples from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range argument for [`Rng::gen_range`].
+///
+/// [`Rng::gen_range`]: crate::Rng::gen_range
+pub trait SampleRange<T> {
+    /// Samples a value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_single_inclusive(low, high, rng)
+    }
+}
+
+/// Widening multiply returning `(high, low)` halves.
+trait WideningMul: Copy {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    #[inline]
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let wide = u64::from(self) * u64::from(other);
+        ((wide >> 32) as u32, wide as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    #[inline]
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let wide = u128::from(self) * u128::from(other);
+        ((wide >> 64) as u64, wide as u64)
+    }
+}
+
+impl WideningMul for usize {
+    #[inline]
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let (hi, lo) = (self as u64).wmul(other as u64);
+        (hi as usize, lo as usize)
+    }
+}
+
+/// Draws one full-width value of the working type.
+trait DrawLarge: Sized {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    fn max_value() -> Self;
+}
+
+impl DrawLarge for u32 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+    fn max_value() -> Self {
+        u32::MAX
+    }
+}
+
+impl DrawLarge for u64 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+    fn max_value() -> Self {
+        u64::MAX
+    }
+}
+
+impl DrawLarge for usize {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+    fn max_value() -> Self {
+        usize::MAX
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $small:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                let zone = if $small {
+                    let unsigned_max: $u_large = <$u_large as DrawLarge>::max_value();
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = <$u_large as DrawLarge>::draw(rng);
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                // Wrap-around means the full type range: any value works.
+                if range == 0 {
+                    return <$u_large as DrawLarge>::draw(rng) as $ty;
+                }
+                let zone = if $small {
+                    let unsigned_max: $u_large = <$u_large as DrawLarge>::max_value();
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = <$u_large as DrawLarge>::draw(rng);
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl! { u8, u8, u32, true }
+uniform_int_impl! { u16, u16, u32, true }
+uniform_int_impl! { i8, u8, u32, true }
+uniform_int_impl! { i16, u16, u32, true }
+uniform_int_impl! { u32, u32, u32, false }
+uniform_int_impl! { i32, u32, u32, false }
+uniform_int_impl! { u64, u64, u64, false }
+uniform_int_impl! { i64, u64, u64, false }
+uniform_int_impl! { usize, usize, usize, false }
+uniform_int_impl! { isize, usize, usize, false }
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $exponent_bits:expr, $next:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let scale = high - low;
+                loop {
+                    // A value in [1, 2): set the exponent to 0 over random
+                    // fraction bits, exactly as rand's
+                    // `into_float_with_exponent(0)`.
+                    let fraction = rng.$next() >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits($exponent_bits | fraction);
+                    let res = (value1_2 - 1.0) * scale + low;
+                    // rand 0.8.5 rejects the (astronomically rare) rounding
+                    // up to `high`.
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                // Matches rand's inclusive float sampling closely enough:
+                // the closed interval differs from the half-open one only
+                // at a zero-measure endpoint.
+                let scale = high - low;
+                let fraction = rng.$next() >> $bits_to_discard;
+                let value1_2 = <$ty>::from_bits($exponent_bits | fraction);
+                (value1_2 - 1.0) * scale + low
+            }
+        }
+    };
+}
+
+uniform_float_impl! { f64, u64, 12, 0x3FF0_0000_0000_0000u64, next_u64 }
+uniform_float_impl! { f32, u32, 9, 0x3F80_0000u32, next_u32 }
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let a = r.gen_range(0..3u32);
+            assert!(a < 3);
+            let b = r.gen_range(10..20usize);
+            assert!((10..20).contains(&b));
+            let c = r.gen_range(-0.5..0.5f64);
+            assert!((-0.5..0.5).contains(&c));
+            let d = r.gen_range(0..=7u64);
+            assert!(d <= 7);
+            let e = r.gen_range(-5..5i32);
+            assert!((-5..5).contains(&e));
+        }
+    }
+
+    #[test]
+    fn int_range_matches_rand_08_reference() {
+        // Lemire rejection stream for 0..10 with StdRng seed 21, from an
+        // independent Python model of rand 0.8's sample_single.
+        let mut r = StdRng::seed_from_u64(21);
+        let got: Vec<u32> = (0..12).map(|_| r.gen_range(0..10u32)).collect();
+        assert_eq!(got, [8, 2, 9, 7, 3, 4, 8, 9, 4, 1, 8, 6]);
+    }
+
+    #[test]
+    fn float_range_matches_rand_08_reference() {
+        // 53-bit multiply stream for -2.0..3.0 with StdRng seed 5, from
+        // the same Python model (hex float literals → exact bits).
+        let mut r = StdRng::seed_from_u64(5);
+        let got: Vec<f64> = (0..4).map(|_| r.gen_range(-2.0..3.0)).collect();
+        let expect: [f64; 4] = [
+            -0.2893675458854854, // -0x1.284ff7486862cp-2
+            -1.966909592994626,  // -0x1.f787631819c04p+0
+            0.2726480308025443,  // 0x1.17310b9e76818p-2
+            1.2648128222573103,  // 0x1.43cac5eb28178p+0
+        ];
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert_eq!(g.to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn all_residues_reachable() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(1);
+        let _ = r.gen_range(5..5u32);
+    }
+}

@@ -1,0 +1,499 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! Instead of serde's visitor architecture, this vendored stand-in uses a
+//! concrete JSON-shaped data model: [`Serialize`] lowers a value to a
+//! [`Content`] tree and [`Deserialize`] rebuilds a value from one.
+//! `serde_json` (also vendored) renders `Content` to text and parses text
+//! back into it. The surface covered is exactly what this workspace uses:
+//! derived structs with named fields, derived enums (unit / newtype /
+//! tuple / struct variants, externally tagged), the primitive impls
+//! below, `Vec`, `Option`, tuples and `HashMap` with integer or string
+//! keys.
+
+use std::collections::HashMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON value tree.
+///
+/// Maps preserve insertion order (derived structs insert in field order;
+/// `HashMap`s are sorted by key for deterministic output).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also non-finite floats, as in serde_json).
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Non-negative integers.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    /// Non-integral (or large) numbers.
+    F64(f64),
+    /// JSON strings.
+    Str(String),
+    /// JSON arrays.
+    Seq(Vec<Content>),
+    /// JSON objects as ordered key/value pairs.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization / deserialization error: a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers a value into the [`Content`] data model.
+pub trait Serialize {
+    /// The value as a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuilds a value from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Parses the value from a content tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `content` has the wrong shape for `Self`.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+
+    /// Called for a struct field absent from the input map. Errors by
+    /// default; `Option` overrides this to yield `None`, matching
+    /// serde's treatment of optional fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a "missing field" error by default.
+    fn from_missing(field: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+/// Looks up a struct field in a content map (derive support).
+///
+/// # Errors
+///
+/// Propagates the field's own parse error, or `from_missing` if absent.
+pub fn field<T: Deserialize>(entries: &[(String, Content)], name: &str) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v),
+        None => T::from_missing(name),
+    }
+}
+
+fn wrong_kind(expected: &str, got: &Content) -> Error {
+    Error::custom(format!("expected {expected}, found {}", got.kind()))
+}
+
+// --------------------------------------------------------------- integers
+
+macro_rules! unsigned_impl {
+    ($($ty:ty),+) => {
+        $(
+            impl Serialize for $ty {
+                fn to_content(&self) -> Content {
+                    Content::U64(u64::from(*self))
+                }
+            }
+
+            impl Deserialize for $ty {
+                fn from_content(content: &Content) -> Result<Self, Error> {
+                    let v = match *content {
+                        Content::U64(v) => v,
+                        Content::I64(v) => {
+                            u64::try_from(v).map_err(|_| wrong_kind("unsigned integer", content))?
+                        }
+                        _ => return Err(wrong_kind("unsigned integer", content)),
+                    };
+                    <$ty>::try_from(v)
+                        .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($ty))))
+                }
+            }
+        )+
+    };
+}
+
+unsigned_impl! { u8, u16, u32, u64 }
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        u64::from_content(content).and_then(|v| {
+            usize::try_from(v).map_err(|_| Error::custom(format!("{v} out of range for usize")))
+        })
+    }
+}
+
+macro_rules! signed_impl {
+    ($($ty:ty),+) => {
+        $(
+            impl Serialize for $ty {
+                fn to_content(&self) -> Content {
+                    let v = i64::from(*self);
+                    if v < 0 {
+                        Content::I64(v)
+                    } else {
+                        Content::U64(v as u64)
+                    }
+                }
+            }
+
+            impl Deserialize for $ty {
+                fn from_content(content: &Content) -> Result<Self, Error> {
+                    let v = match *content {
+                        Content::I64(v) => v,
+                        Content::U64(v) => {
+                            i64::try_from(v).map_err(|_| wrong_kind("integer", content))?
+                        }
+                        _ => return Err(wrong_kind("integer", content)),
+                    };
+                    <$ty>::try_from(v)
+                        .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($ty))))
+                }
+            }
+        )+
+    };
+}
+
+signed_impl! { i8, i16, i32, i64 }
+
+// ----------------------------------------------------------------- floats
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        if self.is_finite() {
+            Content::F64(*self)
+        } else {
+            // serde_json serializes non-finite floats as null.
+            Content::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match *content {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            _ => Err(wrong_kind("number", content)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        f64::from(*self).to_content()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+// ------------------------------------------------------- bool and strings
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match *content {
+            Content::Bool(v) => Ok(v),
+            _ => Err(wrong_kind("bool", content)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(wrong_kind("string", content)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(wrong_kind("sequence", content)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &str) -> Result<Self, Error> {
+        // Absent optional fields deserialize to None, as in serde.
+        Ok(None)
+    }
+}
+
+macro_rules! tuple_impl {
+    ($($len:literal => ($($idx:tt $name:ident),+)),+ $(,)?) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn to_content(&self) -> Content {
+                    Content::Seq(vec![$(self.$idx.to_content()),+])
+                }
+            }
+
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn from_content(content: &Content) -> Result<Self, Error> {
+                    let items = content
+                        .as_seq()
+                        .ok_or_else(|| wrong_kind("sequence", content))?;
+                    if items.len() != $len {
+                        return Err(Error::custom(format!(
+                            "expected a tuple of {} elements, found {}",
+                            $len,
+                            items.len()
+                        )));
+                    }
+                    Ok(($($name::from_content(&items[$idx])?,)+))
+                }
+            }
+        )+
+    };
+}
+
+tuple_impl! {
+    2 => (0 A, 1 B),
+    3 => (0 A, 1 B, 2 C),
+    4 => (0 A, 1 B, 2 C, 3 D),
+}
+
+// ------------------------------------------------------------------- maps
+
+/// Map keys: JSON objects only have string keys, so integer keys are
+/// rendered as decimal strings (as serde_json does).
+pub trait MapKey: Sized + Ord {
+    /// The key as a JSON object key.
+    fn to_key(&self) -> String;
+
+    /// Parses the key back from a JSON object key.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the string does not parse as `Self`.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! int_key_impl {
+    ($($ty:ty),+) => {
+        $(impl MapKey for $ty {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse()
+                    .map_err(|_| Error::custom(format!("invalid {} map key `{key}`", stringify!($ty))))
+            }
+        })+
+    };
+}
+
+int_key_impl! { u32, u64, usize, i32, i64 }
+
+impl<K: MapKey + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        // Sorted by key: HashMap iteration order is nondeterministic, and
+        // every exported artifact in this repository is diffed.
+        let mut keys: Vec<&K> = self.keys().collect();
+        keys.sort();
+        Content::Map(
+            keys.into_iter()
+                .map(|k| (k.to_key(), self[k].to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let entries = content.as_map().ok_or_else(|| wrong_kind("map", content))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        for v in [0u64, 7, u64::MAX] {
+            assert_eq!(u64::from_content(&v.to_content()).unwrap(), v);
+        }
+        for v in [-3i32, 0, 5] {
+            assert_eq!(i32::from_content(&v.to_content()).unwrap(), v);
+        }
+        for v in [0.0f64, -1.5, 1e300] {
+            assert_eq!(f64::from_content(&v.to_content()).unwrap(), v);
+        }
+        assert_eq!(f64::NAN.to_content(), Content::Null);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, 1.5f64), (9, -2.0)];
+        assert_eq!(Vec::<(u32, f64)>::from_content(&v.to_content()).unwrap(), v);
+
+        let o: Option<u32> = None;
+        assert_eq!(o.to_content(), Content::Null);
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_missing("whatever").unwrap(),
+            None,
+            "absent optional fields must default to None"
+        );
+        assert!(u32::from_missing("req").is_err());
+    }
+
+    #[test]
+    fn hashmap_sorted_and_roundtrips() {
+        let mut m: HashMap<u64, u32> = HashMap::new();
+        m.insert(10, 1);
+        m.insert(2, 2);
+        m.insert(700, 3);
+        let c = m.to_content();
+        let keys: Vec<&str> = c
+            .as_map()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["2", "10", "700"], "numeric sort, not lexicographic");
+        assert_eq!(HashMap::<u64, u32>::from_content(&c).unwrap(), m);
+    }
+}

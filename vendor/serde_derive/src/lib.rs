@@ -1,0 +1,373 @@
+//! Offline vendored `Serialize` / `Deserialize` derives.
+//!
+//! The real `serde_derive` builds on `syn`/`quote`; neither is available
+//! offline, so this crate walks the raw [`proc_macro::TokenStream`] by
+//! hand and emits impl source as strings. It supports exactly the shapes
+//! this workspace derives on: non-generic structs with named fields and
+//! non-generic enums with unit, newtype, tuple and struct variants
+//! (externally tagged, like serde's default). `#[serde(...)]` attributes
+//! are not supported and none exist in the workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored data-model version).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let source = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    source.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored data-model version).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let source = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    source.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// True for the start of an attribute (`#[...]`); the caller skips the
+/// following bracket group.
+fn is_attr_start(tt: &TokenTree) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == '#')
+}
+
+/// Skips attributes and visibility modifiers starting at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_attr_start(&tokens[i]) {
+            i += 2; // '#' + bracket group
+        } else if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(
+                tokens.get(i),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                i += 1; // pub(crate) etc.
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+/// Splits `tokens` on commas that are outside `<...>` (groups already hide
+/// their interiors, but angle brackets are bare puncts).
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extracts field names from the tokens of a named-field braced group.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_top_commas(tokens)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(chunk, 0);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            };
+            match chunk.get(i + 1) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                other => panic!("expected `:` after field `{name}`, found {other:?}"),
+            }
+            name
+        })
+        .collect()
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    split_top_commas(tokens)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(chunk, 0);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let kind = match chunk.get(i + 1) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    let arity = split_top_commas(&inner)
+                        .iter()
+                        .filter(|c| !c.is_empty())
+                        .count();
+                    VariantKind::Tuple(arity)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantKind::Struct(parse_named_fields(&inner))
+                }
+                other => panic!("unsupported tokens after variant `{name}`: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize): generics are not supported for `{name}`");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        other => {
+            panic!("expected braced body for `{name}` (tuple structs unsupported), found {other:?}")
+        }
+    };
+
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_content(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::field(entries, \"{f}\")?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let entries = content.as_map().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected map for struct {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn bindings(arity: usize) -> Vec<String> {
+    (0..arity).map(|i| format!("f{i}")).collect()
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!(
+                    "{name}::{vn} => \
+                     ::serde::Content::Str(::std::string::String::from(\"{vn}\")),"
+                ),
+                VariantKind::Tuple(arity) => {
+                    let binds = bindings(*arity).join(", ");
+                    let payload = if *arity == 1 {
+                        "::serde::Serialize::to_content(f0)".to_string()
+                    } else {
+                        let items: String = bindings(*arity)
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b}),"))
+                            .collect();
+                        format!("::serde::Content::Seq(::std::vec![{items}])")
+                    };
+                    format!(
+                        "{name}::{vn}({binds}) => ::serde::Content::Map(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), {payload})]),"
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let binds = fields.join(", ");
+                    let entries: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_content({f})),"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), \
+                          ::serde::Content::Map(::std::vec![{entries}]))]),"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+        })
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vn}\" => ::std::result::Result::Ok(\
+                     {name}::{vn}(::serde::Deserialize::from_content(payload)?)),"
+                )),
+                VariantKind::Tuple(arity) => {
+                    let elems: String = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?,"))
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => {{\n\
+                             let items = payload.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected sequence for {name}::{vn}\"))?;\n\
+                             if items.len() != {arity} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"wrong tuple arity for {name}::{vn}\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({elems}))\n\
+                         }}"
+                    ))
+                }
+                VariantKind::Struct(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(entries, \"{f}\")?,"))
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => {{\n\
+                             let entries = payload.as_map().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected map for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                         }}"
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match content {{\n\
+                     ::serde::Content::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(map_entries) if map_entries.len() == 1 => {{\n\
+                         let (tag, payload) = &map_entries[0];\n\
+                         let _ = payload;\n\
+                         match tag.as_str() {{\n\
+                             {data_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                         \"expected string or single-entry map for enum {name}\")),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

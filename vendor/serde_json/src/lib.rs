@@ -1,0 +1,535 @@
+//! Offline vendored subset of the `serde_json` API: renders the vendored
+//! serde [`Content`] data model to JSON text and parses JSON text back.
+//!
+//! Covers `to_string`, `to_string_pretty` and `from_str`. Output
+//! conventions follow the real crate where the workspace can observe
+//! them: maps render in entry order, floats print with a decimal point,
+//! non-finite floats are `null`, pretty output indents by two spaces.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// JSON serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Kept for API compatibility; serialization itself cannot fail.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as two-space-indented JSON.
+///
+/// # Errors
+///
+/// Kept for API compatibility; serialization itself cannot fail.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON, trailing input, or a shape
+/// mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let content = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(T::from_content(&content)?)
+}
+
+// ---------------------------------------------------------------- writing
+
+fn write_content(out: &mut String, c: &Content, indent: Option<&str>, depth: usize) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            write_bracketed(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                write_content(out, &items[i], indent, d);
+            });
+        }
+        Content::Map(entries) => {
+            write_bracketed(out, indent, depth, '{', '}', entries.len(), |out, i, d| {
+                let (k, v) = &entries[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, v, indent, d);
+            });
+        }
+    }
+}
+
+fn write_bracketed(
+    out: &mut String,
+    indent: Option<&str>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..=depth {
+                out.push_str(pad);
+            }
+        }
+        write_item(out, i, depth + 1);
+    }
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // Unreachable via the vendored Serialize impls (they map
+        // non-finite to Null), but kept for direct Content users.
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e16 {
+        // Keep a decimal point so the value reads back as a float,
+        // matching serde_json's ryu output ("1.0", not "1").
+        use fmt::Write;
+        write!(out, "{v:.1}").expect("writing to String cannot fail");
+    } else {
+        use fmt::Write;
+        write!(out, "{v}").expect("writing to String cannot fail");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                write!(out, "\\u{:04x}", c as u32).expect("writing to String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Content::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error::new(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.parse_escape(&mut out)?;
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let b = self
+            .peek()
+            .ok_or_else(|| Error::new("unterminated escape"))?;
+        self.pos += 1;
+        match b {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let first = self.parse_hex4()?;
+                let code = if (0xD800..0xDC00).contains(&first) {
+                    // Surrogate pair: expect \uXXXX low half.
+                    if !(self.eat_literal("\\u")) {
+                        return Err(Error::new("unpaired surrogate"));
+                    }
+                    let low = self.parse_hex4()?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return Err(Error::new("invalid low surrogate"));
+                    }
+                    0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                } else {
+                    first
+                };
+                out.push(char::from_u32(code).ok_or_else(|| Error::new("invalid \\u escape"))?);
+            }
+            other => return Err(Error::new(format!("invalid escape `\\{}`", other as char))),
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        self.pos += 4;
+        let s = std::str::from_utf8(hex).map_err(|_| Error::new("invalid \\u escape"))?;
+        u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid \\u escape"))
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::HashMap;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        label: String,
+        weights: Vec<(u32, f64)>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Unit,
+        Newtype(u8),
+        Pair(u32, f64),
+        Config { bits: u32 },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        name: String,
+        count: usize,
+        ratio: f64,
+        flag: bool,
+        maybe: Option<u32>,
+        none: Option<u32>,
+        kinds: Vec<Kind>,
+        index: HashMap<u64, u32>,
+        inner: Inner,
+    }
+
+    fn sample() -> Outer {
+        let mut index = HashMap::new();
+        index.insert(0xdead_beef_u64, 1);
+        index.insert(2, 0);
+        Outer {
+            name: "odb-c \"quoted\"\n".to_string(),
+            count: 42,
+            ratio: -0.125,
+            flag: true,
+            maybe: Some(7),
+            none: None,
+            kinds: vec![
+                Kind::Unit,
+                Kind::Newtype(3),
+                Kind::Pair(9, 1.5),
+                Kind::Config { bits: 14 },
+            ],
+            index,
+            inner: Inner {
+                label: "t".into(),
+                weights: vec![(1, 0.5), (900, -2.0)],
+            },
+        }
+    }
+
+    #[test]
+    fn derived_roundtrip_compact_and_pretty() {
+        let v = sample();
+        let compact = to_string(&v).unwrap();
+        assert_eq!(from_str::<Outer>(&compact).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str::<Outer>(&pretty).unwrap(), v);
+        assert!(pretty.contains("\n  \"name\""), "two-space indent");
+    }
+
+    #[test]
+    fn compact_output_shape() {
+        #[derive(Serialize)]
+        struct P {
+            x: u32,
+            y: f64,
+        }
+        let json = to_string(&P { x: 3, y: 2.0 }).unwrap();
+        assert_eq!(json, "{\"x\":3,\"y\":2.0}");
+    }
+
+    #[test]
+    fn enum_tagging_matches_serde_convention() {
+        assert_eq!(to_string(&Kind::Unit).unwrap(), "\"Unit\"");
+        assert_eq!(to_string(&Kind::Newtype(3)).unwrap(), "{\"Newtype\":3}");
+        assert_eq!(
+            to_string(&Kind::Pair(1, 0.5)).unwrap(),
+            "{\"Pair\":[1,0.5]}"
+        );
+        assert_eq!(
+            to_string(&Kind::Config { bits: 2 }).unwrap(),
+            "{\"Config\":{\"bits\":2}}"
+        );
+    }
+
+    #[test]
+    fn nan_serializes_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn parses_escapes_and_numbers() {
+        let s: String = from_str("\"a\\u0041\\n\\\"\\u00e9\"").unwrap();
+        assert_eq!(s, "aA\n\"é");
+        let v: Vec<f64> = from_str("[1, -2.5, 1e3, 0.0]").unwrap();
+        assert_eq!(v, [1.0, -2.5, 1000.0, 0.0]);
+        let n: i64 = from_str("-9007199254740993").unwrap();
+        assert_eq!(n, -9_007_199_254_740_993);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("1 2").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+        assert!(from_str::<String>("\"open").is_err());
+        assert!(from_str::<Outer>("{}").is_err(), "missing required fields");
+    }
+
+    #[test]
+    fn unknown_fields_ignored_missing_option_defaults() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct S {
+            a: u32,
+            b: Option<u32>,
+        }
+        let v: S = from_str("{\"a\":1,\"zzz\":true}").unwrap();
+        assert_eq!(v, S { a: 1, b: None });
+    }
+}
