@@ -121,6 +121,8 @@ impl Cache {
         let victim = set
             .iter_mut()
             .min_by_key(|w| w.1)
+            // fuzzylint: allow(panic) — a cache way-set is never empty:
+            // associativity >= 1 is asserted at construction
             .expect("associativity >= 1");
         *victim = (tag, self.stamp);
         false

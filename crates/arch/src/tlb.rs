@@ -55,6 +55,8 @@ impl Tlb {
             .entries
             .iter_mut()
             .min_by_key(|e| e.1)
+            // fuzzylint: allow(panic) — TLB capacity >= 1 is asserted at
+            // construction, so the entry array is never empty
             .expect("entries >= 1");
         *victim = (page, self.stamp);
         false

@@ -44,6 +44,10 @@ struct Report {
     nnz_per_row: usize,
     folds: usize,
     k_max: usize,
+    /// `std::thread::available_parallelism()` on the machine that produced
+    /// this report — context for comparing CV speedups across runners
+    /// (`None` when the platform cannot report it).
+    available_parallelism: Option<usize>,
     cv_workers: usize,
     stages: Vec<Stage>,
     fit_speedup: f64,
@@ -139,10 +143,8 @@ fn main() {
         workers: 1,
         ..Default::default()
     };
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(serial_cv.folds);
+    let available_parallelism = std::thread::available_parallelism().ok().map(|n| n.get());
+    let workers = available_parallelism.unwrap_or(4).min(serial_cv.folds);
     let parallel_cv = CrossValidation {
         workers,
         ..serial_cv
@@ -169,6 +171,7 @@ fn main() {
         nnz_per_row: nnz,
         folds: serial_cv.folds,
         k_max: serial_cv.k_max,
+        available_parallelism,
         cv_workers: workers,
         stages: vec![
             stage("fit_rescan", fit_rescan_med, fit_rescan_min),

@@ -30,14 +30,15 @@ pub fn sparkline(xs: &[f64], width: usize) -> String {
 /// Renders an RE-vs-k curve with axis labels.
 pub fn re_curve_block(name: &str, re: &[f64]) -> String {
     let mut out = String::new();
-    writeln!(out, "  {name:10} RE(k): {}", sparkline(re, 50)).expect("write");
+    // fmt::Write to a String is infallible; the result is discarded.
+    let _ = writeln!(out, "  {name:10} RE(k): {}", sparkline(re, 50));
     let picks = [1usize, 2, 3, 5, 9, 15, 20, 30, 40, 50];
     let vals: Vec<String> = picks
         .iter()
         .filter(|&&k| k <= re.len())
         .map(|&k| format!("k{k}={:.3}", re[k - 1]))
         .collect();
-    writeln!(out, "  {:10}        {}", "", vals.join("  ")).expect("write");
+    let _ = writeln!(out, "  {:10}        {}", "", vals.join("  "));
     out
 }
 

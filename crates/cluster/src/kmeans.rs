@@ -144,6 +144,8 @@ impl KMeans {
                 best = Some(c);
             }
         }
+        // fuzzylint: allow(panic) — n_init >= 1 is enforced by the builder,
+        // so the loop above always produces at least one clustering
         best.expect("n_init >= 1")
     }
 
@@ -218,13 +220,14 @@ impl KMeans {
                 }
                 idx
             };
-            centroids.push(points[pick].clone());
+            let picked = points[pick].clone();
             for (i, p) in points.iter().enumerate() {
-                let d = dist2(p, centroids.last().expect("just pushed"));
+                let d = dist2(p, &picked);
                 if d < d2[i] {
                     d2[i] = d;
                 }
             }
+            centroids.push(picked);
         }
         centroids
     }

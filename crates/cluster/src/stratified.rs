@@ -44,7 +44,7 @@ pub fn neyman_allocation(sizes: &[usize], std_devs: &[f64], budget: usize) -> Ve
             remaining -= grant;
             rem.push((i, sh - base as f64));
         }
-        rem.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("fractions are finite"));
+        rem.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (i, _) in rem {
             if remaining == 0 {
                 break;

@@ -246,6 +246,8 @@ pub fn run_suite(specs: &[BenchmarkSpec], cfg: &RunConfig) -> SuiteResult {
             });
         }
     })
+    // fuzzylint: allow(panic) — a worker panic is a bug in a benchmark
+    // model; re-raising it here is the correct propagation
     .expect("suite workers must not panic");
 
     let mut results = results.into_inner();

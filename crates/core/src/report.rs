@@ -58,15 +58,15 @@ pub fn format_table2(suite: &SuiteResult) -> String {
         )
     });
     let mut out = String::new();
-    writeln!(
+    // fmt::Write to a String is infallible; results are discarded.
+    let _ = writeln!(
         out,
         "{:<8} {:>10} {:>8} {:>4}  {:<6} {:<6} match",
         "Bmark", "CPI var", "RE_kopt", "k", "Quad", "Paper"
-    )
-    .expect("string write");
-    writeln!(out, "{}", "-".repeat(56)).expect("string write");
+    );
+    let _ = writeln!(out, "{}", "-".repeat(56));
     for r in &rows {
-        writeln!(
+        let _ = writeln!(
             out,
             "{:<8} {:>10.4} {:>8.3} {:>4}  {:<6} {:<6} {}",
             r.name,
@@ -80,11 +80,10 @@ pub fn format_table2(suite: &SuiteResult) -> String {
             } else {
                 "NO"
             },
-        )
-        .expect("string write");
+        );
     }
     let counts = suite.quadrant_counts();
-    writeln!(
+    let _ = writeln!(
         out,
         "\nQ-I: {}  Q-II: {}  Q-III: {}  Q-IV: {}   agreement with paper: {:.0}%",
         counts[0],
@@ -92,8 +91,7 @@ pub fn format_table2(suite: &SuiteResult) -> String {
         counts[2],
         counts[3],
         suite.agreement() * 100.0
-    )
-    .expect("string write");
+    );
     out
 }
 
@@ -116,6 +114,24 @@ mod tests {
         assert!(table.contains("gzip"));
         assert!(table.contains("mcf"));
         assert!(table.contains("agreement"));
+    }
+
+    #[test]
+    fn table_text_and_json_are_run_stable() {
+        // Two identical suite runs must render byte-identical reports —
+        // the end-to-end determinism claim the lint pass guards.
+        let mut cfg = RunConfig::default();
+        cfg.profile.num_intervals = 25;
+        cfg.profile.warmup_intervals = 4;
+        let specs = [BenchmarkSpec::spec("gzip"), BenchmarkSpec::spec("mcf")];
+        let (a, b) = (run_suite(&specs, &cfg), run_suite(&specs, &cfg));
+        assert_eq!(format_table2(&a), format_table2(&b));
+        let rows = |s: &SuiteResult| -> Vec<Table2Row> {
+            s.benchmarks.iter().map(Table2Row::from_result).collect()
+        };
+        let ja = serde_json::to_string(&rows(&a)).expect("serialize a");
+        let jb = serde_json::to_string(&rows(&b)).expect("serialize b");
+        assert_eq!(ja.as_bytes(), jb.as_bytes());
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Baseline files: accepted pre-existing findings.
+//!
+//! A baseline lets the lint land on a codebase with known findings: the
+//! checked-in file lists each accepted finding's rule, path, and content
+//! fingerprint (line-number independent), and the runner subtracts it from
+//! the current findings. New findings still fail the build; baseline
+//! entries that no longer match anything are *expired* and also fail, so
+//! the baseline can only shrink over time.
+//!
+//! Format (one entry per line, `#` comments allowed):
+//!
+//! ```text
+//! R4 crates/core/src/report.rs 1a2b3c4d5e6f7081 x2
+//! ```
+
+use crate::diagnostics::{Finding, RuleId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One baseline entry: an accepted (rule, path, fingerprint) with a count.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    /// Rule of the accepted finding.
+    pub rule: RuleId,
+    /// Workspace-relative path.
+    pub path: String,
+    /// [`Finding::fingerprint`] value.
+    pub fingerprint: u64,
+    /// How many identical findings this entry accepts.
+    pub count: usize,
+}
+
+/// A parsed baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Accepted entries, keyed for lookup.
+    entries: BTreeMap<(RuleId, String, u64), usize>,
+}
+
+/// The result of subtracting a baseline from current findings.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Findings not covered by the baseline — these fail the build.
+    pub new: Vec<Finding>,
+    /// Findings matched (and silenced) by the baseline.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries (with residual counts) that matched nothing —
+    /// stale; the baseline must be refreshed.
+    pub expired: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Parses baseline text.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed lines.
+    pub fn parse(text: &str) -> io::Result<Baseline> {
+        let mut entries = BTreeMap::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let bad = |what: &str| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("baseline line {}: {what}: {line}", ln + 1),
+                )
+            };
+            let rule = parts
+                .next()
+                .and_then(RuleId::parse)
+                .ok_or_else(|| bad("unknown rule"))?;
+            let path = parts.next().ok_or_else(|| bad("missing path"))?.to_string();
+            let fp = parts
+                .next()
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or_else(|| bad("bad fingerprint"))?;
+            let count = match parts.next() {
+                None => 1,
+                Some(c) => c
+                    .strip_prefix('x')
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| bad("bad count"))?,
+            };
+            if parts.next().is_some() {
+                return Err(bad("trailing fields"));
+            }
+            *entries.entry((rule, path, fp)).or_insert(0) += count;
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Loads a baseline file; a missing file is an empty baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O and parse errors (missing file excluded).
+    pub fn load(path: &Path) -> io::Result<Baseline> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Builds the baseline that accepts exactly `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry((f.rule, f.path.clone(), f.fingerprint()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Whether the baseline accepts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of accepted findings (sum of counts).
+    pub fn accepted(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Subtracts the baseline from `findings`.
+    pub fn apply(&self, findings: Vec<Finding>) -> Applied {
+        let mut remaining = self.entries.clone();
+        let mut out = Applied::default();
+        for f in findings {
+            let key = (f.rule, f.path.clone(), f.fingerprint());
+            match remaining.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    out.baselined.push(f);
+                }
+                _ => out.new.push(f),
+            }
+        }
+        for ((rule, path, fingerprint), count) in remaining {
+            if count > 0 {
+                out.expired.push(Entry {
+                    rule,
+                    path,
+                    fingerprint,
+                    count,
+                });
+            }
+        }
+        out
+    }
+
+    /// Renders the canonical file form.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# fuzzylint baseline — accepted pre-existing findings.\n\
+             # Regenerate with: cargo run -p fuzzylint -- --workspace --write-baseline\n\
+             # Format: <rule> <path> <fingerprint-hex> [x<count>]\n",
+        );
+        for ((rule, path, fp), count) in &self.entries {
+            let _ = write!(out, "{rule} {path} {fp:016x}");
+            if *count > 1 {
+                let _ = write!(out, " x{count}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: RuleId, path: &str, excerpt: &str) -> Finding {
+        Finding {
+            path: path.into(),
+            line: 1,
+            rule,
+            message: "m".into(),
+            hint: "h".into(),
+            excerpt: excerpt.into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let findings = vec![
+            finding(RuleId::R4, "crates/a/src/l.rs", "x.unwrap();"),
+            finding(RuleId::R4, "crates/a/src/l.rs", "x.unwrap();"),
+            finding(RuleId::R1, "crates/b/src/l.rs", "for k in m {"),
+        ];
+        let base = Baseline::from_findings(&findings);
+        let parsed = Baseline::parse(&base.render()).expect("parses");
+        assert_eq!(parsed, base);
+        assert_eq!(parsed.accepted(), 3);
+    }
+
+    #[test]
+    fn apply_splits_new_baselined_expired() {
+        let old = vec![
+            finding(RuleId::R4, "crates/a/src/l.rs", "x.unwrap();"),
+            finding(RuleId::R1, "crates/b/src/l.rs", "for k in m {"),
+        ];
+        let base = Baseline::from_findings(&old);
+        // The R1 finding was fixed; a fresh R2 finding appeared.
+        let now = vec![
+            finding(RuleId::R4, "crates/a/src/l.rs", "x.unwrap();"),
+            finding(RuleId::R2, "crates/c/src/l.rs", "thread_rng()"),
+        ];
+        let applied = base.apply(now);
+        assert_eq!(applied.baselined.len(), 1);
+        assert_eq!(applied.new.len(), 1);
+        assert_eq!(applied.new[0].rule, RuleId::R2);
+        assert_eq!(applied.expired.len(), 1);
+        assert_eq!(applied.expired[0].rule, RuleId::R1);
+    }
+
+    #[test]
+    fn counts_cap_acceptance() {
+        let base = Baseline::from_findings(&[finding(RuleId::R4, "p", "x.unwrap();")]);
+        let applied = base.apply(vec![
+            finding(RuleId::R4, "p", "x.unwrap();"),
+            finding(RuleId::R4, "p", "x.unwrap();"),
+        ]);
+        assert_eq!(applied.baselined.len(), 1);
+        assert_eq!(applied.new.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Baseline::parse("R9 p 00").is_err());
+        assert!(Baseline::parse("R4 p nothex").is_err());
+        assert!(Baseline::parse("R4 p 00 x0").is_err());
+        assert!(Baseline::parse("R4 p 00 x1 extra").is_err());
+        assert!(Baseline::parse("# comment\n\n").expect("ok").is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let base = Baseline::load(Path::new("/nonexistent/fuzzylint.baseline")).expect("ok");
+        assert!(base.is_empty());
+    }
+}

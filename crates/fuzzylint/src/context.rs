@@ -1,0 +1,328 @@
+//! Per-file lint context: token stream plus everything the rules need to
+//! know about *where* a token sits — test regions, file role, pragmas.
+
+use crate::lexer::{lex, Tok};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The role a file plays in its crate; several rules scope by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` library code — the strictest scope.
+    Lib,
+    /// `src/bin/` or `src/main.rs` binaries.
+    Bin,
+    /// Integration tests (`tests/`).
+    Test,
+    /// Benchmarks (`benches/`).
+    Bench,
+    /// Examples (`examples/`).
+    Example,
+}
+
+impl FileKind {
+    /// Classifies a path by its workspace-relative components.
+    pub fn classify(rel_path: &str) -> FileKind {
+        let p = rel_path.replace('\\', "/");
+        if p.contains("/tests/") || p.starts_with("tests/") {
+            FileKind::Test
+        } else if p.contains("/benches/") {
+            FileKind::Bench
+        } else if p.contains("/examples/") || p.starts_with("examples/") {
+            FileKind::Example
+        } else if p.contains("/src/bin/") || p.ends_with("src/main.rs") {
+            FileKind::Bin
+        } else {
+            FileKind::Lib
+        }
+    }
+}
+
+/// A lexed source file with rule-relevant structure attached.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Role of the file (library, binary, test, …).
+    pub kind: FileKind,
+    /// Crate directory name (`crates/<name>/…`), empty outside `crates/`.
+    pub crate_name: String,
+    /// Full token stream, comments included.
+    pub tokens: Vec<Tok>,
+    /// `mask[i]` is true when `tokens[i]` is inside a `#[cfg(test)]` /
+    /// `#[test]` item (attribute through matching closing brace).
+    pub test_mask: Vec<bool>,
+    /// Line → lint names allowed by `// fuzzylint: allow(name) — reason`
+    /// pragmas. A pragma suppresses findings on its own line and on the
+    /// first code line below its (possibly multi-line) comment block.
+    pub pragmas: BTreeMap<u32, BTreeSet<String>>,
+    /// Pragma lines that carry no justification text after `allow(...)`.
+    pub bare_pragma_lines: Vec<u32>,
+    /// Raw source lines (for excerpts and fingerprints).
+    pub lines: Vec<String>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes one file.
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let tokens = lex(src);
+        let test_mask = compute_test_mask(&tokens);
+        let (pragmas, bare_pragma_lines) = collect_pragmas(&tokens);
+        SourceFile {
+            path: rel_path.replace('\\', "/"),
+            kind: FileKind::classify(rel_path),
+            crate_name: crate_name_of(rel_path),
+            tokens,
+            test_mask,
+            pragmas,
+            bare_pragma_lines,
+            lines: src.lines().map(str::to_string).collect(),
+        }
+    }
+
+    /// The trimmed source text of a 1-based line (empty if out of range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|s| s.trim())
+            .unwrap_or("")
+    }
+
+    /// Whether a pragma allows `lint_name` at `line`: on the same line, or
+    /// anywhere in the contiguous `//` comment block directly above it.
+    pub fn allowed(&self, line: u32, lint_name: &str) -> bool {
+        if self.pragma_at(line, lint_name) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            if !self.line_text(l).starts_with("//") {
+                return false;
+            }
+            if self.pragma_at(l, lint_name) {
+                return true;
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    fn pragma_at(&self, line: u32, lint_name: &str) -> bool {
+        self.pragmas
+            .get(&line)
+            .is_some_and(|names| names.contains(lint_name))
+    }
+
+    /// Indices of non-comment tokens, in order.
+    pub fn code_indices(&self) -> Vec<usize> {
+        (0..self.tokens.len())
+            .filter(|&i| !self.tokens[i].is_comment())
+            .collect()
+    }
+}
+
+fn crate_name_of(rel_path: &str) -> String {
+    let p = rel_path.replace('\\', "/");
+    let mut parts = p.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("").to_string()
+    } else {
+        String::new()
+    }
+}
+
+/// Marks tokens covered by `#[cfg(test)]` / `#[test]`-attributed items.
+///
+/// The scan is syntactic: on seeing a test attribute it skips any further
+/// attributes, then marks everything up to the matching `}` of the first
+/// `{` it meets (or to the first `;` for braceless items). `cfg(not(test))`
+/// and `cfg(any(…))` containing `not` are deliberately NOT treated as test
+/// regions.
+fn compute_test_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut ci = 0;
+    while ci < code.len() {
+        let start = ci;
+        if let Some(end) = match_test_attr(tokens, &code, ci) {
+            // Skip any stacked attributes after the test attribute.
+            let mut cj = end;
+            while let Some(attr_end) = match_any_attr(tokens, &code, cj) {
+                cj = attr_end;
+            }
+            // Find the item's body: first `{` (mark to matching `}`) or a
+            // terminating `;` before any brace.
+            let mut depth = 0usize;
+            let mut ck = cj;
+            let mut body_end = code.len();
+            while ck < code.len() {
+                let t = &tokens[code[ck]];
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            body_end = ck + 1;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        body_end = ck + 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                ck += 1;
+            }
+            for &ti in &code[start..body_end.min(code.len())] {
+                mask[ti] = true;
+            }
+            ci = body_end.max(ci + 1);
+        } else {
+            ci += 1;
+        }
+    }
+    mask
+}
+
+/// If `code[ci]` starts `#[…]`, returns the code index just past `]`.
+fn match_any_attr(tokens: &[Tok], code: &[usize], ci: usize) -> Option<usize> {
+    if tokens[*code.get(ci)?].text != "#" {
+        return None;
+    }
+    if tokens[*code.get(ci + 1)?].text != "[" {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (off, &ti) in code[ci + 1..].iter().enumerate() {
+        match tokens[ti].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(ci + 1 + off + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// If `code[ci]` starts a *test* attribute (`#[test]`, `#[cfg(test)]`,
+/// `#[cfg(all(test, …))]`, `#[tokio::test]`…), returns the code index just
+/// past its `]`.
+fn match_test_attr(tokens: &[Tok], code: &[usize], ci: usize) -> Option<usize> {
+    let end = match_any_attr(tokens, code, ci)?;
+    let body: Vec<&str> = code[ci..end]
+        .iter()
+        .map(|&ti| tokens[ti].text.as_str())
+        .collect();
+    let joined = body.join(" ");
+    let is_test = joined == "# [ test ]"
+        || joined.ends_with(": test ]")
+        || (joined.contains("cfg") && joined.contains(" test") && !joined.contains("not"));
+    is_test.then_some(end)
+}
+
+/// Extracts `fuzzylint: allow(name) — reason` pragmas from comments.
+fn collect_pragmas(tokens: &[Tok]) -> (BTreeMap<u32, BTreeSet<String>>, Vec<u32>) {
+    let mut pragmas: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    let mut bare = Vec::new();
+    for t in tokens {
+        if !t.is_comment() {
+            continue;
+        }
+        let Some(rest) = t.text.split("fuzzylint:").nth(1) else {
+            continue;
+        };
+        let mut cursor = rest;
+        let mut any = false;
+        while let Some(idx) = cursor.find("allow(") {
+            let after = &cursor[idx + "allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            let name = after[..close].trim().to_string();
+            let tail = &after[close + 1..];
+            if !name.is_empty() {
+                pragmas.entry(t.line).or_default().insert(name);
+                any = true;
+                // Reason required: some word characters after the paren.
+                if !tail.chars().any(|c| c.is_alphanumeric()) {
+                    bare.push(t.line);
+                }
+            }
+            cursor = tail;
+        }
+        let _ = any;
+    }
+    (pragmas, bare)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(FileKind::classify("crates/x/src/lib.rs"), FileKind::Lib);
+        assert_eq!(FileKind::classify("crates/x/src/bin/t.rs"), FileKind::Bin);
+        assert_eq!(FileKind::classify("crates/x/src/main.rs"), FileKind::Bin);
+        assert_eq!(FileKind::classify("crates/x/tests/p.rs"), FileKind::Test);
+        assert_eq!(FileKind::classify("crates/x/benches/b.rs"), FileKind::Bench);
+        assert_eq!(FileKind::classify("examples/e.rs"), FileKind::Example);
+    }
+
+    #[test]
+    fn crate_names() {
+        let f = SourceFile::parse("crates/regtree/src/tree.rs", "fn a() {}");
+        assert_eq!(f.crate_name, "regtree");
+        let f = SourceFile::parse("examples/e.rs", "fn a() {}");
+        assert_eq!(f.crate_name, "");
+    }
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = "fn lib_code() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        let unwrap_idx = f
+            .tokens
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap token");
+        assert!(f.test_mask[unwrap_idx]);
+        let lib_idx = f
+            .tokens
+            .iter()
+            .position(|t| t.text == "lib_code")
+            .expect("lib token");
+        assert!(!f.test_mask[lib_idx]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nmod real { fn f() { x.unwrap(); } }\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(f.test_mask.iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attrs_is_masked() {
+        let src = "#[test]\n#[should_panic(expected = \"boom\")]\nfn t() { f(); }\nfn g() {}\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        let f_idx = f.tokens.iter().position(|t| t.text == "f").expect("f");
+        let g_idx = f.tokens.iter().position(|t| t.text == "g").expect("g");
+        assert!(f.test_mask[f_idx]);
+        assert!(!f.test_mask[g_idx]);
+    }
+
+    #[test]
+    fn pragmas_parse_and_require_reason() {
+        let src = "// fuzzylint: allow(panic) — writes to String cannot fail\nx.unwrap();\n// fuzzylint: allow(hash_iter)\ny.iter();\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        assert!(f.allowed(2, "panic"));
+        assert!(!f.allowed(2, "hash_iter"));
+        assert!(f.allowed(4, "hash_iter"));
+        assert_eq!(f.bare_pragma_lines, vec![3]);
+    }
+}

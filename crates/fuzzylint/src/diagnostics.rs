@@ -1,0 +1,186 @@
+//! Finding types, rule identities, and deterministic rendering.
+
+use std::fmt;
+
+/// The rule that produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Hash-container iteration feeding ordered output.
+    R1,
+    /// Unseeded randomness outside tests.
+    R2,
+    /// Wall-clock reads inside input-deterministic model crates.
+    R3,
+    /// `unwrap()`/`expect()` in library code without a pragma.
+    R4,
+    /// `unsafe` outside `vendor/`.
+    R5,
+    /// Lossy `as` cast on a sample/cycle counter.
+    R6,
+}
+
+impl RuleId {
+    /// All rules, in id order.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::R3,
+        RuleId::R4,
+        RuleId::R5,
+        RuleId::R6,
+    ];
+
+    /// The pragma name (`// fuzzylint: allow(<name>) — reason`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::R1 => "hash_iter",
+            RuleId::R2 => "unseeded_rng",
+            RuleId::R3 => "wall_clock",
+            RuleId::R4 => "panic",
+            RuleId::R5 => "unsafe",
+            RuleId::R6 => "lossy_cast",
+        }
+    }
+
+    /// One-line description, shown by `--list-rules`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::R1 => {
+                "HashMap/HashSet iteration feeding ordered output; use BTreeMap or sort first"
+            }
+            RuleId::R2 => "unseeded randomness (thread_rng/from_entropy/OsRng) outside tests",
+            RuleId::R3 => "wall-clock (Instant/SystemTime) inside arch/regtree/cluster model code",
+            RuleId::R4 => "unwrap()/expect() in library code without an allow(panic) pragma",
+            RuleId::R5 => "unsafe code outside vendor/",
+            RuleId::R6 => "lossy integer `as` cast on a sample/cycle counter",
+        }
+    }
+
+    /// Parses `R1`…`R6` or a pragma name.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL
+            .into_iter()
+            .find(|r| format!("{r}") == s || r.name() == s)
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The rule.
+    pub rule: RuleId,
+    /// What is wrong.
+    pub message: String,
+    /// One-line fix hint.
+    pub hint: String,
+    /// Trimmed source line (used for the stable fingerprint).
+    pub excerpt: String,
+}
+
+impl Finding {
+    /// Stable identity for baselines: independent of the line *number* so
+    /// unrelated edits above a finding don't churn the baseline.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(&[
+            self.rule.name().as_bytes(),
+            b"\0",
+            self.path.as_bytes(),
+            b"\0",
+            self.excerpt.as_bytes(),
+        ])
+    }
+
+    /// Renders the two-line human diagnostic.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {} [{}] {}\n    | {}\n    = hint: {}",
+            self.path,
+            self.line,
+            self.rule,
+            self.rule.name(),
+            self.message,
+            self.excerpt,
+            self.hint
+        )
+    }
+}
+
+/// FNV-1a over concatenated byte slices: tiny, dependency-free, stable.
+pub fn fnv1a64(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Sorts findings into the canonical deterministic order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(line: u32, excerpt: &str) -> Finding {
+        Finding {
+            path: "crates/x/src/a.rs".into(),
+            line,
+            rule: RuleId::R4,
+            message: "m".into(),
+            hint: "h".into(),
+            excerpt: excerpt.into(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_line_number() {
+        assert_eq!(
+            finding(10, "x.unwrap();").fingerprint(),
+            finding(99, "x.unwrap();").fingerprint()
+        );
+        assert_ne!(
+            finding(10, "x.unwrap();").fingerprint(),
+            finding(10, "y.unwrap();").fingerprint()
+        );
+    }
+
+    #[test]
+    fn rule_parse_roundtrip() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(&format!("{r}")), Some(r));
+            assert_eq!(RuleId::parse(r.name()), Some(r));
+        }
+        assert_eq!(RuleId::parse("R9"), None);
+    }
+
+    #[test]
+    fn render_contains_location_and_hint() {
+        let s = finding(7, "x.unwrap();").render();
+        assert!(s.starts_with("crates/x/src/a.rs:7: R4 [panic]"));
+        assert!(s.contains("hint:"));
+    }
+
+    #[test]
+    fn sort_is_path_then_line_then_rule() {
+        let mut v = vec![finding(9, "a"), finding(2, "b")];
+        sort_findings(&mut v);
+        assert_eq!(v[0].line, 2);
+    }
+}

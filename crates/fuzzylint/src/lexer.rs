@@ -1,0 +1,416 @@
+//! A hand-rolled Rust lexer: just enough tokenization for lint rules.
+//!
+//! The goal is *not* a faithful grammar — it is to classify every byte of
+//! a source file into identifiers, punctuation, literals, and comments so
+//! the rule engine can pattern-match on identifier sequences without ever
+//! being fooled by strings, chars, or comments. Raw strings (any number of
+//! `#` guards), byte strings, nested block comments, char-vs-lifetime
+//! disambiguation, and numeric suffixes are all handled; operator *joining*
+//! (`::` vs `:` `:`) is not, because the rules match on single-character
+//! punctuation anyway.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `r#ident` raw identifiers).
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// Numeric literal (including suffix, e.g. `0x1F_u32`).
+    Num,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`), including the quote.
+    Lifetime,
+    /// `// …` comment, text excludes the trailing newline.
+    LineComment,
+    /// `/* … */` comment, possibly spanning lines.
+    BlockComment,
+}
+
+/// One token with its 1-based starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is a comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`. Unknown bytes are emitted as `Punct` so the scanner
+/// never stalls; lexing is total.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line);
+                    self.mark_last_starts_at(line, "b");
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_lit(line);
+                    self.mark_last_starts_at(line, "b");
+                }
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(line),
+                'r' if self.peek(1) == Some('#')
+                    && self.peek(2).is_some_and(is_ident_start) =>
+                {
+                    // Raw identifier r#ident.
+                    self.bump();
+                    self.bump();
+                    self.ident(line, "r#");
+                }
+                '\'' => self.quote(line),
+                _ if is_ident_start(c) => self.ident(line, ""),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Prepends `prefix` to the text of the token just pushed (used for
+    /// `b"…"` / `b'…'` where the `b` was consumed before dispatch).
+    fn mark_last_starts_at(&mut self, line: u32, prefix: &str) {
+        if let Some(last) = self.out.last_mut() {
+            last.text = format!("{prefix}{}", last.text);
+            last.line = line;
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    fn string(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('"'));
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Is the cursor at `r"`, `r#"`, `br"`, `br#"`, … ?
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 1; // past the leading r or b
+        if self.peek(0) == Some('b') {
+            if self.peek(1) != Some('r') {
+                return false;
+            }
+            i = 2;
+        }
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        let mut text = String::new();
+        if self.peek(0) == Some('b') {
+            text.push(self.bump().unwrap_or('b'));
+        }
+        text.push(self.bump().unwrap_or('r')); // r
+        let mut guards = 0usize;
+        while self.peek(0) == Some('#') {
+            guards += 1;
+            text.push(self.bump().unwrap_or('#'));
+        }
+        text.push(self.bump().unwrap_or('"')); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < guards && self.peek(0) == Some('#') {
+                    seen += 1;
+                    text.push(self.bump().unwrap_or('#'));
+                }
+                if seen == guards {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// `'` starts either a lifetime or a char literal.
+    fn quote(&mut self, line: u32) {
+        // Lifetime: 'ident NOT followed by a closing quote ('a' is a char).
+        if self.peek(1).is_some_and(is_ident_start) {
+            let mut i = 2;
+            while self.peek(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            if self.peek(i) != Some('\'') {
+                let mut text = String::new();
+                for _ in 0..i {
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    }
+                }
+                self.push(TokKind::Lifetime, text, line);
+                return;
+            }
+        }
+        self.char_lit(line);
+    }
+
+    fn char_lit(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('\'')); // opening '
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn ident(&mut self, line: u32, prefix: &str) {
+        let mut text = String::from(prefix);
+        while self.peek(0).is_some_and(is_ident_continue) {
+            text.push(self.bump().unwrap_or('_'));
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && self.peek(1) != Some('.')
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // One decimal point, but never eat a `..` range operator.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("let x = y.unwrap();");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Ident, "y".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Ident, "unwrap".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let toks = kinds(r#"let s = "call unwrap() here";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let toks = kinds(r###"let s = r#"quote " inside"#;"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("quote")));
+        // The trailing semicolon survives the raw string.
+        assert_eq!(toks.last().map(|(k, _)| *k), Some(TokKind::Punct));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("/* outer /* inner */ still comment */ fn");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = kinds("0x1F_u32 1.5e3 0..10");
+        assert_eq!(toks[0], (TokKind::Num, "0x1F_u32".into()));
+        // `1.5e3` lexes as one numeric token.
+        assert_eq!(toks[1], (TokKind::Num, "1.5e3".into()));
+        // `0..10` must not swallow the range dots.
+        assert_eq!(toks[2], (TokKind::Num, "0".into()));
+        assert_eq!(toks[3], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[4], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[5], (TokKind::Num, "10".into()));
+    }
+
+    #[test]
+    fn byte_string_and_byte_char() {
+        let toks = kinds(r#"b"FZPH" b'\n'"#);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert!(toks[0].1.starts_with("b\""));
+        assert_eq!(toks[1].0, TokKind::Char);
+        assert!(toks[1].1.starts_with("b'"));
+    }
+
+    #[test]
+    fn comments_capture_text() {
+        let toks = lex("// fuzzylint: allow(panic) — reason\nfn f() {}");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert!(toks[0].text.contains("allow(panic)"));
+    }
+}

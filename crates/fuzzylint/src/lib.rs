@@ -1,0 +1,55 @@
+//! `fuzzylint` — workspace determinism & invariant lint pass.
+//!
+//! The reproduction's headline claims (bit-identical RE curves under any
+//! worker count, seed-stable trees, exact quadrant thresholds) are only as
+//! trustworthy as the code's determinism. This crate turns static analysis
+//! inward: a hand-rolled lexer and token-pattern rule engine walk every
+//! workspace crate and enforce repo-specific invariants:
+//!
+//! | rule | name          | invariant |
+//! |------|---------------|-----------|
+//! | R1   | `hash_iter`   | no hash-container iteration feeding ordered output |
+//! | R2   | `unseeded_rng`| no unseeded randomness outside `#[cfg(test)]` |
+//! | R3   | `wall_clock`  | no `Instant`/`SystemTime` in `arch`/`regtree`/`cluster` |
+//! | R4   | `panic`       | no `unwrap()`/`expect()` in library code without pragma |
+//! | R5   | `unsafe`      | no `unsafe` outside `vendor/` |
+//! | R6   | `lossy_cast`  | no lossy `as` casts on sample/cycle counters |
+//!
+//! Silence a site with `// fuzzylint: allow(<name>) — <reason>`; accept a
+//! pre-existing debt wholesale via the checked-in `fuzzylint.baseline`.
+//! The crate is dependency-free by design (no `syn`, no vendored deps):
+//! it must stay buildable before anything else in the workspace is.
+
+pub mod baseline;
+pub mod context;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use baseline::{Applied, Baseline};
+pub use context::{FileKind, SourceFile};
+pub use diagnostics::{Finding, RuleId};
+
+use std::io;
+use std::path::Path;
+
+/// Lints one in-memory source file (the unit the fixture tests drive).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    rules::check_file(&SourceFile::parse(rel_path, src))
+}
+
+/// Lints every lintable file under `root`, in deterministic order.
+///
+/// # Errors
+///
+/// Propagates walk and read errors.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rel in workspace::workspace_files(root)? {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        findings.extend(lint_source(&rel.to_string_lossy(), &src));
+    }
+    diagnostics::sort_findings(&mut findings);
+    Ok(findings)
+}

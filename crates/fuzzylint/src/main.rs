@@ -1,0 +1,190 @@
+//! The `fuzzylint` binary.
+//!
+//! ```text
+//! cargo run -p fuzzylint -- --workspace                   # lint, honor baseline
+//! cargo run -p fuzzylint -- --workspace --write-baseline  # accept current findings
+//! cargo run -p fuzzylint -- --path crates/regtree         # lint a subtree
+//! cargo run -p fuzzylint -- --list-rules
+//! ```
+//!
+//! Exit codes: `0` clean (or fully baselined), `1` new/expired findings,
+//! `2` usage or I/O error.
+
+use fuzzylint::baseline::Baseline;
+use fuzzylint::diagnostics::{sort_findings, Finding, RuleId};
+use fuzzylint::workspace::{find_root, rust_files_under};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+fuzzylint — workspace determinism & invariant lint pass
+
+USAGE:
+    fuzzylint --workspace [--baseline <file>] [--write-baseline] [--no-baseline]
+    fuzzylint --path <dir-or-file> [--path …]
+    fuzzylint --list-rules
+
+OPTIONS:
+    --workspace         lint every crate of the enclosing cargo workspace
+    --path <p>          lint one file or subtree (repeatable); baseline is
+                        not applied unless --baseline is given explicitly
+    --baseline <file>   baseline file (default: <root>/fuzzylint.baseline
+                        in --workspace mode)
+    --write-baseline    accept all current findings into the baseline file
+    --no-baseline       ignore any baseline file
+    --list-rules        print the rule table and exit
+";
+
+struct Args {
+    workspace: bool,
+    paths: Vec<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    no_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        paths: Vec::new(),
+        baseline: None,
+        write_baseline: false,
+        no_baseline: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--path" => args
+                .paths
+                .push(PathBuf::from(it.next().ok_or("--path needs a value")?)),
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?));
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--no-baseline" => args.no_baseline = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if !args.workspace && args.paths.is_empty() && !args.list_rules {
+        return Err("nothing to do: pass --workspace, --path, or --list-rules".into());
+    }
+    Ok(args)
+}
+
+fn lint_paths(root: &Path, paths: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for p in paths {
+        let abs = if p.is_absolute() {
+            p.clone()
+        } else {
+            root.join(p)
+        };
+        let files: Vec<PathBuf> = if abs.is_dir() {
+            rust_files_under(&abs)?
+        } else {
+            vec![abs.clone()]
+        };
+        for f in files {
+            let rel = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .into_owned();
+            let src = std::fs::read_to_string(&f)?;
+            findings.extend(fuzzylint::lint_source(&rel, &src));
+        }
+    }
+    sort_findings(&mut findings);
+    Ok(findings)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        for r in RuleId::ALL {
+            println!("{r}  {:<12}  {}", r.name(), r.summary());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = find_root(&cwd).ok_or("no enclosing cargo workspace found")?;
+
+    let findings = if args.workspace {
+        fuzzylint::lint_workspace(&root).map_err(|e| e.to_string())?
+    } else {
+        lint_paths(&root, &args.paths).map_err(|e| e.to_string())?
+    };
+
+    let baseline_path = match (&args.baseline, args.workspace) {
+        (Some(p), _) => Some(if p.is_absolute() {
+            p.clone()
+        } else {
+            root.join(p)
+        }),
+        (None, true) => Some(root.join("fuzzylint.baseline")),
+        (None, false) => None,
+    };
+
+    if args.write_baseline {
+        let path = baseline_path.ok_or("--write-baseline needs --workspace or --baseline")?;
+        let base = Baseline::from_findings(&findings);
+        std::fs::write(&path, base.render()).map_err(|e| e.to_string())?;
+        println!(
+            "fuzzylint: wrote {} accepted finding(s) to {}",
+            base.accepted(),
+            path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let base = match (&baseline_path, args.no_baseline) {
+        (Some(p), false) => Baseline::load(p).map_err(|e| e.to_string())?,
+        _ => Baseline::default(),
+    };
+    let applied = base.apply(findings);
+
+    for f in &applied.new {
+        println!("{}\n", f.render());
+    }
+    for e in &applied.expired {
+        println!(
+            "stale baseline entry (nothing matches): {} {} {:016x} x{}",
+            e.rule, e.path, e.fingerprint, e.count
+        );
+    }
+    let ok = applied.new.is_empty() && applied.expired.is_empty();
+    println!(
+        "fuzzylint: {} new finding(s), {} baselined, {} stale baseline entr(y/ies)",
+        applied.new.len(),
+        applied.baselined.len(),
+        applied.expired.len()
+    );
+    if !applied.expired.is_empty() {
+        println!("fuzzylint: baseline is stale — refresh with --write-baseline");
+    }
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("fuzzylint: error: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

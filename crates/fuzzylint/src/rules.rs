@@ -1,0 +1,453 @@
+//! The rule engine: R1–R6 determinism & robustness invariants.
+//!
+//! Rules pattern-match on the comment-free token stream of one file, with
+//! scope decided by [`FileKind`] and the `#[cfg(test)]` mask. Every rule
+//! can be silenced at a site with `// fuzzylint: allow(<name>) — <reason>`
+//! on the offending line or the line above; a pragma without a reason is
+//! itself a finding.
+
+use crate::context::{FileKind, SourceFile};
+use crate::diagnostics::{Finding, RuleId};
+
+/// How many code tokens after a hash-container iteration R1 scans for an
+/// explicit `sort`/BTree conversion before flagging. Wide enough to cover
+/// a `collect()` into a `Vec` plus the sort call in the next statement.
+const R1_LOOKAHEAD_TOKENS: usize = 80;
+
+/// Identifier fragments that mark a value as a sample/cycle counter (R6).
+const R6_COUNTER_HINTS: [&str; 4] = ["cycle", "instr", "sample", "count"];
+
+/// Narrowing integer targets flagged by R6.
+const R6_NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Crates whose analysis results must be pure functions of their inputs
+/// (R3 scope).
+const R3_MODEL_CRATES: [&str; 3] = ["arch", "regtree", "cluster"];
+
+/// Runs every rule over one file.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let code = file.code_indices();
+    r1_hash_iter(file, &code, &mut out);
+    r2_unseeded_rng(file, &code, &mut out);
+    r3_wall_clock(file, &code, &mut out);
+    r4_panic(file, &code, &mut out);
+    r5_unsafe(file, &code, &mut out);
+    r6_lossy_cast(file, &code, &mut out);
+    bare_pragmas(file, &mut out);
+    out.retain(|f| !file.allowed(f.line, f.rule.name()) || f.message.contains("justification"));
+    crate::diagnostics::sort_findings(&mut out);
+    out
+}
+
+fn finding(file: &SourceFile, line: u32, rule: RuleId, message: String, hint: &str) -> Finding {
+    Finding {
+        path: file.path.clone(),
+        line,
+        rule,
+        message,
+        hint: hint.to_string(),
+        excerpt: file.line_text(line).to_string(),
+    }
+}
+
+fn text<'a>(file: &'a SourceFile, code: &[usize], ci: usize) -> &'a str {
+    code.get(ci)
+        .map(|&ti| file.tokens[ti].text.as_str())
+        .unwrap_or("")
+}
+
+fn line_of(file: &SourceFile, code: &[usize], ci: usize) -> u32 {
+    code.get(ci).map(|&ti| file.tokens[ti].line).unwrap_or(0)
+}
+
+fn in_test(file: &SourceFile, code: &[usize], ci: usize) -> bool {
+    code.get(ci).map(|&ti| file.test_mask[ti]).unwrap_or(false)
+}
+
+/// R1 — iteration over a `HashMap`/`HashSet` must not feed ordered output.
+///
+/// Bindings are tracked per file: a `let` (or field/param type ascription)
+/// mentioning `HashMap`/`HashSet` between the name and the end of the
+/// statement marks the name as a hash container. Iterating such a name
+/// (`for _ in m`, `m.iter()`, `.keys()`, `.values()`, `.into_iter()`,
+/// `.drain()`) is flagged unless an explicit sort or BTree conversion
+/// appears within the next [`R1_LOOKAHEAD_TOKENS`] code tokens.
+fn r1_hash_iter(file: &SourceFile, code: &[usize], out: &mut Vec<Finding>) {
+    let vars = hash_bindings(file, code);
+    if vars.is_empty() {
+        return;
+    }
+    let iter_methods = ["iter", "keys", "values", "into_iter", "drain", "iter_mut"];
+    let sorted_markers = [
+        "sort",
+        "sort_by",
+        "sort_by_key",
+        "sort_unstable",
+        "sort_unstable_by",
+        "sort_unstable_by_key",
+        "BTreeMap",
+        "BTreeSet",
+        "BinaryHeap",
+        "len",
+        "count",
+        "sum",
+        "fold",
+        "max",
+        "min",
+        "all",
+        "any",
+    ];
+    for ci in 0..code.len() {
+        if in_test(file, code, ci) {
+            continue;
+        }
+        let name = text(file, code, ci);
+        if !vars.iter().any(|v| v == name) {
+            continue;
+        }
+        // `m.iter()` / `m.keys()` … or `for x in [&[mut]] m {`.
+        let is_method_iter = text(file, code, ci + 1) == "."
+            && iter_methods.contains(&text(file, code, ci + 2))
+            && text(file, code, ci + 3) == "(";
+        let mut back = ci;
+        while back > 0 && matches!(text(file, code, back - 1), "&" | "mut") {
+            back -= 1;
+        }
+        let is_for_iter = back > 0
+            && text(file, code, back - 1) == "in"
+            && matches!(text(file, code, ci + 1), "{" | ".");
+        if !is_method_iter && !is_for_iter {
+            continue;
+        }
+        // Suppressed when the surrounding statement(s) impose an order or
+        // reduce to an order-free scalar.
+        let window_end = (ci + R1_LOOKAHEAD_TOKENS).min(code.len());
+        let ordered = (ci..window_end).any(|cj| sorted_markers.contains(&text(file, code, cj)));
+        if ordered {
+            continue;
+        }
+        let line = line_of(file, code, ci);
+        out.push(finding(
+            file,
+            line,
+            RuleId::R1,
+            format!("iteration over hash container `{name}` has no deterministic order"),
+            "use BTreeMap/BTreeSet, or collect and sort before emitting",
+        ));
+    }
+}
+
+/// Names bound (or typed) as hash containers anywhere in the file.
+fn hash_bindings(file: &SourceFile, code: &[usize]) -> Vec<String> {
+    let mut vars = Vec::new();
+    for ci in 0..code.len() {
+        if !matches!(text(file, code, ci), "HashMap" | "HashSet") {
+            continue;
+        }
+        // Walk backwards over the type/constructor expression to the
+        // binding: `let [mut] NAME : … HashMap`, `NAME : HashMap` (field or
+        // param), or `let NAME = HashMap::new()`.
+        let mut cj = ci;
+        let mut steps = 0;
+        while cj > 0 && steps < 24 {
+            let t = text(file, code, cj - 1);
+            if t == ":" || t == "=" {
+                let mut ck = cj - 1;
+                // Skip a second `:` of a `::` path — that means we are
+                // inside a path, keep walking.
+                if t == ":" && ck > 0 && text(file, code, ck - 1) == ":" {
+                    cj -= 2;
+                    steps += 2;
+                    continue;
+                }
+                while ck > 0 && matches!(text(file, code, ck - 1), "mut") {
+                    ck -= 1;
+                }
+                let name = text(file, code, ck - 1);
+                if !name.is_empty()
+                    && name
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_lowercase() || c == '_')
+                    && !vars.iter().any(|v| v == name)
+                {
+                    vars.push(name.to_string());
+                }
+                break;
+            }
+            if matches!(t, ";" | "{" | "}" | "(") {
+                break;
+            }
+            cj -= 1;
+            steps += 1;
+        }
+    }
+    vars
+}
+
+/// R2 — no unseeded randomness outside tests.
+fn r2_unseeded_rng(file: &SourceFile, code: &[usize], out: &mut Vec<Finding>) {
+    for ci in 0..code.len() {
+        if in_test(file, code, ci) {
+            continue;
+        }
+        let t = text(file, code, ci);
+        if matches!(t, "thread_rng" | "from_entropy" | "OsRng") {
+            out.push(finding(
+                file,
+                line_of(file, code, ci),
+                RuleId::R2,
+                format!("`{t}` draws entropy outside test code"),
+                "thread an explicit seed through (see fuzzyphase_stats::seeded_rng)",
+            ));
+        }
+        // A SystemTime read in the same statement as something seed-like is
+        // a time-derived seed.
+        if t == "SystemTime" {
+            let mut cj = ci;
+            let mut seedish = false;
+            while cj < code.len() && text(file, code, cj) != ";" {
+                if text(file, code, cj).to_lowercase().contains("seed") {
+                    seedish = true;
+                }
+                cj += 1;
+            }
+            let mut ck = ci;
+            while ck > 0 && text(file, code, ck - 1) != ";" && ci - ck < 40 {
+                ck -= 1;
+                if text(file, code, ck).to_lowercase().contains("seed") {
+                    seedish = true;
+                }
+            }
+            if seedish {
+                out.push(finding(
+                    file,
+                    line_of(file, code, ci),
+                    RuleId::R2,
+                    "seed derived from SystemTime".to_string(),
+                    "take the seed as explicit input instead of the clock",
+                ));
+            }
+        }
+    }
+}
+
+/// R3 — model crates (`arch`, `regtree`, `cluster`) must be input-
+/// deterministic: no wall-clock reads outside tests.
+fn r3_wall_clock(file: &SourceFile, code: &[usize], out: &mut Vec<Finding>) {
+    if !R3_MODEL_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    for ci in 0..code.len() {
+        if in_test(file, code, ci) {
+            continue;
+        }
+        let t = text(file, code, ci);
+        if matches!(t, "Instant" | "SystemTime") {
+            out.push(finding(
+                file,
+                line_of(file, code, ci),
+                RuleId::R3,
+                format!("wall-clock type `{t}` in model crate `{}`", file.crate_name),
+                "model results must be pure functions of inputs; time belongs in bench/CLI code",
+            ));
+        }
+    }
+}
+
+/// R4 — no `unwrap()`/`expect(` in library code without a pragma.
+fn r4_panic(file: &SourceFile, code: &[usize], out: &mut Vec<Finding>) {
+    if file.kind != FileKind::Lib {
+        return;
+    }
+    for ci in 0..code.len() {
+        if in_test(file, code, ci) {
+            continue;
+        }
+        let t = text(file, code, ci);
+        if !matches!(t, "unwrap" | "expect") {
+            continue;
+        }
+        // Must be a method call: `.unwrap(` / `.expect(`.
+        if ci == 0 || text(file, code, ci - 1) != "." || text(file, code, ci + 1) != "(" {
+            continue;
+        }
+        out.push(finding(
+            file,
+            line_of(file, code, ci),
+            RuleId::R4,
+            format!("`{t}()` can panic in library code"),
+            "propagate with `?`/`ok_or`, or justify: `// fuzzylint: allow(panic) — <reason>`",
+        ));
+    }
+}
+
+/// R5 — no `unsafe` outside `vendor/` (vendor is never walked, so any
+/// sighting is a finding).
+fn r5_unsafe(file: &SourceFile, code: &[usize], out: &mut Vec<Finding>) {
+    for ci in 0..code.len() {
+        if text(file, code, ci) == "unsafe" {
+            out.push(finding(
+                file,
+                line_of(file, code, ci),
+                RuleId::R5,
+                "`unsafe` outside vendor/".to_string(),
+                "the workspace is 100% safe Rust; push unsafety into a vendored crate or remove it",
+            ));
+        }
+    }
+}
+
+/// R6 — lossy `as` narrowing of sample/cycle counters.
+fn r6_lossy_cast(file: &SourceFile, code: &[usize], out: &mut Vec<Finding>) {
+    for ci in 0..code.len() {
+        if in_test(file, code, ci) {
+            continue;
+        }
+        if text(file, code, ci) != "as" {
+            continue;
+        }
+        let target = text(file, code, ci + 1);
+        if !R6_NARROW_TYPES.contains(&target) {
+            continue;
+        }
+        let source = text(file, code, ci.wrapping_sub(1));
+        let lower = source.to_lowercase();
+        if !R6_COUNTER_HINTS.iter().any(|h| lower.contains(h)) {
+            continue;
+        }
+        out.push(finding(
+            file,
+            line_of(file, code, ci),
+            RuleId::R6,
+            format!("counter-like value `{source}` narrowed with `as {target}`"),
+            "keep counters u64 end-to-end, or use try_from with an explicit failure path",
+        ));
+    }
+}
+
+/// A pragma without a justification is itself a finding (reported under
+/// the rule it tries to allow).
+fn bare_pragmas(file: &SourceFile, out: &mut Vec<Finding>) {
+    for &line in &file.bare_pragma_lines {
+        let names = file.pragmas.get(&line).cloned().unwrap_or_default();
+        for name in names {
+            let rule = RuleId::parse(&name).unwrap_or(RuleId::R4);
+            out.push(finding(
+                file,
+                line,
+                rule,
+                format!("allow({name}) pragma without justification"),
+                "append a reason: `// fuzzylint: allow(…) — <why this is sound>`",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        check_file(&SourceFile::parse("crates/demo/src/lib.rs", src))
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<RuleId> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn r1_flags_unsorted_hash_iteration() {
+        let src = "use std::collections::HashMap;\nfn f(m: HashMap<u32, f64>) -> String {\n    let mut s = String::new();\n    for (k, v) in m { s += &format!(\"{k}{v}\"); }\n    s\n}\n";
+        assert!(rules_of(&lint(src)).contains(&RuleId::R1));
+    }
+
+    #[test]
+    fn r1_allows_sorted_iteration() {
+        let src = "use std::collections::HashMap;\nfn f(m: HashMap<u32, f64>) -> Vec<(u32, f64)> {\n    let mut v: Vec<(u32, f64)> = m.into_iter().collect();\n    v.sort_by_key(|e| e.0);\n    v\n}\n";
+        assert!(!rules_of(&lint(src)).contains(&RuleId::R1));
+    }
+
+    #[test]
+    fn r1_allows_order_free_reduction() {
+        let src =
+            "use std::collections::HashSet;\nfn f(s: HashSet<u32>) -> usize { s.iter().count() }\n";
+        assert!(!rules_of(&lint(src)).contains(&RuleId::R1));
+    }
+
+    #[test]
+    fn r2_flags_thread_rng_in_lib_but_not_tests() {
+        let src = "fn f() { let r = rand::thread_rng(); }\n#[cfg(test)]\nmod tests {\n    fn t() { let r = rand::thread_rng(); }\n}\n";
+        let found = lint(src);
+        assert_eq!(rules_of(&found), vec![RuleId::R2]);
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn r2_flags_time_derived_seed() {
+        let src = "fn f() { let seed = SystemTime::now().duration_since(UNIX_EPOCH); }\n";
+        assert!(rules_of(&lint(src)).contains(&RuleId::R2));
+    }
+
+    #[test]
+    fn r3_only_in_model_crates() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let model = check_file(&SourceFile::parse("crates/regtree/src/x.rs", src));
+        assert!(rules_of(&model).contains(&RuleId::R3));
+        let bench = check_file(&SourceFile::parse("crates/bench/src/lib.rs", src));
+        assert!(!rules_of(&bench).contains(&RuleId::R3));
+    }
+
+    #[test]
+    fn r4_flags_unwrap_in_lib_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_of(&lint(src)), vec![RuleId::R4]);
+        let bin = check_file(&SourceFile::parse("crates/demo/src/bin/t.rs", src));
+        assert!(bin.is_empty());
+    }
+
+    #[test]
+    fn r4_pragma_with_reason_suppresses() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // fuzzylint: allow(panic) — invariant: caller checked is_some\n    x.unwrap()\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn r4_pragma_without_reason_is_reported() {
+        let src =
+            "fn f(x: Option<u32>) -> u32 {\n    // fuzzylint: allow(panic)\n    x.unwrap()\n}\n";
+        let found = lint(src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn r4_ignores_doc_comment_mentions() {
+        let src = "/// Call `x.unwrap()` at your peril.\nfn f() {}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn r5_flags_unsafe() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert!(rules_of(&lint(src)).contains(&RuleId::R5));
+    }
+
+    #[test]
+    fn r6_flags_counter_narrowing() {
+        let src = "fn f(total_cycles: u64) -> u32 { total_cycles as u32 }\n";
+        let found = lint(src);
+        assert_eq!(rules_of(&found), vec![RuleId::R6]);
+        // Widening and non-counter casts pass.
+        let ok = "fn g(total_cycles: u32) -> u64 { total_cycles as u64 }\nfn h(x: u64) -> u32 { x as u32 }\n";
+        assert!(lint(ok).is_empty());
+    }
+
+    #[test]
+    fn findings_are_sorted() {
+        let src = "fn f(x: Option<u32>) -> u32 { let _ = rand::thread_rng(); x.unwrap() }\n";
+        let found = lint(src);
+        assert_eq!(rules_of(&found), vec![RuleId::R2, RuleId::R4]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Workspace discovery: which files get linted.
+//!
+//! The walk is deliberately simple and deterministic: starting from the
+//! workspace root it visits `crates/` (every member crate, including this
+//! one — fuzzylint lints itself), root-level `examples/` and `tests/`, in
+//! sorted order. `vendor/` is exempt by design (R5's boundary), `target/`
+//! and any `fixtures/` directory are skipped (fixtures contain deliberate
+//! violations for fuzzylint's own tests).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory components that are never walked.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", "fixtures", ".git", ".github"];
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// All lintable `.rs` files under `root`, workspace-relative, sorted.
+///
+/// # Errors
+///
+/// Propagates directory-read errors.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["crates", "examples", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(&dir, &mut out)?;
+        }
+    }
+    let mut rel: Vec<PathBuf> = out
+        .into_iter()
+        .filter_map(|p| p.strip_prefix(root).ok().map(Path::to_path_buf))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+/// All `.rs` files under one directory (absolute paths, sorted), honoring
+/// the same skip list as the workspace walk. Used by `--path`.
+///
+/// # Errors
+///
+/// Propagates directory-read errors.
+pub fn rust_files_under(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    collect(dir, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The real workspace this crate lives in.
+    fn repo_root() -> PathBuf {
+        let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        find_root(&here).expect("fuzzylint lives inside the workspace")
+    }
+
+    #[test]
+    fn finds_workspace_root() {
+        let root = repo_root();
+        assert!(root.join("crates").is_dir());
+        assert!(root.join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn walk_skips_vendor_target_and_fixtures() {
+        let files = workspace_files(&repo_root()).expect("walk");
+        assert!(!files.is_empty());
+        for f in &files {
+            let s = f.to_string_lossy().replace('\\', "/");
+            assert!(!s.starts_with("vendor/"), "vendor walked: {s}");
+            assert!(!s.contains("/target/"), "target walked: {s}");
+            assert!(!s.contains("/fixtures/"), "fixtures walked: {s}");
+            assert!(s.ends_with(".rs"));
+        }
+        // It sees itself.
+        assert!(files
+            .iter()
+            .any(|f| f.ends_with("crates/fuzzylint/src/rules.rs")));
+    }
+
+    #[test]
+    fn walk_is_sorted_and_stable() {
+        let a = workspace_files(&repo_root()).expect("walk");
+        let b = workspace_files(&repo_root()).expect("walk");
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(a, sorted);
+    }
+}

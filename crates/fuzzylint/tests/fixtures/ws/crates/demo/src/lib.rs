@@ -1,0 +1,45 @@
+//! Fixture: exactly one violation of each rule that applies to a plain
+//! library crate (R1, R2, R4, R5, R6 — R3 lives in the regtree fixture).
+
+use std::collections::HashMap;
+
+/// R1: hash iteration feeding ordered output, with no sort in sight.
+pub fn emit(m: HashMap<u32, f64>) -> String {
+    let mut out = String::new();
+    for (k, v) in m {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+/// R2: unseeded randomness in library code.
+pub fn lucky() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+/// R4: panic in library code without a pragma.
+pub fn first(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap()
+}
+
+/// R5: unsafe outside vendor/.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// R6: lossy cast on a counter.
+pub fn clip(total_cycles: u64) -> u32 {
+    total_cycles as u32
+}
+
+#[cfg(test)]
+mod tests {
+    // Rules are scoped: none of these may produce findings.
+    #[test]
+    fn test_code_is_exempt() {
+        let x: Option<u32> = Some(1);
+        let _ = x.unwrap();
+        let _ = rand::thread_rng();
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: one R3 violation — wall-clock inside a model crate (the
+//! directory name `regtree` puts this file in R3's scope).
+
+/// R3: model code must be a pure function of its inputs.
+pub fn stamp_secs() -> u64 {
+    std::time::Instant::now().elapsed().as_secs()
+}

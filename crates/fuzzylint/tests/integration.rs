@@ -1,0 +1,160 @@
+//! Integration tests: golden fixture diagnostics, baseline add/expire via
+//! the real binary, and the workspace self-check that keeps the repo
+//! lint-clean against the committed baseline.
+
+use fuzzylint::{lint_workspace, Baseline};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_ws() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn repo_root() -> PathBuf {
+    fuzzylint::workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("fuzzylint lives inside the workspace")
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fuzzylint"))
+}
+
+#[test]
+fn golden_fixture_diagnostics() {
+    let findings = lint_workspace(&fixture_ws()).expect("lint fixture ws");
+    let rendered: String = findings
+        .iter()
+        .map(|f| format!("{}\n\n", f.render()))
+        .collect();
+    let expected = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/violations.expected"),
+    )
+    .expect("read golden file");
+    assert_eq!(
+        rendered, expected,
+        "fixture diagnostics drifted; if intentional, regenerate \
+         tests/fixtures/violations.expected from `fuzzylint --workspace \
+         --no-baseline` run inside tests/fixtures/ws"
+    );
+}
+
+#[test]
+fn fixture_covers_every_rule_exactly_once() {
+    let findings = lint_workspace(&fixture_ws()).expect("lint fixture ws");
+    let mut rules: Vec<String> = findings.iter().map(|f| f.rule.to_string()).collect();
+    rules.sort();
+    assert_eq!(rules, ["R1", "R2", "R3", "R4", "R5", "R6"]);
+}
+
+#[test]
+fn binary_fails_on_fixture_and_honors_exit_codes() {
+    let out = bin()
+        .args(["--workspace", "--no-baseline"])
+        .current_dir(fixture_ws())
+        .output()
+        .expect("run fuzzylint binary");
+    assert_eq!(out.status.code(), Some(1), "violations must fail the build");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("6 new finding(s)"), "stdout: {stdout}");
+
+    let usage = bin().arg("--bogus-flag").output().expect("run binary");
+    assert_eq!(usage.status.code(), Some(2), "usage errors exit 2");
+}
+
+/// The full baseline lifecycle, through the real binary: accept current
+/// findings (add), pass while they persist, then fail with a stale entry
+/// once a finding is fixed (expire).
+#[test]
+fn baseline_add_then_expire() {
+    // Work on a disposable copy of the fixture workspace.
+    let dir = std::env::temp_dir().join(format!("fuzzylint-baseline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_tree(&fixture_ws(), &dir).expect("copy fixture ws");
+
+    // Add: accept all six findings.
+    let write = bin()
+        .args(["--workspace", "--write-baseline"])
+        .current_dir(&dir)
+        .output()
+        .expect("write baseline");
+    assert!(write.status.success());
+    let baseline_text =
+        std::fs::read_to_string(dir.join("fuzzylint.baseline")).expect("baseline written");
+    assert_eq!(
+        baseline_text.lines().filter(|l| l.starts_with('R')).count(),
+        6
+    );
+
+    // Baselined: same findings now pass.
+    let pass = bin()
+        .args(["--workspace"])
+        .current_dir(&dir)
+        .output()
+        .expect("run with baseline");
+    assert_eq!(pass.status.code(), Some(0), "baselined findings must pass");
+    assert!(String::from_utf8_lossy(&pass.stdout).contains("6 baselined"));
+
+    // Expire: fix the R3 violation; its baseline entry goes stale and the
+    // run fails until the baseline is refreshed.
+    let model = dir.join("crates/regtree/src/lib.rs");
+    std::fs::write(&model, "pub fn stamp_secs() -> u64 {\n    0\n}\n").expect("fix violation");
+    let stale = bin()
+        .args(["--workspace"])
+        .current_dir(&dir)
+        .output()
+        .expect("run with stale baseline");
+    assert_eq!(stale.status.code(), Some(1), "stale entries must fail");
+    let stdout = String::from_utf8_lossy(&stale.stdout);
+    assert!(stdout.contains("stale baseline entry"), "stdout: {stdout}");
+
+    // Refresh shrinks the baseline to the five remaining findings.
+    let rewrite = bin()
+        .args(["--workspace", "--write-baseline"])
+        .current_dir(&dir)
+        .output()
+        .expect("refresh baseline");
+    assert!(rewrite.status.success());
+    let refreshed =
+        std::fs::read_to_string(dir.join("fuzzylint.baseline")).expect("baseline refreshed");
+    assert_eq!(refreshed.lines().filter(|l| l.starts_with('R')).count(), 5);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The self-check: the real workspace must be clean against the committed
+/// baseline. This is the test that makes determinism regressions fail
+/// `cargo test` even before the dedicated CI job runs.
+#[test]
+fn workspace_is_lint_clean_against_committed_baseline() {
+    let root = repo_root();
+    let findings = lint_workspace(&root).expect("lint workspace");
+    let baseline = Baseline::load(&root.join("fuzzylint.baseline")).expect("load baseline");
+    let applied = baseline.apply(findings);
+    let rendered: Vec<String> = applied.new.iter().map(|f| f.render()).collect();
+    assert!(
+        applied.new.is_empty(),
+        "new lint findings (fix them or, if accepted, run \
+         `cargo run -p fuzzylint -- --workspace --write-baseline`):\n{}",
+        rendered.join("\n\n")
+    );
+    assert!(
+        applied.expired.is_empty(),
+        "stale baseline entries; refresh with --write-baseline: {:?}",
+        applied.expired
+    );
+}
+
+fn copy_tree(from: &Path, to: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(to)?;
+    for entry in std::fs::read_dir(from)? {
+        let entry = entry?;
+        let src = entry.path();
+        let dst = to.join(entry.file_name());
+        if src.is_dir() {
+            copy_tree(&src, &dst)?;
+        } else {
+            std::fs::copy(&src, &dst)?;
+        }
+    }
+    Ok(())
+}

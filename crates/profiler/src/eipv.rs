@@ -9,12 +9,16 @@
 use crate::session::Sample;
 use fuzzyphase_stats::SparseVec;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Bidirectional mapping between raw EIP addresses and dense feature ids.
+///
+/// The map is a `BTreeMap` so serialized profiles are byte-stable
+/// run-to-run (fuzzylint R1: result-path containers carry their order in
+/// the type, not in the serializer).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EipIndex {
-    map: HashMap<u64, u32>,
+    map: BTreeMap<u64, u32>,
     eips: Vec<u64>,
 }
 
@@ -108,19 +112,18 @@ impl EipvData {
     /// Panics if `spv == 0`.
     pub fn from_samples_per_thread(samples: &[Sample], spv: usize) -> Self {
         assert!(spv > 0, "need at least one sample per vector");
-        let mut by_thread: HashMap<u32, Vec<&Sample>> = HashMap::new();
+        // BTreeMap: threads come out in ascending id order without a
+        // separate sort, so vector order is deterministic by construction.
+        let mut by_thread: BTreeMap<u32, Vec<&Sample>> = BTreeMap::new();
         for s in samples {
             by_thread.entry(s.thread).or_default().push(s);
         }
-        let mut threads: Vec<u32> = by_thread.keys().copied().collect();
-        threads.sort_unstable();
 
         let mut index = EipIndex::new();
         let mut vectors = Vec::new();
         let mut cpis = Vec::new();
         let mut vector_threads = Vec::new();
-        for t in threads {
-            let ss = &by_thread[&t];
+        for (t, ss) in by_thread {
             for chunk in ss.chunks_exact(spv) {
                 let owned: Vec<Sample> = chunk.iter().map(|&&s| s).collect();
                 vectors.push(Self::histogram(&owned, &mut index));

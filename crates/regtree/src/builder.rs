@@ -181,24 +181,17 @@ impl TreeBuilder {
         while nodes.iter().filter(|n| n.is_leaf()).count() < self.max_leaves {
             // Pick the expandable leaf with the largest gain
             // (deterministic tie-break: lowest node index).
-            let Some(leaf_idx) = leaves
+            let Some((leaf_idx, cand)) = leaves
                 .iter()
                 .enumerate()
-                .filter(|(_, l)| l.best.is_some())
-                .max_by(|(_, a), (_, b)| {
-                    let (ca, cb) = (a.best.expect("filtered"), b.best.expect("filtered"));
-                    ca.gain
-                        .partial_cmp(&cb.gain)
-                        .expect("gains are finite")
-                        .then(b.node.cmp(&a.node))
-                })
-                .map(|(i, _)| i)
+                .filter_map(|(i, l)| l.best.map(|c| (i, l.node, c)))
+                .max_by(|(_, na, ca), (_, nb, cb)| ca.gain.total_cmp(&cb.gain).then(nb.cmp(na)))
+                .map(|(i, _, c)| (i, c))
             else {
                 break;
             };
 
             let leaf = leaves.swap_remove(leaf_idx);
-            let cand = leaf.best.expect("selected leaf has a split");
 
             // Partition rows.
             let mut left_rows = Vec::new();
@@ -358,10 +351,7 @@ fn gather_sorted(ds: &Dataset, rows: &[u32]) -> Vec<Entry> {
             entries.push((f, v, r));
         }
     }
-    entries.sort_by(|a, b| {
-        a.0.cmp(&b.0)
-            .then(a.1.partial_cmp(&b.1).expect("counts are finite"))
-    });
+    entries.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
     entries
 }
 

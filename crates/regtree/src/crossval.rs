@@ -62,6 +62,7 @@ impl ReCurve {
     /// The asymptotic relative error `RE_k=∞`, approximated by the value
     /// at `k_max` (§4.4).
     pub fn re_asymptote(&self) -> f64 {
+        // fuzzylint: allow(panic) — run() always produces k_max >= 1 points
         *self.re.last().expect("curve is non-empty")
     }
 
@@ -175,6 +176,8 @@ impl CrossValidation {
                     });
                 }
             })
+            // fuzzylint: allow(panic) — a fold-worker panic is a bug in the
+            // tree builder; re-raising it here is the correct propagation
             .expect("fold workers must not panic");
             let mut results = results.into_inner();
             results.sort_by_key(|(i, _)| *i);

@@ -104,15 +104,17 @@ impl RegressionTree {
     pub fn predict_k(&self, x: &SparseVec, k: usize) -> f64 {
         assert!(k >= 1, "k must be at least 1");
         let mut node = &self.nodes[0];
-        while let Some(split) = node.split {
+        // A node missing a child is treated as a leaf: the walk never
+        // panics, even on a malformed arena.
+        while let (Some(split), Some(l), Some(r)) = (node.split, node.left, node.right) {
             if split.order as usize + 1 >= k {
                 break;
             }
             let v = x.get(split.feature);
             node = if v <= split.threshold {
-                &self.nodes[node.left.expect("internal node has left child") as usize]
+                &self.nodes[l as usize]
             } else {
-                &self.nodes[node.right.expect("internal node has right child") as usize]
+                &self.nodes[r as usize]
             };
         }
         node.mean
@@ -126,12 +128,12 @@ impl RegressionTree {
         let mut node = &self.nodes[0];
         // The root is "entered" before any split.
         out.push((0, node.mean));
-        while let Some(split) = node.split {
+        while let (Some(split), Some(l), Some(r)) = (node.split, node.left, node.right) {
             let v = x.get(split.feature);
             node = if v <= split.threshold {
-                &self.nodes[node.left.expect("internal node has left child") as usize]
+                &self.nodes[l as usize]
             } else {
-                &self.nodes[node.right.expect("internal node has right child") as usize]
+                &self.nodes[r as usize]
             };
             // Entering this node required split `split.order`, available
             // from T_{order+2} onward.
@@ -144,9 +146,10 @@ impl RegressionTree {
     /// splits, sorted descending — "which EIPs carry the CPI signal".
     ///
     /// Gains are computed from the stored node SSEs, so this is exact for
-    /// the training data.
+    /// the training data. Equal gains tie-break on ascending feature id,
+    /// so the ranking is byte-stable run-to-run.
     pub fn feature_importance(&self) -> Vec<(u32, f64)> {
-        let mut gains: std::collections::HashMap<u32, f64> = Default::default();
+        let mut gains: std::collections::BTreeMap<u32, f64> = Default::default();
         for n in self.nodes() {
             if let (Some(split), Some(l), Some(r)) = (n.split, n.left, n.right) {
                 let gain = n.sse - self.nodes[l as usize].sse - self.nodes[r as usize].sse;
@@ -154,7 +157,7 @@ impl RegressionTree {
             }
         }
         let mut out: Vec<(u32, f64)> = gains.into_iter().collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("gains are finite"));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -166,10 +169,10 @@ impl RegressionTree {
         let mut stack = vec![0u32];
         while let Some(i) = stack.pop() {
             let n = &self.nodes[i as usize];
-            match n.split {
-                Some(s) if (s.order as usize) < k - 1 => {
-                    stack.push(n.left.expect("internal"));
-                    stack.push(n.right.expect("internal"));
+            match (n.split, n.left, n.right) {
+                (Some(s), Some(l), Some(r)) if (s.order as usize) < k - 1 => {
+                    stack.push(l);
+                    stack.push(r);
                 }
                 _ => sse += n.sse,
             }

@@ -113,6 +113,8 @@ impl TablePredictor {
         assert!(hi > lo, "value range must be non-empty");
         let size = levels
             .checked_pow(depth as u32)
+            // fuzzylint: allow(panic) — misconfiguration (levels^depth
+            // overflowing usize) must fail loudly at construction
             .expect("table size overflow");
         assert!(size <= 1 << 24, "table too large");
         Self {

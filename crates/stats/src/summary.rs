@@ -53,11 +53,11 @@ impl Summary {
         }
         let w: Welford = xs.iter().copied().collect();
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        sorted.sort_by(f64::total_cmp);
         Summary {
             count: xs.len(),
             min: sorted[0],
-            max: *sorted.last().expect("nonempty"),
+            max: sorted[sorted.len() - 1],
             mean: w.mean(),
             variance: w.variance_population(),
             std_dev: w.std_population(),
@@ -102,7 +102,7 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
 /// Sorts a copy of the input and takes a percentile.
 pub fn percentile(xs: &[f64], q: f64) -> f64 {
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     percentile_sorted(&sorted, q)
 }
 

@@ -83,6 +83,8 @@ impl BTree {
             cursor += bytes_needed;
             // Parent level: the max key of each node becomes the separator.
             let parents: Vec<u64> = (0..num_nodes)
+                // fuzzylint: allow(panic) — node_keys never yields an empty
+                // slice: num_nodes is derived from the key count
                 .map(|n| *level.node_keys(n, fanout).last().expect("non-empty node"))
                 .collect();
             levels.push(level);
@@ -144,6 +146,7 @@ impl BTree {
     /// Smallest and largest keys in the tree.
     pub fn key_range(&self) -> (u64, u64) {
         let leaf_keys = &self.levels[0].keys;
+        // fuzzylint: allow(panic) — the tree is built from >= 1 keys
         (leaf_keys[0], *leaf_keys.last().expect("non-empty"))
     }
 }

@@ -229,6 +229,8 @@ impl QueryProgress {
     /// ones (wide, leaf misses).
     fn focus(&self, rng: &mut StdRng, focus_min: f64, focus_max: f64) -> (f64, f64) {
         let total = self.total_instr.load(Ordering::Relaxed) as f64;
+        // fuzzylint: allow(panic) — poisoning means a generator thread
+        // already panicked; re-raising is the correct propagation
         let mut f = self.focus.lock().expect("focus lock");
         if total >= f.expires_at {
             f.width = if rng.gen::<f64>() < 0.5 {

@@ -688,6 +688,8 @@ pub fn spec_workload(name: &str, seed: u64) -> SingleThreadWorkload<SpecThread> 
     let idx = SPEC_NAMES
         .iter()
         .position(|&n| n == name)
+        // fuzzylint: allow(panic) — `name` comes from the profile table
+        // itself, so the lookup cannot miss
         .expect("validated by spec_profile") as u16;
     let seq = SeedSequence::new(seed).subsequence(name);
     let thread = SpecThread::new(profile, SPEC_SPACE + idx);

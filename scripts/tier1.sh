@@ -6,3 +6,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
+
+# Determinism & invariant lint (DESIGN.md D8): new findings or stale
+# baseline entries fail the gate.
+cargo run -q --release -p fuzzylint -- --workspace

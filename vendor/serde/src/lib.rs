@@ -439,6 +439,27 @@ impl<K: MapKey + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> 
     }
 }
 
+impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        // Already ordered; emitted as-is.
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let entries = content.as_map().ok_or_else(|| wrong_kind("map", content))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,5 +516,25 @@ mod tests {
             .collect();
         assert_eq!(keys, ["2", "10", "700"], "numeric sort, not lexicographic");
         assert_eq!(HashMap::<u64, u32>::from_content(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn btreemap_roundtrips_in_key_order() {
+        let mut m: std::collections::BTreeMap<u64, u32> = Default::default();
+        m.insert(700, 3);
+        m.insert(2, 2);
+        m.insert(10, 1);
+        let c = m.to_content();
+        let keys: Vec<&str> = c
+            .as_map()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["2", "10", "700"]);
+        assert_eq!(
+            std::collections::BTreeMap::<u64, u32>::from_content(&c).unwrap(),
+            m
+        );
     }
 }
