@@ -1,0 +1,306 @@
+//! Concurrent load generator for `fuzzyphased`, emitting
+//! `BENCH_serve.json` with throughput and per-batch latency
+//! percentiles.
+//!
+//! ```text
+//! cargo run --release -p fuzzyphase-bench --bin loadgen -- \
+//!     [--addr HOST:PORT] [--sessions N] [--samples N] [--batch N] \
+//!     [--spv N] [--refit-every N] [--out BENCH_serve.json] [--shutdown]
+//! ```
+//!
+//! With `--addr` it drives an already-running daemon (what the CI smoke
+//! job does); without it, it starts an in-process server so the bench
+//! is self-contained. Each session streams a deterministic synthetic
+//! phase-structured trace and measures, per sample frame, the time from
+//! sending the frame to receiving the `Progress` acknowledging it
+//! (matched by cumulative sample watermark — replies are in order, so
+//! the match is exact). `--shutdown` sends the admin `Shutdown` request
+//! when done, letting scripts wait for the daemon to exit.
+
+use fuzzyphase_profiler::Sample;
+use fuzzyphase_serve::{ClientControl, ServeClient, Server, ServerConfig, ServerMsg};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Clone)]
+struct Args {
+    addr: Option<String>,
+    sessions: usize,
+    samples: u64,
+    batch: usize,
+    spv: usize,
+    refit_every: usize,
+    out: String,
+    shutdown: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            sessions: 4,
+            samples: 100_000,
+            batch: 500,
+            spv: 100,
+            refit_every: 0,
+            out: "BENCH_serve.json".to_string(),
+            shutdown: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--sessions N] [--samples N] [--batch N] \
+         [--spv N] [--refit-every N] [--out FILE] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("loadgen: {name} needs a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--addr" => a.addr = Some(val("--addr")),
+            "--sessions" => a.sessions = val("--sessions").parse().unwrap_or_else(|_| usage()),
+            "--samples" => a.samples = val("--samples").parse().unwrap_or_else(|_| usage()),
+            "--batch" => a.batch = val("--batch").parse().unwrap_or_else(|_| usage()),
+            "--spv" => a.spv = val("--spv").parse().unwrap_or_else(|_| usage()),
+            "--refit-every" => {
+                a.refit_every = val("--refit-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--out" => a.out = val("--out"),
+            "--shutdown" => a.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("loadgen: unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    a
+}
+
+/// Deterministic synthetic trace: three CPI phases, per-session EIP
+/// bands so sessions do not share feature ids.
+fn synth_trace(session: usize, n: u64) -> Vec<Sample> {
+    (0..n)
+        .map(|i| {
+            let phase = (i / 200) % 3;
+            Sample {
+                eip: 0x100_0000 * (session as u64 + 1) + phase * 0x2000 + (i % 31) * 0x8,
+                thread: session as u32,
+                is_os: i % 37 == 0,
+                cpi: 0.7 + phase as f64 * 0.5 + (i % 17) as f64 * 0.01,
+            }
+        })
+        .collect()
+}
+
+#[derive(Serialize)]
+struct SessionStats {
+    session: usize,
+    samples: u64,
+    frames: usize,
+    wall_ms: f64,
+    throughput_samples_per_sec: f64,
+    latency_p50_ms: f64,
+    latency_p90_ms: f64,
+    latency_p99_ms: f64,
+    pauses_seen: u64,
+    report_ok: bool,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    sessions: usize,
+    samples_per_session: u64,
+    batch: usize,
+    spv: usize,
+    refit_every: usize,
+    in_process_server: bool,
+    wall_ms: f64,
+    total_samples: u64,
+    aggregate_throughput_samples_per_sec: f64,
+    latency_p50_ms: f64,
+    latency_p90_ms: f64,
+    latency_p99_ms: f64,
+    all_reports_ok: bool,
+    per_session: Vec<SessionStats>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drives one session; returns its stats and raw latencies.
+fn run_session(addr: &str, session: usize, args: &Args) -> (SessionStats, Vec<f64>) {
+    let trace = synth_trace(session, args.samples);
+    let start = Instant::now();
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client
+        .hello(&format!("loadgen-{session}"), args.spv, args.refit_every)
+        .expect("hello");
+
+    // (cumulative-sample watermark, send instant) for every frame not
+    // yet acknowledged by a Progress line.
+    let mut outstanding: Vec<(u64, Instant)> = Vec::new();
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut sent: u64 = 0;
+    let mut frames = 0usize;
+
+    let mut absorb = |msg: &ServerMsg, outstanding: &mut Vec<(u64, Instant)>| {
+        if let ServerMsg::Progress { samples, .. } = msg {
+            let now = Instant::now();
+            while let Some(&(mark, at)) = outstanding.first() {
+                if mark <= *samples {
+                    latencies_ms.push(now.duration_since(at).as_secs_f64() * 1e3);
+                    outstanding.remove(0);
+                } else {
+                    break;
+                }
+            }
+        }
+    };
+
+    for chunk in trace.chunks(args.batch.max(1)) {
+        client.send_samples(chunk).expect("send");
+        sent += chunk.len() as u64;
+        frames += 1;
+        outstanding.push((sent, Instant::now()));
+        while let Some(msg) = client.try_recv() {
+            absorb(&msg, &mut outstanding);
+        }
+    }
+    client.finish().expect("finish");
+
+    let mut report_ok = false;
+    while let Ok(msg) = client.recv() {
+        absorb(&msg, &mut outstanding);
+        match msg {
+            ServerMsg::Report { .. } => report_ok = true,
+            ServerMsg::Bye => break,
+            ServerMsg::Error { message } => {
+                eprintln!("loadgen: session {session}: server error: {message}");
+                break;
+            }
+            _ => {}
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let pauses = client.pauses_seen();
+    client.close();
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let stats = SessionStats {
+        session,
+        samples: sent,
+        frames,
+        wall_ms: wall * 1e3,
+        throughput_samples_per_sec: sent as f64 / wall.max(1e-9),
+        latency_p50_ms: percentile(&latencies_ms, 50.0),
+        latency_p90_ms: percentile(&latencies_ms, 90.0),
+        latency_p99_ms: percentile(&latencies_ms, 99.0),
+        pauses_seen: pauses,
+        report_ok,
+    };
+    (stats, latencies_ms)
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Self-contained mode: no --addr means run the daemon in-process.
+    let local = if args.addr.is_none() {
+        Some(Server::start(ServerConfig::default()).expect("start in-process server"))
+    } else {
+        None
+    };
+    let addr = match (&args.addr, &local) {
+        (Some(a), _) => a.clone(),
+        (None, Some(s)) => s.local_addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+    eprintln!(
+        "loadgen: {} session(s) × {} samples → {}",
+        args.sessions, args.samples, addr
+    );
+
+    let wall = Instant::now();
+    let results: Vec<(SessionStats, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.sessions)
+            .map(|i| {
+                let addr = addr.clone();
+                let args = &args;
+                scope.spawn(move || run_session(&addr, i, args))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread"))
+            .collect()
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let mut all_lat: Vec<f64> = results
+        .iter()
+        .flat_map(|(_, l)| l.iter().copied())
+        .collect();
+    all_lat.sort_by(|a, b| a.total_cmp(b));
+    let total_samples: u64 = results.iter().map(|(s, _)| s.samples).sum();
+    let all_ok = results.iter().all(|(s, _)| s.report_ok);
+
+    let report = BenchReport {
+        sessions: args.sessions,
+        samples_per_session: args.samples,
+        batch: args.batch,
+        spv: args.spv,
+        refit_every: args.refit_every,
+        in_process_server: local.is_some(),
+        wall_ms: wall_s * 1e3,
+        total_samples,
+        aggregate_throughput_samples_per_sec: total_samples as f64 / wall_s.max(1e-9),
+        latency_p50_ms: percentile(&all_lat, 50.0),
+        latency_p90_ms: percentile(&all_lat, 90.0),
+        latency_p99_ms: percentile(&all_lat, 99.0),
+        all_reports_ok: all_ok,
+        per_session: results.into_iter().map(|(s, _)| s).collect(),
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    std::fs::write(&args.out, &json).expect("write bench report");
+    eprintln!(
+        "loadgen: {:.0} samples/s aggregate, p50 {:.2} ms, p99 {:.2} ms → {}",
+        report.aggregate_throughput_samples_per_sec,
+        report.latency_p50_ms,
+        report.latency_p99_ms,
+        args.out
+    );
+
+    if args.shutdown {
+        let mut admin = ServeClient::connect(&addr).expect("connect for shutdown");
+        admin
+            .send_control(&ClientControl::Shutdown)
+            .expect("send shutdown");
+        let _ = admin.recv(); // Bye
+        admin.close();
+        eprintln!("loadgen: sent Shutdown");
+    }
+    if let Some(s) = local {
+        s.shutdown();
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -16,10 +16,12 @@ use std::sync::Arc;
 /// oversubscribe each other.
 ///
 /// Either component may be `0` ("auto"): an auto `suite` takes one slot
-/// per available core (capped at 8, and at the number of benchmarks); an
-/// auto `fold` divides whatever budget the resolved suite width leaves
-/// over. The defaults (`suite: 0, fold: 1`) keep the pre-budget
-/// behavior: parallelism across benchmarks, serial folds within each.
+/// per available core (capped at the number of benchmarks); an auto
+/// `fold` divides whatever budget the resolved suite width leaves over.
+/// Resolution follows `available_parallelism` with no artificial ceiling
+/// — a 64-core runner gets 64 suite slots. The defaults
+/// (`suite: 0, fold: 1`) keep the pre-budget behavior: parallelism
+/// across benchmarks, serial folds within each.
 ///
 /// Results never depend on the budget — benchmark seeds derive from
 /// names and fold partials merge in fold order — so any budget is safe;
@@ -52,11 +54,15 @@ impl WorkerBudget {
 
     /// Resolves the auto components against the machine and `jobs`
     /// pending benchmarks, returning concrete `(suite, fold)` widths.
+    ///
+    /// An auto `suite` claims `available_parallelism` slots (bounded by
+    /// `jobs`); an auto `fold` divides the remaining cores across the
+    /// resolved suite width, so `suite × fold` never auto-oversubscribes
+    /// the machine. Explicit values pass through untouched.
     pub fn resolve(&self, jobs: usize) -> (usize, usize) {
         let cap = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(4)
-            .min(8);
+            .unwrap_or(4);
         let suite = match self.suite {
             0 => cap.min(jobs).max(1),
             n => n,
@@ -298,6 +304,25 @@ mod tests {
             a.benchmarks[0].report.re_curve,
             b.benchmarks[0].report.re_curve
         );
+    }
+
+    #[test]
+    fn resolve_tracks_available_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        // Auto suite with plenty of jobs claims every core — no 8-thread
+        // ceiling — and auto fold divides what the suite width leaves.
+        let (suite, fold) = WorkerBudget { suite: 0, fold: 0 }.resolve(1024);
+        assert_eq!(suite, cores);
+        assert_eq!(fold, (cores / suite).max(1));
+        // Auto suite is still bounded by the number of jobs, and the
+        // leftover budget flows into an auto fold.
+        let (suite, fold) = WorkerBudget { suite: 0, fold: 0 }.resolve(1);
+        assert_eq!(suite, 1);
+        assert_eq!(fold, cores);
+        // Explicit widths pass through untouched.
+        assert_eq!(WorkerBudget { suite: 3, fold: 5 }.resolve(99), (3, 5));
     }
 
     #[test]

@@ -108,9 +108,7 @@ impl Lexer {
                     self.mark_last_starts_at(line, "b");
                 }
                 'r' | 'b' if self.raw_string_ahead() => self.raw_string(line),
-                'r' if self.peek(1) == Some('#')
-                    && self.peek(2).is_some_and(is_ident_start) =>
-                {
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
                     // Raw identifier r#ident.
                     self.bump();
                     self.bump();

@@ -87,20 +87,9 @@ impl EipvData {
     ///
     /// Panics if `spv == 0`.
     pub fn from_samples(samples: &[Sample], spv: usize) -> Self {
-        assert!(spv > 0, "need at least one sample per vector");
-        let mut index = EipIndex::new();
-        let mut vectors = Vec::with_capacity(samples.len() / spv);
-        let mut cpis = Vec::with_capacity(samples.len() / spv);
-        for chunk in samples.chunks_exact(spv) {
-            vectors.push(Self::histogram(chunk, &mut index));
-            cpis.push(chunk.iter().map(|s| s.cpi).sum::<f64>() / spv as f64);
-        }
-        Self {
-            vectors,
-            cpis,
-            index,
-            vector_threads: Vec::new(),
-        }
+        let mut b = EipvBuilder::new(spv);
+        b.push_samples(samples);
+        b.finish()
     }
 
     /// Builds per-thread vectors (§5.2): samples are partitioned by
@@ -161,6 +150,91 @@ impl EipvData {
     /// Population variance of the CPIs (the paper's `E`).
     pub fn cpi_variance(&self) -> f64 {
         fuzzyphase_stats::variance(&self.cpis)
+    }
+}
+
+/// Incremental EIPV construction for streaming ingest (the serve
+/// daemon's session engine): samples are pushed as they arrive and
+/// complete vectors materialize one `spv`-sized chunk at a time.
+///
+/// The accumulated [`EipvData`] is **bit-identical** to
+/// [`EipvData::from_samples`] over the concatenated sample stream, no
+/// matter how the stream was split into batches — `from_samples` itself
+/// is implemented on this builder, so the two cannot drift apart.
+#[derive(Debug, Clone)]
+pub struct EipvBuilder {
+    spv: usize,
+    pending: Vec<Sample>,
+    data: EipvData,
+}
+
+impl EipvBuilder {
+    /// Creates a builder producing vectors of `spv` samples each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spv == 0`.
+    pub fn new(spv: usize) -> Self {
+        assert!(spv > 0, "need at least one sample per vector");
+        Self {
+            spv,
+            pending: Vec::with_capacity(spv),
+            data: EipvData {
+                vectors: Vec::new(),
+                cpis: Vec::new(),
+                index: EipIndex::new(),
+                vector_threads: Vec::new(),
+            },
+        }
+    }
+
+    /// Samples per vector.
+    pub fn samples_per_vector(&self) -> usize {
+        self.spv
+    }
+
+    /// Pushes one sample; completes a vector when the pending chunk
+    /// reaches `spv` samples.
+    pub fn push(&mut self, sample: Sample) {
+        self.pending.push(sample);
+        if self.pending.len() == self.spv {
+            self.data
+                .vectors
+                .push(EipvData::histogram(&self.pending, &mut self.data.index));
+            self.data
+                .cpis
+                .push(self.pending.iter().map(|s| s.cpi).sum::<f64>() / self.spv as f64);
+            self.pending.clear();
+        }
+    }
+
+    /// Pushes a batch of samples in order.
+    pub fn push_samples(&mut self, samples: &[Sample]) {
+        for &s in samples {
+            self.push(s);
+        }
+    }
+
+    /// Number of completed vectors so far.
+    pub fn num_vectors(&self) -> usize {
+        self.data.vectors.len()
+    }
+
+    /// Samples buffered toward the next (incomplete) vector.
+    pub fn num_pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The data accumulated so far (completed vectors only).
+    pub fn data(&self) -> &EipvData {
+        &self.data
+    }
+
+    /// Finalizes the builder, dropping any trailing partial chunk —
+    /// exactly the `chunks_exact` semantics of
+    /// [`EipvData::from_samples`].
+    pub fn finish(self) -> EipvData {
+        self.data
     }
 }
 
@@ -232,6 +306,55 @@ mod tests {
         assert_eq!(idx.get(0xBEEF), Some(b));
         assert_eq!(idx.get(0x1234), None);
         assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn builder_matches_from_samples_for_any_batching() {
+        // A stream with repeated EIPs, multiple threads and irregular
+        // CPIs, pushed through the builder in awkward batch sizes.
+        let samples: Vec<Sample> = (0..137)
+            .map(|i| sample(100 + (i % 11), (i % 3) as u32, 0.5 + (i as f64) * 0.037))
+            .collect();
+        let direct = EipvData::from_samples(&samples, 10);
+
+        let mut b = EipvBuilder::new(10);
+        let mut off = 0usize;
+        for (step, batch_len) in [1usize, 7, 3, 23, 40, 100].iter().cycle().enumerate() {
+            if off >= samples.len() {
+                break;
+            }
+            let end = (off + batch_len).min(samples.len());
+            b.push_samples(&samples[off..end]);
+            off = end;
+            let _ = step;
+        }
+        assert_eq!(b.num_vectors(), 13);
+        assert_eq!(b.num_pending(), 7);
+        let streamed = b.finish();
+        assert_eq!(streamed, direct);
+        // Bit-level identity of the CPI means, not just PartialEq.
+        for (a, c) in streamed.cpis.iter().zip(&direct.cpis) {
+            assert_eq!(a.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
+    fn builder_snapshot_is_prefix_of_final() {
+        let samples: Vec<Sample> = (0..60).map(|i| sample(i % 4, 0, i as f64)).collect();
+        let mut b = EipvBuilder::new(10);
+        b.push_samples(&samples[..35]);
+        let mid = b.data().clone();
+        assert_eq!(mid.len(), 3);
+        b.push_samples(&samples[35..]);
+        let done = b.finish();
+        assert_eq!(&done.vectors[..3], &mid.vectors[..]);
+        assert_eq!(&done.cpis[..3], &mid.cpis[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn builder_rejects_zero_spv() {
+        let _ = EipvBuilder::new(0);
     }
 
     #[test]

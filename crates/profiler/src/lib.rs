@@ -35,11 +35,11 @@ pub mod session;
 pub mod smp;
 pub mod trace;
 
-pub use eipv::{EipIndex, EipvData};
+pub use eipv::{EipIndex, EipvBuilder, EipvData};
 pub use export::{intervals_csv, load_profile, samples_csv, save_profile};
 pub use sampler::{overhead_fraction, SamplerSpec};
 pub use session::{IntervalStat, ProfileConfig, ProfileData, ProfileSession, Sample};
 pub use smp::SmpProfileSession;
-pub use trace::{load_trace, read_samples, save_trace, write_samples};
+pub use trace::{load_trace, read_samples, save_trace, write_samples, write_samples_v2};
 
 pub use fuzzyphase_workload::Workload;

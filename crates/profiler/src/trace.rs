@@ -9,13 +9,20 @@
 //! sample stream: delta-encoded EIPs (consecutive samples often hit nearby
 //! code), varint thread ids and `f32` CPIs.
 //!
+//! The frame is version-tagged. **v1** stores CPI as `f32` — compact, but
+//! round-trips only to ~1e-3, so analysis from a v1 archive matches a
+//! direct analysis approximately rather than exactly. **v2** stores CPI
+//! as `f64`: analysis from a v2 archive (or a v2 stream into the serve
+//! daemon) is bit-identical to analyzing the in-memory samples. Readers
+//! accept both versions, so old traces keep decoding.
+//!
 //! ```
-//! use fuzzyphase_profiler::trace::{read_samples, write_samples};
+//! use fuzzyphase_profiler::trace::{read_samples, write_samples, write_samples_v2};
 //! use fuzzyphase_profiler::Sample;
 //!
 //! let samples = vec![Sample { eip: 0x4000_1000, thread: 3, is_os: false, cpi: 2.25 }];
-//! let bytes = write_samples(&samples);
-//! assert_eq!(read_samples(&bytes).unwrap(), samples);
+//! assert_eq!(read_samples(&write_samples(&samples)).unwrap(), samples);
+//! assert_eq!(read_samples(&write_samples_v2(&samples)).unwrap(), samples);
 //! ```
 
 use crate::session::Sample;
@@ -24,8 +31,10 @@ use std::io;
 
 /// File magic ("FZPH").
 const MAGIC: u32 = 0x465A_5048;
-/// Codec version.
-const VERSION: u32 = 1;
+/// Codec version with `f32` CPIs (the original format).
+const VERSION_V1: u32 = 1;
+/// Codec version with `f64` CPIs (exact round-trip).
+const VERSION_V2: u32 = 2;
 
 fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
@@ -73,11 +82,24 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-/// Encodes a sample stream into the compact binary format.
+/// Encodes a sample stream into the compact v1 binary format (`f32`
+/// CPIs). Kept as the default writer for archive compatibility; use
+/// [`write_samples_v2`] when exact CPI round-trips matter.
 pub fn write_samples(samples: &[Sample]) -> Bytes {
+    write_samples_version(samples, VERSION_V1)
+}
+
+/// Encodes a sample stream into the v2 binary format (`f64` CPIs):
+/// decoding gives back bit-identical samples, so any analysis run on the
+/// decoded stream equals the analysis of the original samples exactly.
+pub fn write_samples_v2(samples: &[Sample]) -> Bytes {
+    write_samples_version(samples, VERSION_V2)
+}
+
+fn write_samples_version(samples: &[Sample], version: u32) -> Bytes {
     let mut buf = BytesMut::with_capacity(16 + samples.len() * 8);
     buf.put_u32(MAGIC);
-    buf.put_u32(VERSION);
+    buf.put_u32(version);
     put_varint(&mut buf, samples.len() as u64);
     let mut prev_eip: u64 = 0;
     for s in samples {
@@ -85,12 +107,18 @@ pub fn write_samples(samples: &[Sample]) -> Bytes {
         prev_eip = s.eip;
         put_varint(&mut buf, s.thread as u64);
         buf.put_u8(u8::from(s.is_os));
-        buf.put_f32(s.cpi as f32);
+        if version == VERSION_V1 {
+            buf.put_f32(s.cpi as f32);
+        } else {
+            buf.put_f64(s.cpi);
+        }
     }
     buf.freeze()
 }
 
-/// Decodes a sample stream written by [`write_samples`].
+/// Decodes a sample stream written by [`write_samples`] (v1) or
+/// [`write_samples_v2`]; the version tag in the header selects the CPI
+/// width.
 ///
 /// # Errors
 ///
@@ -107,20 +135,22 @@ pub fn read_samples(mut data: &[u8]) -> io::Result<Vec<Sample>> {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
     }
     let version = data.get_u32();
-    if version != VERSION {
+    if version != VERSION_V1 && version != VERSION_V2 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unsupported trace version {version}"),
         ));
     }
     let count = get_varint(&mut data)? as usize;
-    // Each sample needs at least 1 (eip) + 1 (thread) + 1 (flag) + 4 (cpi).
+    // Each sample needs at least 1 (eip) + 1 (thread) + 1 (flag) + the
+    // CPI (4 bytes in v1, 8 in v2).
     if count > data.remaining() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "sample count exceeds payload",
         ));
     }
+    let cpi_len = if version == VERSION_V1 { 4 } else { 8 };
     let mut out = Vec::with_capacity(count);
     let mut prev_eip: u64 = 0;
     for _ in 0..count {
@@ -128,14 +158,18 @@ pub fn read_samples(mut data: &[u8]) -> io::Result<Vec<Sample>> {
         let eip = prev_eip.wrapping_add(delta as u64);
         prev_eip = eip;
         let thread = get_varint(&mut data)? as u32;
-        if data.remaining() < 5 {
+        if data.remaining() < 1 + cpi_len {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "truncated sample",
             ));
         }
         let is_os = data.get_u8() != 0;
-        let cpi = data.get_f32() as f64;
+        let cpi = if version == VERSION_V1 {
+            data.get_f32() as f64
+        } else {
+            data.get_f64()
+        };
         out.push(Sample {
             eip,
             thread,
@@ -224,11 +258,60 @@ mod tests {
 
     #[test]
     fn rejects_overlong_count() {
+        for version in [VERSION_V1, VERSION_V2] {
+            let mut buf = BytesMut::new();
+            buf.put_u32(MAGIC);
+            buf.put_u32(version);
+            put_varint(&mut buf, u64::MAX);
+            assert!(read_samples(&buf.freeze()).is_err());
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
         let mut buf = BytesMut::new();
         buf.put_u32(MAGIC);
-        buf.put_u32(VERSION);
-        put_varint(&mut buf, u64::MAX);
-        assert!(read_samples(&buf.freeze()).is_err());
+        buf.put_u32(99);
+        put_varint(&mut buf, 0);
+        let err = read_samples(&buf.freeze()).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn v2_roundtrip_is_bit_exact() {
+        // CPIs chosen to NOT be f32-representable.
+        let samples: Vec<Sample> = (0..500)
+            .map(|i| Sample {
+                eip: 0x4000_0000 + i * 16,
+                thread: (i % 7) as u32,
+                is_os: i % 13 == 0,
+                cpi: 1.0 + (i as f64) * 0.123_456_789_012_345,
+            })
+            .collect();
+        let back = read_samples(&write_samples_v2(&samples)).expect("decode");
+        assert_eq!(back.len(), samples.len());
+        for (a, b) in back.iter().zip(&samples) {
+            assert_eq!(a, b);
+            assert_eq!(a.cpi.to_bits(), b.cpi.to_bits());
+        }
+    }
+
+    #[test]
+    fn v1_frames_still_decode_alongside_v2() {
+        let samples = random_samples(200, 9);
+        let v1 = write_samples(&samples);
+        let v2 = write_samples_v2(&samples);
+        assert_eq!(read_samples(&v1).expect("v1"), samples);
+        assert_eq!(read_samples(&v2).expect("v2"), samples);
+        // v2 pays exactly 4 extra bytes per sample over v1.
+        assert_eq!(v2.len(), v1.len() + 4 * samples.len());
+    }
+
+    #[test]
+    fn v2_rejects_truncation() {
+        let samples = random_samples(50, 10);
+        let bytes = write_samples_v2(&samples);
+        assert!(read_samples(&bytes[..bytes.len() - 5]).is_err());
     }
 
     #[test]

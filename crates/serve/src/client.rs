@@ -1,0 +1,193 @@
+//! A blocking client for `fuzzyphased`, honoring backpressure.
+//!
+//! The client splits the socket: the calling thread writes frames, a
+//! background thread reads JSON lines and forwards every [`ServerMsg`]
+//! through an in-process channel. `Pause`/`Resume` are additionally
+//! latched into a flag the send path checks, so a cooperative sender
+//! stalls exactly while the server asked it to. Tests, the
+//! `serve_client` example and the `loadgen` bench all drive the daemon
+//! through this type.
+
+use crate::framing::{write_frame, FRAME_CONTROL, FRAME_SAMPLES};
+use crate::protocol::{encode_control, read_msg, ClientControl, ServerMsg};
+use crossbeam::channel::{unbounded, Receiver};
+use fuzzyphase_profiler::trace::write_samples_v2;
+use fuzzyphase_profiler::Sample;
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A connected client. One per session/connection.
+pub struct ServeClient {
+    stream: TcpStream,
+    rx: Receiver<ServerMsg>,
+    paused: Arc<AtomicBool>,
+    pauses_seen: Arc<AtomicU64>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl ServeClient {
+    /// Connects and starts the reply-reader thread.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        let (tx, rx) = unbounded();
+        let paused = Arc::new(AtomicBool::new(false));
+        let pauses_seen = Arc::new(AtomicU64::new(0));
+        let reader = {
+            let paused = Arc::clone(&paused);
+            let pauses_seen = Arc::clone(&pauses_seen);
+            std::thread::Builder::new()
+                .name("serve-client-reader".into())
+                .spawn(move || {
+                    let mut r = BufReader::new(read_half);
+                    while let Ok(Some(msg)) = read_msg(&mut r) {
+                        match &msg {
+                            ServerMsg::Pause => {
+                                pauses_seen.fetch_add(1, Ordering::SeqCst);
+                                paused.store(true, Ordering::SeqCst);
+                            }
+                            ServerMsg::Resume => paused.store(false, Ordering::SeqCst),
+                            _ => {}
+                        }
+                        if tx.send(msg).is_err() {
+                            break;
+                        }
+                    }
+                })?
+        };
+        Ok(Self {
+            stream,
+            rx,
+            paused,
+            pauses_seen,
+            reader: Some(reader),
+        })
+    }
+
+    /// Sends a control request.
+    pub fn send_control(&mut self, ctl: &ClientControl) -> io::Result<()> {
+        let payload = encode_control(ctl)?;
+        write_frame(&mut self.stream, FRAME_CONTROL, &payload)?;
+        self.stream.flush()
+    }
+
+    /// Opens a session and waits for the server's `Hello`, skipping
+    /// nothing — any other reply first is an error.
+    pub fn hello(&mut self, name: &str, spv: usize, refit_every: usize) -> io::Result<ServerMsg> {
+        self.send_control(&ClientControl::Hello {
+            name: name.to_string(),
+            spv,
+            refit_every,
+        })?;
+        match self.recv()? {
+            msg @ ServerMsg::Hello { .. } => Ok(msg),
+            ServerMsg::Error { message } => Err(io::Error::other(message)),
+            other => Err(io::Error::other(format!("expected Hello, got {other:?}"))),
+        }
+    }
+
+    /// Encodes one batch as a v2 trace frame and sends it, stalling
+    /// first while the server has us paused.
+    pub fn send_samples(&mut self, batch: &[Sample]) -> io::Result<()> {
+        while self.paused.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let payload = write_samples_v2(batch);
+        write_frame(&mut self.stream, FRAME_SAMPLES, &payload)?;
+        self.stream.flush()
+    }
+
+    /// Streams a whole trace in `batch`-sample frames (the trailing
+    /// partial batch included). Returns the number of frames sent.
+    pub fn stream_trace(&mut self, samples: &[Sample], batch: usize) -> io::Result<usize> {
+        let mut frames = 0;
+        for chunk in samples.chunks(batch.max(1)) {
+            self.send_samples(chunk)?;
+            frames += 1;
+        }
+        Ok(frames)
+    }
+
+    /// Declares end-of-trace.
+    pub fn finish(&mut self) -> io::Result<()> {
+        self.send_control(&ClientControl::Finish)
+    }
+
+    /// Blocks for the next server message; `UnexpectedEof` when the
+    /// server closed.
+    pub fn recv(&mut self) -> io::Result<ServerMsg> {
+        self.rx.recv().map_err(|_| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+
+    /// Returns the next server message if one has already arrived,
+    /// without blocking.
+    pub fn try_recv(&mut self) -> Option<ServerMsg> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Receives until the predicate matches, collecting everything seen
+    /// (matching message last). `UnexpectedEof` if the server closes
+    /// first.
+    pub fn recv_until<F: FnMut(&ServerMsg) -> bool>(
+        &mut self,
+        mut pred: F,
+    ) -> io::Result<Vec<ServerMsg>> {
+        let mut seen = Vec::new();
+        loop {
+            let msg = self.recv()?;
+            let hit = pred(&msg);
+            seen.push(msg);
+            if hit {
+                return Ok(seen);
+            }
+        }
+    }
+
+    /// Receives until the final `Report` (collecting Progress/Refit
+    /// lines along the way); errors if the server sends `Error` or
+    /// closes first.
+    pub fn wait_report(&mut self) -> io::Result<(ServerMsg, Vec<ServerMsg>)> {
+        let mut seen = Vec::new();
+        loop {
+            match self.recv()? {
+                msg @ ServerMsg::Report { .. } => return Ok((msg, seen)),
+                ServerMsg::Error { message } => return Err(io::Error::other(message)),
+                other => seen.push(other),
+            }
+        }
+    }
+
+    /// How many `Pause` lines the server has sent this connection.
+    pub fn pauses_seen(&self) -> u64 {
+        self.pauses_seen.load(Ordering::SeqCst)
+    }
+
+    /// Whether the server currently has us paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::SeqCst)
+    }
+
+    /// Closes the write side and joins the reader thread (draining any
+    /// remaining replies is still possible via `recv` before calling).
+    pub fn close(mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServeClient {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}

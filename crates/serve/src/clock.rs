@@ -1,0 +1,96 @@
+//! Injected time source for session bookkeeping.
+//!
+//! The daemon needs a clock only for *policy* (idle timeouts, uptime
+//! counters), never for results — analysis stays a pure function of the
+//! ingested samples, the same discipline fuzzylint R3 enforces on the
+//! model crates. Injecting the clock keeps that boundary visible and
+//! makes timeout logic deterministic under test: a [`ManualClock`] is
+//! advanced by hand instead of sleeping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic millisecond clock.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since an arbitrary (per-clock) origin.
+    fn now_millis(&self) -> u64;
+}
+
+/// The real monotonic clock, measured from its construction instant.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// Creates a clock with origin "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_millis(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+/// A hand-advanced clock for deterministic timeout tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward by `millis`.
+    pub fn advance(&self, millis: u64) {
+        self.now.fetch_add(millis, Ordering::SeqCst);
+    }
+
+    /// Sets the absolute time.
+    pub fn set(&self, millis: u64) {
+        self.now.store(millis, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_millis(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_millis();
+        let b = c.now_millis();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_on_demand() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_millis(), 0);
+        c.advance(250);
+        assert_eq!(c.now_millis(), 250);
+        c.set(10);
+        assert_eq!(c.now_millis(), 10);
+    }
+}

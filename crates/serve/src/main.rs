@@ -1,0 +1,112 @@
+//! `fuzzyphased` — the streaming analysis daemon.
+//!
+//! ```text
+//! fuzzyphased [--addr HOST:PORT | --port N] [--max-sessions N]
+//!             [--queue-cap N] [--refit-workers N] [--fold-workers N]
+//!             [--idle-timeout-ms N] [--stdin-control]
+//! ```
+//!
+//! Prints `fuzzyphased listening on ADDR` once bound (scripts parse
+//! this to discover an ephemeral port), then serves until a client
+//! sends the `Shutdown` control request — or, with `--stdin-control`,
+//! until `shutdown` (or EOF) arrives on stdin. Either path drains
+//! in-flight sessions before exiting.
+
+use fuzzyphase_serve::{Server, ServerConfig};
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzzyphased [--addr HOST:PORT | --port N] [--max-sessions N] \
+         [--queue-cap N] [--refit-workers N] [--fold-workers N] \
+         [--idle-timeout-ms N] [--stdin-control]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        eprintln!("fuzzyphased: {flag} needs a value");
+        usage();
+    };
+    match v.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("fuzzyphased: bad value '{v}' for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig::default();
+    let mut stdin_control = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                cfg.addr = parse_num::<String>("--addr", args.next());
+            }
+            "--port" => {
+                let port: u16 = parse_num("--port", args.next());
+                cfg.addr = format!("127.0.0.1:{port}");
+            }
+            "--max-sessions" => cfg.max_sessions = parse_num("--max-sessions", args.next()),
+            "--queue-cap" => cfg.queue_cap = parse_num("--queue-cap", args.next()),
+            "--refit-workers" => cfg.workers.suite = parse_num("--refit-workers", args.next()),
+            "--fold-workers" => cfg.workers.fold = parse_num("--fold-workers", args.next()),
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout_ms = parse_num("--idle-timeout-ms", args.next())
+            }
+            "--stdin-control" => stdin_control = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("fuzzyphased: unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fuzzyphased: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts parse this line to find an ephemeral port; keep it stable.
+    println!("fuzzyphased listening on {}", server.local_addr());
+
+    let stdin_stop = Arc::new(AtomicBool::new(false));
+    if stdin_control {
+        let stop = Arc::clone(&stdin_stop);
+        let _ = std::thread::Builder::new()
+            .name("fuzzyphased-stdin".into())
+            .spawn(move || {
+                let stdin = std::io::stdin();
+                for line in stdin.lock().lines() {
+                    match line {
+                        Ok(l) if l.trim() == "shutdown" => break,
+                        Ok(_) => continue,
+                        Err(_) => break,
+                    }
+                }
+                stop.store(true, Ordering::SeqCst);
+            });
+    }
+
+    while !server.shutdown_requested() && !stdin_stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!(
+        "fuzzyphased: shutdown requested; draining {} session(s)",
+        server.active_sessions()
+    );
+    server.shutdown();
+    eprintln!("fuzzyphased: bye");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,217 @@
+//! Wire protocol: control-frame payloads and server replies.
+//!
+//! Both directions speak JSON. Client control frames (frame kind 1)
+//! carry one [`ClientControl`] value; sample frames (frame kind 2) carry
+//! raw trace-codec bytes (`fuzzyphase_profiler::trace`, v1 or v2).
+//! Server replies are newline-delimited JSON, one [`ServerMsg`] per
+//! line, in session order — a client can drive the whole exchange with
+//! a line-buffered reader.
+
+use crate::metrics::StatsSnapshot;
+use fuzzyphase::Quadrant;
+use fuzzyphase_regtree::PredictabilityReport;
+use fuzzyphase_sampling::Recommendation;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// Wire-protocol version, echoed in the server's `Hello`.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A control request from the client (frame kind 1 payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientControl {
+    /// Opens a session. Must be the first control frame; `Stats`,
+    /// `Ping` and `Shutdown` are the only requests allowed before it.
+    Hello {
+        /// Client-chosen session label (shows up in errors).
+        name: String,
+        /// Samples per EIPV vector (the profiler's `samples_per_interval`).
+        spv: usize,
+        /// Refit the regression tree every this many completed vectors
+        /// (0 = only the final fit).
+        refit_every: usize,
+    },
+    /// Declares end-of-trace: run the final analysis and send `Report`.
+    Finish,
+    /// Requests a [`StatsSnapshot`] (allowed without a session).
+    Stats,
+    /// Liveness probe; server answers `Pong`.
+    Ping,
+    /// Asks the daemon to drain and exit (admin; allowed without a
+    /// session).
+    Shutdown,
+}
+
+/// One newline-delimited JSON reply from the server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerMsg {
+    /// Session accepted.
+    Hello {
+        /// Server-assigned session id.
+        session: u64,
+        /// Protocol version ([`PROTOCOL_VERSION`]).
+        protocol: u32,
+        /// Samples per vector in effect.
+        spv: usize,
+        /// Refit cadence in effect.
+        refit_every: usize,
+    },
+    /// Periodic ingest acknowledgement (one per decoded sample frame).
+    Progress {
+        /// Samples ingested so far.
+        samples: u64,
+        /// Completed EIPV vectors so far.
+        vectors: u64,
+        /// Streaming mean of per-sample CPI.
+        cpi_mean: f64,
+        /// Streaming population variance of per-sample CPI (Welford).
+        cpi_variance: f64,
+    },
+    /// An interim regression-tree fit over the vectors seen so far.
+    Refit {
+        /// Vectors the fit used.
+        vectors: u64,
+        /// The interim analysis report.
+        report: PredictabilityReport,
+        /// Quadrant under the server's thresholds.
+        quadrant: Quadrant,
+        /// Sampling technique recommendation for that quadrant.
+        recommendation: Recommendation,
+    },
+    /// The final analysis, sent after `Finish`. Bit-identical to running
+    /// the offline pipeline on the same trace.
+    Report {
+        /// The final analysis report.
+        report: PredictabilityReport,
+        /// Quadrant under the server's thresholds.
+        quadrant: Quadrant,
+        /// Sampling technique recommendation for that quadrant.
+        recommendation: Recommendation,
+        /// Total samples ingested.
+        samples: u64,
+        /// Total completed vectors analyzed.
+        vectors: u64,
+    },
+    /// Backpressure: stop sending sample frames until `Resume`.
+    Pause,
+    /// Backpressure released: sending may continue.
+    Resume,
+    /// Answer to `Ping`.
+    Pong,
+    /// Answer to `Stats`.
+    Stats(StatsSnapshot),
+    /// A session-fatal problem; the server closes the connection after
+    /// sending it.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Orderly close: the server is done with this connection.
+    Bye,
+}
+
+/// Serializes `msg` as one JSON line onto `w` (no flush — callers batch
+/// and flush at protocol boundaries).
+pub fn write_msg<W: Write>(w: &mut W, msg: &ServerMsg) -> io::Result<()> {
+    let line = serde_json::to_string(msg).map_err(io::Error::other)?;
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")
+}
+
+/// Reads one JSON line from `r` and parses it as a [`ServerMsg`].
+/// Returns `Ok(None)` on EOF.
+pub fn read_msg<R: BufRead>(r: &mut R) -> io::Result<Option<ServerMsg>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let msg = serde_json::from_str(line.trim_end()).map_err(io::Error::other)?;
+    Ok(Some(msg))
+}
+
+/// Serializes a control request to the JSON payload of a kind-1 frame.
+pub fn encode_control(ctl: &ClientControl) -> io::Result<Vec<u8>> {
+    Ok(serde_json::to_string(ctl)
+        .map_err(io::Error::other)?
+        .into_bytes())
+}
+
+/// Parses the JSON payload of a kind-1 frame.
+pub fn decode_control(payload: &[u8]) -> io::Result<ClientControl> {
+    let text =
+        std::str::from_utf8(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    serde_json::from_str(text).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_roundtrips() {
+        let msgs = [
+            ClientControl::Hello {
+                name: "mcf".into(),
+                spv: 100,
+                refit_every: 25,
+            },
+            ClientControl::Finish,
+            ClientControl::Stats,
+            ClientControl::Ping,
+            ClientControl::Shutdown,
+        ];
+        for m in &msgs {
+            let bytes = encode_control(m).expect("encode");
+            let back = decode_control(&bytes).expect("decode");
+            assert_eq!(&back, m);
+        }
+    }
+
+    #[test]
+    fn server_msgs_roundtrip_as_json_lines() {
+        let msgs = [
+            ServerMsg::Hello {
+                session: 7,
+                protocol: PROTOCOL_VERSION,
+                spv: 100,
+                refit_every: 0,
+            },
+            ServerMsg::Progress {
+                samples: 500,
+                vectors: 5,
+                cpi_mean: 1.25,
+                cpi_variance: 0.002,
+            },
+            ServerMsg::Pause,
+            ServerMsg::Resume,
+            ServerMsg::Pong,
+            ServerMsg::Error {
+                message: "too many sessions".into(),
+            },
+            ServerMsg::Bye,
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_msg(&mut buf, m).expect("write");
+        }
+        let mut r = io::BufReader::new(&buf[..]);
+        for m in &msgs {
+            let got = read_msg(&mut r).expect("read").expect("line");
+            assert_eq!(&got, m);
+        }
+        assert!(read_msg(&mut r).expect("read").is_none());
+    }
+
+    #[test]
+    fn unit_variants_are_bare_strings() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &ServerMsg::Pause).expect("write");
+        assert_eq!(std::str::from_utf8(&buf).expect("utf8"), "\"Pause\"\n");
+    }
+
+    #[test]
+    fn decode_control_rejects_garbage() {
+        assert!(decode_control(b"not json").is_err());
+        assert!(decode_control(&[0xFF, 0xFE]).is_err());
+    }
+}

@@ -1,0 +1,708 @@
+//! The daemon itself: listener, per-connection threads, backpressure,
+//! limits, idle sweeping and graceful shutdown.
+//!
+//! Thread shape, per daemon: one accept thread, one idle-sweeper
+//! thread, and a fixed [`Scheduler`] pool for regression-tree fits.
+//! Per connection: a *reader* thread (decodes frames, enforces limits,
+//! applies backpressure) and, once `Hello` lands, an *engine* thread
+//! (drains the bounded ingest queue, updates the [`SessionEngine`],
+//! submits fit snapshots to the pool). Replies from any thread go
+//! through one mutex-guarded writer per connection, so JSON lines never
+//! interleave.
+//!
+//! Backpressure is a contract, not advice: the ingest queue is a
+//! bounded channel of `queue_cap` frames. When the reader finds it
+//! full it pushes `Pause` to the client and then *blocks* on the queue
+//! — the client may stop cooperating, but the server's memory use per
+//! session stays capped either way. The engine sends `Resume` once the
+//! queue drains to half capacity.
+//!
+//! Shutdown is two-phase. [`Server::begin_shutdown`] flips the daemon
+//! to *draining*: new connections are refused with an `Error` line,
+//! in-flight sessions run to completion. [`Server::shutdown`] then
+//! waits for the session table to empty (up to `drain_deadline_ms`,
+//! after which stragglers' sockets are closed), stops the accept loop
+//! with a self-connection nudge, and joins every thread.
+
+use crate::clock::{Clock, SystemClock};
+use crate::framing::{read_frame, FRAME_CONTROL, FRAME_SAMPLES};
+use crate::metrics::{Metrics, StatsSnapshot};
+use crate::protocol::{decode_control, write_msg, ClientControl, ServerMsg, PROTOCOL_VERSION};
+use crate::scheduler::Scheduler;
+use crate::session::{SessionConfig, SessionEngine};
+use fuzzyphase::{Thresholds, WorkerBudget};
+use fuzzyphase_profiler::trace::read_samples;
+use fuzzyphase_regtree::AnalysisOptions;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::{self, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Maximum concurrent sessions; `Hello` beyond this is refused.
+    pub max_sessions: usize,
+    /// Maximum bytes in one frame payload.
+    pub max_frame_bytes: usize,
+    /// Maximum sample-payload bytes one session may stream.
+    pub max_session_bytes: u64,
+    /// Per-session ingest queue capacity, in frames (the backpressure
+    /// bound).
+    pub queue_cap: usize,
+    /// Close sessions quiet for this long (0 disables the sweeper).
+    pub idle_timeout_ms: u64,
+    /// Idle-sweeper polling cadence.
+    pub sweep_interval_ms: u64,
+    /// Engine-side floor on per-batch processing time. 0 in production;
+    /// tests raise it to make a deliberately slow consumer, so
+    /// backpressure is reproducible instead of racing the scheduler.
+    pub min_batch_interval_ms: u64,
+    /// How long [`Server::shutdown`] waits for sessions to finish
+    /// before force-closing their sockets.
+    pub drain_deadline_ms: u64,
+    /// Thread budget: `suite` sizes the fit pool, `fold` becomes each
+    /// fit's `cv.workers` — the same split the offline suite runner
+    /// uses.
+    pub workers: WorkerBudget,
+    /// Regression-tree options applied to every session.
+    pub analysis: AnalysisOptions,
+    /// Quadrant thresholds applied to every session.
+    pub thresholds: Thresholds,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_sessions: 64,
+            max_frame_bytes: 8 << 20,
+            max_session_bytes: 1 << 30,
+            queue_cap: 64,
+            idle_timeout_ms: 30_000,
+            sweep_interval_ms: 25,
+            min_batch_interval_ms: 0,
+            drain_deadline_ms: 10_000,
+            workers: WorkerBudget::default(),
+            analysis: AnalysisOptions::default(),
+            thresholds: Thresholds::default(),
+        }
+    }
+}
+
+const STATE_RUNNING: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+const STATE_STOPPED: u8 = 2;
+
+/// State shared by every daemon thread.
+struct Shared {
+    cfg: ServerConfig,
+    fold_workers: usize,
+    metrics: Arc<Metrics>,
+    scheduler: Scheduler,
+    clock: Arc<dyn Clock>,
+    state: AtomicU8,
+    shutdown_requested: AtomicBool,
+    next_session: AtomicU64,
+    /// Active sessions by id — `BTreeMap` so sweeps and drains walk in
+    /// a stable order.
+    sessions: Mutex<BTreeMap<u64, Arc<SessionShared>>>,
+}
+
+impl Shared {
+    fn begin_drain(&self) {
+        let _ = self.state.compare_exchange(
+            STATE_RUNNING,
+            STATE_DRAINING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+}
+
+/// Per-connection state shared by reader, engine, sweeper and fit jobs.
+struct SessionShared {
+    /// Server-assigned id; 0 until `Hello` registers the session.
+    id: AtomicU64,
+    stream: TcpStream,
+    writer: Mutex<BufWriter<TcpStream>>,
+    paused: AtomicBool,
+    dead: AtomicBool,
+    expired: AtomicBool,
+    refit_in_flight: AtomicBool,
+    last_activity: AtomicU64,
+}
+
+impl SessionShared {
+    fn new(stream: TcpStream, writer: TcpStream, now: u64) -> Self {
+        Self {
+            id: AtomicU64::new(0),
+            stream,
+            writer: Mutex::new(BufWriter::new(writer)),
+            paused: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            expired: AtomicBool::new(false),
+            refit_in_flight: AtomicBool::new(false),
+            last_activity: AtomicU64::new(now),
+        }
+    }
+
+    /// Writes one JSON line and flushes; marks the session dead on I/O
+    /// failure so every thread stops touching the socket.
+    fn send(&self, msg: &ServerMsg) -> io::Result<()> {
+        let mut w = self.writer.lock();
+        let r = write_msg(&mut *w, msg).and_then(|()| w.flush());
+        if r.is_err() {
+            self.dead.store(true, Ordering::SeqCst);
+        }
+        r
+    }
+
+    fn send_error(&self, metrics: &Metrics, message: String) {
+        metrics.session_error();
+        let _ = self.send(&ServerMsg::Error { message });
+    }
+
+    fn touch(&self, clock: &dyn Clock) {
+        self.last_activity
+            .store(clock.now_millis(), Ordering::Relaxed);
+    }
+}
+
+/// What the reader hands the engine.
+enum EngineMsg {
+    /// Raw trace-codec bytes of one samples frame.
+    Batch(Vec<u8>),
+    /// End of trace: run the final fit and report.
+    Finish,
+}
+
+/// A running daemon handle. Call [`Server::shutdown`] for an orderly
+/// stop; merely dropping the handle leaves daemon threads running until
+/// process exit.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    sweeper: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds and starts serving with the real clock.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        Self::start_with_clock(cfg, Arc::new(SystemClock::new()))
+    }
+
+    /// Binds and starts serving with an injected clock (tests drive
+    /// idle timeouts with a [`ManualClock`](crate::clock::ManualClock)).
+    pub fn start_with_clock(cfg: ServerConfig, clock: Arc<dyn Clock>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let (pool, fold_workers) = cfg.workers.resolve(cfg.max_sessions.max(1));
+        let scheduler = Scheduler::new(pool, cfg.max_sessions.max(1), Arc::clone(&metrics));
+        let shared = Arc::new(Shared {
+            cfg,
+            fold_workers,
+            metrics,
+            scheduler,
+            clock,
+            state: AtomicU8::new(STATE_RUNNING),
+            shutdown_requested: AtomicBool::new(false),
+            next_session: AtomicU64::new(1),
+            sessions: Mutex::new(BTreeMap::new()),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("fuzzyphased-accept".into())
+                .spawn(move || accept_loop(listener, shared, conns))
+                // fuzzylint: allow(panic) — cannot serve without the
+                // accept thread; failing to spawn it at startup is fatal
+                .expect("spawn accept thread")
+        };
+        let sweeper = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fuzzyphased-sweeper".into())
+                .spawn(move || sweep_loop(shared))
+                // fuzzylint: allow(panic) — same startup-only failure mode
+                // as the accept thread
+                .expect("spawn sweeper thread")
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            sweeper: Some(sweeper),
+            conns,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the daemon counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// The daemon's metrics handle.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Whether a client sent the `Shutdown` control request.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Number of currently open sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.sessions.lock().len()
+    }
+
+    /// Enters draining: running sessions continue, new connections are
+    /// refused with an `Error` line.
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Graceful stop: drain sessions (force-closing any that outlive
+    /// `drain_deadline_ms`), stop accepting, join all threads.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        let poll = Duration::from_millis(10);
+        let mut waited = 0u64;
+        while !self.shared.sessions.lock().is_empty() {
+            if waited >= self.shared.cfg.drain_deadline_ms {
+                for s in self.shared.sessions.lock().values() {
+                    s.dead.store(true, Ordering::SeqCst);
+                    let _ = s.stream.shutdown(Shutdown::Both);
+                }
+            }
+            std::thread::sleep(poll);
+            waited += 10;
+        }
+        self.shared.state.store(STATE_STOPPED, Ordering::SeqCst);
+        // Nudge the accept loop out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            // fuzzylint: allow(panic) — a panicked daemon thread is a bug;
+            // surface it at shutdown rather than swallowing it
+            h.join().expect("accept thread panicked");
+        }
+        if let Some(h) = self.sweeper.take() {
+            // fuzzylint: allow(panic) — as above
+            h.join().expect("sweeper thread panicked");
+        }
+        let conns: Vec<_> = std::mem::take(&mut *self.conns.lock());
+        for h in conns {
+            // fuzzylint: allow(panic) — as above
+            h.join().expect("connection thread panicked");
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    for stream in listener.incoming() {
+        if shared.state.load(Ordering::SeqCst) == STATE_STOPPED {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if shared.state.load(Ordering::SeqCst) == STATE_DRAINING {
+            shared.metrics.session_refused();
+            refuse(stream, "daemon is draining; not accepting new connections");
+            continue;
+        }
+        let shared2 = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("fuzzyphased-conn".into())
+            .spawn(move || connection_thread(stream, shared2));
+        match spawned {
+            Ok(h) => conns.lock().push(h),
+            Err(_) => shared.metrics.session_refused(),
+        }
+    }
+}
+
+/// Best-effort refusal: one `Error` line, one `Bye`, close.
+fn refuse(stream: TcpStream, why: &str) {
+    let mut w = BufWriter::new(stream);
+    let _ = write_msg(
+        &mut w,
+        &ServerMsg::Error {
+            message: why.to_string(),
+        },
+    );
+    let _ = write_msg(&mut w, &ServerMsg::Bye);
+    let _ = w.flush();
+}
+
+fn sweep_loop(shared: Arc<Shared>) {
+    loop {
+        if shared.state.load(Ordering::SeqCst) == STATE_STOPPED {
+            break;
+        }
+        if shared.cfg.idle_timeout_ms > 0 {
+            let now = shared.clock.now_millis();
+            for s in shared.sessions.lock().values() {
+                let quiet = now.saturating_sub(s.last_activity.load(Ordering::Relaxed));
+                if quiet >= shared.cfg.idle_timeout_ms && !s.expired.swap(true, Ordering::SeqCst) {
+                    shared.metrics.idle_reap();
+                    // EOF the reader; the write side stays open so the
+                    // timeout error can still be delivered.
+                    let _ = s.stream.shutdown(Shutdown::Read);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(shared.cfg.sweep_interval_ms.max(1)));
+    }
+}
+
+/// Reader side of one connection: frames in, limits, backpressure.
+fn connection_thread(stream: TcpStream, shared: Arc<Shared>) {
+    let (writer_half, mut reader_half) = match (stream.try_clone(), stream.try_clone()) {
+        (Ok(w), Ok(r)) => (w, r),
+        _ => return,
+    };
+    let session = Arc::new(SessionShared::new(
+        stream,
+        writer_half,
+        shared.clock.now_millis(),
+    ));
+
+    let mut registered: Option<(u64, crossbeam::channel::Sender<EngineMsg>, JoinHandle<()>)> = None;
+    let mut session_bytes: u64 = 0;
+
+    loop {
+        if session.dead.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match read_frame(&mut reader_half, shared.cfg.max_frame_bytes) {
+            Ok(Some(f)) => f,
+            Ok(None) => {
+                if session.expired.load(Ordering::SeqCst) {
+                    let _ = session.send(&ServerMsg::Error {
+                        message: format!(
+                            "session {} idle for {} ms; closing",
+                            session.id.load(Ordering::Relaxed),
+                            shared.cfg.idle_timeout_ms
+                        ),
+                    });
+                    let _ = session.send(&ServerMsg::Bye);
+                }
+                break;
+            }
+            Err(e) => {
+                session.send_error(&shared.metrics, format!("bad frame: {e}"));
+                break;
+            }
+        };
+        session.touch(shared.clock.as_ref());
+
+        match frame {
+            (FRAME_CONTROL, payload) => {
+                let ctl = match decode_control(&payload) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        session.send_error(&shared.metrics, format!("bad control frame: {e}"));
+                        break;
+                    }
+                };
+                match ctl {
+                    ClientControl::Hello {
+                        name,
+                        spv,
+                        refit_every,
+                    } => {
+                        if registered.is_some() {
+                            session.send_error(&shared.metrics, "duplicate Hello".to_string());
+                            break;
+                        }
+                        match open_session(&shared, &session, &name, spv, refit_every) {
+                            Ok(r) => registered = Some(r),
+                            Err(msg) => {
+                                let _ = session.send(&ServerMsg::Error { message: msg });
+                                break;
+                            }
+                        }
+                    }
+                    ClientControl::Finish => match &registered {
+                        Some((_, tx, _)) => {
+                            if tx.send(EngineMsg::Finish).is_err() {
+                                break;
+                            }
+                        }
+                        None => {
+                            session.send_error(&shared.metrics, "Finish before Hello".to_string());
+                            break;
+                        }
+                    },
+                    ClientControl::Stats => {
+                        let _ = session.send(&ServerMsg::Stats(shared.metrics.snapshot()));
+                    }
+                    ClientControl::Ping => {
+                        let _ = session.send(&ServerMsg::Pong);
+                    }
+                    ClientControl::Shutdown => {
+                        shared.shutdown_requested.store(true, Ordering::SeqCst);
+                        shared.begin_drain();
+                        let _ = session.send(&ServerMsg::Bye);
+                        break;
+                    }
+                }
+            }
+            (FRAME_SAMPLES, payload) => {
+                let Some((_, tx, _)) = &registered else {
+                    session.send_error(&shared.metrics, "samples before Hello".to_string());
+                    break;
+                };
+                session_bytes += payload.len() as u64;
+                if session_bytes > shared.cfg.max_session_bytes {
+                    session.send_error(
+                        &shared.metrics,
+                        format!(
+                            "session exceeded {} payload bytes",
+                            shared.cfg.max_session_bytes
+                        ),
+                    );
+                    break;
+                }
+                // Backpressure: if the bounded queue is full, tell the
+                // client to pause, then block until the engine frees a
+                // slot. Memory stays bounded whether or not the client
+                // listens.
+                match tx.try_send(EngineMsg::Batch(payload)) {
+                    Ok(()) => {}
+                    Err(crossbeam::channel::TrySendError::Full(msg)) => {
+                        session.paused.store(true, Ordering::SeqCst);
+                        shared.metrics.pause_sent();
+                        let _ = session.send(&ServerMsg::Pause);
+                        if tx.send(msg).is_err() {
+                            break;
+                        }
+                    }
+                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => break,
+                }
+                shared.metrics.observe_ingest_depth(tx.len() as u64);
+            }
+            // read_frame only yields the two known kinds.
+            _ => break,
+        }
+    }
+
+    // Teardown: closing the ingest channel stops the engine once it has
+    // drained everything already queued.
+    if let Some((id, tx, engine)) = registered {
+        drop(tx);
+        // fuzzylint: allow(panic) — engine panics are daemon bugs;
+        // propagate them instead of hiding a half-dead session
+        engine.join().expect("session engine panicked");
+        shared.sessions.lock().remove(&id);
+        shared.metrics.session_ended();
+    }
+    let _ = session.stream.shutdown(Shutdown::Both);
+}
+
+/// Validates `Hello`, registers the session and spawns its engine.
+#[allow(clippy::type_complexity)]
+fn open_session(
+    shared: &Arc<Shared>,
+    session: &Arc<SessionShared>,
+    name: &str,
+    spv: usize,
+    refit_every: usize,
+) -> Result<(u64, crossbeam::channel::Sender<EngineMsg>, JoinHandle<()>), String> {
+    if spv == 0 {
+        shared.metrics.session_error();
+        return Err(format!("session '{name}': spv must be positive"));
+    }
+    let id = {
+        let mut sessions = shared.sessions.lock();
+        if sessions.len() >= shared.cfg.max_sessions {
+            shared.metrics.session_refused();
+            return Err(format!(
+                "too many sessions ({} active, limit {})",
+                sessions.len(),
+                shared.cfg.max_sessions
+            ));
+        }
+        let id = shared.next_session.fetch_add(1, Ordering::SeqCst);
+        session.id.store(id, Ordering::Relaxed);
+        sessions.insert(id, Arc::clone(session));
+        id
+    };
+    shared.metrics.session_started();
+
+    let mut scfg = SessionConfig {
+        spv,
+        refit_every,
+        analysis: shared.cfg.analysis,
+        thresholds: shared.cfg.thresholds,
+    };
+    scfg.analysis.cv.workers = shared.fold_workers;
+
+    let hello = ServerMsg::Hello {
+        session: id,
+        protocol: PROTOCOL_VERSION,
+        spv,
+        refit_every,
+    };
+    if session.send(&hello).is_err() {
+        shared.sessions.lock().remove(&id);
+        shared.metrics.session_ended();
+        return Err("client went away during Hello".to_string());
+    }
+
+    let (tx, rx) = crossbeam::channel::bounded::<EngineMsg>(shared.cfg.queue_cap.max(1));
+    let engine_shared = Arc::clone(shared);
+    let engine_session = Arc::clone(session);
+    let spawned = std::thread::Builder::new()
+        .name(format!("fuzzyphased-sess-{id}"))
+        .spawn(move || engine_thread(rx, engine_shared, engine_session, scfg));
+    match spawned {
+        Ok(h) => Ok((id, tx, h)),
+        Err(e) => {
+            shared.sessions.lock().remove(&id);
+            shared.metrics.session_ended();
+            Err(format!("session '{name}': {e}"))
+        }
+    }
+}
+
+/// Engine side of one session: decode, accumulate, refit, finalize.
+fn engine_thread(
+    rx: crossbeam::channel::Receiver<EngineMsg>,
+    shared: Arc<Shared>,
+    session: Arc<SessionShared>,
+    scfg: SessionConfig,
+) {
+    let mut engine = SessionEngine::new(scfg);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            EngineMsg::Batch(bytes) => {
+                let samples = match read_samples(&bytes) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        session.send_error(&shared.metrics, format!("bad sample payload: {e}"));
+                        // Unblock a reader stuck in a blocking read.
+                        let _ = session.stream.shutdown(Shutdown::Both);
+                        return;
+                    }
+                };
+                let progress = engine.ingest(&samples);
+                shared
+                    .metrics
+                    .ingested(samples.len() as u64, bytes.len() as u64);
+                session.touch(shared.clock.as_ref());
+                if session
+                    .send(&ServerMsg::Progress {
+                        samples: progress.samples,
+                        vectors: progress.vectors,
+                        cpi_mean: progress.cpi_mean,
+                        cpi_variance: progress.cpi_variance,
+                    })
+                    .is_err()
+                {
+                    let _ = session.stream.shutdown(Shutdown::Both);
+                    return;
+                }
+                if shared.cfg.min_batch_interval_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(shared.cfg.min_batch_interval_ms));
+                }
+                // Release backpressure once the queue has real headroom.
+                if session.paused.load(Ordering::SeqCst)
+                    && rx.len() <= shared.cfg.queue_cap.max(1) / 2
+                {
+                    session.paused.store(false, Ordering::SeqCst);
+                    let _ = session.send(&ServerMsg::Resume);
+                }
+                if engine.refit_due() {
+                    if session.refit_in_flight.swap(true, Ordering::SeqCst) {
+                        shared.metrics.refit_coalesced();
+                    } else {
+                        submit_refit(&shared, &session, &mut engine);
+                    }
+                }
+            }
+            EngineMsg::Finish => {
+                finish_session(&shared, &session, engine);
+                return;
+            }
+        }
+    }
+}
+
+/// Snapshots the engine and queues an interim fit on the pool.
+fn submit_refit(shared: &Arc<Shared>, session: &Arc<SessionShared>, engine: &mut SessionEngine) {
+    let (vectors, cpis) = engine.snapshot();
+    let cfg = *engine.config();
+    let job_shared = Arc::clone(shared);
+    let job_session = Arc::clone(session);
+    let n = vectors.len() as u64;
+    shared.scheduler.submit(&shared.metrics, move || {
+        let fit = crate::session::run_fit(&vectors, &cpis, &cfg);
+        job_shared.metrics.refit_run();
+        let _ = job_session.send(&ServerMsg::Refit {
+            vectors: n,
+            report: fit.report,
+            quadrant: fit.quadrant,
+            recommendation: fit.recommendation,
+        });
+        job_session.refit_in_flight.store(false, Ordering::SeqCst);
+    });
+}
+
+/// Runs the final fit on the pool (so a burst of finishing sessions is
+/// still bounded by the worker budget), then reports and says goodbye.
+fn finish_session(shared: &Arc<Shared>, session: &Arc<SessionShared>, engine: SessionEngine) {
+    // All interim Refit lines must precede the Report line.
+    while session.refit_in_flight.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (dtx, drx) = crossbeam::channel::bounded(1);
+    let queued = shared.scheduler.submit(&shared.metrics, move || {
+        let _ = dtx.send(engine.finalize());
+    });
+    let outcome = if queued {
+        match drx.recv() {
+            Ok(r) => r,
+            Err(_) => Err("analysis worker dropped the final fit".to_string()),
+        }
+    } else {
+        Err("daemon is stopping; final fit not run".to_string())
+    };
+    match outcome {
+        Ok((fit, progress)) => {
+            shared.metrics.refit_run();
+            shared.metrics.report_sent();
+            let _ = session.send(&ServerMsg::Report {
+                report: fit.report,
+                quadrant: fit.quadrant,
+                recommendation: fit.recommendation,
+                samples: progress.samples,
+                vectors: progress.vectors,
+            });
+        }
+        Err(message) => {
+            session.send_error(&shared.metrics, message);
+        }
+    }
+    let _ = session.send(&ServerMsg::Bye);
+}

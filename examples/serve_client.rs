@@ -1,0 +1,81 @@
+//! Streaming a profiled workload into a local `fuzzyphased`.
+//!
+//! Spawns an in-process daemon, profiles one benchmark offline to get a
+//! sample trace, then replays that trace over TCP the way a remote
+//! profiler would: Hello, sample frames with backpressure, Finish,
+//! Report. Prints the interim refits as they land and checks the final
+//! quadrant against the offline pipeline.
+//!
+//! Run with: `cargo run --example serve_client`
+
+use fuzzyphase::prelude::*;
+use fuzzyphase_serve::{ServeClient, Server, ServerConfig, ServerMsg};
+
+fn main() -> std::io::Result<()> {
+    // A small profile so the example finishes in seconds.
+    let mut cfg = RunConfig::default();
+    cfg.profile.num_intervals = 60;
+    cfg.profile.warmup_intervals = 10;
+
+    let spec = BenchmarkSpec::spec("mcf");
+    let offline = run_benchmark(&spec, &cfg);
+    let samples = &offline.profile.samples;
+    let spv = cfg.profile.samples_per_interval();
+    println!(
+        "offline: {} samples, quadrant {} ({})",
+        samples.len(),
+        offline.quadrant,
+        offline.quadrant.recommendation().name()
+    );
+
+    // The daemon, configured exactly like the offline run.
+    let server = Server::start(ServerConfig {
+        analysis: cfg.analysis,
+        thresholds: cfg.thresholds,
+        ..ServerConfig::default()
+    })?;
+    let addr = server.local_addr().to_string();
+    println!("fuzzyphased listening on {addr}");
+
+    // Stream the trace: refit every 10 vectors, 500 samples per frame.
+    let mut client = ServeClient::connect(&addr)?;
+    client.hello("mcf", spv, 10)?;
+    client.stream_trace(samples, 500)?;
+    client.finish()?;
+    let (report, interim) = client.wait_report()?;
+
+    for msg in &interim {
+        if let ServerMsg::Refit {
+            vectors, quadrant, ..
+        } = msg
+        {
+            println!("  refit @ {vectors} vectors → {quadrant}");
+        }
+    }
+    if let ServerMsg::Report {
+        report,
+        quadrant,
+        recommendation,
+        samples,
+        vectors,
+    } = &report
+    {
+        println!(
+            "streamed: {samples} samples / {vectors} vectors → {quadrant} \
+             (cpi_var {:.4}, re_min {:.4}, rec: {})",
+            report.cpi_variance,
+            report.re_min,
+            recommendation.name()
+        );
+        assert_eq!(*quadrant, offline.quadrant, "daemon must match offline");
+        assert_eq!(
+            report.re_curve, offline.report.re_curve,
+            "streamed RE curve must be bit-identical to offline"
+        );
+        println!("bit-identical to the offline pipeline ✔");
+    }
+
+    client.close();
+    server.shutdown();
+    Ok(())
+}

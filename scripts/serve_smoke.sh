@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Daemon smoke test: start fuzzyphased on an ephemeral port, drive it
+# with 4 concurrent loadgen sessions, ask it to shut down, and check it
+# drains and exits cleanly. CI runs this after tier-1; it is also the
+# quickest local end-to-end check of the serve stack.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SESSIONS="${SESSIONS:-4}"
+SAMPLES="${SAMPLES:-50000}"
+OUT="${OUT:-BENCH_serve.json}"
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+cargo build --release -p fuzzyphase-serve --bin fuzzyphased \
+            -p fuzzyphase-bench --bin loadgen
+
+# --port 0 binds an ephemeral port; the daemon prints the resolved
+# address on stdout before serving.
+./target/release/fuzzyphased --port 0 </dev/null >"$LOG" 2>&1 &
+DAEMON=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^fuzzyphased listening on //p' "$LOG" | head -n1)"
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$DAEMON" 2>/dev/null; then
+        echo "serve_smoke: daemon died before binding:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "serve_smoke: daemon never printed its address" >&2
+    cat "$LOG" >&2
+    kill "$DAEMON" 2>/dev/null || true
+    exit 1
+fi
+echo "serve_smoke: daemon up on $ADDR (pid $DAEMON)"
+
+# Concurrent sessions + final admin Shutdown; fails if any session's
+# final report is missing.
+./target/release/loadgen --addr "$ADDR" --sessions "$SESSIONS" \
+    --samples "$SAMPLES" --refit-every 50 --out "$OUT" --shutdown
+
+# The Shutdown request must drain the daemon to a clean exit.
+for _ in $(seq 1 100); do
+    if ! kill -0 "$DAEMON" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+if kill -0 "$DAEMON" 2>/dev/null; then
+    echo "serve_smoke: daemon ignored Shutdown; killing" >&2
+    cat "$LOG" >&2
+    kill "$DAEMON"
+    exit 1
+fi
+wait "$DAEMON" || {
+    echo "serve_smoke: daemon exited non-zero:" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+grep -q '"all_reports_ok": true' "$OUT"
+echo "serve_smoke: OK ($SESSIONS sessions, reports in $OUT)"

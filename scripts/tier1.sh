@@ -10,3 +10,7 @@ cargo test -q --workspace
 # Determinism & invariant lint (DESIGN.md D8): new findings or stale
 # baseline entries fail the gate.
 cargo run -q --release -p fuzzylint -- --workspace
+
+# Daemon smoke (DESIGN.md D9): fuzzyphased on an ephemeral port, 4
+# concurrent loadgen sessions, graceful Shutdown drain.
+./scripts/serve_smoke.sh

@@ -3,7 +3,9 @@
 
 use fuzzyphase::cluster::{choose_k_bic, project};
 use fuzzyphase::prelude::*;
-use fuzzyphase::profiler::{load_trace, read_samples, save_trace, write_samples, EipvData};
+use fuzzyphase::profiler::{
+    load_trace, read_samples, save_trace, write_samples, write_samples_v2, EipvData,
+};
 use fuzzyphase::workload::spec::spec_workload;
 
 fn profile(name: &str, n: usize) -> ProfileData {
@@ -38,6 +40,34 @@ fn binary_archive_reproduces_the_analysis() {
     assert_eq!(from_archive.num_features, direct.num_features);
     assert!((from_archive.re_min - direct.re_min).abs() < 1e-3);
     assert!((from_archive.cpi_variance - direct.cpi_variance).abs() < 1e-4);
+}
+
+#[test]
+fn v2_archive_reproduces_the_analysis_bit_for_bit() {
+    // The v2 codec carries CPI as f64, so — unlike the f32 v1 check
+    // above — the archived analysis is *exactly* the direct one.
+    let data = profile("mcf", 60);
+    let direct = analyze(
+        &data.eipvs().vectors,
+        &data.eipvs().cpis,
+        &AnalysisOptions::default(),
+    );
+
+    let bytes = write_samples_v2(&data.samples);
+    let samples = read_samples(&bytes).expect("decode");
+    let spv = (data.interval_len / data.period) as usize;
+    let rebuilt = EipvData::from_samples(&samples, spv);
+    let from_archive = analyze(&rebuilt.vectors, &rebuilt.cpis, &AnalysisOptions::default());
+
+    assert_eq!(from_archive, direct);
+    assert_eq!(
+        from_archive.cpi_variance.to_bits(),
+        direct.cpi_variance.to_bits()
+    );
+    assert_eq!(from_archive.re_min.to_bits(), direct.re_min.to_bits());
+    for (a, b) in from_archive.re_curve.iter().zip(&direct.re_curve) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
 }
 
 #[test]

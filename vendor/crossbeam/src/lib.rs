@@ -1,4 +1,5 @@
-//! Offline vendored subset of the `crossbeam` API: scoped threads.
+//! Offline vendored subset of the `crossbeam` API: scoped threads and
+//! MPMC channels.
 //!
 //! Since Rust 1.63 the standard library has scoped threads, so this
 //! stand-in is a thin adapter giving them crossbeam's calling
@@ -10,8 +11,19 @@
 //! the panic payload when a child panics, while `std::thread::scope`
 //! resumes the panic on join. Callers here only `.expect()` the result,
 //! so both surface as a test/process failure.
+//!
+//! [`channel`] reimplements the `crossbeam-channel` subset the serve
+//! daemon's work queues use: cloneable multi-producer multi-consumer
+//! bounded/unbounded channels with blocking, non-blocking and timed
+//! receives, built on `Mutex` + `Condvar` rather than the real crate's
+//! lock-free ring. Semantics match upstream where the workspace relies
+//! on them: a bounded `send` blocks while full, `try_send` reports
+//! `Full`, and operations fail with `Disconnected` once every handle on
+//! the other side is dropped.
 
 use std::any::Any;
+
+pub mod channel;
 
 /// Scoped-thread types (subset of `crossbeam::thread`).
 pub mod thread {
