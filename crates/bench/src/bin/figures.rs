@@ -23,7 +23,7 @@ use fuzzyphase::sampling::{
     evaluate_technique, PhaseSampling, RandomSampling, SmartsSampling, StratifiedPhaseSampling,
     Technique, UniformSampling,
 };
-use fuzzyphase::{run_benchmark, suite};
+use fuzzyphase::{suite, AnalysisRequest};
 use fuzzyphase_bench::{export_json, re_curve_block, sparkline};
 use serde::Serialize;
 
@@ -97,13 +97,12 @@ fn main() {
     }
 }
 
-fn config(fast: bool) -> RunConfig {
-    let mut cfg = RunConfig::default();
+fn config(fast: bool) -> AnalysisRequest {
     if fast {
-        cfg.profile.num_intervals = 40;
-        cfg.profile.warmup_intervals = 6;
+        AnalysisRequest::new().with_intervals(40).with_warmup(6)
+    } else {
+        AnalysisRequest::new()
     }
-    cfg
 }
 
 // ---------------------------------------------------------------- table1
@@ -167,11 +166,11 @@ fn report_to_export(name: &str, rep: &PredictabilityReport) -> ReExport {
 }
 
 /// Figure 2: relative error vs chambers for ODB-C and SjAS.
-fn fig2(cfg: &RunConfig) {
+fn fig2(cfg: &AnalysisRequest) {
     println!("== Figure 2: RE_k for ODB-C and SjAS ==");
     let mut exports = Vec::new();
     for spec in [BenchmarkSpec::odb_c(), BenchmarkSpec::sjas()] {
-        let r = run_benchmark(&spec, cfg);
+        let r = cfg.run(&spec);
         print!("{}", re_curve_block(&r.name, &r.report.re_curve));
         println!(
             "  {:10} var={:.4} re_min={:.3}@k={} (paper: ODB-C rises above 1; SjAS ~0.96 flat, min ~0.8 at k=3)",
@@ -226,7 +225,7 @@ fn print_spread(sp: &SpreadExport) {
 }
 
 /// Figure 3: EIP & CPI spread of ODB-C and SjAS (plus mcf for contrast).
-fn fig3(cfg: &RunConfig) {
+fn fig3(cfg: &AnalysisRequest) {
     println!("== Figure 3: EIP & CPI spread (paper: ODB-C ~24K, SjAS ~31K unique EIPs; mcf only ~646) ==");
     let mut exports = Vec::new();
     for spec in [
@@ -234,7 +233,7 @@ fn fig3(cfg: &RunConfig) {
         BenchmarkSpec::sjas(),
         BenchmarkSpec::spec("mcf"),
     ] {
-        let r = run_benchmark(&spec, cfg);
+        let r = cfg.run(&spec);
         let sp = spread_of(&r.profile);
         print_spread(&sp);
         exports.push(sp);
@@ -243,9 +242,9 @@ fn fig3(cfg: &RunConfig) {
 }
 
 /// Figures 9 / 11: per-query spread.
-fn spread_figure(cfg: &RunConfig, spec: BenchmarkSpec, tag: &str) {
+fn spread_figure(cfg: &AnalysisRequest, spec: BenchmarkSpec, tag: &str) {
     println!("== {tag}: EIP & CPI spread for {} ==", spec.name());
-    let r = run_benchmark(&spec, cfg);
+    let r = cfg.run(&spec);
     let sp = spread_of(&r.profile);
     print_spread(&sp);
     export_json(tag, &sp);
@@ -264,9 +263,9 @@ struct BreakdownExport {
 }
 
 /// Figures 4, 5, 12: CPI component breakdown over time.
-fn breakdown_figure(cfg: &RunConfig, spec: BenchmarkSpec, tag: &str) {
+fn breakdown_figure(cfg: &AnalysisRequest, spec: BenchmarkSpec, tag: &str) {
     println!("== {tag}: CPI breakdown for {} ==", spec.name());
-    let r = run_benchmark(&spec, cfg);
+    let r = cfg.run(&spec);
     let intervals = &r.profile.intervals;
     let get = |f: fn(&fuzzyphase::arch::CpiBreakdown) -> f64| -> Vec<f64> {
         intervals.iter().map(|i| f(&i.breakdown)).collect()
@@ -308,14 +307,14 @@ fn breakdown_figure(cfg: &RunConfig, spec: BenchmarkSpec, tag: &str) {
 // -------------------------------------------------------------- fig6/7
 
 /// Figures 6, 7: RE with and without per-thread separation.
-fn thread_figure(cfg: &RunConfig, spec: BenchmarkSpec, tag: &str) {
+fn thread_figure(cfg: &AnalysisRequest, spec: BenchmarkSpec, tag: &str) {
     println!("== {tag}: thread separation for {} ==", spec.name());
-    let r = run_benchmark(&spec, cfg);
+    let r = cfg.run(&spec);
     let nothread = r.report.clone();
 
     let per_thread = r.profile.eipvs_per_thread();
     let thread_rep =
-        fuzzyphase::regtree::analyze(&per_thread.vectors, &per_thread.cpis, &cfg.analysis);
+        fuzzyphase::regtree::analyze(&per_thread.vectors, &per_thread.cpis, cfg.analysis());
     print!("{}", re_curve_block("nothread", &nothread.re_curve));
     print!("{}", re_curve_block("thread", &thread_rep.re_curve));
     println!(
@@ -334,9 +333,9 @@ fn thread_figure(cfg: &RunConfig, spec: BenchmarkSpec, tag: &str) {
 // -------------------------------------------------------------- fig8/10
 
 /// Figures 8, 10: per-query RE curves.
-fn re_figure(cfg: &RunConfig, spec: BenchmarkSpec, tag: &str) {
+fn re_figure(cfg: &AnalysisRequest, spec: BenchmarkSpec, tag: &str) {
     println!("== {tag}: RE_k for {} ==", spec.name());
-    let r = run_benchmark(&spec, cfg);
+    let r = cfg.run(&spec);
     print!("{}", re_curve_block(&r.name, &r.report.re_curve));
     println!(
         "  var={:.4} re_min={:.3}@k={} asymptote={:.3} k_opt={}",
@@ -387,10 +386,10 @@ fn re_figure(cfg: &RunConfig, spec: BenchmarkSpec, tag: &str) {
 // --------------------------------------------------------- fig13/table2
 
 /// Figure 13 + Table 2: the full quadrant classification.
-fn table2(cfg: &RunConfig, tag: &str) {
+fn table2(cfg: &AnalysisRequest, tag: &str) {
     println!("== Figure 13 / Table 2: quadrant classification of the full suite ==");
     let t0 = std::time::Instant::now();
-    let result = fuzzyphase::run_suite(&suite::all_benchmarks(), cfg);
+    let result = cfg.run_suite(&suite::all_benchmarks());
     println!("{}", format_table2(&result));
     println!("(suite ran in {:.0?})", t0.elapsed());
     let rows: Vec<fuzzyphase::Table2Row> = result
@@ -413,7 +412,7 @@ struct Sec46Row {
 }
 
 /// §4.6: regression trees vs k-means CPI predictability.
-fn sec46(cfg: &RunConfig, fast: bool) {
+fn sec46(cfg: &AnalysisRequest, fast: bool) {
     println!("== §4.6: regression tree vs k-means CPI predictability ==");
     let specs: Vec<BenchmarkSpec> = if fast {
         vec![
@@ -428,7 +427,7 @@ fn sec46(cfg: &RunConfig, fast: bool) {
     let mut rows = Vec::new();
     let mut improvements = Vec::new();
     for spec in &specs {
-        let r = run_benchmark(spec, cfg);
+        let r = cfg.run(spec);
         let eipvs = r.profile.eipvs();
         let km = kmeans_re_curve(
             &eipvs.vectors,
@@ -436,7 +435,7 @@ fn sec46(cfg: &RunConfig, fast: bool) {
             &default_k_grid(),
             15,
             10,
-            cfg.seed,
+            cfg.seed(),
         );
         let row = Sec46Row {
             name: r.name.clone(),
@@ -481,7 +480,7 @@ struct Sec52Row {
 }
 
 /// §5.2: threading/OS statistics.
-fn sec52(cfg: &RunConfig) {
+fn sec52(cfg: &AnalysisRequest) {
     println!("== §5.2: context switching and OS time ==");
     println!("  (paper: ODB-C ~2600 switches/s & ~15% OS; SjAS ~5000/s; SPEC ~25/s & <1% OS)");
     let mut rows = Vec::new();
@@ -491,7 +490,7 @@ fn sec52(cfg: &RunConfig) {
         BenchmarkSpec::spec("gzip"),
         BenchmarkSpec::spec("mcf"),
     ] {
-        let r = run_benchmark(&spec, cfg);
+        let r = cfg.run(&spec);
         let row = Sec52Row {
             name: r.name.clone(),
             context_switches_per_second: r.profile.context_switches_per_second(),
@@ -522,7 +521,7 @@ struct MachineRow {
 }
 
 /// §7.1: the Pentium 4 / Xeon robustness check over a SPEC subset.
-fn sec71_machines(cfg: &RunConfig) {
+fn sec71_machines(cfg: &AnalysisRequest) {
     println!("== §7.1: machine robustness (SPEC subset on Itanium2/P4/Xeon) ==");
     println!("  (paper: variance higher on both; RE ~30% better on P4, ~7% worse on Xeon; mcf variance highest on the L3-less P4)");
     let subset = [
@@ -538,8 +537,8 @@ fn sec71_machines(cfg: &RunConfig) {
     for name in subset {
         for m in &machines {
             let mut c = cfg.clone();
-            c.profile.machine = m.clone();
-            let r = run_benchmark(&BenchmarkSpec::spec(name), &c);
+            c.profile_mut().machine = m.clone();
+            let r = c.run(&BenchmarkSpec::spec(name));
             println!(
                 "  {:8} on {:9} var={:.4} re_min={:.3} cpi={:.2}",
                 name, m.name, r.report.cpi_variance, r.report.re_min, r.report.cpi_mean
@@ -589,7 +588,7 @@ struct EipvSizeRow {
 
 /// §7.1: EIPV interval-size sweep (100M / 50M / 10M) at fixed sampling
 /// frequency.
-fn sec71_eipv(cfg: &RunConfig, fast: bool) {
+fn sec71_eipv(cfg: &AnalysisRequest, fast: bool) {
     println!("== §7.1: EIPV size sweep (100M/50M/10M at fixed sampling rate) ==");
     println!("  (paper: 50M: var +7%, RE +13%; 10M: var +29%, RE +14%; some Q-IV -> Q-III)");
     let specs: Vec<BenchmarkSpec> = if fast {
@@ -609,14 +608,14 @@ fn sec71_eipv(cfg: &RunConfig, fast: bool) {
     let mut rows = Vec::new();
     let mut ratios: std::collections::HashMap<u64, Vec<(f64, f64)>> = Default::default();
     for spec in &specs {
-        let r = run_benchmark(spec, cfg);
+        let r = cfg.run(spec);
         let spv_100 = (r.profile.interval_len / r.profile.period) as usize;
         let mut base = (0.0, 0.0);
         for (m, frac) in [(100u64, 1.0), (50, 0.5), (10, 0.1)] {
             let spv = ((spv_100 as f64 * frac) as usize).max(1);
             let eipvs = r.profile.eipvs_with_samples_per_vector(spv);
-            let rep = fuzzyphase::regtree::analyze(&eipvs.vectors, &eipvs.cpis, &cfg.analysis);
-            let quad = cfg.thresholds.classify(rep.cpi_variance, rep.re_min);
+            let rep = fuzzyphase::regtree::analyze(&eipvs.vectors, &eipvs.cpis, cfg.analysis());
+            let quad = cfg.thresholds().classify(rep.cpi_variance, rep.re_min);
             if m == 100 {
                 base = (rep.cpi_variance, rep.re_min);
             } else {
@@ -678,7 +677,7 @@ struct SamplingRow {
 }
 
 /// §7 prose: sampling-technique error per quadrant representative.
-fn sec7_sampling(cfg: &RunConfig) {
+fn sec7_sampling(cfg: &AnalysisRequest) {
     println!("== §7: sampling technique error by quadrant ==");
     let reps = [
         BenchmarkSpec::odb_c(),         // Q-I
@@ -688,7 +687,7 @@ fn sec7_sampling(cfg: &RunConfig) {
     ];
     let mut rows = Vec::new();
     for spec in reps {
-        let r = run_benchmark(&spec, cfg);
+        let r = cfg.run(&spec);
         let eipvs = r.profile.eipvs();
         let budget = 10usize;
         let techniques: Vec<Box<dyn Technique>> = vec![
@@ -705,7 +704,7 @@ fn sec7_sampling(cfg: &RunConfig) {
             r.quadrant.recommendation().name()
         );
         for t in &techniques {
-            let e = evaluate_technique(t.as_ref(), &eipvs.vectors, &eipvs.cpis, cfg.seed);
+            let e = evaluate_technique(t.as_ref(), &eipvs.vectors, &eipvs.cpis, cfg.seed());
             println!(
                 "    {:11} error {:>6.2}%  cost {:>3} intervals",
                 e.technique,
@@ -737,7 +736,7 @@ struct BbvRow {
 
 /// §3.3 future work: sampled EIPVs vs full-profile (BBV-style) vectors.
 /// VTune could not collect the latter; the simulator can.
-fn ext_bbv(cfg: &RunConfig) {
+fn ext_bbv(cfg: &AnalysisRequest) {
     println!("== ext-bbv (§3.3): sampled EIPVs vs full-profile vectors ==");
     let mut rows = Vec::new();
     for spec in [
@@ -747,17 +746,17 @@ fn ext_bbv(cfg: &RunConfig) {
         BenchmarkSpec::spec("wupwise"),
         BenchmarkSpec::odb_c(),
     ] {
-        let seed = fuzzyphase::stats::SeedSequence::new(cfg.seed).seed_for(&spec.name());
+        let seed = fuzzyphase::stats::SeedSequence::new(cfg.seed()).seed_for(&spec.name());
         let mut workload = spec.build(seed, None);
-        let mut pcfg = cfg.profile.clone();
+        let mut pcfg = cfg.profile().clone();
         pcfg.sampler = spec.sampler;
         pcfg.collect_full_profile = true;
         let profile = ProfileSession::run(&mut workload, &pcfg);
 
         let eipvs = profile.eipvs();
-        let sampled = fuzzyphase::regtree::analyze(&eipvs.vectors, &eipvs.cpis, &cfg.analysis);
+        let sampled = fuzzyphase::regtree::analyze(&eipvs.vectors, &eipvs.cpis, cfg.analysis());
         let full = profile.full_profile();
-        let full_rep = fuzzyphase::regtree::analyze(&full.vectors, &full.cpis, &cfg.analysis);
+        let full_rep = fuzzyphase::regtree::analyze(&full.vectors, &full.cpis, cfg.analysis());
         println!(
             "  {:8} EIPV: RE_min {:.3} ({} features)   BBV: RE_min {:.3} ({} features)",
             spec.name(),
@@ -790,7 +789,7 @@ struct DetectorRow {
 
 /// §7 context: Dhodapkar & Smith found branch-count phase detection
 /// agrees with BBVs ~83% of the time. Measure detector agreement here.
-fn ext_detectors(cfg: &RunConfig) {
+fn ext_detectors(cfg: &AnalysisRequest) {
     use fuzzyphase::cluster::{
         agreement, BranchCountDetector, PhaseDetector, SignatureDetector, VectorDetector,
     };
@@ -810,9 +809,9 @@ fn ext_detectors(cfg: &RunConfig) {
         // Working-set detectors need the *full* per-interval footprint
         // (Dhodapkar & Smith instrument every block); 100-sample EIPVs
         // are too sparse — two samples of the same phase look disjoint.
-        let seed = fuzzyphase::stats::SeedSequence::new(cfg.seed).seed_for(&spec.name());
+        let seed = fuzzyphase::stats::SeedSequence::new(cfg.seed()).seed_for(&spec.name());
         let mut workload = spec.build(seed, None);
-        let mut pcfg = cfg.profile.clone();
+        let mut pcfg = cfg.profile().clone();
         pcfg.sampler = spec.sampler;
         pcfg.collect_full_profile = true;
         let profile = ProfileSession::run(&mut workload, &pcfg);
@@ -858,7 +857,7 @@ struct PredictorRow {
 
 /// Related work \[12\] (Duesterwald et al.): online table-based history
 /// predictors of interval CPI, per quadrant representative.
-fn ext_predictors(cfg: &RunConfig) {
+fn ext_predictors(cfg: &AnalysisRequest) {
     use fuzzyphase::sampling::{
         score_predictor, ExponentialAverage, LastValue, OnlinePredictor, TablePredictor,
     };
@@ -870,7 +869,7 @@ fn ext_predictors(cfg: &RunConfig) {
         BenchmarkSpec::odb_h(18),
         BenchmarkSpec::spec("mcf"),
     ] {
-        let r = run_benchmark(&spec, cfg);
+        let r = cfg.run(&spec);
         let cpis = r.profile.interval_cpis();
         let lo = cpis.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = cpis.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 1e-9;
@@ -916,7 +915,7 @@ struct SmpRow {
 
 /// §9 system-level extension: the monitored workload's CPI as a function
 /// of how many memory-hungry neighbours share the front-side bus.
-fn ext_smp(cfg: &RunConfig) {
+fn ext_smp(cfg: &AnalysisRequest) {
     use fuzzyphase::arch::BusConfig;
     use fuzzyphase::profiler::SmpProfileSession;
     use fuzzyphase::workload::Workload;
@@ -925,7 +924,7 @@ fn ext_smp(cfg: &RunConfig) {
     let mut rows = Vec::new();
     for monitored in ["swim", "mcf", "gzip"] {
         for co in [0usize, 1, 3] {
-            let seq = fuzzyphase::stats::SeedSequence::new(cfg.seed);
+            let seq = fuzzyphase::stats::SeedSequence::new(cfg.seed());
             let mut ws: Vec<Box<dyn Workload>> = Vec::new();
             ws.push(Box::new(fuzzyphase::workload::spec::spec_workload(
                 monitored,
@@ -938,7 +937,7 @@ fn ext_smp(cfg: &RunConfig) {
                     seq.seed_for_index(1000 + i as u64),
                 )));
             }
-            let mut pcfg = cfg.profile.clone();
+            let mut pcfg = cfg.profile().clone();
             pcfg.num_intervals = pcfg.num_intervals.min(80);
             let data = SmpProfileSession::run(&mut ws, &pcfg, BusConfig::default());
             let b = data.mean_breakdown();
@@ -976,7 +975,7 @@ struct MetricRow {
 /// §9's closing thread: "CPI is just one of the performance metrics" —
 /// the same regression-tree machinery bounds the predictability of any
 /// per-interval metric. Here: L3 MPKI and branch-mispredict PKI.
-fn ext_metrics(cfg: &RunConfig) {
+fn ext_metrics(cfg: &AnalysisRequest) {
     println!("== ext-metrics (§9): predicting other metrics from EIPVs ==");
     let mut rows = Vec::new();
     for spec in [
@@ -986,7 +985,7 @@ fn ext_metrics(cfg: &RunConfig) {
         BenchmarkSpec::odb_h(18),
         BenchmarkSpec::odb_c(),
     ] {
-        let r = run_benchmark(&spec, cfg);
+        let r = cfg.run(&spec);
         let eipvs = r.profile.eipvs();
         let metrics: [(&str, Vec<f64>); 3] = [
             ("cpi", r.profile.interval_cpis()),
@@ -1005,7 +1004,7 @@ fn ext_metrics(cfg: &RunConfig) {
         ];
         println!("  {}", r.name);
         for (name, series) in metrics {
-            let rep = fuzzyphase::regtree::analyze(&eipvs.vectors, &series, &cfg.analysis);
+            let rep = fuzzyphase::regtree::analyze(&eipvs.vectors, &series, cfg.analysis());
             println!(
                 "    {:15} var={:>9.4} RE_min={:.3} explains {:>3.0}%",
                 name,
@@ -1038,7 +1037,7 @@ struct EarlyRow {
 
 /// §8's Perelman discussion: early simulation points trade a little error
 /// for much less fast-forwarding.
-fn ext_early(cfg: &RunConfig) {
+fn ext_early(cfg: &AnalysisRequest) {
     use fuzzyphase::sampling::EarlyPhaseSampling;
     println!("== ext-early (§8): early simulation points vs best representatives ==");
     let mut rows = Vec::new();
@@ -1047,7 +1046,7 @@ fn ext_early(cfg: &RunConfig) {
         BenchmarkSpec::spec("art"),
         BenchmarkSpec::odb_h(13),
     ] {
-        let r = run_benchmark(&spec, cfg);
+        let r = cfg.run(&spec);
         let eipvs = r.profile.eipvs();
         let techniques: Vec<Box<dyn Technique>> = vec![
             Box::new(PhaseSampling::new(10)),
@@ -1056,8 +1055,8 @@ fn ext_early(cfg: &RunConfig) {
         ];
         println!("  {} ({} intervals total)", r.name, eipvs.vectors.len());
         for t in &techniques {
-            let e = evaluate_technique(t.as_ref(), &eipvs.vectors, &eipvs.cpis, cfg.seed);
-            let est = t.estimate(&eipvs.vectors, &eipvs.cpis, cfg.seed);
+            let e = evaluate_technique(t.as_ref(), &eipvs.vectors, &eipvs.cpis, cfg.seed());
+            let est = t.estimate(&eipvs.vectors, &eipvs.cpis, cfg.seed());
             let ff = est.intervals.iter().max().copied().unwrap_or(0);
             let label = t.name().to_string();
             println!(

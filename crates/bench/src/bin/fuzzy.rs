@@ -132,13 +132,13 @@ fn main() {
                 usage()
             };
             let spec = parse_benchmark(bname);
-            let mut cfg = RunConfig::default();
-            cfg.profile.num_intervals = args.intervals;
-            cfg.profile.machine = machine(&args.machine);
-            cfg.profile.collect_full_profile = args.full;
-            cfg.seed = args.seed;
+            let mut cfg = AnalysisRequest::new()
+                .with_intervals(args.intervals)
+                .with_seed(args.seed);
+            cfg.profile_mut().machine = machine(&args.machine);
+            cfg.profile_mut().collect_full_profile = args.full;
 
-            let r = fuzzyphase::pipeline::run_benchmark(&spec, &cfg);
+            let r = cfg.run(&spec);
             let b = r.profile.mean_breakdown();
             println!(
                 "{} on {} ({} intervals, seed {:#x})",
@@ -175,7 +175,7 @@ fn main() {
 
             if args.threads {
                 let per_thread = r.profile.eipvs_per_thread();
-                let rep = analyze(&per_thread.vectors, &per_thread.cpis, &cfg.analysis);
+                let rep = analyze(&per_thread.vectors, &per_thread.cpis, cfg.analysis());
                 println!(
                     "  thread-separated RE_min {:.3} ({} per-thread vectors)",
                     rep.re_min,
@@ -184,7 +184,7 @@ fn main() {
             }
             if args.full {
                 let full = r.profile.full_profile();
-                let rep = analyze(&full.vectors, &full.cpis, &cfg.analysis);
+                let rep = analyze(&full.vectors, &full.cpis, cfg.analysis());
                 println!(
                     "  full-profile (BBV) RE_min {:.3} ({} features)",
                     rep.re_min, rep.num_features
@@ -205,7 +205,7 @@ fn main() {
                 ];
                 println!("  technique errors (true CPI {:.3}):", r.report.cpi_mean);
                 for t in &techniques {
-                    let e = evaluate_technique(t.as_ref(), &eipvs.vectors, &eipvs.cpis, cfg.seed);
+                    let e = evaluate_technique(t.as_ref(), &eipvs.vectors, &eipvs.cpis, cfg.seed());
                     println!(
                         "    {:11} error {:>6.2}%  cost {:>3}",
                         e.technique,

@@ -27,11 +27,10 @@
 //!
 //! // Profile a workload on the simulated Itanium 2 (tiny run for the
 //! // doctest; real runs use the 250-interval default).
-//! let spec = BenchmarkSpec::spec("mcf");
-//! let mut cfg = RunConfig::default();
-//! cfg.profile.num_intervals = 40;
-//! cfg.profile.warmup_intervals = 5;
-//! let result = run_benchmark(&spec, &cfg);
+//! let result = AnalysisRequest::new()
+//!     .with_intervals(40)
+//!     .with_warmup(5)
+//!     .run(&BenchmarkSpec::spec("mcf"));
 //!
 //! // mcf: high CPI variance, strongly phase-predictable -> Q-IV.
 //! assert_eq!(result.quadrant, Quadrant::IV);
@@ -42,21 +41,26 @@
 pub mod pipeline;
 pub mod quadrant;
 pub mod report;
+pub mod request;
 pub mod suite;
 
+#[allow(deprecated)] // RunConfig stays re-exported for compatibility
 pub use pipeline::{
     run_benchmark, run_suite, BenchmarkResult, RunConfig, SuiteResult, WorkerBudget,
 };
 pub use quadrant::{Quadrant, Thresholds};
 pub use report::{format_table2, Table2Row};
+pub use request::AnalysisRequest;
 pub use suite::{all_benchmarks, BenchmarkId, BenchmarkSpec};
 
 /// Everything most users need.
 pub mod prelude {
+    #[allow(deprecated)] // RunConfig stays re-exported for compatibility
     pub use crate::pipeline::{
         run_benchmark, run_suite, BenchmarkResult, RunConfig, SuiteResult, WorkerBudget,
     };
     pub use crate::quadrant::{Quadrant, Thresholds};
+    pub use crate::request::AnalysisRequest;
     pub use crate::suite::{all_benchmarks, BenchmarkId, BenchmarkSpec};
     pub use fuzzyphase_profiler::{ProfileConfig, ProfileData, ProfileSession, SamplerSpec};
     pub use fuzzyphase_regtree::{analyze, AnalysisOptions, PredictabilityReport};

@@ -1,5 +1,13 @@
 //! The end-to-end pipeline: workload → profile → regression-tree
 //! analysis → quadrant.
+//!
+//! The free functions here still accept the legacy [`RunConfig`]; new
+//! code goes through [`crate::request::AnalysisRequest`], which
+//! delegates to them.
+
+// This module defines the deprecated RunConfig and keeps the legacy
+// entry points working; referencing it here is the point.
+#![allow(deprecated)]
 
 use crate::quadrant::{Quadrant, Thresholds};
 use crate::suite::{BenchmarkId, BenchmarkSpec};
@@ -76,6 +84,15 @@ impl WorkerBudget {
 }
 
 /// Configuration for one benchmark run or a whole suite run.
+///
+/// Deprecated as a user-facing surface: assemble an
+/// [`AnalysisRequest`](crate::request::AnalysisRequest) instead, which
+/// wraps the same knobs behind a builder and runs the identical
+/// pipeline. The nested `ProfileConfig`/`AnalysisOptions`/`Thresholds`
+/// building blocks are *not* deprecated — only this aggregate.
+#[deprecated(
+    note = "use fuzzyphase::AnalysisRequest — same knobs, builder-style, bit-identical results"
+)]
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
     /// Profiling parameters (the per-benchmark sampler rate from the

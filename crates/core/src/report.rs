@@ -98,18 +98,13 @@ pub fn format_table2(suite: &SuiteResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{run_suite, RunConfig};
+    use crate::request::AnalysisRequest;
     use crate::suite::BenchmarkSpec;
 
     #[test]
     fn table_renders() {
-        let mut cfg = RunConfig::default();
-        cfg.profile.num_intervals = 25;
-        cfg.profile.warmup_intervals = 4;
-        let suite = run_suite(
-            &[BenchmarkSpec::spec("gzip"), BenchmarkSpec::spec("mcf")],
-            &cfg,
-        );
+        let req = AnalysisRequest::new().with_intervals(25).with_warmup(4);
+        let suite = req.run_suite(&[BenchmarkSpec::spec("gzip"), BenchmarkSpec::spec("mcf")]);
         let table = format_table2(&suite);
         assert!(table.contains("gzip"));
         assert!(table.contains("mcf"));
@@ -120,11 +115,9 @@ mod tests {
     fn table_text_and_json_are_run_stable() {
         // Two identical suite runs must render byte-identical reports —
         // the end-to-end determinism claim the lint pass guards.
-        let mut cfg = RunConfig::default();
-        cfg.profile.num_intervals = 25;
-        cfg.profile.warmup_intervals = 4;
+        let req = AnalysisRequest::new().with_intervals(25).with_warmup(4);
         let specs = [BenchmarkSpec::spec("gzip"), BenchmarkSpec::spec("mcf")];
-        let (a, b) = (run_suite(&specs, &cfg), run_suite(&specs, &cfg));
+        let (a, b) = (req.run_suite(&specs), req.run_suite(&specs));
         assert_eq!(format_table2(&a), format_table2(&b));
         let rows = |s: &SuiteResult| -> Vec<Table2Row> {
             s.benchmarks.iter().map(Table2Row::from_result).collect()

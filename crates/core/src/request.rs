@@ -1,0 +1,257 @@
+//! The unified analysis API: one builder-style request covering
+//! everything a run needs.
+//!
+//! Historically a run was configured by assembling a [`RunConfig`] and
+//! reaching into its public fields — three nested config structs
+//! (profile, analysis, thresholds) plus a seed and a worker budget,
+//! with the invariants between them documented rather than enforced.
+//! [`AnalysisRequest`] replaces that surface: fields are private, every
+//! knob is a chainable `with_*` setter (or a `*_mut` accessor for deep
+//! edits of a nested config), and the terminal [`run`](AnalysisRequest::run)
+//! / [`run_suite`](AnalysisRequest::run_suite) methods execute the same
+//! pipeline as the free functions — bit-identically, which
+//! `request_matches_run_config_bit_for_bit` pins down.
+//!
+//! `ProfileConfig`, `AnalysisOptions` and `Thresholds` remain public
+//! building blocks (the profiler, regtree and quadrant layers consume
+//! them directly); only the aggregating `RunConfig` is deprecated.
+//!
+//! ```
+//! use fuzzyphase::prelude::*;
+//!
+//! let result = AnalysisRequest::new()
+//!     .with_intervals(40)
+//!     .with_warmup(5)
+//!     .run(&BenchmarkSpec::spec("mcf"));
+//! assert_eq!(result.quadrant, Quadrant::IV);
+//! ```
+
+#![allow(deprecated)] // interop with the deprecated RunConfig, on purpose
+
+use crate::pipeline::{run_benchmark, run_suite, BenchmarkResult, SuiteResult};
+use crate::pipeline::{RunConfig, WorkerBudget};
+use crate::quadrant::Thresholds;
+use crate::suite::BenchmarkSpec;
+use fuzzyphase_profiler::ProfileConfig;
+use fuzzyphase_regtree::AnalysisOptions;
+
+/// A fully-specified analysis run: profile shape, regression-tree
+/// options, quadrant thresholds, root seed and thread budget, behind
+/// one builder.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnalysisRequest {
+    profile: ProfileConfig,
+    analysis: AnalysisOptions,
+    thresholds: Thresholds,
+    seed: u64,
+    workers: WorkerBudget,
+}
+
+impl AnalysisRequest {
+    /// A request with the paper-default parameters (250 intervals,
+    /// default machine, default thresholds, the MICRO-37 seed).
+    pub fn new() -> Self {
+        let d = RunConfig::default();
+        Self {
+            profile: d.profile,
+            analysis: d.analysis,
+            thresholds: d.thresholds,
+            seed: d.seed,
+            workers: d.workers,
+        }
+    }
+
+    // ---- chainable setters -------------------------------------------------
+
+    /// Replaces the whole profiling configuration.
+    pub fn with_profile(mut self, profile: ProfileConfig) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Replaces the regression-tree analysis options.
+    pub fn with_analysis(mut self, analysis: AnalysisOptions) -> Self {
+        self.analysis = analysis;
+        self
+    }
+
+    /// Replaces the quadrant thresholds.
+    pub fn with_thresholds(mut self, thresholds: Thresholds) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Sets the root seed every benchmark derives its stream from.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the thread budget (suite × fold workers).
+    pub fn with_workers(mut self, workers: WorkerBudget) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the number of profiled intervals (the most common knob).
+    pub fn with_intervals(mut self, n: usize) -> Self {
+        self.profile.num_intervals = n;
+        self
+    }
+
+    /// Sets the number of warmup intervals discarded before profiling.
+    pub fn with_warmup(mut self, n: usize) -> Self {
+        self.profile.warmup_intervals = n;
+        self
+    }
+
+    /// Sets the cross-validation fold count.
+    pub fn with_folds(mut self, folds: usize) -> Self {
+        self.analysis.cv.folds = folds;
+        self
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    /// The profiling configuration.
+    pub fn profile(&self) -> &ProfileConfig {
+        &self.profile
+    }
+
+    /// Mutable access for deep profile edits the convenience setters
+    /// don't cover (machine model, sampler period, …).
+    pub fn profile_mut(&mut self) -> &mut ProfileConfig {
+        &mut self.profile
+    }
+
+    /// The regression-tree analysis options.
+    pub fn analysis(&self) -> &AnalysisOptions {
+        &self.analysis
+    }
+
+    /// Mutable access to the analysis options.
+    pub fn analysis_mut(&mut self) -> &mut AnalysisOptions {
+        &mut self.analysis
+    }
+
+    /// The quadrant thresholds.
+    pub fn thresholds(&self) -> &Thresholds {
+        &self.thresholds
+    }
+
+    /// Mutable access to the quadrant thresholds.
+    pub fn thresholds_mut(&mut self) -> &mut Thresholds {
+        &mut self.thresholds
+    }
+
+    /// The root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The thread budget.
+    pub fn workers(&self) -> WorkerBudget {
+        self.workers
+    }
+
+    // ---- execution ---------------------------------------------------------
+
+    /// Runs one benchmark end-to-end — the same pipeline as the legacy
+    /// `run_benchmark(spec, &RunConfig)`, bit-identically.
+    pub fn run(&self, spec: &BenchmarkSpec) -> BenchmarkResult {
+        run_benchmark(spec, &self.to_run_config())
+    }
+
+    /// Runs a set of benchmarks in parallel under the request's worker
+    /// budget — the same pipeline as the legacy `run_suite`.
+    pub fn run_suite(&self, specs: &[BenchmarkSpec]) -> SuiteResult {
+        run_suite(specs, &self.to_run_config())
+    }
+
+    /// The equivalent legacy config, for code still passing `RunConfig`
+    /// across an API boundary.
+    pub fn to_run_config(&self) -> RunConfig {
+        RunConfig {
+            profile: self.profile.clone(),
+            analysis: self.analysis,
+            thresholds: self.thresholds,
+            seed: self.seed,
+            workers: self.workers,
+        }
+    }
+}
+
+impl From<RunConfig> for AnalysisRequest {
+    fn from(cfg: RunConfig) -> Self {
+        Self {
+            profile: cfg.profile,
+            analysis: cfg.analysis,
+            thresholds: cfg.thresholds,
+            seed: cfg.seed,
+            workers: cfg.workers,
+        }
+    }
+}
+
+impl From<&RunConfig> for AnalysisRequest {
+    fn from(cfg: &RunConfig) -> Self {
+        cfg.clone().into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_matches_run_config_bit_for_bit() {
+        let mut legacy = RunConfig::default();
+        legacy.profile.num_intervals = 30;
+        legacy.profile.warmup_intervals = 5;
+        legacy.seed = 42;
+
+        let request = AnalysisRequest::new()
+            .with_intervals(30)
+            .with_warmup(5)
+            .with_seed(42);
+        assert_eq!(AnalysisRequest::from(&legacy), request);
+
+        let spec = BenchmarkSpec::spec("mcf");
+        let a = run_benchmark(&spec, &legacy);
+        let b = request.run(&spec);
+        assert_eq!(a, b);
+        for (x, y) in a.report.re_curve.iter().zip(&b.report.re_curve) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(
+            a.report.cpi_variance.to_bits(),
+            b.report.cpi_variance.to_bits()
+        );
+    }
+
+    #[test]
+    fn suite_runs_agree_between_apis() {
+        let specs = vec![BenchmarkSpec::spec("gzip"), BenchmarkSpec::spec("mcf")];
+        let request = AnalysisRequest::new().with_intervals(30).with_warmup(5);
+        let a = request.run_suite(&specs);
+        let b = run_suite(&specs, &request.to_run_config());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_round_trips_every_knob() {
+        let mut req = AnalysisRequest::new()
+            .with_seed(7)
+            .with_folds(8)
+            .with_workers(WorkerBudget::fold_only(3));
+        req.profile_mut().num_intervals = 77;
+        req.thresholds_mut().cpi_variance = 0.5;
+        assert_eq!(req.seed(), 7);
+        assert_eq!(req.analysis().cv.folds, 8);
+        assert_eq!(req.workers(), WorkerBudget::fold_only(3));
+        assert_eq!(req.profile().num_intervals, 77);
+        assert_eq!(req.thresholds().cpi_variance, 0.5);
+        let legacy = req.to_run_config();
+        assert_eq!(AnalysisRequest::from(legacy), req);
+    }
+}

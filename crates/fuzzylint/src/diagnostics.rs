@@ -49,7 +49,9 @@ impl RuleId {
                 "HashMap/HashSet iteration feeding ordered output; use BTreeMap or sort first"
             }
             RuleId::R2 => "unseeded randomness (thread_rng/from_entropy/OsRng) outside tests",
-            RuleId::R3 => "wall-clock (Instant/SystemTime) inside arch/regtree/cluster model code",
+            RuleId::R3 => {
+                "wall-clock (Instant/SystemTime) inside arch/regtree/cluster/serve model code"
+            }
             RuleId::R4 => "unwrap()/expect() in library code without an allow(panic) pragma",
             RuleId::R5 => "unsafe code outside vendor/",
             RuleId::R6 => "lossy integer `as` cast on a sample/cycle counter",

@@ -21,8 +21,11 @@ const R6_COUNTER_HINTS: [&str; 4] = ["cycle", "instr", "sample", "count"];
 const R6_NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
 /// Crates whose analysis results must be pure functions of their inputs
-/// (R3 scope).
-const R3_MODEL_CRATES: [&str; 3] = ["arch", "regtree", "cluster"];
+/// (R3 scope). `serve` is included so wall-clock reads cannot leak into
+/// spool records or session results — the daemon's only legitimate time
+/// source is the injected `Clock` in clock.rs, whose `Instant` sites
+/// carry justified pragmas.
+const R3_MODEL_CRATES: [&str; 4] = ["arch", "regtree", "cluster", "serve"];
 
 /// Runs every rule over one file.
 pub fn check_file(file: &SourceFile) -> Vec<Finding> {
@@ -233,8 +236,10 @@ fn r2_unseeded_rng(file: &SourceFile, code: &[usize], out: &mut Vec<Finding>) {
     }
 }
 
-/// R3 — model crates (`arch`, `regtree`, `cluster`) must be input-
-/// deterministic: no wall-clock reads outside tests.
+/// R3 — model crates (`arch`, `regtree`, `cluster`) and the daemon
+/// (`serve`, whose spool records and results must be pure functions of
+/// the ingested frames) are input-deterministic: no wall-clock reads
+/// outside tests.
 fn r3_wall_clock(file: &SourceFile, code: &[usize], out: &mut Vec<Finding>) {
     if !R3_MODEL_CRATES.contains(&file.crate_name.as_str()) {
         return;
@@ -395,6 +400,8 @@ mod tests {
         let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
         let model = check_file(&SourceFile::parse("crates/regtree/src/x.rs", src));
         assert!(rules_of(&model).contains(&RuleId::R3));
+        let serve = check_file(&SourceFile::parse("crates/serve/src/x.rs", src));
+        assert!(rules_of(&serve).contains(&RuleId::R3));
         let bench = check_file(&SourceFile::parse("crates/bench/src/lib.rs", src));
         assert!(!rules_of(&bench).contains(&RuleId::R3));
     }

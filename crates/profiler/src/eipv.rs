@@ -236,6 +236,38 @@ impl EipvBuilder {
     pub fn finish(self) -> EipvData {
         self.data
     }
+
+    /// The samples buffered toward the next (incomplete) vector.
+    pub fn pending(&self) -> &[Sample] {
+        &self.pending
+    }
+
+    /// Decomposes the builder into `(spv, pending, data)` for exact
+    /// checkpoint/restore — the serve daemon's spool snapshots persist
+    /// builders this way.
+    pub fn into_parts(self) -> (usize, Vec<Sample>, EipvData) {
+        (self.spv, self.pending, self.data)
+    }
+
+    /// Reassembles a builder from [`into_parts`](Self::into_parts)
+    /// output. The restored builder continues bit-identically to the
+    /// original: same interning order, same pending chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spv == 0` or if `pending` already holds a full chunk
+    /// (a valid builder completes a vector the moment `spv` samples are
+    /// buffered, so its pending chunk is always shorter).
+    pub fn from_parts(spv: usize, pending: Vec<Sample>, data: EipvData) -> Self {
+        assert!(spv > 0, "need at least one sample per vector");
+        assert!(
+            pending.len() < spv,
+            "pending chunk of {} samples is not smaller than spv {}",
+            pending.len(),
+            spv
+        );
+        Self { spv, pending, data }
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +387,34 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn builder_rejects_zero_spv() {
         let _ = EipvBuilder::new(0);
+    }
+
+    #[test]
+    fn builder_parts_roundtrip_resumes_bit_identically() {
+        let samples: Vec<Sample> = (0..95)
+            .map(|i| sample(100 + (i % 9), (i % 2) as u32, 0.25 + i as f64 * 0.013))
+            .collect();
+        // Split mid-vector so the pending chunk is non-empty.
+        let mut b = EipvBuilder::new(10);
+        b.push_samples(&samples[..47]);
+        let (spv, pending, data) = b.into_parts();
+        assert_eq!(pending.len(), 7);
+        let mut restored = EipvBuilder::from_parts(spv, pending, data);
+        restored.push_samples(&samples[47..]);
+        let resumed = restored.finish();
+
+        let direct = EipvData::from_samples(&samples, 10);
+        assert_eq!(resumed, direct);
+        for (a, c) in resumed.cpis.iter().zip(&direct.cpis) {
+            assert_eq!(a.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not smaller than spv")]
+    fn from_parts_rejects_full_pending_chunk() {
+        let full: Vec<Sample> = (0..10).map(|i| sample(i, 0, 1.0)).collect();
+        let _ = EipvBuilder::from_parts(10, full, EipvBuilder::new(10).finish());
     }
 
     #[test]

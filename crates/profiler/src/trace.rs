@@ -36,7 +36,10 @@ const VERSION_V1: u32 = 1;
 /// Codec version with `f64` CPIs (exact round-trip).
 const VERSION_V2: u32 = 2;
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+/// Appends a LEB128 varint to `buf`. Public because the serve daemon's
+/// spool records and snapshots reuse this exact encoding, keeping the
+/// whole on-disk story one codec.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -48,7 +51,13 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut impl Buf) -> io::Result<u64> {
+/// Decodes a LEB128 varint written by [`put_varint`].
+///
+/// # Errors
+///
+/// Returns `UnexpectedEof` on a truncated varint and `InvalidData` when
+/// the encoding runs past 64 bits.
+pub fn get_varint(buf: &mut impl Buf) -> io::Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {

@@ -7,18 +7,40 @@
 //! stalls exactly while the server asked it to. Tests, the
 //! `serve_client` example and the `loadgen` bench all drive the daemon
 //! through this type.
+//!
+//! Two messages never reach [`recv`](ServeClient::recv): the server's
+//! `Welcome` greeting is latched so [`hello`](ServeClient::hello) can
+//! negotiate a protocol version without changing what callers observe,
+//! and unknown lines from a newer-minor-version server are counted and
+//! skipped ([`unknown_seen`](ServeClient::unknown_seen)) rather than
+//! killing the reader.
+//!
+//! Reconnecting after a crash or disconnect is
+//! [`hello_resume`](ServeClient::hello_resume): present the token the
+//! original `Hello` reply carried, learn the durable frame high-water
+//! mark, retransmit everything after it.
 
 use crate::framing::{write_frame, FRAME_CONTROL, FRAME_SAMPLES};
-use crate::protocol::{encode_control, read_msg, ClientControl, ServerMsg};
+use crate::protocol::{
+    encode_control, negotiate, read_msg_lenient, ClientControl, ServerMsg, SUPPORTED_PROTOCOLS,
+};
 use crossbeam::channel::{unbounded, Receiver};
 use fuzzyphase_profiler::trace::write_samples_v2;
 use fuzzyphase_profiler::Sample;
 use std::io::{self, BufReader, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// The latched `Welcome` greeting: the version list the server
+/// advertises, filled in by the reader thread.
+#[derive(Default)]
+struct WelcomeLatch {
+    versions: Mutex<Option<Vec<u32>>>,
+    arrived: Condvar,
+}
 
 /// A connected client. One per session/connection.
 pub struct ServeClient {
@@ -26,6 +48,11 @@ pub struct ServeClient {
     rx: Receiver<ServerMsg>,
     paused: Arc<AtomicBool>,
     pauses_seen: Arc<AtomicU64>,
+    unknown_seen: Arc<AtomicU64>,
+    welcome: Arc<WelcomeLatch>,
+    resume_token: Option<String>,
+    last_seq: u64,
+    protocol: Option<u32>,
     reader: Option<JoinHandle<()>>,
 }
 
@@ -37,24 +64,48 @@ impl ServeClient {
         let (tx, rx) = unbounded();
         let paused = Arc::new(AtomicBool::new(false));
         let pauses_seen = Arc::new(AtomicU64::new(0));
+        let unknown_seen = Arc::new(AtomicU64::new(0));
+        let welcome = Arc::new(WelcomeLatch::default());
         let reader = {
             let paused = Arc::clone(&paused);
             let pauses_seen = Arc::clone(&pauses_seen);
+            let unknown_seen = Arc::clone(&unknown_seen);
+            let welcome = Arc::clone(&welcome);
             std::thread::Builder::new()
                 .name("serve-client-reader".into())
                 .spawn(move || {
                     let mut r = BufReader::new(read_half);
-                    while let Ok(Some(msg)) = read_msg(&mut r) {
-                        match &msg {
-                            ServerMsg::Pause => {
-                                pauses_seen.fetch_add(1, Ordering::SeqCst);
-                                paused.store(true, Ordering::SeqCst);
+                    loop {
+                        match read_msg_lenient(&mut r) {
+                            Ok(Some(Some(msg))) => {
+                                match &msg {
+                                    ServerMsg::Welcome { versions } => {
+                                        // Latched, never forwarded: the
+                                        // greeting is connection plumbing,
+                                        // not session traffic.
+                                        if let Ok(mut slot) = welcome.versions.lock() {
+                                            *slot = Some(versions.clone());
+                                        }
+                                        welcome.arrived.notify_all();
+                                        continue;
+                                    }
+                                    ServerMsg::Pause => {
+                                        pauses_seen.fetch_add(1, Ordering::SeqCst);
+                                        paused.store(true, Ordering::SeqCst);
+                                    }
+                                    ServerMsg::Resume => paused.store(false, Ordering::SeqCst),
+                                    _ => {}
+                                }
+                                if tx.send(msg).is_err() {
+                                    break;
+                                }
                             }
-                            ServerMsg::Resume => paused.store(false, Ordering::SeqCst),
-                            _ => {}
-                        }
-                        if tx.send(msg).is_err() {
-                            break;
+                            // A line from a newer server minor version:
+                            // count it, keep reading.
+                            Ok(Some(None)) => {
+                                unknown_seen.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Ok(None) | Err(_) => break,
                         }
                     }
                 })?
@@ -64,6 +115,11 @@ impl ServeClient {
             rx,
             paused,
             pauses_seen,
+            unknown_seen,
+            welcome,
+            resume_token: None,
+            last_seq: 0,
+            protocol: None,
             reader: Some(reader),
         })
     }
@@ -75,19 +131,103 @@ impl ServeClient {
         self.stream.flush()
     }
 
-    /// Opens a session and waits for the server's `Hello`, skipping
-    /// nothing — any other reply first is an error.
-    pub fn hello(&mut self, name: &str, spv: usize, refit_every: usize) -> io::Result<ServerMsg> {
+    /// Waits (bounded) for the server's `Welcome` greeting. `None`
+    /// means no greeting arrived — a v1 server, which never sends one.
+    fn await_welcome(&self, timeout: Duration) -> Option<Vec<u32>> {
+        let Ok(versions) = self.welcome.versions.lock() else {
+            return None;
+        };
+        if versions.is_none() {
+            let (versions, _) = self.welcome.arrived.wait_timeout(versions, timeout).ok()?;
+            return versions.clone();
+        }
+        versions.clone()
+    }
+
+    fn hello_inner(
+        &mut self,
+        name: &str,
+        spv: usize,
+        refit_every: usize,
+        resume: Option<String>,
+    ) -> io::Result<ServerMsg> {
+        // Negotiate: highest version both sides speak. No greeting in
+        // time means a v1 server — send a version-free v1 Hello.
+        let protocol = match self.await_welcome(Duration::from_millis(1000)) {
+            Some(versions) => Some(negotiate(&versions, SUPPORTED_PROTOCOLS).ok_or_else(|| {
+                io::Error::other(format!(
+                    "no mutual protocol version: server speaks {versions:?}, client speaks {SUPPORTED_PROTOCOLS:?}"
+                ))
+            })?),
+            None => None,
+        };
+        if resume.is_some() && protocol.map_or(true, |p| p < 2) {
+            return Err(io::Error::other(
+                "server does not speak protocol v2; sessions cannot be resumed",
+            ));
+        }
         self.send_control(&ClientControl::Hello {
             name: name.to_string(),
             spv,
             refit_every,
+            protocol,
+            resume,
         })?;
         match self.recv()? {
-            msg @ ServerMsg::Hello { .. } => Ok(msg),
+            msg @ ServerMsg::Hello { .. } => {
+                if let ServerMsg::Hello {
+                    protocol,
+                    resume_token,
+                    last_seq,
+                    ..
+                } = &msg
+                {
+                    self.protocol = Some(*protocol);
+                    self.resume_token = resume_token.clone();
+                    self.last_seq = *last_seq;
+                }
+                Ok(msg)
+            }
             ServerMsg::Error { message } => Err(io::Error::other(message)),
             other => Err(io::Error::other(format!("expected Hello, got {other:?}"))),
         }
+    }
+
+    /// Opens a session and waits for the server's `Hello`, skipping
+    /// nothing — any other reply first is an error.
+    pub fn hello(&mut self, name: &str, spv: usize, refit_every: usize) -> io::Result<ServerMsg> {
+        self.hello_inner(name, spv, refit_every, None)
+    }
+
+    /// Resumes a spooled session by token. Returns the server's durable
+    /// frame high-water mark: every frame numbered above it must be
+    /// retransmitted (frames are numbered in send order starting at 1),
+    /// everything at or below it is already applied server-side.
+    pub fn hello_resume(
+        &mut self,
+        name: &str,
+        spv: usize,
+        refit_every: usize,
+        token: &str,
+    ) -> io::Result<u64> {
+        self.hello_inner(name, spv, refit_every, Some(token.to_string()))?;
+        Ok(self.last_seq)
+    }
+
+    /// The resume token the server issued in `Hello` (None before
+    /// `hello`, or when the server has no spool).
+    pub fn resume_token(&self) -> Option<&str> {
+        self.resume_token.as_deref()
+    }
+
+    /// The durable frame high-water mark the last `Hello` reported.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// The protocol version the last `Hello` settled on.
+    pub fn protocol(&self) -> Option<u32> {
+        self.protocol
     }
 
     /// Encodes one batch as a v2 trace frame and sends it, stalling
@@ -166,6 +306,11 @@ impl ServeClient {
     /// How many `Pause` lines the server has sent this connection.
     pub fn pauses_seen(&self) -> u64 {
         self.pauses_seen.load(Ordering::SeqCst)
+    }
+
+    /// How many unknown (newer-version) server lines were skipped.
+    pub fn unknown_seen(&self) -> u64 {
+        self.unknown_seen.load(Ordering::SeqCst)
     }
 
     /// Whether the server currently has us paused.

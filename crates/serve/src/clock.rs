@@ -8,6 +8,7 @@
 //! advanced by hand instead of sleeping.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+// fuzzylint: allow(wall_clock) — the daemon's single real time source; policy only, never results.
 use std::time::Instant;
 
 /// A monotonic millisecond clock.
@@ -19,6 +20,7 @@ pub trait Clock: Send + Sync {
 /// The real monotonic clock, measured from its construction instant.
 #[derive(Debug)]
 pub struct SystemClock {
+    // fuzzylint: allow(wall_clock) — origin of the injected Clock; feeds idle policy, not analysis.
     origin: Instant,
 }
 
@@ -26,6 +28,7 @@ impl SystemClock {
     /// Creates a clock with origin "now".
     pub fn new() -> Self {
         Self {
+            // fuzzylint: allow(wall_clock) — construction instant of the real clock.
             origin: Instant::now(),
         }
     }

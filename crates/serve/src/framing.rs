@@ -1,12 +1,18 @@
 //! Client→server frame layer: `[u8 kind][u32 BE len][payload]`.
 //!
-//! Two frame kinds exist: [`FRAME_CONTROL`] payloads are JSON
+//! Two frame kinds exist today: [`FRAME_CONTROL`] payloads are JSON
 //! [`ClientControl`](crate::protocol::ClientControl) values,
 //! [`FRAME_SAMPLES`] payloads are trace-codec bytes
 //! (`fuzzyphase_profiler::trace`). The length prefix counts payload
 //! bytes only. A clean EOF *between* frames is a normal close
 //! (`Ok(None)`); EOF inside a header or payload is an error — a
 //! mid-frame disconnect must never be mistaken for an orderly one.
+//!
+//! The length prefix makes the layer self-describing, so frames of a
+//! kind this build does not know still parse: `read_frame` returns
+//! them and the caller decides (the server skips and counts them,
+//! keeping newer-minor-version clients compatible). The `max_len`
+//! bound applies to every kind, known or not.
 
 use bytes::{Buf, BufMut, BytesMut};
 use std::io::{self, Read, Write};
@@ -37,8 +43,9 @@ pub fn write_frame<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> io::Result<
 /// Reads one frame, enforcing `max_len` on the payload.
 ///
 /// Returns `Ok(None)` on EOF at a frame boundary; errors on EOF inside
-/// a frame, on an unknown kind, and on an oversized length prefix (the
-/// payload is never allocated in that case).
+/// a frame and on an oversized length prefix (the payload is never
+/// allocated in that case). Unknown kinds are returned, not rejected —
+/// the caller chooses whether to skip or fail.
 pub fn read_frame<R: Read>(r: &mut R, max_len: usize) -> io::Result<Option<(u8, Vec<u8>)>> {
     let mut header = [0u8; HEADER_LEN];
     let mut filled = 0;
@@ -58,12 +65,6 @@ pub fn read_frame<R: Read>(r: &mut R, max_len: usize) -> io::Result<Option<(u8, 
     let mut h = &header[..];
     let kind = h.get_u8();
     let len = h.get_u32() as usize;
-    if kind != FRAME_CONTROL && kind != FRAME_SAMPLES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unknown frame kind {kind}"),
-        ));
-    }
     if len > max_len {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -124,17 +125,31 @@ mod tests {
     }
 
     #[test]
-    fn oversize_and_unknown_kind_are_rejected_without_allocation() {
+    fn oversize_is_rejected_without_allocation() {
         let mut buf = Vec::new();
         write_frame(&mut buf, FRAME_SAMPLES, &[0; 100]).expect("write");
         let mut r = &buf[..];
         let err = read_frame(&mut r, 99).expect_err("oversize");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
 
-        let mut bad = Vec::new();
-        write_frame(&mut bad, 7, b"x").expect("write");
-        let mut r = &bad[..];
-        let err = read_frame(&mut r, 1024).expect_err("unknown kind");
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    #[test]
+    fn unknown_kinds_parse_and_do_not_desync_the_stream() {
+        // A newer-minor-version frame kind must be skippable: the length
+        // prefix carries the framing, so the next frame still parses.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 7, b"future stuff").expect("write");
+        write_frame(&mut buf, FRAME_CONTROL, b"\"Ping\"").expect("write");
+        let mut r = &buf[..];
+        let (k, p) = read_frame(&mut r, 1024).expect("read").expect("frame");
+        assert_eq!((k, p.as_slice()), (7u8, &b"future stuff"[..]));
+        let (k, p) = read_frame(&mut r, 1024).expect("read").expect("frame");
+        assert_eq!((k, p.as_slice()), (FRAME_CONTROL, &b"\"Ping\""[..]));
+        assert!(read_frame(&mut r, 1024).expect("read").is_none());
+        // The limit still applies to unknown kinds.
+        let mut big = Vec::new();
+        write_frame(&mut big, 9, &[0; 100]).expect("write");
+        let mut r = &big[..];
+        assert!(read_frame(&mut r, 99).is_err());
     }
 }

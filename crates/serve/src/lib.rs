@@ -53,14 +53,18 @@ pub mod clock;
 pub mod framing;
 pub mod metrics;
 pub mod protocol;
+pub mod recovery;
 pub mod scheduler;
 pub mod server;
 pub mod session;
+pub mod spool;
 
 pub use client::ServeClient;
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use metrics::{Metrics, StatsSnapshot};
-pub use protocol::{ClientControl, ServerMsg, PROTOCOL_VERSION};
+pub use protocol::{ClientControl, ServerMsg, PROTOCOL_VERSION, SUPPORTED_PROTOCOLS};
+pub use recovery::{recover_all, RecoveredSession, RecoveryStats};
 pub use scheduler::Scheduler;
 pub use server::{Server, ServerConfig};
 pub use session::{FitOutcome, IngestProgress, SessionConfig, SessionEngine};
+pub use spool::{SessionMeta, SessionSpool, SpoolConfig};

@@ -4,6 +4,7 @@
 //! fuzzyphased [--addr HOST:PORT | --port N] [--max-sessions N]
 //!             [--queue-cap N] [--refit-workers N] [--fold-workers N]
 //!             [--idle-timeout-ms N] [--stdin-control]
+//!             [--spool-dir DIR] [--fsync-every N] [--segment-bytes N]
 //! ```
 //!
 //! Prints `fuzzyphased listening on ADDR` once bound (scripts parse
@@ -11,8 +12,14 @@
 //! sends the `Shutdown` control request — or, with `--stdin-control`,
 //! until `shutdown` (or EOF) arrives on stdin. Either path drains
 //! in-flight sessions before exiting.
+//!
+//! With `--spool-dir` the daemon becomes durable: every accepted frame
+//! is written ahead to a per-session spool under that directory, on
+//! startup spools are replayed to rebuild interrupted sessions, and
+//! clients holding a resume token can reconnect and retransmit only the
+//! frames after the durable high-water mark (see DESIGN.md §D10).
 
-use fuzzyphase_serve::{Server, ServerConfig};
+use fuzzyphase_serve::{Server, ServerConfig, SpoolConfig};
 use std::io::BufRead;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -23,7 +30,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: fuzzyphased [--addr HOST:PORT | --port N] [--max-sessions N] \
          [--queue-cap N] [--refit-workers N] [--fold-workers N] \
-         [--idle-timeout-ms N] [--stdin-control]"
+         [--idle-timeout-ms N] [--stdin-control] \
+         [--spool-dir DIR] [--fsync-every N] [--segment-bytes N]"
     );
     std::process::exit(2);
 }
@@ -45,6 +53,8 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 fn main() -> ExitCode {
     let mut cfg = ServerConfig::default();
     let mut stdin_control = false;
+    let mut fsync_every: Option<u32> = None;
+    let mut segment_bytes: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -63,10 +73,31 @@ fn main() -> ExitCode {
                 cfg.idle_timeout_ms = parse_num("--idle-timeout-ms", args.next())
             }
             "--stdin-control" => stdin_control = true,
+            "--spool-dir" => {
+                let dir = parse_num::<String>("--spool-dir", args.next());
+                cfg.spool = Some(SpoolConfig::new(std::path::PathBuf::from(dir)));
+            }
+            "--fsync-every" => fsync_every = Some(parse_num("--fsync-every", args.next())),
+            "--segment-bytes" => segment_bytes = Some(parse_num("--segment-bytes", args.next())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("fuzzyphased: unknown flag '{other}'");
                 usage();
+            }
+        }
+    }
+    match (&mut cfg.spool, fsync_every, segment_bytes) {
+        (None, None, None) => {}
+        (None, _, _) => {
+            eprintln!("fuzzyphased: --fsync-every/--segment-bytes need --spool-dir");
+            usage();
+        }
+        (Some(spool), fsync, seg) => {
+            if let Some(n) = fsync {
+                spool.fsync_every = n;
+            }
+            if let Some(n) = seg {
+                spool.segment_bytes = n.max(1);
             }
         }
     }

@@ -24,6 +24,15 @@ pub struct Metrics {
     idle_reaped: AtomicU64,
     ingest_queue_high_water: AtomicU64,
     analysis_queue_high_water: AtomicU64,
+    spool_records: AtomicU64,
+    spool_bytes: AtomicU64,
+    segments_sealed: AtomicU64,
+    compactions_run: AtomicU64,
+    sessions_recovered: AtomicU64,
+    sessions_resumed: AtomicU64,
+    frames_replayed: AtomicU64,
+    torn_records: AtomicU64,
+    unknown_skipped: AtomicU64,
 }
 
 impl Metrics {
@@ -104,6 +113,41 @@ impl Metrics {
         self.ingest_queue_high_water.load(Ordering::Relaxed)
     }
 
+    /// Records one frame appended to a session spool.
+    pub fn spool_append(&self, bytes: u64) {
+        self.spool_records.fetch_add(1, Ordering::Relaxed);
+        self.spool_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a spool segment sealed by rotation.
+    pub fn segment_sealed(&self) {
+        self.segments_sealed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed compaction pass.
+    pub fn compaction_run(&self) {
+        self.compactions_run.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds a startup (or on-demand) recovery into the counters.
+    pub fn recovery(&self, sessions: u64, frames: u64, torn: u64) {
+        self.sessions_recovered
+            .fetch_add(sessions, Ordering::Relaxed);
+        self.frames_replayed.fetch_add(frames, Ordering::Relaxed);
+        self.torn_records.fetch_add(torn, Ordering::Relaxed);
+    }
+
+    /// Records a client resuming a recovered session.
+    pub fn session_resumed(&self) {
+        self.sessions_resumed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an unknown (newer-minor-version) frame or control
+    /// message skipped rather than rejected.
+    pub fn unknown_skip(&self) {
+        self.unknown_skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads every counter into a serializable snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -121,6 +165,15 @@ impl Metrics {
             idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
             ingest_queue_high_water: self.ingest_queue_high_water.load(Ordering::Relaxed),
             analysis_queue_high_water: self.analysis_queue_high_water.load(Ordering::Relaxed),
+            spool_records: self.spool_records.load(Ordering::Relaxed),
+            spool_bytes: self.spool_bytes.load(Ordering::Relaxed),
+            segments_sealed: self.segments_sealed.load(Ordering::Relaxed),
+            compactions_run: self.compactions_run.load(Ordering::Relaxed),
+            sessions_recovered: self.sessions_recovered.load(Ordering::Relaxed),
+            sessions_resumed: self.sessions_resumed.load(Ordering::Relaxed),
+            frames_replayed: self.frames_replayed.load(Ordering::Relaxed),
+            torn_records: self.torn_records.load(Ordering::Relaxed),
+            unknown_skipped: self.unknown_skipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -156,6 +209,24 @@ pub struct StatsSnapshot {
     pub ingest_queue_high_water: u64,
     /// Deepest analysis-pool queue observed.
     pub analysis_queue_high_water: u64,
+    /// Frames appended to session spools.
+    pub spool_records: u64,
+    /// Payload bytes appended to session spools.
+    pub spool_bytes: u64,
+    /// Spool segments sealed by rotation.
+    pub segments_sealed: u64,
+    /// Compaction passes completed.
+    pub compactions_run: u64,
+    /// Sessions rebuilt from spools (startup scan + on-demand).
+    pub sessions_recovered: u64,
+    /// Recovered sessions a client resumed.
+    pub sessions_resumed: u64,
+    /// Frame records replayed during recovery.
+    pub frames_replayed: u64,
+    /// Torn spool records found (each marks a truncation point).
+    pub torn_records: u64,
+    /// Unknown newer-version frames/messages skipped.
+    pub unknown_skipped: u64,
 }
 
 #[cfg(test)]
@@ -180,6 +251,13 @@ mod tests {
         m.observe_ingest_depth(3);
         m.observe_ingest_depth(1);
         m.observe_analysis_depth(2);
+        m.spool_append(900);
+        m.spool_append(400);
+        m.segment_sealed();
+        m.compaction_run();
+        m.recovery(2, 9, 1);
+        m.session_resumed();
+        m.unknown_skip();
         let s = m.snapshot();
         assert_eq!(s.sessions_served, 2);
         assert_eq!(s.sessions_active, 1);
@@ -195,6 +273,15 @@ mod tests {
         assert_eq!(s.idle_reaped, 1);
         assert_eq!(s.ingest_queue_high_water, 3);
         assert_eq!(s.analysis_queue_high_water, 2);
+        assert_eq!(s.spool_records, 2);
+        assert_eq!(s.spool_bytes, 1300);
+        assert_eq!(s.segments_sealed, 1);
+        assert_eq!(s.compactions_run, 1);
+        assert_eq!(s.sessions_recovered, 2);
+        assert_eq!(s.sessions_resumed, 1);
+        assert_eq!(s.frames_replayed, 9);
+        assert_eq!(s.torn_records, 1);
+        assert_eq!(s.unknown_skipped, 1);
     }
 
     #[test]

@@ -6,6 +6,19 @@
 //! Server replies are newline-delimited JSON, one [`ServerMsg`] per
 //! line, in session order — a client can drive the whole exchange with
 //! a line-buffered reader.
+//!
+//! # Version negotiation
+//!
+//! The server opens every connection with a [`ServerMsg::Welcome`]
+//! listing the protocol versions it speaks; the client picks the
+//! highest mutual one and states it in `Hello`. A `Hello` without a
+//! `protocol` field is a v1 client and gets v1 semantics. Version 2
+//! adds durable sessions: the server's `Hello` reply carries a resume
+//! token and the high-water frame sequence number, and a reconnecting
+//! client presents the token to continue from the last durable frame.
+//! Within a major version, unknown message types and frame kinds are
+//! skipped rather than fatal ([`decode_control_lenient`],
+//! [`read_msg_lenient`]), so minor additions never strand peers.
 
 use crate::metrics::StatsSnapshot;
 use fuzzyphase::Quadrant;
@@ -14,8 +27,15 @@ use fuzzyphase_sampling::Recommendation;
 use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, Write};
 
-/// Wire-protocol version, echoed in the server's `Hello`.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Current wire-protocol version, echoed in the server's `Hello`.
+/// Version 2 adds `Welcome`-based negotiation and durable-session
+/// resume tokens.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Every protocol version this build can serve, ascending. The server
+/// advertises the list in `Welcome`; clients pick the highest mutual
+/// entry.
+pub const SUPPORTED_PROTOCOLS: &[u32] = &[1, 2];
 
 /// A control request from the client (frame kind 1 payload).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,6 +50,14 @@ pub enum ClientControl {
         /// Refit the regression tree every this many completed vectors
         /// (0 = only the final fit).
         refit_every: usize,
+        /// Negotiated protocol version, picked from the server's
+        /// `Welcome` list. Absent (`None`) means a pre-negotiation v1
+        /// client.
+        protocol: Option<u32>,
+        /// v2: resume a durable session by its token instead of opening
+        /// a fresh one. The server replies with the high-water sequence
+        /// number so the client retransmits only the gap.
+        resume: Option<String>,
     },
     /// Declares end-of-trace: run the final analysis and send `Report`.
     Finish,
@@ -45,16 +73,30 @@ pub enum ClientControl {
 /// One newline-delimited JSON reply from the server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ServerMsg {
+    /// First line on every accepted connection: the protocol versions
+    /// this server speaks ([`SUPPORTED_PROTOCOLS`]). Clients pick the
+    /// highest mutual version for their `Hello`.
+    Welcome {
+        /// Supported protocol versions, ascending.
+        versions: Vec<u32>,
+    },
     /// Session accepted.
     Hello {
         /// Server-assigned session id.
         session: u64,
-        /// Protocol version ([`PROTOCOL_VERSION`]).
+        /// Protocol version in effect for this session (the client's
+        /// negotiated pick, or 1 for a version-less `Hello`).
         protocol: u32,
         /// Samples per vector in effect.
         spv: usize,
         /// Refit cadence in effect.
         refit_every: usize,
+        /// v2 with spooling enabled: token to present in a future
+        /// `Hello { resume }` to continue this session.
+        resume_token: Option<String>,
+        /// Highest durable frame sequence number (0 for a fresh
+        /// session). On resume, the client retransmits from here.
+        last_seq: u64,
     },
     /// Periodic ingest acknowledgement (one per decoded sample frame).
     Progress {
@@ -143,6 +185,64 @@ pub fn decode_control(payload: &[u8]) -> io::Result<ClientControl> {
     serde_json::from_str(text).map_err(io::Error::other)
 }
 
+/// Parses a kind-1 frame payload, tolerating unknown request types.
+///
+/// `Ok(None)` means the payload is well-formed JSON that is not a
+/// [`ClientControl`] this build knows — a request from a newer minor
+/// protocol version, which the server skips rather than failing the
+/// session.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for non-UTF-8 or non-JSON payloads — garbage is
+/// still fatal; only *valid but unknown* messages are skippable.
+pub fn decode_control_lenient(payload: &[u8]) -> io::Result<Option<ClientControl>> {
+    let text =
+        std::str::from_utf8(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    match serde_json::from_str::<ClientControl>(text) {
+        Ok(ctl) => Ok(Some(ctl)),
+        Err(schema_err) => {
+            if serde_json::from_str::<serde::Content>(text).is_ok() {
+                Ok(None)
+            } else {
+                Err(io::Error::new(io::ErrorKind::InvalidData, schema_err))
+            }
+        }
+    }
+}
+
+/// Reads one JSON line, tolerating unknown message types: a well-formed
+/// JSON line that is not a [`ServerMsg`] this build knows yields
+/// `Ok(Some(None))` (skip it), EOF yields `Ok(None)`, and non-JSON is
+/// an error. This is what a forward-compatible client reader loops on.
+#[allow(clippy::type_complexity)]
+pub fn read_msg_lenient<R: BufRead>(r: &mut R) -> io::Result<Option<Option<ServerMsg>>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let text = line.trim_end();
+    match serde_json::from_str::<ServerMsg>(text) {
+        Ok(msg) => Ok(Some(Some(msg))),
+        Err(schema_err) => {
+            if serde_json::from_str::<serde::Content>(text).is_ok() {
+                Ok(Some(None))
+            } else {
+                Err(io::Error::other(schema_err))
+            }
+        }
+    }
+}
+
+/// The highest protocol version both sides speak, if any.
+pub fn negotiate(server_versions: &[u32], client_versions: &[u32]) -> Option<u32> {
+    client_versions
+        .iter()
+        .filter(|v| server_versions.contains(v))
+        .max()
+        .copied()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +254,15 @@ mod tests {
                 name: "mcf".into(),
                 spv: 100,
                 refit_every: 25,
+                protocol: Some(PROTOCOL_VERSION),
+                resume: None,
+            },
+            ClientControl::Hello {
+                name: "resumer".into(),
+                spv: 100,
+                refit_every: 0,
+                protocol: Some(2),
+                resume: Some("sess-00000007".into()),
             },
             ClientControl::Finish,
             ClientControl::Stats,
@@ -170,11 +279,16 @@ mod tests {
     #[test]
     fn server_msgs_roundtrip_as_json_lines() {
         let msgs = [
+            ServerMsg::Welcome {
+                versions: SUPPORTED_PROTOCOLS.to_vec(),
+            },
             ServerMsg::Hello {
                 session: 7,
                 protocol: PROTOCOL_VERSION,
                 spv: 100,
                 refit_every: 0,
+                resume_token: Some("sess-00000007".into()),
+                last_seq: 42,
             },
             ServerMsg::Progress {
                 samples: 500,
@@ -213,5 +327,64 @@ mod tests {
     fn decode_control_rejects_garbage() {
         assert!(decode_control(b"not json").is_err());
         assert!(decode_control(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn versionless_hello_decodes_as_v1_client() {
+        // A pre-negotiation client sends no protocol/resume fields; they
+        // must decode as None rather than failing the handshake.
+        let legacy = br#"{"Hello":{"name":"old","spv":100,"refit_every":5}}"#;
+        let ctl = decode_control(legacy).expect("v1 Hello decodes");
+        assert_eq!(
+            ctl,
+            ClientControl::Hello {
+                name: "old".into(),
+                spv: 100,
+                refit_every: 5,
+                protocol: None,
+                resume: None,
+            }
+        );
+    }
+
+    #[test]
+    fn lenient_decode_skips_unknown_but_rejects_garbage() {
+        // A hypothetical v2.1 request type: valid JSON, unknown variant.
+        let future = br#"{"Subscribe":{"events":["refit"]}}"#;
+        assert_eq!(decode_control_lenient(future).expect("lenient"), None);
+        // Known requests still decode.
+        let known = decode_control_lenient(br#""Ping""#).expect("lenient");
+        assert_eq!(known, Some(ClientControl::Ping));
+        // Garbage is still fatal.
+        assert!(decode_control_lenient(b"not json").is_err());
+        assert!(decode_control_lenient(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn lenient_read_skips_unknown_server_lines() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &ServerMsg::Pong).expect("write");
+        buf.extend_from_slice(b"{\"Forecast\":{\"eta_ms\":12}}\n");
+        write_msg(&mut buf, &ServerMsg::Bye).expect("write");
+        let mut r = io::BufReader::new(&buf[..]);
+        assert_eq!(
+            read_msg_lenient(&mut r).expect("read"),
+            Some(Some(ServerMsg::Pong))
+        );
+        assert_eq!(read_msg_lenient(&mut r).expect("read"), Some(None));
+        assert_eq!(
+            read_msg_lenient(&mut r).expect("read"),
+            Some(Some(ServerMsg::Bye))
+        );
+        assert_eq!(read_msg_lenient(&mut r).expect("read"), None);
+    }
+
+    #[test]
+    fn negotiate_picks_highest_mutual_version() {
+        assert_eq!(negotiate(&[1, 2], &[1, 2]), Some(2));
+        assert_eq!(negotiate(&[1, 2], &[1]), Some(1));
+        assert_eq!(negotiate(&[2, 3], &[1, 2]), Some(2));
+        assert_eq!(negotiate(&[3], &[1, 2]), None);
+        assert_eq!(negotiate(&[], &[1, 2]), None);
     }
 }

@@ -27,16 +27,21 @@
 use crate::clock::{Clock, SystemClock};
 use crate::framing::{read_frame, FRAME_CONTROL, FRAME_SAMPLES};
 use crate::metrics::{Metrics, StatsSnapshot};
-use crate::protocol::{decode_control, write_msg, ClientControl, ServerMsg, PROTOCOL_VERSION};
+use crate::protocol::{
+    decode_control_lenient, write_msg, ClientControl, ServerMsg, SUPPORTED_PROTOCOLS,
+};
+use crate::recovery::{recover_session, RecoveredSession};
 use crate::scheduler::Scheduler;
 use crate::session::{SessionConfig, SessionEngine};
+use crate::spool::{compact_session, SessionMeta, SessionSpool, SpoolConfig};
 use fuzzyphase::{Thresholds, WorkerBudget};
 use fuzzyphase_profiler::trace::read_samples;
 use fuzzyphase_regtree::AnalysisOptions;
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -75,6 +80,9 @@ pub struct ServerConfig {
     pub analysis: AnalysisOptions,
     /// Quadrant thresholds applied to every session.
     pub thresholds: Thresholds,
+    /// Write-ahead trace spool (DESIGN.md D10). `None` disables
+    /// durability: no spooling, no recovery, no resume tokens.
+    pub spool: Option<SpoolConfig>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +100,7 @@ impl Default for ServerConfig {
             workers: WorkerBudget::default(),
             analysis: AnalysisOptions::default(),
             thresholds: Thresholds::default(),
+            spool: None,
         }
     }
 }
@@ -113,6 +122,14 @@ struct Shared {
     /// Active sessions by id — `BTreeMap` so sweeps and drains walk in
     /// a stable order.
     sessions: Mutex<BTreeMap<u64, Arc<SessionShared>>>,
+    /// Sessions rebuilt from spools at startup, waiting for their
+    /// client to reconnect. Consume-on-resume: a token leaves the map
+    /// for good the moment a connection claims it; later resumes of the
+    /// same token replay the spool from disk on demand.
+    recovered: Mutex<BTreeMap<String, RecoveredSession>>,
+    /// Resume tokens currently owned by a live connection — the claim
+    /// that prevents two clients from resuming the same session.
+    active_tokens: Mutex<BTreeSet<String>>,
 }
 
 impl Shared {
@@ -136,6 +153,10 @@ struct SessionShared {
     dead: AtomicBool,
     expired: AtomicBool,
     refit_in_flight: AtomicBool,
+    compaction_in_flight: AtomicBool,
+    /// Set once the final `Report` went out — the reader's cue to
+    /// delete the session's spool at teardown.
+    completed: AtomicBool,
     last_activity: AtomicU64,
 }
 
@@ -149,6 +170,8 @@ impl SessionShared {
             dead: AtomicBool::new(false),
             expired: AtomicBool::new(false),
             refit_in_flight: AtomicBool::new(false),
+            compaction_in_flight: AtomicBool::new(false),
+            completed: AtomicBool::new(false),
             last_activity: AtomicU64::new(now),
         }
     }
@@ -208,6 +231,23 @@ impl Server {
         let metrics = Arc::new(Metrics::new());
         let (pool, fold_workers) = cfg.workers.resolve(cfg.max_sessions.max(1));
         let scheduler = Scheduler::new(pool, cfg.max_sessions.max(1), Arc::clone(&metrics));
+
+        // Replay spools before accepting connections: crashed sessions
+        // become resumable, and the id counter starts past every token
+        // on disk so a restart never reissues one.
+        let mut recovered = BTreeMap::new();
+        let mut first_id = 1u64;
+        if let Some(spool_cfg) = &cfg.spool {
+            let (map, rstats) = crate::recovery::recover_all(spool_cfg)?;
+            metrics.recovery(
+                rstats.sessions_recovered,
+                rstats.frames_replayed,
+                rstats.torn_records,
+            );
+            first_id = rstats.max_session_id + 1;
+            recovered = map;
+        }
+
         let shared = Arc::new(Shared {
             cfg,
             fold_workers,
@@ -216,8 +256,10 @@ impl Server {
             clock,
             state: AtomicU8::new(STATE_RUNNING),
             shutdown_requested: AtomicBool::new(false),
-            next_session: AtomicU64::new(1),
+            next_session: AtomicU64::new(first_id),
             sessions: Mutex::new(BTreeMap::new()),
+            recovered: Mutex::new(recovered),
+            active_tokens: Mutex::new(BTreeSet::new()),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -314,6 +356,31 @@ impl Server {
             h.join().expect("connection thread panicked");
         }
     }
+
+    /// Simulated crash for recovery tests: no drain, no final fits, no
+    /// goodbye — every session socket is force-closed and threads are
+    /// joined, leaving spool directories exactly as a SIGKILL would.
+    /// Sessions are *not* completed, so their spools survive for the
+    /// next daemon start to recover.
+    pub fn abort(mut self) {
+        self.shared.state.store(STATE_STOPPED, Ordering::SeqCst);
+        for s in self.shared.sessions.lock().values() {
+            s.dead.store(true, Ordering::SeqCst);
+            let _ = s.stream.shutdown(Shutdown::Both);
+        }
+        // Nudge the accept loop out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sweeper.take() {
+            let _ = h.join();
+        }
+        let conns: Vec<_> = std::mem::take(&mut *self.conns.lock());
+        for h in conns {
+            let _ = h.join();
+        }
+    }
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
@@ -375,6 +442,17 @@ fn sweep_loop(shared: Arc<Shared>) {
     }
 }
 
+/// Everything `open_session` hands back to the reader loop.
+struct OpenedSession {
+    id: u64,
+    tx: crossbeam::channel::Sender<EngineMsg>,
+    engine: JoinHandle<()>,
+    /// The session's write-ahead spool (None when durability is off).
+    spool: Option<SessionSpool>,
+    /// The resume token, owned for the connection's lifetime.
+    token: Option<String>,
+}
+
 /// Reader side of one connection: frames in, limits, backpressure.
 fn connection_thread(stream: TcpStream, shared: Arc<Shared>) {
     let (writer_half, mut reader_half) = match (stream.try_clone(), stream.try_clone()) {
@@ -387,7 +465,13 @@ fn connection_thread(stream: TcpStream, shared: Arc<Shared>) {
         shared.clock.now_millis(),
     ));
 
-    let mut registered: Option<(u64, crossbeam::channel::Sender<EngineMsg>, JoinHandle<()>)> = None;
+    // Greet with the protocol versions this daemon speaks; the client
+    // picks one in `Hello`. v1 clients simply never read the line.
+    let _ = session.send(&ServerMsg::Welcome {
+        versions: SUPPORTED_PROTOCOLS.to_vec(),
+    });
+
+    let mut registered: Option<OpenedSession> = None;
     let mut session_bytes: u64 = 0;
 
     loop {
@@ -418,8 +502,14 @@ fn connection_thread(stream: TcpStream, shared: Arc<Shared>) {
 
         match frame {
             (FRAME_CONTROL, payload) => {
-                let ctl = match decode_control(&payload) {
-                    Ok(c) => c,
+                let ctl = match decode_control_lenient(&payload) {
+                    Ok(Some(c)) => c,
+                    Ok(None) => {
+                        // A control request from a newer minor version:
+                        // skip it, stay in session.
+                        shared.metrics.unknown_skip();
+                        continue;
+                    }
                     Err(e) => {
                         session.send_error(&shared.metrics, format!("bad control frame: {e}"));
                         break;
@@ -430,13 +520,26 @@ fn connection_thread(stream: TcpStream, shared: Arc<Shared>) {
                         name,
                         spv,
                         refit_every,
+                        protocol,
+                        resume,
                     } => {
                         if registered.is_some() {
                             session.send_error(&shared.metrics, "duplicate Hello".to_string());
                             break;
                         }
-                        match open_session(&shared, &session, &name, spv, refit_every) {
-                            Ok(r) => registered = Some(r),
+                        match open_session(
+                            &shared,
+                            &session,
+                            &name,
+                            spv,
+                            refit_every,
+                            protocol,
+                            resume,
+                        ) {
+                            Ok(r) => {
+                                session_bytes = r.1;
+                                registered = Some(r.0);
+                            }
                             Err(msg) => {
                                 let _ = session.send(&ServerMsg::Error { message: msg });
                                 break;
@@ -444,8 +547,8 @@ fn connection_thread(stream: TcpStream, shared: Arc<Shared>) {
                         }
                     }
                     ClientControl::Finish => match &registered {
-                        Some((_, tx, _)) => {
-                            if tx.send(EngineMsg::Finish).is_err() {
+                        Some(opened) => {
+                            if opened.tx.send(EngineMsg::Finish).is_err() {
                                 break;
                             }
                         }
@@ -469,7 +572,7 @@ fn connection_thread(stream: TcpStream, shared: Arc<Shared>) {
                 }
             }
             (FRAME_SAMPLES, payload) => {
-                let Some((_, tx, _)) = &registered else {
+                let Some(opened) = &mut registered else {
                     session.send_error(&shared.metrics, "samples before Hello".to_string());
                     break;
                 };
@@ -484,59 +587,193 @@ fn connection_thread(stream: TcpStream, shared: Arc<Shared>) {
                     );
                     break;
                 }
+                // Write-ahead: the frame must be durable before it can
+                // enter the ingest queue. A frame the spool never saw is
+                // a frame the client still owns (its `last_seq` after a
+                // crash tells it to retransmit).
+                if let Some(spool) = opened.spool.as_mut() {
+                    match spool.append_frame(&payload) {
+                        Ok(sealed) => {
+                            shared.metrics.spool_append(payload.len() as u64);
+                            if sealed {
+                                shared.metrics.segment_sealed();
+                                schedule_compaction(&shared, &session, spool.dir());
+                            }
+                        }
+                        Err(e) => {
+                            session.send_error(&shared.metrics, format!("spool write failed: {e}"));
+                            break;
+                        }
+                    }
+                }
                 // Backpressure: if the bounded queue is full, tell the
                 // client to pause, then block until the engine frees a
                 // slot. Memory stays bounded whether or not the client
                 // listens.
-                match tx.try_send(EngineMsg::Batch(payload)) {
+                match opened.tx.try_send(EngineMsg::Batch(payload)) {
                     Ok(()) => {}
                     Err(crossbeam::channel::TrySendError::Full(msg)) => {
                         session.paused.store(true, Ordering::SeqCst);
                         shared.metrics.pause_sent();
                         let _ = session.send(&ServerMsg::Pause);
-                        if tx.send(msg).is_err() {
+                        if opened.tx.send(msg).is_err() {
                             break;
                         }
                     }
                     Err(crossbeam::channel::TrySendError::Disconnected(_)) => break,
                 }
-                shared.metrics.observe_ingest_depth(tx.len() as u64);
+                shared.metrics.observe_ingest_depth(opened.tx.len() as u64);
             }
-            // read_frame only yields the two known kinds.
-            _ => break,
+            // A frame kind from a newer minor version: skip it, count
+            // it, stay in session — the length prefix already advanced
+            // the stream past it.
+            _ => shared.metrics.unknown_skip(),
         }
     }
 
     // Teardown: closing the ingest channel stops the engine once it has
     // drained everything already queued.
-    if let Some((id, tx, engine)) = registered {
-        drop(tx);
+    if let Some(opened) = registered {
+        drop(opened.tx);
         // fuzzylint: allow(panic) — engine panics are daemon bugs;
         // propagate them instead of hiding a half-dead session
-        engine.join().expect("session engine panicked");
-        shared.sessions.lock().remove(&id);
+        opened.engine.join().expect("session engine panicked");
+        shared.sessions.lock().remove(&opened.id);
         shared.metrics.session_ended();
+        if let Some(mut spool) = opened.spool {
+            let _ = spool.sync();
+            // Let an in-flight compaction finish before deciding the
+            // directory's fate.
+            while session.compaction_in_flight.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if session.completed.load(Ordering::SeqCst) {
+                // Report delivered: the spool has served its purpose.
+                let dir = spool.dir().to_path_buf();
+                drop(spool);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+        if let Some(token) = opened.token {
+            shared.active_tokens.lock().remove(&token);
+        }
     }
     let _ = session.stream.shutdown(Shutdown::Both);
 }
 
-/// Validates `Hello`, registers the session and spawns its engine.
-#[allow(clippy::type_complexity)]
+/// Queues a compaction pass for one session's spool on the analysis
+/// pool, at most one in flight per session.
+fn schedule_compaction(shared: &Arc<Shared>, session: &Arc<SessionShared>, dir: &Path) {
+    if session.compaction_in_flight.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let dir = dir.to_path_buf();
+    let job_shared = Arc::clone(shared);
+    let job_session = Arc::clone(session);
+    let queued = shared.scheduler.submit(&shared.metrics, move || {
+        if let Ok(Some(_)) = compact_session(&dir) {
+            job_shared.metrics.compaction_run();
+        }
+        job_session
+            .compaction_in_flight
+            .store(false, Ordering::SeqCst);
+    });
+    if !queued {
+        session.compaction_in_flight.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Validates `Hello` (fresh or resume), registers the session and
+/// spawns its engine. Returns the opened session plus the initial
+/// session-byte count (a resumed session inherits its replayed bytes,
+/// so `max_session_bytes` is a whole-trace limit, not a per-connection
+/// one).
 fn open_session(
     shared: &Arc<Shared>,
     session: &Arc<SessionShared>,
     name: &str,
     spv: usize,
     refit_every: usize,
-) -> Result<(u64, crossbeam::channel::Sender<EngineMsg>, JoinHandle<()>), String> {
+    protocol: Option<u32>,
+    resume: Option<String>,
+) -> Result<(OpenedSession, u64), String> {
     if spv == 0 {
         shared.metrics.session_error();
         return Err(format!("session '{name}': spv must be positive"));
     }
+    // A missing version field is a v1 client (the field did not exist
+    // in v1); anything else must be a version this daemon advertises.
+    let proto = protocol.unwrap_or(1);
+    if !SUPPORTED_PROTOCOLS.contains(&proto) {
+        shared.metrics.session_error();
+        return Err(format!(
+            "unsupported protocol version {proto} (daemon speaks {SUPPORTED_PROTOCOLS:?})"
+        ));
+    }
+    if resume.is_some() && proto < 2 {
+        shared.metrics.session_error();
+        return Err("session resume requires protocol version 2".to_string());
+    }
+    // Resume: claim the token, then rebuild state — from the startup
+    // map when the session crashed with the daemon, from disk when only
+    // the connection died.
+    let resumed: Option<RecoveredSession> = match (&resume, &shared.cfg.spool) {
+        (None, _) => None,
+        (Some(_), None) => {
+            shared.metrics.session_error();
+            return Err("daemon has no spool; sessions cannot be resumed".to_string());
+        }
+        (Some(token), Some(spool_cfg)) => {
+            if !shared.active_tokens.lock().insert(token.clone()) {
+                shared.metrics.session_error();
+                return Err(format!("session '{token}' is already connected"));
+            }
+            let release = || {
+                shared.active_tokens.lock().remove(token);
+                shared.metrics.session_error();
+            };
+            let rec = match shared.recovered.lock().remove(token) {
+                Some(r) => r,
+                None => {
+                    let dir = spool_cfg.dir.join(token);
+                    match recover_session(&dir, token) {
+                        Ok(r) => {
+                            shared
+                                .metrics
+                                .recovery(1, r.spool.state.frames, r.spool.torn_records);
+                            r
+                        }
+                        Err(e) => {
+                            release();
+                            return Err(format!("cannot resume session '{token}': {e}"));
+                        }
+                    }
+                }
+            };
+            if rec.spool.state.meta.spv != spv {
+                // Put the state back: the token is still resumable.
+                let msg = format!(
+                    "resume '{token}': spv {spv} does not match the session's spv {}",
+                    rec.spool.state.meta.spv
+                );
+                shared.recovered.lock().insert(token.clone(), rec);
+                release();
+                return Err(msg);
+            }
+            Some(rec)
+        }
+    };
+    let release_token = |token: &Option<String>| {
+        if let Some(t) = token {
+            shared.active_tokens.lock().remove(t);
+        }
+    };
+
     let id = {
         let mut sessions = shared.sessions.lock();
         if sessions.len() >= shared.cfg.max_sessions {
             shared.metrics.session_refused();
+            release_token(&resume);
             return Err(format!(
                 "too many sessions ({} active, limit {})",
                 sessions.len(),
@@ -549,6 +786,10 @@ fn open_session(
         id
     };
     shared.metrics.session_started();
+    let deregister = || {
+        shared.sessions.lock().remove(&id);
+        shared.metrics.session_ended();
+    };
 
     let mut scfg = SessionConfig {
         spv,
@@ -558,15 +799,64 @@ fn open_session(
     };
     scfg.analysis.cv.workers = shared.fold_workers;
 
+    // Build the engine (fresh, or restored from the replayed state) and
+    // the spool appender.
+    let (engine, spool, token, last_seq, bytes) = match (resumed, &shared.cfg.spool) {
+        // Resume was validated against the spool config above, so a
+        // recovered session always pairs with one; handle the impossible
+        // combination as an error rather than a panic.
+        (Some(_), None) => {
+            deregister();
+            release_token(&resume);
+            return Err("daemon has no spool; sessions cannot be resumed".to_string());
+        }
+        (Some(rec), Some(spool_cfg)) => {
+            let spool = match SessionSpool::resume(spool_cfg, &rec.spool) {
+                Ok(s) => s,
+                Err(e) => {
+                    deregister();
+                    release_token(&resume);
+                    return Err(format!("cannot reopen spool for '{name}': {e}"));
+                }
+            };
+            let state = rec.spool.state;
+            let engine = SessionEngine::restore(scfg, state.builder, state.welford, state.samples);
+            shared.metrics.session_resumed();
+            (engine, Some(spool), resume, state.frames, state.bytes)
+        }
+        (None, Some(spool_cfg)) => {
+            let token = format!("sess-{id:08}");
+            shared.active_tokens.lock().insert(token.clone());
+            let meta = SessionMeta {
+                token: token.clone(),
+                name: name.to_string(),
+                spv,
+                refit_every,
+                protocol: proto,
+            };
+            match SessionSpool::create(spool_cfg, meta) {
+                Ok(s) => (SessionEngine::new(scfg), Some(s), Some(token), 0, 0),
+                Err(e) => {
+                    shared.active_tokens.lock().remove(&token);
+                    deregister();
+                    return Err(format!("cannot create spool for '{name}': {e}"));
+                }
+            }
+        }
+        (None, None) => (SessionEngine::new(scfg), None, None, 0, 0),
+    };
+
     let hello = ServerMsg::Hello {
         session: id,
-        protocol: PROTOCOL_VERSION,
+        protocol: proto,
         spv,
         refit_every,
+        resume_token: token.clone(),
+        last_seq,
     };
     if session.send(&hello).is_err() {
-        shared.sessions.lock().remove(&id);
-        shared.metrics.session_ended();
+        deregister();
+        release_token(&token);
         return Err("client went away during Hello".to_string());
     }
 
@@ -575,12 +865,21 @@ fn open_session(
     let engine_session = Arc::clone(session);
     let spawned = std::thread::Builder::new()
         .name(format!("fuzzyphased-sess-{id}"))
-        .spawn(move || engine_thread(rx, engine_shared, engine_session, scfg));
+        .spawn(move || engine_thread(rx, engine_shared, engine_session, engine));
     match spawned {
-        Ok(h) => Ok((id, tx, h)),
+        Ok(h) => Ok((
+            OpenedSession {
+                id,
+                tx,
+                engine: h,
+                spool,
+                token,
+            },
+            bytes,
+        )),
         Err(e) => {
-            shared.sessions.lock().remove(&id);
-            shared.metrics.session_ended();
+            deregister();
+            release_token(&token);
             Err(format!("session '{name}': {e}"))
         }
     }
@@ -591,9 +890,8 @@ fn engine_thread(
     rx: crossbeam::channel::Receiver<EngineMsg>,
     shared: Arc<Shared>,
     session: Arc<SessionShared>,
-    scfg: SessionConfig,
+    mut engine: SessionEngine,
 ) {
-    let mut engine = SessionEngine::new(scfg);
     while let Ok(msg) = rx.recv() {
         match msg {
             EngineMsg::Batch(bytes) => {
@@ -692,6 +990,9 @@ fn finish_session(shared: &Arc<Shared>, session: &Arc<SessionShared>, engine: Se
         Ok((fit, progress)) => {
             shared.metrics.refit_run();
             shared.metrics.report_sent();
+            // The report is out: the session's spool is no longer
+            // needed, whatever happens to the socket from here on.
+            session.completed.store(true, Ordering::SeqCst);
             let _ = session.send(&ServerMsg::Report {
                 report: fit.report,
                 quadrant: fit.quadrant,

@@ -106,6 +106,27 @@ impl SessionEngine {
         }
     }
 
+    /// Rebuilds an engine from spool-recovered state (builder, CPI
+    /// accumulator, sample count), continuing bit-identically to the
+    /// engine that crashed. The refit cadence restarts at the recovered
+    /// vector count so a resume does not immediately fire a refit for
+    /// vectors already reported.
+    pub fn restore(
+        cfg: SessionConfig,
+        builder: EipvBuilder,
+        sample_cpi: Welford,
+        samples: u64,
+    ) -> Self {
+        let last_refit_vectors = builder.num_vectors() as u64;
+        Self {
+            cfg,
+            builder,
+            sample_cpi,
+            samples,
+            last_refit_vectors,
+        }
+    }
+
     /// The session configuration.
     pub fn config(&self) -> &SessionConfig {
         &self.cfg
@@ -269,6 +290,29 @@ mod tests {
         for (a, b) in streamed.report.re_curve.iter().zip(&expect.report.re_curve) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn restored_engine_continues_bit_identically() {
+        let cfg = tiny_cfg();
+        let t = trace(83);
+        // Uninterrupted engine over the whole trace.
+        let mut whole = SessionEngine::new(cfg);
+        for chunk in t.chunks(9) {
+            whole.ingest(chunk);
+        }
+        // Engine interrupted mid-stream, state moved through restore.
+        let mut first = SessionEngine::new(cfg);
+        first.ingest(&t[..47]);
+        let samples = first.samples();
+        let welford = first.sample_cpi;
+        let mut resumed = SessionEngine::restore(cfg, first.builder, welford, samples);
+        resumed.ingest(&t[47..]);
+
+        assert_eq!(resumed.progress(), whole.progress());
+        let a = resumed.finalize().expect("fit");
+        let b = whole.finalize().expect("fit");
+        assert_eq!(a.0, b.0);
     }
 
     #[test]

@@ -53,13 +53,11 @@ fn stream_and_report(
 /// recommendation) is bit-for-bit the offline `analyze` result.
 #[test]
 fn streamed_reports_match_offline_bit_for_bit_for_three_benchmarks() {
-    let mut run_cfg = RunConfig::default();
-    run_cfg.profile.num_intervals = 30;
-    run_cfg.profile.warmup_intervals = 5;
+    let request = AnalysisRequest::new().with_intervals(30).with_warmup(5);
 
     let server = Server::start(ServerConfig {
-        analysis: run_cfg.analysis,
-        thresholds: run_cfg.thresholds,
+        analysis: *request.analysis(),
+        thresholds: *request.thresholds(),
         ..ServerConfig::default()
     })
     .expect("start server");
@@ -67,7 +65,7 @@ fn streamed_reports_match_offline_bit_for_bit_for_three_benchmarks() {
 
     // One benchmark per paper quadrant flavor: Q-I, Q-III, Q-IV.
     for name in ["gzip", "gcc", "mcf"] {
-        let offline = run_benchmark(&BenchmarkSpec::spec(name), &run_cfg);
+        let offline = request.run(&BenchmarkSpec::spec(name));
         let spv = (offline.profile.interval_len / offline.profile.period) as usize;
 
         // Odd batch size so frames straddle vector boundaries; a refit

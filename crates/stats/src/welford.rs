@@ -89,6 +89,23 @@ impl Welford {
         self.m2.max(0.0)
     }
 
+    /// The raw accumulator state `(count, mean, m2)`.
+    ///
+    /// Together with [`from_state`](Self::from_state) this gives exact
+    /// (bit-level) checkpoint/restore: the serve daemon's spool
+    /// snapshots persist streaming CPI statistics this way, so a
+    /// recovered session continues from f64 state identical to an
+    /// uninterrupted run.
+    pub fn state(&self) -> (u64, f64, f64) {
+        (self.count, self.mean, self.m2)
+    }
+
+    /// Rebuilds an accumulator from [`state`](Self::state) output,
+    /// bit-exactly.
+    pub fn from_state(count: u64, mean: f64, m2: f64) -> Self {
+        Self { count, mean, m2 }
+    }
+
     /// Removes one observation previously added with [`push`](Self::push).
     ///
     /// This makes incremental split-point scans O(1) per step: moving a
@@ -327,6 +344,27 @@ mod tests {
     fn unpush_empty_panics() {
         let mut w = Welford::new();
         w.unpush(1.0);
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_exact() {
+        let mut w = Welford::new();
+        w.extend([1.5, 2.25, 8.0, -3.0, 0.123_456_789]);
+        let (count, mean, m2) = w.state();
+        let back = Welford::from_state(count, mean, m2);
+        assert_eq!(back, w);
+        // Continue pushing on both and stay bit-identical.
+        let mut a = w;
+        let mut b = back;
+        for x in [41.5, -0.001, 7.0] {
+            a.push(x);
+            b.push(x);
+        }
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(
+            a.variance_population().to_bits(),
+            b.variance_population().to_bits()
+        );
     }
 
     #[test]

@@ -14,15 +14,14 @@
 use fuzzyphase::prelude::*;
 
 fn main() {
-    let mut cfg = RunConfig::default();
-    cfg.profile.num_intervals = 120;
+    let req = AnalysisRequest::new().with_intervals(120);
 
     for (q, expectation) in [
         (13u8, "strong phases (Q-IV)"),
         (18u8, "weak phases (Q-III)"),
     ] {
         println!("=== ODB-H Q{q} — paper expectation: {expectation} ===");
-        let r = run_benchmark(&BenchmarkSpec::odb_h(q), &cfg);
+        let r = req.run(&BenchmarkSpec::odb_h(q));
 
         let cpis = r.profile.interval_cpis();
         let line: String = fuzzyphase::stats::timeseries::downsample(&cpis, 60)

@@ -9,11 +9,10 @@
 use fuzzyphase::prelude::*;
 
 fn main() {
-    let mut cfg = RunConfig::default();
-    cfg.profile.num_intervals = 120;
+    let req = AnalysisRequest::new().with_intervals(120);
 
     println!("profiling ODB-C on the simulated 4-way Itanium 2 ...");
-    let r = run_benchmark(&BenchmarkSpec::odb_c(), &cfg);
+    let r = req.run(&BenchmarkSpec::odb_c());
 
     // §5: the workload character.
     println!("\nworkload character (§5.2):");
@@ -57,7 +56,7 @@ fn main() {
 
     // §5.2: does per-thread separation help?
     let per_thread = r.profile.eipvs_per_thread();
-    let thread_rep = analyze(&per_thread.vectors, &per_thread.cpis, &cfg.analysis);
+    let thread_rep = analyze(&per_thread.vectors, &per_thread.cpis, req.analysis());
     println!(
         "\nthread separation (§5.2, Figure 6): RE_min {:.3} -> {:.3} (helps only minimally)",
         r.report.re_min, thread_rep.re_min

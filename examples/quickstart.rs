@@ -29,9 +29,9 @@ fn main() {
 
     // --- Part 2: profile a simulated benchmark end to end ---
     println!("\nPart 2: mcf on the simulated Itanium 2");
-    let mut cfg = RunConfig::default();
-    cfg.profile.num_intervals = 80; // short demo run
-    let result = run_benchmark(&BenchmarkSpec::spec("mcf"), &cfg);
+    let result = AnalysisRequest::new()
+        .with_intervals(80) // short demo run
+        .run(&BenchmarkSpec::spec("mcf"));
     println!(
         "  CPI {:.2}, variance {:.3}, RE_min {:.3} at k={} -> {} (paper: {})",
         result.report.cpi_mean,

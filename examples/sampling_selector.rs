@@ -31,11 +31,10 @@ fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "q13".to_string());
     let spec = parse_spec(&arg);
 
-    let mut cfg = RunConfig::default();
-    cfg.profile.num_intervals = 120;
+    let req = AnalysisRequest::new().with_intervals(120);
 
     println!("classifying {} ...", spec.name());
-    let r = run_benchmark(&spec, &cfg);
+    let r = req.run(&spec);
     println!(
         "  variance {:.4}, RE_min {:.3} -> {}  (recommended: {})",
         r.report.cpi_variance,
@@ -58,7 +57,7 @@ fn main() {
         r.report.cpi_mean
     );
     for t in &techniques {
-        let e = evaluate_technique(t.as_ref(), &eipvs.vectors, &eipvs.cpis, cfg.seed);
+        let e = evaluate_technique(t.as_ref(), &eipvs.vectors, &eipvs.cpis, req.seed());
         println!(
             "  {:11} estimate {:.3}  error {:>6.2}%  cost {:>3} intervals",
             e.technique,

@@ -13,14 +13,12 @@ use fuzzyphase_serve::{ServeClient, Server, ServerConfig, ServerMsg};
 
 fn main() -> std::io::Result<()> {
     // A small profile so the example finishes in seconds.
-    let mut cfg = RunConfig::default();
-    cfg.profile.num_intervals = 60;
-    cfg.profile.warmup_intervals = 10;
+    let req = AnalysisRequest::new().with_intervals(60).with_warmup(10);
 
     let spec = BenchmarkSpec::spec("mcf");
-    let offline = run_benchmark(&spec, &cfg);
+    let offline = req.run(&spec);
     let samples = &offline.profile.samples;
-    let spv = cfg.profile.samples_per_interval();
+    let spv = req.profile().samples_per_interval();
     println!(
         "offline: {} samples, quadrant {} ({})",
         samples.len(),
@@ -30,8 +28,8 @@ fn main() -> std::io::Result<()> {
 
     // The daemon, configured exactly like the offline run.
     let server = Server::start(ServerConfig {
-        analysis: cfg.analysis,
-        thresholds: cfg.thresholds,
+        analysis: *req.analysis(),
+        thresholds: *req.thresholds(),
         ..ServerConfig::default()
     })?;
     let addr = server.local_addr().to_string();

@@ -1,67 +1,123 @@
 #!/usr/bin/env bash
-# Daemon smoke test: start fuzzyphased on an ephemeral port, drive it
-# with 4 concurrent loadgen sessions, ask it to shut down, and check it
-# drains and exits cleanly. CI runs this after tier-1; it is also the
-# quickest local end-to-end check of the serve stack.
+# Daemon smoke test, two legs:
+#
+#   1. Throughput: fuzzyphased on an ephemeral port, 4 concurrent
+#      loadgen sessions, graceful Shutdown drain.
+#   2. Durability: a spooled daemon is SIGKILLed mid-stream between two
+#      loadgen phases; the restarted daemon must recover the spools and
+#      every session must resume by token and report successfully.
+#
+# CI runs this after tier-1; it is also the quickest local end-to-end
+# check of the serve stack. On failure the spool directory
+# (serve-smoke-spool/) is left in place so CI can upload it as an
+# artifact; it is removed on success.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SESSIONS="${SESSIONS:-4}"
 SAMPLES="${SAMPLES:-50000}"
 OUT="${OUT:-BENCH_serve.json}"
+RESUME_OUT="${RESUME_OUT:-BENCH_serve_resume.json}"
+SPOOL="serve-smoke-spool"
 LOG="$(mktemp)"
-trap 'rm -f "$LOG"' EXIT
+TOKENS="$(mktemp)"
+trap 'rm -f "$LOG" "$TOKENS"' EXIT
 
 cargo build --release -p fuzzyphase-serve --bin fuzzyphased \
             -p fuzzyphase-bench --bin loadgen
 
-# --port 0 binds an ephemeral port; the daemon prints the resolved
-# address on stdout before serving.
-./target/release/fuzzyphased --port 0 </dev/null >"$LOG" 2>&1 &
-DAEMON=$!
-
+DAEMON=""
 ADDR=""
-for _ in $(seq 1 100); do
-    ADDR="$(sed -n 's/^fuzzyphased listening on //p' "$LOG" | head -n1)"
-    [ -n "$ADDR" ] && break
-    if ! kill -0 "$DAEMON" 2>/dev/null; then
-        echo "serve_smoke: daemon died before binding:" >&2
+
+# start_daemon [extra flags...] — binds an ephemeral port (--port 0)
+# and waits for the resolved address on stdout.
+start_daemon() {
+    : >"$LOG"
+    ./target/release/fuzzyphased --port 0 "$@" </dev/null >"$LOG" 2>&1 &
+    DAEMON=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR="$(sed -n 's/^fuzzyphased listening on //p' "$LOG" | head -n1)"
+        [ -n "$ADDR" ] && break
+        if ! kill -0 "$DAEMON" 2>/dev/null; then
+            echo "serve_smoke: daemon died before binding:" >&2
+            cat "$LOG" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$ADDR" ]; then
+        echo "serve_smoke: daemon never printed its address" >&2
         cat "$LOG" >&2
+        kill "$DAEMON" 2>/dev/null || true
         exit 1
     fi
-    sleep 0.1
-done
-if [ -z "$ADDR" ]; then
-    echo "serve_smoke: daemon never printed its address" >&2
-    cat "$LOG" >&2
-    kill "$DAEMON" 2>/dev/null || true
-    exit 1
-fi
-echo "serve_smoke: daemon up on $ADDR (pid $DAEMON)"
+    echo "serve_smoke: daemon up on $ADDR (pid $DAEMON)"
+}
+
+# wait_daemon_exit — the Shutdown request must drain to a clean exit.
+wait_daemon_exit() {
+    for _ in $(seq 1 100); do
+        if ! kill -0 "$DAEMON" 2>/dev/null; then
+            break
+        fi
+        sleep 0.1
+    done
+    if kill -0 "$DAEMON" 2>/dev/null; then
+        echo "serve_smoke: daemon ignored Shutdown; killing" >&2
+        cat "$LOG" >&2
+        kill "$DAEMON"
+        exit 1
+    fi
+    wait "$DAEMON" || {
+        echo "serve_smoke: daemon exited non-zero:" >&2
+        cat "$LOG" >&2
+        exit 1
+    }
+}
+
+# ---- leg 1: concurrent sessions + graceful Shutdown drain -----------
+
+start_daemon
 
 # Concurrent sessions + final admin Shutdown; fails if any session's
 # final report is missing.
 ./target/release/loadgen --addr "$ADDR" --sessions "$SESSIONS" \
     --samples "$SAMPLES" --refit-every 50 --out "$OUT" --shutdown
 
-# The Shutdown request must drain the daemon to a clean exit.
-for _ in $(seq 1 100); do
-    if ! kill -0 "$DAEMON" 2>/dev/null; then
-        break
-    fi
-    sleep 0.1
-done
-if kill -0 "$DAEMON" 2>/dev/null; then
-    echo "serve_smoke: daemon ignored Shutdown; killing" >&2
-    cat "$LOG" >&2
-    kill "$DAEMON"
-    exit 1
-fi
-wait "$DAEMON" || {
-    echo "serve_smoke: daemon exited non-zero:" >&2
-    cat "$LOG" >&2
-    exit 1
-}
-
+wait_daemon_exit
 grep -q '"all_reports_ok": true' "$OUT"
 echo "serve_smoke: OK ($SESSIONS sessions, reports in $OUT)"
+
+# ---- leg 2: SIGKILL the daemon mid-stream, restart, resume ----------
+
+rm -rf "$SPOOL"
+start_daemon --spool-dir "$SPOOL" --fsync-every 1
+
+# Phase one streams 10 durable frames per session and walks away
+# without finishing, leaving resume tokens behind.
+./target/release/loadgen --addr "$ADDR" --sessions 2 --samples 20000 \
+    --batch 500 --spv 50 --restart-after 10 --phase first --tokens "$TOKENS"
+
+# The crash: no drain, no goodbye.
+kill -9 "$DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+if [ -z "$(ls -A "$SPOOL" 2>/dev/null)" ]; then
+    echo "serve_smoke: SIGKILL left no spools behind" >&2
+    exit 1
+fi
+
+start_daemon --spool-dir "$SPOOL" --fsync-every 1
+
+# Phase two resumes every session by token, streams the remainder and
+# expects full reports (bit-identity is pinned by the serve crate's
+# recovery tests; the smoke checks the operational loop end to end).
+./target/release/loadgen --addr "$ADDR" --sessions 2 --samples 20000 \
+    --batch 500 --spv 50 --phase resume --tokens "$TOKENS" \
+    --out "$RESUME_OUT" --shutdown
+
+wait_daemon_exit
+grep -q '"all_reports_ok": true' "$RESUME_OUT"
+grep -q '"sessions_resumed": 2' "$RESUME_OUT"
+rm -rf "$SPOOL"
+echo "serve_smoke: OK (kill-and-resume leg, reports in $RESUME_OUT)"

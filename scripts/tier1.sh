@@ -11,6 +11,8 @@ cargo test -q --workspace
 # baseline entries fail the gate.
 cargo run -q --release -p fuzzylint -- --workspace
 
-# Daemon smoke (DESIGN.md D9): fuzzyphased on an ephemeral port, 4
-# concurrent loadgen sessions, graceful Shutdown drain.
+# Daemon smoke (DESIGN.md D9/D10): fuzzyphased on an ephemeral port, 4
+# concurrent loadgen sessions and a graceful Shutdown drain, then a
+# durability leg that SIGKILLs a spooled daemon mid-stream and resumes
+# every session against the restarted one.
 ./scripts/serve_smoke.sh

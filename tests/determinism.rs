@@ -3,18 +3,17 @@
 
 use fuzzyphase::prelude::*;
 
-fn cfg(seed: u64) -> RunConfig {
-    let mut cfg = RunConfig::default();
-    cfg.profile.num_intervals = 20;
-    cfg.profile.warmup_intervals = 4;
-    cfg.seed = seed;
-    cfg
+fn cfg(seed: u64) -> AnalysisRequest {
+    AnalysisRequest::new()
+        .with_intervals(20)
+        .with_warmup(4)
+        .with_seed(seed)
 }
 
 #[test]
 fn same_seed_same_everything() {
-    let a = run_benchmark(&BenchmarkSpec::odb_h(13), &cfg(1));
-    let b = run_benchmark(&BenchmarkSpec::odb_h(13), &cfg(1));
+    let a = cfg(1).run(&BenchmarkSpec::odb_h(13));
+    let b = cfg(1).run(&BenchmarkSpec::odb_h(13));
     assert_eq!(a.profile, b.profile);
     assert_eq!(a.report, b.report);
     assert_eq!(a.quadrant, b.quadrant);
@@ -22,8 +21,8 @@ fn same_seed_same_everything() {
 
 #[test]
 fn different_seed_different_samples_same_shape() {
-    let a = run_benchmark(&BenchmarkSpec::spec("mcf"), &cfg(1));
-    let b = run_benchmark(&BenchmarkSpec::spec("mcf"), &cfg(2));
+    let a = cfg(1).run(&BenchmarkSpec::spec("mcf"));
+    let b = cfg(2).run(&BenchmarkSpec::spec("mcf"));
     assert_ne!(a.profile.samples, b.profile.samples);
     // The *character* is seed-independent.
     assert_eq!(a.quadrant, b.quadrant);
@@ -37,12 +36,10 @@ fn suite_parallelism_does_not_change_results() {
         BenchmarkSpec::spec("art"),
         BenchmarkSpec::odb_h(8),
     ];
-    let mut c1 = cfg(5);
-    c1.workers = WorkerBudget::suite_only(1);
-    let mut c3 = cfg(5);
-    c3.workers = WorkerBudget { suite: 3, fold: 2 };
-    let serial = fuzzyphase::run_suite(&specs, &c1);
-    let parallel = fuzzyphase::run_suite(&specs, &c3);
+    let c1 = cfg(5).with_workers(WorkerBudget::suite_only(1));
+    let c3 = cfg(5).with_workers(WorkerBudget { suite: 3, fold: 2 });
+    let serial = c1.run_suite(&specs);
+    let parallel = c3.run_suite(&specs);
     for (a, b) in serial.benchmarks.iter().zip(&parallel.benchmarks) {
         assert_eq!(a.name, b.name);
         assert_eq!(a.report, b.report);

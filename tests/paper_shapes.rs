@@ -3,17 +3,15 @@
 
 use fuzzyphase::prelude::*;
 
-fn cfg(n: usize) -> RunConfig {
-    let mut cfg = RunConfig::default();
-    cfg.profile.num_intervals = n;
-    cfg
+fn cfg(n: usize) -> AnalysisRequest {
+    AnalysisRequest::new().with_intervals(n)
 }
 
 /// §5 + Figure 2: ODB-C — flat CPI (variance ≈ 0.01 or below), EIPVs
 /// useless (RE ≥ ~1), L3-dominated EXE > 50 %, Q-I.
 #[test]
 fn odb_c_headline() {
-    let r = run_benchmark(&BenchmarkSpec::odb_c(), &cfg(120));
+    let r = cfg(120).run(&BenchmarkSpec::odb_c());
     assert!(
         r.report.cpi_variance <= 0.012,
         "variance {}",
@@ -40,7 +38,7 @@ fn odb_c_headline() {
 /// at small k, EXE 30-60 %, Q-III, even more unique EIPs than ODB-C.
 #[test]
 fn sjas_headline() {
-    let r = run_benchmark(&BenchmarkSpec::sjas(), &cfg(120));
+    let r = cfg(120).run(&BenchmarkSpec::sjas());
     assert!(
         r.report.cpi_variance > 0.012,
         "variance {}",
@@ -59,7 +57,7 @@ fn sjas_headline() {
 /// variance explained with ≤ ~12 chambers.
 #[test]
 fn q13_headline() {
-    let r = run_benchmark(&BenchmarkSpec::odb_h(13), &cfg(120));
+    let r = cfg(120).run(&BenchmarkSpec::odb_h(13));
     assert!(
         r.report.explained_variance >= 0.85,
         "explained {}",
@@ -73,7 +71,7 @@ fn q13_headline() {
 /// high variance, RE stays high.
 #[test]
 fn q18_headline() {
-    let r = run_benchmark(&BenchmarkSpec::odb_h(18), &cfg(120));
+    let r = cfg(120).run(&BenchmarkSpec::odb_h(18));
     assert!(
         r.report.cpi_variance > 0.012,
         "variance {}",
@@ -88,8 +86,8 @@ fn q18_headline() {
 #[test]
 fn eip_footprint_contrast() {
     let c = cfg(60);
-    let mcf = run_benchmark(&BenchmarkSpec::spec("mcf"), &c);
-    let oltp = run_benchmark(&BenchmarkSpec::odb_c(), &c);
+    let mcf = c.run(&BenchmarkSpec::spec("mcf"));
+    let oltp = c.run(&BenchmarkSpec::odb_c());
     assert!(
         mcf.profile.unique_eips() < 700,
         "mcf {}",
@@ -115,7 +113,7 @@ fn quadrant_representatives() {
         (BenchmarkSpec::spec("gcc"), Quadrant::III),
         (BenchmarkSpec::spec("mcf"), Quadrant::IV),
     ] {
-        let r = run_benchmark(&spec, &c);
+        let r = c.run(&spec);
         assert_eq!(r.quadrant, want, "{}", r.name);
     }
 }
@@ -125,8 +123,8 @@ fn quadrant_representatives() {
 #[test]
 fn threading_statistics_ordering() {
     let c = cfg(40);
-    let oltp = run_benchmark(&BenchmarkSpec::odb_c(), &c);
-    let spec = run_benchmark(&BenchmarkSpec::spec("gzip"), &c);
+    let oltp = c.run(&BenchmarkSpec::odb_c());
+    let spec = c.run(&BenchmarkSpec::spec("gzip"));
     assert!(
         oltp.profile.context_switches_per_second()
             > 20.0 * spec.profile.context_switches_per_second(),

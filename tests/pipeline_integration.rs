@@ -3,16 +3,13 @@
 
 use fuzzyphase::prelude::*;
 
-fn short_cfg(n: usize) -> RunConfig {
-    let mut cfg = RunConfig::default();
-    cfg.profile.num_intervals = n;
-    cfg.profile.warmup_intervals = 6;
-    cfg
+fn short_cfg(n: usize) -> AnalysisRequest {
+    AnalysisRequest::new().with_intervals(n).with_warmup(6)
 }
 
 #[test]
 fn profile_data_is_internally_consistent() {
-    let r = run_benchmark(&BenchmarkSpec::spec("twolf"), &short_cfg(30));
+    let r = short_cfg(30).run(&BenchmarkSpec::spec("twolf"));
     let p = &r.profile;
     // One EIPV per interval, samples_per_interval samples each.
     let spv = (p.interval_len / p.period) as usize;
@@ -30,7 +27,7 @@ fn profile_data_is_internally_consistent() {
 
 #[test]
 fn eipv_vectors_conserve_sample_mass() {
-    let r = run_benchmark(&BenchmarkSpec::odb_h(8), &short_cfg(25));
+    let r = short_cfg(25).run(&BenchmarkSpec::odb_h(8));
     let eipvs = r.profile.eipvs();
     let spv = (r.profile.interval_len / r.profile.period) as f64;
     for v in &eipvs.vectors {
@@ -41,7 +38,7 @@ fn eipv_vectors_conserve_sample_mass() {
 
 #[test]
 fn per_thread_eipvs_are_thread_pure() {
-    let r = run_benchmark(&BenchmarkSpec::odb_c(), &short_cfg(20));
+    let r = short_cfg(20).run(&BenchmarkSpec::odb_c());
     let per_thread = r.profile.eipvs_per_thread();
     assert!(!per_thread.vector_threads.is_empty());
     // Thread ids must be non-decreasing groups (grouped construction).
@@ -59,9 +56,9 @@ fn per_thread_eipvs_are_thread_pure() {
 fn report_quadrant_consistent_with_thresholds() {
     let cfg = short_cfg(30);
     for name in ["gzip", "mcf", "gcc"] {
-        let r = run_benchmark(&BenchmarkSpec::spec(name), &cfg);
+        let r = cfg.run(&BenchmarkSpec::spec(name));
         let expect = cfg
-            .thresholds
+            .thresholds()
             .classify(r.report.cpi_variance, r.report.re_min);
         assert_eq!(r.quadrant, expect, "{name}");
     }
@@ -71,15 +68,15 @@ fn report_quadrant_consistent_with_thresholds() {
 fn sampler_rate_follows_benchmark_spec() {
     // SjAS is profiled at the 10x rate (§3.1), giving 10x the samples.
     let cfg = short_cfg(12);
-    let sjas = run_benchmark(&BenchmarkSpec::sjas(), &cfg);
-    let oltp = run_benchmark(&BenchmarkSpec::odb_c(), &cfg);
+    let sjas = cfg.run(&BenchmarkSpec::sjas());
+    let oltp = cfg.run(&BenchmarkSpec::odb_c());
     assert_eq!(sjas.profile.period * 10, oltp.profile.period);
     assert_eq!(sjas.profile.samples.len(), 10 * oltp.profile.samples.len());
 }
 
 #[test]
 fn breakdown_components_cover_cpi() {
-    let r = run_benchmark(&BenchmarkSpec::odb_h(13), &short_cfg(25));
+    let r = short_cfg(25).run(&BenchmarkSpec::odb_h(13));
     for ivl in &r.profile.intervals {
         let total = ivl.breakdown.total();
         // Context-switch cycles land in no quantum, so breakdown can run
@@ -102,9 +99,8 @@ fn suite_subset_runs_in_parallel_and_ordered() {
         BenchmarkSpec::spec("wupwise"),
         BenchmarkSpec::spec("gcc"),
     ];
-    let mut cfg = short_cfg(25);
-    cfg.workers = WorkerBudget { suite: 4, fold: 1 };
-    let suite = fuzzyphase::run_suite(&specs, &cfg);
+    let cfg = short_cfg(25).with_workers(WorkerBudget { suite: 4, fold: 1 });
+    let suite = cfg.run_suite(&specs);
     let names: Vec<&str> = suite.benchmarks.iter().map(|b| b.name.as_str()).collect();
     assert_eq!(names, vec!["gzip", "swim", "wupwise", "gcc"]);
     // Each quadrant matches the per-benchmark expectation at this length.
@@ -117,7 +113,7 @@ fn kmeans_baseline_never_beats_trees_substantially() {
     // workload types the tree's explained variance dominates.
     let cfg = short_cfg(40);
     for (q, _) in [(13u8, ()), (18, ())] {
-        let r = run_benchmark(&BenchmarkSpec::odb_h(q), &cfg);
+        let r = cfg.run(&BenchmarkSpec::odb_h(q));
         let eipvs = r.profile.eipvs();
         let km = fuzzyphase::cluster::kmeans_re_curve(
             &eipvs.vectors,

@@ -69,6 +69,22 @@ impl Content {
     }
 }
 
+/// `Content` serializes and deserializes as itself, so callers can
+/// check "is this well-formed JSON?" without committing to a schema —
+/// the serve protocol uses this to skip unknown message types from
+/// newer protocol versions instead of failing the session.
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
 /// Serialization / deserialization error: a message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
