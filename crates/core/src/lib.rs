@@ -38,12 +38,14 @@
 
 #![warn(missing_docs)]
 
+pub mod merge;
 pub mod pipeline;
 pub mod quadrant;
 pub mod report;
 pub mod request;
 pub mod suite;
 
+pub use merge::{merge_partials, MergedSuite, SessionPartial};
 #[allow(deprecated)] // RunConfig stays re-exported for compatibility
 pub use pipeline::{
     run_benchmark, run_suite, BenchmarkResult, RunConfig, SuiteResult, WorkerBudget,

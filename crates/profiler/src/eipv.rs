@@ -151,6 +151,42 @@ impl EipvData {
     pub fn cpi_variance(&self) -> f64 {
         fuzzyphase_stats::variance(&self.cpis)
     }
+
+    /// Appends another data set's vectors onto this one, re-interning the
+    /// other index's EIPs in *its* first-appearance order.
+    ///
+    /// Because [`EipIndex::intern`] allocates ids in first-appearance
+    /// order and `other.index` stores its EIPs in exactly that order,
+    /// absorbing data sets A then B into an empty accumulator reproduces
+    /// the index a single builder would have produced had it seen A's
+    /// samples before B's. The remap is injective, so each vector's
+    /// values pass through [`SparseVec::from_pairs`] untouched — merging
+    /// is bit-exact on vector values and CPIs, merely re-labelling
+    /// feature ids. This is the cross-shard suite-merge primitive: the
+    /// serve daemon absorbs per-session partials in token order, making
+    /// the merged result invariant to how sessions were sharded.
+    pub fn absorb(&mut self, other: &EipvData) {
+        let remap: Vec<u32> = (0..other.index.len() as u32)
+            .map(|id| self.index.intern(other.index.eip(id)))
+            .collect();
+        for v in &other.vectors {
+            self.vectors.push(SparseVec::from_pairs(
+                v.iter().map(|(i, x)| (remap[i as usize], x)),
+            ));
+        }
+        self.cpis.extend_from_slice(&other.cpis);
+        self.vector_threads.extend_from_slice(&other.vector_threads);
+    }
+
+    /// An empty data set — the identity element for [`absorb`](Self::absorb).
+    pub fn empty() -> Self {
+        Self {
+            vectors: Vec::new(),
+            cpis: Vec::new(),
+            index: EipIndex::new(),
+            vector_threads: Vec::new(),
+        }
+    }
 }
 
 /// Incremental EIPV construction for streaming ingest (the serve
@@ -415,6 +451,86 @@ mod tests {
     fn from_parts_rejects_full_pending_chunk() {
         let full: Vec<Sample> = (0..10).map(|i| sample(i, 0, 1.0)).collect();
         let _ = EipvBuilder::from_parts(10, full, EipvBuilder::new(10).finish());
+    }
+
+    #[test]
+    fn absorb_in_order_matches_sequential_build() {
+        // Two per-session streams with overlapping EIP sets; absorbing
+        // their independently-built data sets in order must reproduce
+        // the data a single builder would have produced over session A's
+        // samples followed by session B's — bit-identically.
+        let a: Vec<Sample> = (0..50)
+            .map(|i| sample(0x100 + (i % 7), 0, 0.5 + i as f64 * 0.01))
+            .collect();
+        let b: Vec<Sample> = (0..40)
+            .map(|i| sample(0x104 + (i % 9), 1, 1.5 + i as f64 * 0.02))
+            .collect();
+        let da = EipvData::from_samples_per_thread(&a, 10);
+        let db = EipvData::from_samples_per_thread(&b, 10);
+
+        let mut merged = EipvData::empty();
+        merged.absorb(&da);
+        merged.absorb(&db);
+
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        let direct = EipvData::from_samples_per_thread(&concat, 10);
+        // Per-thread construction agrees because the two sessions use
+        // disjoint thread ids and each stream's length is a multiple of
+        // spv (no pending chunks to drop).
+        assert_eq!(merged, direct);
+
+        let da2 = EipvData::from_samples(&a, 10);
+        let db2 = EipvData::from_samples(&b, 10);
+        let mut merged2 = EipvData::empty();
+        merged2.absorb(&da2);
+        merged2.absorb(&db2);
+        let mut seq = EipvBuilder::new(10);
+        seq.push_samples(&a);
+        // A single builder carries A's pending chunk into B's samples;
+        // per-session merge drops it per-session. Equal-multiple lengths
+        // keep the two constructions aligned for this fixture.
+        seq.push_samples(&b);
+        let seq = seq.finish();
+        assert_eq!(merged2, seq);
+        for (x, y) in merged2.cpis.iter().zip(&seq.cpis) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn absorb_remaps_overlapping_eips_bit_exactly() {
+        let a: Vec<Sample> = (0..20).map(|i| sample(10 + (i % 2), 0, 1.0)).collect();
+        // Session B sees EIP 11 *first*, then a fresh EIP 99 — its local
+        // ids collide with A's but mean different addresses.
+        let b: Vec<Sample> = (0..20)
+            .map(|i| sample(if i % 2 == 0 { 11 } else { 99 }, 0, 2.0))
+            .collect();
+        let da = EipvData::from_samples(&a, 10);
+        let db = EipvData::from_samples(&b, 10);
+        let mut m = EipvData::empty();
+        m.absorb(&da);
+        m.absorb(&db);
+        assert_eq!(m.num_features(), 3);
+        // Every vector's per-EIP mass must survive the remap untouched.
+        let id11 = m.index.get(11).unwrap();
+        let id99 = m.index.get(99).unwrap();
+        assert_eq!(m.vectors[2].get(id11), 5.0);
+        assert_eq!(m.vectors[2].get(id99), 5.0);
+        assert_eq!(m.vectors.len(), 4);
+        assert_eq!(m.cpis, vec![1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn absorb_empty_is_identity() {
+        let a: Vec<Sample> = (0..20).map(|i| sample(i, 0, 1.0)).collect();
+        let da = EipvData::from_samples(&a, 10);
+        let mut m = da.clone();
+        m.absorb(&EipvData::empty());
+        assert_eq!(m, da);
+        let mut e = EipvData::empty();
+        e.absorb(&da);
+        assert_eq!(e, da);
     }
 
     #[test]

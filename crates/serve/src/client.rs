@@ -108,6 +108,11 @@ impl ServeClient {
                             Ok(None) | Err(_) => break,
                         }
                     }
+                    // The connection is gone: nothing can lift a pause
+                    // any more, so lift it here — a sender stalled in
+                    // `send_samples` must hit the write error, not
+                    // sleep on a latch nobody owns.
+                    paused.store(false, Ordering::SeqCst);
                 })?
         };
         Ok(Self {
@@ -299,6 +304,23 @@ impl ServeClient {
                 msg @ ServerMsg::Report { .. } => return Ok((msg, seen)),
                 ServerMsg::Error { message } => return Err(io::Error::other(message)),
                 other => seen.push(other),
+            }
+        }
+    }
+
+    /// Requests the cross-shard suite report: the merged analysis over
+    /// every session the daemon has finished so far. Blocks for the
+    /// reply; the server's refusal (e.g. no finished sessions yet)
+    /// comes back as an error.
+    pub fn suite_report(&mut self) -> io::Result<ServerMsg> {
+        self.send_control(&ClientControl::SuiteReport)?;
+        loop {
+            match self.recv()? {
+                msg @ ServerMsg::SuiteReport { .. } => return Ok(msg),
+                ServerMsg::Error { message } => return Err(io::Error::other(message)),
+                // Progress/Refit lines from an in-flight session on the
+                // same connection may interleave; skip them.
+                _ => continue,
             }
         }
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! fuzzyphased [--addr HOST:PORT | --port N] [--max-sessions N]
 //!             [--queue-cap N] [--refit-workers N] [--fold-workers N]
-//!             [--idle-timeout-ms N] [--stdin-control]
+//!             [--idle-timeout-ms N] [--stdin-control] [--shards N]
 //!             [--spool-dir DIR] [--fsync-every N] [--segment-bytes N]
 //! ```
 //!
@@ -18,6 +18,12 @@
 //! startup spools are replayed to rebuild interrupted sessions, and
 //! clients holding a resume token can reconnect and retransmit only the
 //! frames after the durable high-water mark (see DESIGN.md §D10).
+//!
+//! With `--shards N` ingest is split across N worker shards, each with
+//! its own session map, fit scheduler and spool subdirectory; sessions
+//! are routed by a stable hash of their token, and the `SuiteReport`
+//! request merges every shard's finished sessions into one
+//! deterministic cross-shard analysis (see DESIGN.md §D11).
 
 use fuzzyphase_serve::{Server, ServerConfig, SpoolConfig};
 use std::io::BufRead;
@@ -30,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: fuzzyphased [--addr HOST:PORT | --port N] [--max-sessions N] \
          [--queue-cap N] [--refit-workers N] [--fold-workers N] \
-         [--idle-timeout-ms N] [--stdin-control] \
+         [--idle-timeout-ms N] [--stdin-control] [--shards N] \
          [--spool-dir DIR] [--fsync-every N] [--segment-bytes N]"
     );
     std::process::exit(2);
@@ -73,6 +79,9 @@ fn main() -> ExitCode {
                 cfg.idle_timeout_ms = parse_num("--idle-timeout-ms", args.next())
             }
             "--stdin-control" => stdin_control = true,
+            "--shards" => {
+                cfg.shards = parse_num::<usize>("--shards", args.next()).max(1);
+            }
             "--spool-dir" => {
                 let dir = parse_num::<String>("--spool-dir", args.next());
                 cfg.spool = Some(SpoolConfig::new(std::path::PathBuf::from(dir)));

@@ -33,6 +33,7 @@ pub struct Metrics {
     frames_replayed: AtomicU64,
     torn_records: AtomicU64,
     unknown_skipped: AtomicU64,
+    suite_reports_sent: AtomicU64,
 }
 
 impl Metrics {
@@ -148,6 +149,11 @@ impl Metrics {
         self.unknown_skipped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a cross-shard suite report delivered.
+    pub fn suite_report_sent(&self) {
+        self.suite_reports_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads every counter into a serializable snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -174,6 +180,7 @@ impl Metrics {
             frames_replayed: self.frames_replayed.load(Ordering::Relaxed),
             torn_records: self.torn_records.load(Ordering::Relaxed),
             unknown_skipped: self.unknown_skipped.load(Ordering::Relaxed),
+            suite_reports_sent: self.suite_reports_sent.load(Ordering::Relaxed),
         }
     }
 }
@@ -227,6 +234,8 @@ pub struct StatsSnapshot {
     pub torn_records: u64,
     /// Unknown newer-version frames/messages skipped.
     pub unknown_skipped: u64,
+    /// Cross-shard suite reports delivered.
+    pub suite_reports_sent: u64,
 }
 
 #[cfg(test)]
@@ -258,6 +267,7 @@ mod tests {
         m.recovery(2, 9, 1);
         m.session_resumed();
         m.unknown_skip();
+        m.suite_report_sent();
         let s = m.snapshot();
         assert_eq!(s.sessions_served, 2);
         assert_eq!(s.sessions_active, 1);
@@ -282,6 +292,7 @@ mod tests {
         assert_eq!(s.frames_replayed, 9);
         assert_eq!(s.torn_records, 1);
         assert_eq!(s.unknown_skipped, 1);
+        assert_eq!(s.suite_reports_sent, 1);
     }
 
     #[test]

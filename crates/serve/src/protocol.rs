@@ -68,6 +68,12 @@ pub enum ClientControl {
     /// Asks the daemon to drain and exit (admin; allowed without a
     /// session).
     Shutdown,
+    /// Requests the cross-shard suite report: every finished session's
+    /// partial state, merged in token order and re-analyzed as one
+    /// suite (allowed without a session). Answered with
+    /// [`ServerMsg::SuiteReport`], or `Error` when no session has
+    /// finished yet.
+    SuiteReport,
 }
 
 /// One newline-delimited JSON reply from the server.
@@ -133,6 +139,28 @@ pub enum ServerMsg {
         samples: u64,
         /// Total completed vectors analyzed.
         vectors: u64,
+    },
+    /// Answer to [`ClientControl::SuiteReport`]: the analysis of every
+    /// finished session's vectors, merged across shards in token order.
+    /// Deterministic for a given set of finished sessions — bit-identical
+    /// no matter how many shards the daemon runs or which shard owned
+    /// which session.
+    SuiteReport {
+        /// Analysis over the merged suite vectors.
+        report: PredictabilityReport,
+        /// Quadrant under the server's thresholds.
+        quadrant: Quadrant,
+        /// Sampling technique recommendation for that quadrant.
+        recommendation: Recommendation,
+        /// Finished sessions merged into this report.
+        sessions: u64,
+        /// Total samples across those sessions.
+        samples: u64,
+        /// Total completed vectors analyzed.
+        vectors: u64,
+        /// Shard count the daemon is running with (diagnostic; the
+        /// report's bytes do not depend on it).
+        shards: u64,
     },
     /// Backpressure: stop sending sample frames until `Resume`.
     Pause,
@@ -268,6 +296,7 @@ mod tests {
             ClientControl::Stats,
             ClientControl::Ping,
             ClientControl::Shutdown,
+            ClientControl::SuiteReport,
         ];
         for m in &msgs {
             let bytes = encode_control(m).expect("encode");

@@ -34,14 +34,14 @@ use crate::recovery::{recover_session, RecoveredSession};
 use crate::scheduler::Scheduler;
 use crate::session::{SessionConfig, SessionEngine};
 use crate::spool::{compact_session, SessionMeta, SessionSpool, SpoolConfig};
-use fuzzyphase::{Thresholds, WorkerBudget};
+use fuzzyphase::{merge_partials, SessionPartial, Thresholds, WorkerBudget};
 use fuzzyphase_profiler::trace::read_samples;
 use fuzzyphase_regtree::AnalysisOptions;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -83,6 +83,11 @@ pub struct ServerConfig {
     /// Write-ahead trace spool (DESIGN.md D10). `None` disables
     /// durability: no spooling, no recovery, no resume tokens.
     pub spool: Option<SpoolConfig>,
+    /// Worker shards (DESIGN.md D11). Each session is routed to one
+    /// shard by a stable hash of its token; every shard owns its own
+    /// session map, fit scheduler and spool subdirectory. 1 (the
+    /// default) keeps the flat single-shard layout.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +106,34 @@ impl Default for ServerConfig {
             analysis: AnalysisOptions::default(),
             thresholds: Thresholds::default(),
             spool: None,
+            shards: 1,
+        }
+    }
+}
+
+/// FNV-1a over the token bytes — the stable session→shard router.
+/// Stability matters doubly: reconnects land on the shard that owns the
+/// session's live state, and (unlike a load-balancing pick) the mapping
+/// is a pure function of the token, never of arrival order.
+pub fn shard_for_token(token: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in token.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// Shard `index`'s spool root: the flat root itself for a single-shard
+/// daemon (byte-compatible with pre-shard spool layouts), or
+/// `<root>/shard-NNN` when sharded.
+fn shard_spool_config(base: &SpoolConfig, index: usize, shards: usize) -> SpoolConfig {
+    if shards <= 1 {
+        base.clone()
+    } else {
+        SpoolConfig {
+            dir: base.dir.join(crate::recovery::shard_dir_name(index)),
+            ..base.clone()
         }
     }
 }
@@ -109,16 +142,19 @@ const STATE_RUNNING: u8 = 0;
 const STATE_DRAINING: u8 = 1;
 const STATE_STOPPED: u8 = 2;
 
-/// State shared by every daemon thread.
-struct Shared {
-    cfg: ServerConfig,
-    fold_workers: usize,
-    metrics: Arc<Metrics>,
+/// One worker shard: exclusive owner of a subset of sessions, routed by
+/// [`shard_for_token`]. Each shard has its own session map, fit
+/// scheduler, recovered-session map, token claims, spool subdirectory
+/// and finished-session partials — the only cross-shard structures are
+/// the admission lock (exact `max_sessions` enforcement) and the merge
+/// in `suite_report`, both deliberate synchronization points.
+struct Shard {
+    /// Regression-tree fit pool for this shard's sessions.
     scheduler: Scheduler,
-    clock: Arc<dyn Clock>,
-    state: AtomicU8,
-    shutdown_requested: AtomicBool,
-    next_session: AtomicU64,
+    /// This shard's spool root (`<root>` flat when the daemon runs one
+    /// shard, `<root>/shard-NNN` otherwise). `None` when durability is
+    /// off.
+    spool: Option<SpoolConfig>,
     /// Active sessions by id — `BTreeMap` so sweeps and drains walk in
     /// a stable order.
     sessions: Mutex<BTreeMap<u64, Arc<SessionShared>>>,
@@ -130,6 +166,26 @@ struct Shared {
     /// Resume tokens currently owned by a live connection — the claim
     /// that prevents two clients from resuming the same session.
     active_tokens: Mutex<BTreeSet<String>>,
+    /// Finished sessions' suite contributions, keyed by token. Read by
+    /// `SuiteReport`, which merges every shard's map in token order.
+    partials: Mutex<BTreeMap<String, SessionPartial>>,
+}
+
+/// State shared by every daemon thread.
+struct Shared {
+    cfg: ServerConfig,
+    fold_workers: usize,
+    metrics: Arc<Metrics>,
+    clock: Arc<dyn Clock>,
+    state: AtomicU8,
+    shutdown_requested: AtomicBool,
+    next_session: AtomicU64,
+    /// The worker shards (always at least one).
+    shards: Vec<Shard>,
+    /// Serializes admission so the `max_sessions` cap is exact across
+    /// shards: count-then-insert happens under this lock, never racing
+    /// another connection's admission.
+    admission: Mutex<()>,
 }
 
 impl Shared {
@@ -140,6 +196,24 @@ impl Shared {
             Ordering::SeqCst,
             Ordering::SeqCst,
         );
+    }
+
+    fn shard_for(&self, token: &str) -> usize {
+        shard_for_token(token, self.shards.len())
+    }
+
+    /// Total open sessions across all shards.
+    fn total_sessions(&self) -> usize {
+        self.shards.iter().map(|s| s.sessions.lock().len()).sum()
+    }
+
+    /// Runs `f` on every live session, shard by shard.
+    fn for_each_session(&self, mut f: impl FnMut(&Arc<SessionShared>)) {
+        for shard in &self.shards {
+            for s in shard.sessions.lock().values() {
+                f(s);
+            }
+        }
     }
 }
 
@@ -181,6 +255,36 @@ impl SessionShared {
     fn send(&self, msg: &ServerMsg) -> io::Result<()> {
         let mut w = self.writer.lock();
         let r = write_msg(&mut *w, msg).and_then(|()| w.flush());
+        if r.is_err() {
+            self.dead.store(true, Ordering::SeqCst);
+        }
+        r
+    }
+
+    /// Latches the pause flag and puts `Pause` on the wire as one step
+    /// under the writer lock. Pairing the flag with the write is what
+    /// keeps backpressure race-free: if flag and wire could interleave,
+    /// the engine's `Resume` could land before this `Pause` with the
+    /// flag already cleared, and a cooperative client would stall
+    /// forever on a pause nobody will lift.
+    fn send_pause(&self) -> io::Result<()> {
+        let mut w = self.writer.lock();
+        self.paused.store(true, Ordering::SeqCst);
+        let r = write_msg(&mut *w, &ServerMsg::Pause).and_then(|()| w.flush());
+        if r.is_err() {
+            self.dead.store(true, Ordering::SeqCst);
+        }
+        r
+    }
+
+    /// Clears the pause flag and sends `Resume`, also under the writer
+    /// lock; a no-op when the session is not paused. See [`Self::send_pause`].
+    fn send_resume_if_paused(&self) -> io::Result<()> {
+        let mut w = self.writer.lock();
+        if !self.paused.swap(false, Ordering::SeqCst) {
+            return Ok(());
+        }
+        let r = write_msg(&mut *w, &ServerMsg::Resume).and_then(|()| w.flush());
         if r.is_err() {
             self.dead.store(true, Ordering::SeqCst);
         }
@@ -229,13 +333,22 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(Metrics::new());
+        let shard_count = cfg.shards.max(1);
         let (pool, fold_workers) = cfg.workers.resolve(cfg.max_sessions.max(1));
-        let scheduler = Scheduler::new(pool, cfg.max_sessions.max(1), Arc::clone(&metrics));
+        // The fit budget splits evenly across shards (every shard gets
+        // at least one worker, so a --shards value above the pool width
+        // oversubscribes rather than starving shards).
+        let shard_pool = (pool / shard_count).max(1);
 
         // Replay spools before accepting connections: crashed sessions
         // become resumable, and the id counter starts past every token
-        // on disk so a restart never reissues one.
-        let mut recovered = BTreeMap::new();
+        // on disk so a restart never reissues one. The scan is
+        // layout-agnostic (flat and shard-NNN directories both count),
+        // so restarting with a different --shards value recovers
+        // everything; each recovered session is then routed to the
+        // shard the *current* hash assigns its token.
+        let mut recovered_by_shard: Vec<BTreeMap<String, RecoveredSession>> =
+            (0..shard_count).map(|_| BTreeMap::new()).collect();
         let mut first_id = 1u64;
         if let Some(spool_cfg) = &cfg.spool {
             let (map, rstats) = crate::recovery::recover_all(spool_cfg)?;
@@ -245,21 +358,42 @@ impl Server {
                 rstats.torn_records,
             );
             first_id = rstats.max_session_id + 1;
-            recovered = map;
+            for (token, sess) in map {
+                let idx = shard_for_token(&token, shard_count);
+                recovered_by_shard[idx].insert(token, sess);
+            }
         }
+
+        let shards: Vec<Shard> = recovered_by_shard
+            .into_iter()
+            .enumerate()
+            .map(|(index, recovered)| Shard {
+                scheduler: Scheduler::new(
+                    shard_pool,
+                    cfg.max_sessions.max(1),
+                    Arc::clone(&metrics),
+                ),
+                spool: cfg
+                    .spool
+                    .as_ref()
+                    .map(|s| shard_spool_config(s, index, shard_count)),
+                sessions: Mutex::new(BTreeMap::new()),
+                recovered: Mutex::new(recovered),
+                active_tokens: Mutex::new(BTreeSet::new()),
+                partials: Mutex::new(BTreeMap::new()),
+            })
+            .collect();
 
         let shared = Arc::new(Shared {
             cfg,
             fold_workers,
             metrics,
-            scheduler,
             clock,
             state: AtomicU8::new(STATE_RUNNING),
             shutdown_requested: AtomicBool::new(false),
             next_session: AtomicU64::new(first_id),
-            sessions: Mutex::new(BTreeMap::new()),
-            recovered: Mutex::new(recovered),
-            active_tokens: Mutex::new(BTreeSet::new()),
+            shards,
+            admission: Mutex::new(()),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -311,9 +445,34 @@ impl Server {
         self.shared.shutdown_requested.load(Ordering::SeqCst)
     }
 
-    /// Number of currently open sessions.
+    /// Number of currently open sessions (across all shards).
     pub fn active_sessions(&self) -> usize {
-        self.shared.sessions.lock().len()
+        self.shared.total_sessions()
+    }
+
+    /// Number of worker shards this daemon runs.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Open sessions per shard, in shard order — the router's live
+    /// distribution (tests and diagnostics; the wire `Stats` carries
+    /// only scalars).
+    pub fn shard_sessions(&self) -> Vec<usize> {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.sessions.lock().len())
+            .collect()
+    }
+
+    /// Finished-session suite partials per shard, in shard order.
+    pub fn shard_partials(&self) -> Vec<usize> {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.partials.lock().len())
+            .collect()
     }
 
     /// Enters draining: running sessions continue, new connections are
@@ -328,12 +487,12 @@ impl Server {
         self.begin_shutdown();
         let poll = Duration::from_millis(10);
         let mut waited = 0u64;
-        while !self.shared.sessions.lock().is_empty() {
+        while self.shared.total_sessions() > 0 {
             if waited >= self.shared.cfg.drain_deadline_ms {
-                for s in self.shared.sessions.lock().values() {
+                self.shared.for_each_session(|s| {
                     s.dead.store(true, Ordering::SeqCst);
                     let _ = s.stream.shutdown(Shutdown::Both);
-                }
+                });
             }
             std::thread::sleep(poll);
             waited += 10;
@@ -364,10 +523,10 @@ impl Server {
     /// next daemon start to recover.
     pub fn abort(mut self) {
         self.shared.state.store(STATE_STOPPED, Ordering::SeqCst);
-        for s in self.shared.sessions.lock().values() {
+        self.shared.for_each_session(|s| {
             s.dead.store(true, Ordering::SeqCst);
             let _ = s.stream.shutdown(Shutdown::Both);
-        }
+        });
         // Nudge the accept loop out of its blocking accept().
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
@@ -428,7 +587,7 @@ fn sweep_loop(shared: Arc<Shared>) {
         }
         if shared.cfg.idle_timeout_ms > 0 {
             let now = shared.clock.now_millis();
-            for s in shared.sessions.lock().values() {
+            shared.for_each_session(|s| {
                 let quiet = now.saturating_sub(s.last_activity.load(Ordering::Relaxed));
                 if quiet >= shared.cfg.idle_timeout_ms && !s.expired.swap(true, Ordering::SeqCst) {
                     shared.metrics.idle_reap();
@@ -436,7 +595,7 @@ fn sweep_loop(shared: Arc<Shared>) {
                     // timeout error can still be delivered.
                     let _ = s.stream.shutdown(Shutdown::Read);
                 }
-            }
+            });
         }
         std::thread::sleep(Duration::from_millis(shared.cfg.sweep_interval_ms.max(1)));
     }
@@ -445,6 +604,8 @@ fn sweep_loop(shared: Arc<Shared>) {
 /// Everything `open_session` hands back to the reader loop.
 struct OpenedSession {
     id: u64,
+    /// Index of the shard that owns this session.
+    shard: usize,
     tx: crossbeam::channel::Sender<EngineMsg>,
     engine: JoinHandle<()>,
     /// The session's write-ahead spool (None when durability is off).
@@ -569,6 +730,15 @@ fn connection_thread(stream: TcpStream, shared: Arc<Shared>) {
                         let _ = session.send(&ServerMsg::Bye);
                         break;
                     }
+                    ClientControl::SuiteReport => match suite_report(&shared) {
+                        Ok(msg) => {
+                            shared.metrics.suite_report_sent();
+                            let _ = session.send(&msg);
+                        }
+                        Err(message) => {
+                            session.send_error(&shared.metrics, message);
+                        }
+                    },
                 }
             }
             (FRAME_SAMPLES, payload) => {
@@ -597,7 +767,7 @@ fn connection_thread(stream: TcpStream, shared: Arc<Shared>) {
                             shared.metrics.spool_append(payload.len() as u64);
                             if sealed {
                                 shared.metrics.segment_sealed();
-                                schedule_compaction(&shared, &session, spool.dir());
+                                schedule_compaction(&shared, opened.shard, &session, spool.dir());
                             }
                         }
                         Err(e) => {
@@ -613,9 +783,8 @@ fn connection_thread(stream: TcpStream, shared: Arc<Shared>) {
                 match opened.tx.try_send(EngineMsg::Batch(payload)) {
                     Ok(()) => {}
                     Err(crossbeam::channel::TrySendError::Full(msg)) => {
-                        session.paused.store(true, Ordering::SeqCst);
                         shared.metrics.pause_sent();
-                        let _ = session.send(&ServerMsg::Pause);
+                        let _ = session.send_pause();
                         if opened.tx.send(msg).is_err() {
                             break;
                         }
@@ -634,11 +803,12 @@ fn connection_thread(stream: TcpStream, shared: Arc<Shared>) {
     // Teardown: closing the ingest channel stops the engine once it has
     // drained everything already queued.
     if let Some(opened) = registered {
+        let shard = &shared.shards[opened.shard];
         drop(opened.tx);
         // fuzzylint: allow(panic) — engine panics are daemon bugs;
         // propagate them instead of hiding a half-dead session
         opened.engine.join().expect("session engine panicked");
-        shared.sessions.lock().remove(&opened.id);
+        shard.sessions.lock().remove(&opened.id);
         shared.metrics.session_ended();
         if let Some(mut spool) = opened.spool {
             let _ = spool.sync();
@@ -655,32 +825,118 @@ fn connection_thread(stream: TcpStream, shared: Arc<Shared>) {
             }
         }
         if let Some(token) = opened.token {
-            shared.active_tokens.lock().remove(&token);
+            shard.active_tokens.lock().remove(&token);
         }
     }
     let _ = session.stream.shutdown(Shutdown::Both);
 }
 
-/// Queues a compaction pass for one session's spool on the analysis
-/// pool, at most one in flight per session.
-fn schedule_compaction(shared: &Arc<Shared>, session: &Arc<SessionShared>, dir: &Path) {
+/// Builds the cross-shard suite report: clones every shard's finished
+/// partials, folds them in token order ([`merge_partials`] — the bits
+/// are the same for any shard count), and runs the suite-level fit.
+/// Runs inline on the requesting connection's thread, like `Stats`.
+fn suite_report(shared: &Arc<Shared>) -> Result<ServerMsg, String> {
+    let mut partials: Vec<SessionPartial> = Vec::new();
+    for shard in &shared.shards {
+        partials.extend(shard.partials.lock().values().cloned());
+    }
+    if partials.is_empty() {
+        return Err("no finished sessions to report on".to_string());
+    }
+    let merged = merge_partials(partials);
+    let folds = shared.cfg.analysis.cv.folds;
+    if merged.data.len() < folds {
+        return Err(format!(
+            "suite too small: {} complete vectors across {} sessions, need at least {} (one per fold)",
+            merged.data.len(),
+            merged.sessions,
+            folds
+        ));
+    }
+    let mut scfg = SessionConfig {
+        spv: 1,
+        refit_every: 0,
+        analysis: shared.cfg.analysis,
+        thresholds: shared.cfg.thresholds,
+    };
+    scfg.analysis.cv.workers = shared.fold_workers;
+    let fit = crate::session::run_fit(&merged.data.vectors, &merged.data.cpis, &scfg);
+    Ok(ServerMsg::SuiteReport {
+        report: fit.report,
+        quadrant: fit.quadrant,
+        recommendation: fit.recommendation,
+        sessions: merged.sessions as u64,
+        samples: merged.samples,
+        vectors: merged.data.len() as u64,
+        shards: shared.shards.len() as u64,
+    })
+}
+
+/// Queues a compaction pass for one session's spool on its shard's
+/// analysis pool, at most one in flight per session.
+fn schedule_compaction(
+    shared: &Arc<Shared>,
+    shard: usize,
+    session: &Arc<SessionShared>,
+    dir: &Path,
+) {
     if session.compaction_in_flight.swap(true, Ordering::SeqCst) {
         return;
     }
     let dir = dir.to_path_buf();
     let job_shared = Arc::clone(shared);
     let job_session = Arc::clone(session);
-    let queued = shared.scheduler.submit(&shared.metrics, move || {
-        if let Ok(Some(_)) = compact_session(&dir) {
-            job_shared.metrics.compaction_run();
-        }
-        job_session
-            .compaction_in_flight
-            .store(false, Ordering::SeqCst);
-    });
+    let queued = shared.shards[shard]
+        .scheduler
+        .submit(&shared.metrics, move || {
+            if let Ok(Some(_)) = compact_session(&dir) {
+                job_shared.metrics.compaction_run();
+            }
+            job_session
+                .compaction_in_flight
+                .store(false, Ordering::SeqCst);
+        });
     if !queued {
         session.compaction_in_flight.store(false, Ordering::SeqCst);
     }
+}
+
+/// Where a resumable session's spool directory actually lives. The
+/// current-hash shard directory is checked first, then the flat root (a
+/// spool left by a single-shard run), then every `shard-NNN`
+/// subdirectory in sorted order (a spool left by a run with a different
+/// shard count). When nothing exists the preferred path is returned, so
+/// the caller's recovery error names the canonical location.
+fn locate_session_dir(
+    root: &SpoolConfig,
+    shard_spool: Option<&SpoolConfig>,
+    token: &str,
+) -> PathBuf {
+    let mut candidates: Vec<PathBuf> = Vec::new();
+    if let Some(s) = shard_spool {
+        candidates.push(s.dir.join(token));
+    }
+    candidates.push(root.dir.join(token));
+    if let Ok(entries) = std::fs::read_dir(&root.dir) {
+        let mut shard_dirs: Vec<PathBuf> = entries
+            .flatten()
+            .filter(|e| {
+                e.file_name()
+                    .to_str()
+                    .is_some_and(|n| crate::recovery::parse_shard_dir(n).is_some())
+            })
+            .map(|e| e.path())
+            .collect();
+        shard_dirs.sort();
+        for d in shard_dirs {
+            candidates.push(d.join(token));
+        }
+    }
+    let preferred = candidates[0].clone();
+    candidates
+        .into_iter()
+        .find(|p| p.is_dir())
+        .unwrap_or(preferred)
 }
 
 /// Validates `Hello` (fresh or resume), registers the session and
@@ -714,28 +970,31 @@ fn open_session(
         shared.metrics.session_error();
         return Err("session resume requires protocol version 2".to_string());
     }
-    // Resume: claim the token, then rebuild state — from the startup
-    // map when the session crashed with the daemon, from disk when only
-    // the connection died.
-    let resumed: Option<RecoveredSession> = match (&resume, &shared.cfg.spool) {
+    // Resume: route by token (a pure hash, so the reconnect lands on
+    // the shard that owns the session), claim the token on that shard,
+    // then rebuild state — from the startup map when the session
+    // crashed with the daemon, from disk when only the connection died.
+    let resumed: Option<(usize, RecoveredSession)> = match (&resume, &shared.cfg.spool) {
         (None, _) => None,
         (Some(_), None) => {
             shared.metrics.session_error();
             return Err("daemon has no spool; sessions cannot be resumed".to_string());
         }
         (Some(token), Some(spool_cfg)) => {
-            if !shared.active_tokens.lock().insert(token.clone()) {
+            let shard_idx = shared.shard_for(token);
+            let shard = &shared.shards[shard_idx];
+            if !shard.active_tokens.lock().insert(token.clone()) {
                 shared.metrics.session_error();
                 return Err(format!("session '{token}' is already connected"));
             }
             let release = || {
-                shared.active_tokens.lock().remove(token);
+                shard.active_tokens.lock().remove(token);
                 shared.metrics.session_error();
             };
-            let rec = match shared.recovered.lock().remove(token) {
+            let rec = match shard.recovered.lock().remove(token) {
                 Some(r) => r,
                 None => {
-                    let dir = spool_cfg.dir.join(token);
+                    let dir = locate_session_dir(spool_cfg, shard.spool.as_ref(), token);
                     match recover_session(&dir, token) {
                         Ok(r) => {
                             shared
@@ -756,39 +1015,57 @@ fn open_session(
                     "resume '{token}': spv {spv} does not match the session's spv {}",
                     rec.spool.state.meta.spv
                 );
-                shared.recovered.lock().insert(token.clone(), rec);
+                shard.recovered.lock().insert(token.clone(), rec);
                 release();
                 return Err(msg);
             }
-            Some(rec)
+            Some((shard_idx, rec))
         }
     };
-    let release_token = |token: &Option<String>| {
-        if let Some(t) = token {
-            shared.active_tokens.lock().remove(t);
-        }
-    };
+    let resume_shard = resumed.as_ref().map(|(si, _)| *si);
 
-    let id = {
-        let mut sessions = shared.sessions.lock();
-        if sessions.len() >= shared.cfg.max_sessions {
+    // Admission + routing. A fresh session's token (`sess-NNNNNNNN`)
+    // exists only once its id does, so the id is allocated under the
+    // admission lock and the shard computed from the resulting token —
+    // the same hash a future resume of that token will route by. The
+    // lock makes the count-then-insert exact across shards.
+    let (id, shard_idx) = {
+        let _admission = shared.admission.lock();
+        let total = shared.total_sessions();
+        if total >= shared.cfg.max_sessions {
             shared.metrics.session_refused();
-            release_token(&resume);
+            if let (Some(si), Some(t)) = (resume_shard, &resume) {
+                shared.shards[si].active_tokens.lock().remove(t);
+            }
             return Err(format!(
-                "too many sessions ({} active, limit {})",
-                sessions.len(),
+                "too many sessions ({total} active, limit {})",
                 shared.cfg.max_sessions
             ));
         }
         let id = shared.next_session.fetch_add(1, Ordering::SeqCst);
+        let shard_idx = match resume_shard {
+            Some(si) => si,
+            None => shared.shard_for(&format!("sess-{id:08}")),
+        };
         session.id.store(id, Ordering::Relaxed);
-        sessions.insert(id, Arc::clone(session));
-        id
+        shared.shards[shard_idx]
+            .sessions
+            .lock()
+            .insert(id, Arc::clone(session));
+        (id, shard_idx)
     };
     shared.metrics.session_started();
+    let shard = &shared.shards[shard_idx];
     let deregister = || {
-        shared.sessions.lock().remove(&id);
+        shard.sessions.lock().remove(&id);
         shared.metrics.session_ended();
+    };
+    // Every token this session can own (resume or fresh) hashes to
+    // `shard_idx`, so cleanup always targets that shard's claim set.
+    let release_token = |token: &Option<String>| {
+        if let Some(t) = token {
+            shard.active_tokens.lock().remove(t);
+        }
     };
 
     let mut scfg = SessionConfig {
@@ -801,7 +1078,7 @@ fn open_session(
 
     // Build the engine (fresh, or restored from the replayed state) and
     // the spool appender.
-    let (engine, spool, token, last_seq, bytes) = match (resumed, &shared.cfg.spool) {
+    let (engine, spool, token, last_seq, bytes) = match (resumed, &shard.spool) {
         // Resume was validated against the spool config above, so a
         // recovered session always pairs with one; handle the impossible
         // combination as an error rather than a panic.
@@ -810,8 +1087,11 @@ fn open_session(
             release_token(&resume);
             return Err("daemon has no spool; sessions cannot be resumed".to_string());
         }
-        (Some(rec), Some(spool_cfg)) => {
-            let spool = match SessionSpool::resume(spool_cfg, &rec.spool) {
+        (Some((_, rec)), Some(spool_cfg)) => {
+            // Reopen the spool where the scan actually found it — which
+            // may be a different shard directory (or the flat root) than
+            // the current hash would pick, after a --shards change.
+            let spool = match SessionSpool::resume_in(rec.dir.clone(), spool_cfg, &rec.spool) {
                 Ok(s) => s,
                 Err(e) => {
                     deregister();
@@ -826,7 +1106,7 @@ fn open_session(
         }
         (None, Some(spool_cfg)) => {
             let token = format!("sess-{id:08}");
-            shared.active_tokens.lock().insert(token.clone());
+            shard.active_tokens.lock().insert(token.clone());
             let meta = SessionMeta {
                 token: token.clone(),
                 name: name.to_string(),
@@ -837,7 +1117,7 @@ fn open_session(
             match SessionSpool::create(spool_cfg, meta) {
                 Ok(s) => (SessionEngine::new(scfg), Some(s), Some(token), 0, 0),
                 Err(e) => {
-                    shared.active_tokens.lock().remove(&token);
+                    shard.active_tokens.lock().remove(&token);
                     deregister();
                     return Err(format!("cannot create spool for '{name}': {e}"));
                 }
@@ -860,16 +1140,30 @@ fn open_session(
         return Err("client went away during Hello".to_string());
     }
 
+    // The key this session's finished state will carry into the suite
+    // merge — the resume token when durability is on, else the
+    // deterministic fresh-token string (still unique per id).
+    let suite_key = token.clone().unwrap_or_else(|| format!("sess-{id:08}"));
     let (tx, rx) = crossbeam::channel::bounded::<EngineMsg>(shared.cfg.queue_cap.max(1));
     let engine_shared = Arc::clone(shared);
     let engine_session = Arc::clone(session);
     let spawned = std::thread::Builder::new()
         .name(format!("fuzzyphased-sess-{id}"))
-        .spawn(move || engine_thread(rx, engine_shared, engine_session, engine));
+        .spawn(move || {
+            engine_thread(
+                rx,
+                engine_shared,
+                engine_session,
+                engine,
+                shard_idx,
+                suite_key,
+            )
+        });
     match spawned {
         Ok(h) => Ok((
             OpenedSession {
                 id,
+                shard: shard_idx,
                 tx,
                 engine: h,
                 spool,
@@ -891,6 +1185,8 @@ fn engine_thread(
     shared: Arc<Shared>,
     session: Arc<SessionShared>,
     mut engine: SessionEngine,
+    shard: usize,
+    suite_key: String,
 ) {
     while let Ok(msg) = rx.recv() {
         match msg {
@@ -928,56 +1224,71 @@ fn engine_thread(
                 if session.paused.load(Ordering::SeqCst)
                     && rx.len() <= shared.cfg.queue_cap.max(1) / 2
                 {
-                    session.paused.store(false, Ordering::SeqCst);
-                    let _ = session.send(&ServerMsg::Resume);
+                    let _ = session.send_resume_if_paused();
                 }
                 if engine.refit_due() {
                     if session.refit_in_flight.swap(true, Ordering::SeqCst) {
                         shared.metrics.refit_coalesced();
                     } else {
-                        submit_refit(&shared, &session, &mut engine);
+                        submit_refit(&shared, shard, &session, &mut engine);
                     }
                 }
             }
             EngineMsg::Finish => {
-                finish_session(&shared, &session, engine);
+                finish_session(&shared, shard, &session, engine, suite_key);
                 return;
             }
         }
     }
 }
 
-/// Snapshots the engine and queues an interim fit on the pool.
-fn submit_refit(shared: &Arc<Shared>, session: &Arc<SessionShared>, engine: &mut SessionEngine) {
+/// Snapshots the engine and queues an interim fit on its shard's pool.
+fn submit_refit(
+    shared: &Arc<Shared>,
+    shard: usize,
+    session: &Arc<SessionShared>,
+    engine: &mut SessionEngine,
+) {
     let (vectors, cpis) = engine.snapshot();
     let cfg = *engine.config();
     let job_shared = Arc::clone(shared);
     let job_session = Arc::clone(session);
     let n = vectors.len() as u64;
-    shared.scheduler.submit(&shared.metrics, move || {
-        let fit = crate::session::run_fit(&vectors, &cpis, &cfg);
-        job_shared.metrics.refit_run();
-        let _ = job_session.send(&ServerMsg::Refit {
-            vectors: n,
-            report: fit.report,
-            quadrant: fit.quadrant,
-            recommendation: fit.recommendation,
+    shared.shards[shard]
+        .scheduler
+        .submit(&shared.metrics, move || {
+            let fit = crate::session::run_fit(&vectors, &cpis, &cfg);
+            job_shared.metrics.refit_run();
+            let _ = job_session.send(&ServerMsg::Refit {
+                vectors: n,
+                report: fit.report,
+                quadrant: fit.quadrant,
+                recommendation: fit.recommendation,
+            });
+            job_session.refit_in_flight.store(false, Ordering::SeqCst);
         });
-        job_session.refit_in_flight.store(false, Ordering::SeqCst);
-    });
 }
 
-/// Runs the final fit on the pool (so a burst of finishing sessions is
-/// still bounded by the worker budget), then reports and says goodbye.
-fn finish_session(shared: &Arc<Shared>, session: &Arc<SessionShared>, engine: SessionEngine) {
+/// Runs the final fit on the shard's pool (so a burst of finishing
+/// sessions is still bounded by the worker budget), stores the
+/// session's suite partial, then reports and says goodbye.
+fn finish_session(
+    shared: &Arc<Shared>,
+    shard: usize,
+    session: &Arc<SessionShared>,
+    engine: SessionEngine,
+    suite_key: String,
+) {
     // All interim Refit lines must precede the Report line.
     while session.refit_in_flight.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(1));
     }
     let (dtx, drx) = crossbeam::channel::bounded(1);
-    let queued = shared.scheduler.submit(&shared.metrics, move || {
-        let _ = dtx.send(engine.finalize());
-    });
+    let queued = shared.shards[shard]
+        .scheduler
+        .submit(&shared.metrics, move || {
+            let _ = dtx.send(engine.finalize_with_partial());
+        });
     let outcome = if queued {
         match drx.recv() {
             Ok(r) => r,
@@ -987,9 +1298,22 @@ fn finish_session(shared: &Arc<Shared>, session: &Arc<SessionShared>, engine: Se
         Err("daemon is stopping; final fit not run".to_string())
     };
     match outcome {
-        Ok((fit, progress)) => {
+        Ok((fit, progress, (data, welford))) => {
             shared.metrics.refit_run();
             shared.metrics.report_sent();
+            // Bank the suite contribution before the Report goes out: a
+            // client that sees the Report may immediately ask for the
+            // suite on another connection.
+            let partial = SessionPartial {
+                token: suite_key.clone(),
+                data,
+                cpi: welford.state(),
+                samples: progress.samples,
+            };
+            shared.shards[shard]
+                .partials
+                .lock()
+                .insert(suite_key, partial);
             // The report is out: the session's spool is no longer
             // needed, whatever happens to the socket from here on.
             session.completed.store(true, Ordering::SeqCst);

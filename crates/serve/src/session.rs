@@ -9,7 +9,7 @@
 //! — the equality the loopback tests pin down.
 
 use fuzzyphase::{Quadrant, Thresholds};
-use fuzzyphase_profiler::{EipvBuilder, Sample};
+use fuzzyphase_profiler::{EipvBuilder, EipvData, Sample};
 use fuzzyphase_regtree::{analyze, AnalysisOptions, PredictabilityReport};
 use fuzzyphase_sampling::Recommendation;
 use fuzzyphase_stats::{SparseVec, Welford};
@@ -192,6 +192,17 @@ impl SessionEngine {
     /// Returns `Err` with a client-facing message when the trace is too
     /// short to cross-validate.
     pub fn finalize(self) -> Result<(FitOutcome, IngestProgress), String> {
+        self.finalize_with_partial()
+            .map(|(outcome, progress, _)| (outcome, progress))
+    }
+
+    /// Like [`finalize`](Self::finalize), but also hands back the
+    /// session's suite contribution: the finished [`EipvData`] plus the
+    /// raw sample-CPI accumulator. The sharded daemon stores these as a
+    /// [`fuzzyphase::SessionPartial`] for the cross-shard suite merge.
+    pub fn finalize_with_partial(
+        self,
+    ) -> Result<(FitOutcome, IngestProgress, (EipvData, Welford)), String> {
         let progress = self.progress();
         if !self.has_enough_vectors() {
             return Err(format!(
@@ -200,9 +211,10 @@ impl SessionEngine {
             ));
         }
         let cfg = self.cfg;
+        let sample_cpi = self.sample_cpi;
         let data = self.builder.finish();
         let outcome = run_fit(&data.vectors, &data.cpis, &cfg);
-        Ok((outcome, progress))
+        Ok((outcome, progress, (data, sample_cpi)))
     }
 }
 

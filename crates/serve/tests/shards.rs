@@ -1,0 +1,376 @@
+//! Sharded-ingest integration tests (DESIGN.md D11): the cross-shard
+//! suite report must be bit-identical to the single-shard daemon and to
+//! an offline merge of the same sessions, sessions must survive a
+//! whole-daemon kill and come back under a *different* shard count, and
+//! the router itself must match its documented FNV-1a spec.
+//!
+//! Sessions are always driven sequentially here: session ids (and so
+//! fresh tokens) are allocation-ordered, and the comparisons lean on
+//! the two daemons issuing the same token set.
+
+use fuzzyphase::{merge_partials, SessionPartial};
+use fuzzyphase_profiler::{EipvData, Sample};
+use fuzzyphase_serve::{
+    shard_for_token, ServeClient, Server, ServerConfig, ServerMsg, SpoolConfig,
+};
+use fuzzyphase_stats::Welford;
+use std::path::{Path, PathBuf};
+
+fn trace(seed: u64, n: u64) -> Vec<Sample> {
+    (0..n)
+        .map(|i| Sample {
+            eip: 0x4000 + seed * 0x1000 + (i % (17 + seed)) * 0x10,
+            thread: (i % 3) as u32,
+            is_os: false,
+            cpi: 0.8 + seed as f64 * 0.05 + (i % (7 + seed)) as f64 * 0.063,
+        })
+        .collect()
+}
+
+fn test_spool(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("fuzzyphase-shards-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn server_config(spool_dir: Option<&Path>, shards: usize) -> ServerConfig {
+    let mut cfg = ServerConfig::default();
+    cfg.analysis.cv.folds = 5;
+    cfg.analysis.cv.k_max = 8;
+    cfg.shards = shards;
+    cfg.spool = spool_dir.map(|d| SpoolConfig {
+        dir: d.to_path_buf(),
+        segment_bytes: 4 << 20,
+        fsync_every: 1,
+    });
+    cfg
+}
+
+/// Runs `traces` as sequential sessions against the daemon (stream,
+/// finish, wait for the Report, close), then asks for the suite report.
+fn run_suite(cfg: &ServerConfig, traces: &[Vec<Sample>], spv: usize) -> ServerMsg {
+    let server = Server::start(cfg.clone()).expect("start");
+    let addr = server.local_addr().to_string();
+    for (i, t) in traces.iter().enumerate() {
+        let mut client = ServeClient::connect(&addr).expect("connect");
+        client.hello(&format!("suite-{i}"), spv, 0).expect("hello");
+        client.stream_trace(t, 64).expect("stream");
+        client.finish().expect("finish");
+        client.wait_report().expect("report");
+        client.close();
+    }
+    let mut client = ServeClient::connect(&addr).expect("connect suite");
+    let suite = client.suite_report().expect("suite report");
+    client.close();
+    server.shutdown();
+    suite
+}
+
+/// The offline ground truth: per-session partials built exactly as the
+/// daemon builds them (same token strings, same builder, same Welford),
+/// merged and fitted with the same options.
+fn offline_suite(
+    cfg: &ServerConfig,
+    traces: &[Vec<Sample>],
+    spv: usize,
+) -> fuzzyphase_serve::FitOutcome {
+    let partials: Vec<SessionPartial> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut w = Welford::new();
+            for s in t {
+                w.push(s.cpi);
+            }
+            SessionPartial {
+                token: format!("sess-{:08}", i as u64 + 1),
+                data: EipvData::from_samples(t, spv),
+                cpi: w.state(),
+                samples: t.len() as u64,
+            }
+        })
+        .collect();
+    let merged = merge_partials(partials);
+    let scfg = fuzzyphase_serve::SessionConfig {
+        spv: 1,
+        refit_every: 0,
+        analysis: cfg.analysis,
+        thresholds: cfg.thresholds,
+    };
+    fuzzyphase_serve::session::run_fit(&merged.data.vectors, &merged.data.cpis, &scfg)
+}
+
+#[test]
+fn router_matches_documented_fnv1a_spec() {
+    // Independent FNV-1a 64 over the token bytes, reduced mod shards —
+    // the router must match the spec it documents, byte for byte.
+    fn spec(token: &str, shards: usize) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in token.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h % shards as u64) as usize
+    }
+    for shards in [1usize, 2, 3, 4, 8] {
+        for i in 0..200u64 {
+            let token = format!("sess-{i:08}");
+            let got = shard_for_token(&token, shards);
+            assert_eq!(got, spec(&token, shards));
+            assert!(got < shards);
+            // Pure function of the token: same input, same shard.
+            assert_eq!(got, shard_for_token(&token, shards));
+        }
+    }
+    // Zero shards is clamped, not a divide-by-zero.
+    assert_eq!(shard_for_token("anything", 0), 0);
+    // With enough tokens the router uses every shard of a small pool.
+    let mut hit = [false; 4];
+    for i in 0..1000u64 {
+        hit[shard_for_token(&format!("sess-{i:08}"), 4)] = true;
+    }
+    assert!(
+        hit.iter().all(|&h| h),
+        "router never used some shard: {hit:?}"
+    );
+}
+
+#[test]
+fn sharded_suite_report_is_bit_identical_to_single_shard_and_offline() {
+    let spv = 20;
+    let traces: Vec<Vec<Sample>> = (0..4).map(|s| trace(s, 400 + s * 100)).collect();
+
+    let spool_one = test_spool("suite-1");
+    let spool_four = test_spool("suite-4");
+    let cfg_one = server_config(Some(&spool_one), 1);
+    let cfg_four = server_config(Some(&spool_four), 4);
+    let one = run_suite(&cfg_one, &traces, spv);
+    let four = run_suite(&cfg_four, &traces, spv);
+
+    let ServerMsg::SuiteReport {
+        report: r1,
+        quadrant: q1,
+        recommendation: rec1,
+        sessions: s1,
+        samples: n1,
+        vectors: v1,
+        shards: sh1,
+    } = one
+    else {
+        panic!("expected SuiteReport");
+    };
+    let ServerMsg::SuiteReport {
+        report: r4,
+        quadrant: q4,
+        recommendation: rec4,
+        sessions: s4,
+        samples: n4,
+        vectors: v4,
+        shards: sh4,
+    } = four
+    else {
+        panic!("expected SuiteReport");
+    };
+    assert_eq!(sh1, 1);
+    assert_eq!(sh4, 4);
+    assert_eq!((s1, n1, v1), (s4, n4, v4));
+    assert_eq!(s1, traces.len() as u64);
+    assert_eq!(n1, traces.iter().map(|t| t.len() as u64).sum::<u64>());
+    assert_eq!(
+        v1,
+        traces.iter().map(|t| (t.len() / spv) as u64).sum::<u64>()
+    );
+    assert_eq!(q1, q4);
+    assert_eq!(rec1, rec4);
+    assert_eq!(r1, r4);
+    for (a, b) in r1.re_curve.iter().zip(&r4.re_curve) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(r1.cpi_variance.to_bits(), r4.cpi_variance.to_bits());
+
+    // Both equal the offline merge of the same sessions.
+    let offline = offline_suite(&cfg_one, &traces, spv);
+    assert_eq!(q1, offline.quadrant);
+    assert_eq!(r1, offline.report);
+    for (a, b) in r1.re_curve.iter().zip(&offline.report.re_curve) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    let _ = std::fs::remove_dir_all(&spool_one);
+    let _ = std::fs::remove_dir_all(&spool_four);
+}
+
+#[test]
+fn killed_sharded_daemon_recovers_under_a_different_shard_count() {
+    let spool_dir = test_spool("kill-reshard");
+    let spv = 20;
+    let batch = 40;
+    let traces: Vec<Vec<Sample>> = (0..3).map(|s| trace(s, 600)).collect();
+    let crash_frames = 7usize; // 280 of 600 samples durable per session
+
+    // Phase 1: three sessions on a 3-shard daemon, streamed part-way
+    // (every frame acked, fsync_every=1), then a whole-daemon SIGKILL —
+    // which takes every shard down mid-session at once.
+    let cfg3 = server_config(Some(&spool_dir), 3);
+    let server = Server::start(cfg3).expect("start");
+    assert_eq!(server.shard_count(), 3);
+    let addr = server.local_addr().to_string();
+    let mut tokens = Vec::new();
+    let mut clients = Vec::new();
+    for (i, t) in traces.iter().enumerate() {
+        let mut client = ServeClient::connect(&addr).expect("connect");
+        client.hello(&format!("crashy-{i}"), spv, 0).expect("hello");
+        tokens.push(client.resume_token().expect("token").to_string());
+        let part = &t[..crash_frames * batch];
+        client.stream_trace(part, batch).expect("stream");
+        let want = part.len() as u64;
+        client
+            .recv_until(|m| matches!(m, ServerMsg::Progress { samples, .. } if *samples >= want))
+            .expect("ack");
+        clients.push(client);
+    }
+    server.abort();
+    drop(clients);
+
+    // The 3-shard layout is on disk: shard-NNN directories, one session
+    // directory somewhere under them per token.
+    let shard_dirs: Vec<String> = std::fs::read_dir(&spool_dir)
+        .expect("spool root")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        shard_dirs.iter().all(|n| n.starts_with("shard-")),
+        "expected only shard-NNN dirs at the root: {shard_dirs:?}"
+    );
+
+    // Phase 2: restart on the same spool with a *different* shard
+    // count. The layout-agnostic scan must find all three sessions and
+    // route each to the shard the new hash picks.
+    let cfg2 = server_config(Some(&spool_dir), 2);
+    let server = Server::start(cfg2.clone()).expect("restart");
+    assert_eq!(server.shard_count(), 2);
+    assert_eq!(server.stats().sessions_recovered, 3);
+    assert_eq!(
+        server.stats().frames_replayed,
+        (3 * crash_frames) as u64,
+        "every acked frame must be durable"
+    );
+    let addr = server.local_addr().to_string();
+    for (i, t) in traces.iter().enumerate() {
+        let mut client = ServeClient::connect(&addr).expect("reconnect");
+        let last_seq = client
+            .hello_resume(&format!("crashy-{i}"), spv, 0, &tokens[i])
+            .expect("resume");
+        assert_eq!(last_seq, crash_frames as u64);
+        let covered = last_seq as usize * batch;
+        client.stream_trace(&t[covered..], batch).expect("rest");
+        client.finish().expect("finish");
+        let (report, _) = client.wait_report().expect("report");
+        client.close();
+
+        // Each resumed session still matches its own offline analysis.
+        let data = EipvData::from_samples(t, spv);
+        let scfg = fuzzyphase_serve::SessionConfig {
+            spv,
+            refit_every: 0,
+            analysis: cfg2.analysis,
+            thresholds: cfg2.thresholds,
+        };
+        let expect = fuzzyphase_serve::session::run_fit(&data.vectors, &data.cpis, &scfg);
+        let ServerMsg::Report {
+            report, samples, ..
+        } = report
+        else {
+            panic!("expected Report");
+        };
+        assert_eq!(samples, t.len() as u64);
+        assert_eq!(report, expect.report);
+    }
+
+    // The suite over the resumed sessions equals the offline merge,
+    // crash and re-sharding notwithstanding. Tokens were issued by the
+    // first daemon as sess-00000001.., matching offline_suite's keys.
+    let mut client = ServeClient::connect(&addr).expect("connect suite");
+    let suite = client.suite_report().expect("suite report");
+    client.close();
+    server.shutdown();
+    let offline = offline_suite(&cfg2, &traces, spv);
+    let ServerMsg::SuiteReport {
+        report,
+        quadrant,
+        sessions,
+        samples,
+        shards,
+        ..
+    } = suite
+    else {
+        panic!("expected SuiteReport");
+    };
+    assert_eq!(sessions, 3);
+    assert_eq!(shards, 2);
+    assert_eq!(samples, traces.iter().map(|t| t.len() as u64).sum::<u64>());
+    assert_eq!(quadrant, offline.quadrant);
+    assert_eq!(report, offline.report);
+    for (a, b) in report.re_curve.iter().zip(&offline.report.re_curve) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    let _ = std::fs::remove_dir_all(&spool_dir);
+}
+
+#[test]
+fn suite_report_before_any_finished_session_is_an_error() {
+    let cfg = server_config(None, 4);
+    let server = Server::start(cfg).expect("start");
+    let addr = server.local_addr().to_string();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    let err = client.suite_report().expect_err("no finished sessions");
+    assert!(err.to_string().contains("no finished sessions"), "{err}");
+
+    // A finished (spool-less) session makes the suite available; the
+    // partial is keyed by the deterministic fresh-token string.
+    let mut c = ServeClient::connect(&addr).expect("connect2");
+    c.hello("only", 20, 0).expect("hello");
+    c.stream_trace(&trace(1, 400), 64).expect("stream");
+    c.finish().expect("finish");
+    c.wait_report().expect("report");
+    c.close();
+    let suite = client.suite_report().expect("suite after one session");
+    let ServerMsg::SuiteReport {
+        sessions, shards, ..
+    } = suite
+    else {
+        panic!("expected SuiteReport");
+    };
+    assert_eq!(sessions, 1);
+    assert_eq!(shards, 4);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn sessions_distribute_across_shards() {
+    // 16 spool-less sessions held open on an 8-shard daemon: the router
+    // should populate more than one shard (the exact spread is pinned
+    // by the FNV test; this checks the daemon actually uses the map).
+    let cfg = server_config(None, 8);
+    let server = Server::start(cfg).expect("start");
+    let addr = server.local_addr().to_string();
+    let mut clients = Vec::new();
+    for i in 0..16 {
+        let mut c = ServeClient::connect(&addr).expect("connect");
+        c.hello(&format!("spread-{i}"), 20, 0).expect("hello");
+        clients.push(c);
+    }
+    let per_shard = server.shard_sessions();
+    assert_eq!(per_shard.len(), 8);
+    assert_eq!(per_shard.iter().sum::<usize>(), 16);
+    assert!(
+        per_shard.iter().filter(|&&n| n > 0).count() >= 2,
+        "expected sessions on at least two shards: {per_shard:?}"
+    );
+    drop(clients);
+    server.shutdown();
+}

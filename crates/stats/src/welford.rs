@@ -255,6 +255,21 @@ impl MergeableWelford {
         self.inner.variance_population()
     }
 
+    /// The raw accumulator state `(count, mean, m2)` — the same exact
+    /// checkpoint form as [`Welford::state`]. The serve daemon ships
+    /// per-shard CPI accumulators across the merge boundary this way.
+    pub fn state(&self) -> (u64, f64, f64) {
+        self.inner.state()
+    }
+
+    /// Rebuilds an accumulator from [`state`](Self::state) output,
+    /// bit-exactly.
+    pub fn from_state(count: u64, mean: f64, m2: f64) -> Self {
+        Self {
+            inner: Welford::from_state(count, mean, m2),
+        }
+    }
+
     /// Merges another accumulator into this one.
     pub fn merge(&mut self, other: &MergeableWelford) {
         let (a, b) = (&mut self.inner, &other.inner);
@@ -412,6 +427,47 @@ mod tests {
         let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
         assert!((a.variance_population() - naive_var(&all)).abs() < 1e-9);
         assert_eq!(a.count(), 7);
+    }
+
+    #[test]
+    fn mergeable_state_roundtrip_is_bit_exact() {
+        let mut a = MergeableWelford::new();
+        a.extend([0.25, 1.75, 3.125, -0.5]);
+        let (count, mean, m2) = a.state();
+        let back = MergeableWelford::from_state(count, mean, m2);
+        assert_eq!(back, a);
+        assert_eq!(back.mean().to_bits(), a.mean().to_bits());
+        assert_eq!(
+            back.variance_population().to_bits(),
+            a.variance_population().to_bits()
+        );
+    }
+
+    #[test]
+    fn merge_order_over_sorted_parts_is_deterministic() {
+        // Folding parts in one fixed (sorted) order must give the same
+        // bits every time — the property the cross-shard suite merge
+        // leans on: order is derived from tokens, never from shard
+        // layout, so any sharding collapses to the same fold.
+        let parts: Vec<MergeableWelford> = (0..5)
+            .map(|i| {
+                let mut w = MergeableWelford::new();
+                w.extend((0..10).map(|j| 0.1 * (i * 10 + j) as f64));
+                w
+            })
+            .collect();
+        let fold = |ps: &[MergeableWelford]| {
+            let mut acc = MergeableWelford::new();
+            for p in ps {
+                acc.merge(p);
+            }
+            acc.state()
+        };
+        let a = fold(&parts);
+        let b = fold(&parts);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+        assert_eq!(a.2.to_bits(), b.2.to_bits());
     }
 
     #[test]
