@@ -236,7 +236,7 @@ mod tests {
 
     #[test]
     fn rejects_malformed_lines() {
-        assert!(Baseline::parse("R9 p 00").is_err());
+        assert!(Baseline::parse("R99 p 00").is_err());
         assert!(Baseline::parse("R4 p nothex").is_err());
         assert!(Baseline::parse("R4 p 00 x0").is_err());
         assert!(Baseline::parse("R4 p 00 x1 extra").is_err());

@@ -48,6 +48,10 @@ pub struct SourceFile {
     pub crate_name: String,
     /// Full token stream, comments included.
     pub tokens: Vec<Tok>,
+    /// Indices of non-comment tokens, in order. Built once at parse time
+    /// and shared by every rule and the scope walker (single-pass
+    /// dispatch: no rule recomputes the comment-free view).
+    pub code: Vec<usize>,
     /// `mask[i]` is true when `tokens[i]` is inside a `#[cfg(test)]` /
     /// `#[test]` item (attribute through matching closing brace).
     pub test_mask: Vec<bool>,
@@ -65,13 +69,17 @@ impl SourceFile {
     /// Lexes and analyzes one file.
     pub fn parse(rel_path: &str, src: &str) -> SourceFile {
         let tokens = lex(src);
-        let test_mask = compute_test_mask(&tokens);
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let test_mask = compute_test_mask(&tokens, &code);
         let (pragmas, bare_pragma_lines) = collect_pragmas(&tokens);
         SourceFile {
             path: rel_path.replace('\\', "/"),
             kind: FileKind::classify(rel_path),
             crate_name: crate_name_of(rel_path),
             tokens,
+            code,
             test_mask,
             pragmas,
             bare_pragma_lines,
@@ -111,13 +119,6 @@ impl SourceFile {
             .get(&line)
             .is_some_and(|names| names.contains(lint_name))
     }
-
-    /// Indices of non-comment tokens, in order.
-    pub fn code_indices(&self) -> Vec<usize> {
-        (0..self.tokens.len())
-            .filter(|&i| !self.tokens[i].is_comment())
-            .collect()
-    }
 }
 
 fn crate_name_of(rel_path: &str) -> String {
@@ -137,18 +138,15 @@ fn crate_name_of(rel_path: &str) -> String {
 /// `{` it meets (or to the first `;` for braceless items). `cfg(not(test))`
 /// and `cfg(any(…))` containing `not` are deliberately NOT treated as test
 /// regions.
-fn compute_test_mask(tokens: &[Tok]) -> Vec<bool> {
+fn compute_test_mask(tokens: &[Tok], code: &[usize]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
-    let code: Vec<usize> = (0..tokens.len())
-        .filter(|&i| !tokens[i].is_comment())
-        .collect();
     let mut ci = 0;
     while ci < code.len() {
         let start = ci;
-        if let Some(end) = match_test_attr(tokens, &code, ci) {
+        if let Some(end) = match_test_attr(tokens, code, ci) {
             // Skip any stacked attributes after the test attribute.
             let mut cj = end;
-            while let Some(attr_end) = match_any_attr(tokens, &code, cj) {
+            while let Some(attr_end) = match_any_attr(tokens, code, cj) {
                 cj = attr_end;
             }
             // Find the item's body: first `{` (mark to matching `}`) or a

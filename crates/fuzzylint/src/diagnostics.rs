@@ -17,17 +17,29 @@ pub enum RuleId {
     R5,
     /// Lossy `as` cast on a sample/cycle counter.
     R6,
+    /// Lock-order cycle across the merged acquisition graph.
+    R7,
+    /// Lock guard held across a blocking call.
+    R8,
+    /// Condvar discipline: wait-in-loop, notify/flag under the lock.
+    R9,
+    /// Double-lock of the same mutex in one scope.
+    R10,
 }
 
 impl RuleId {
     /// All rules, in id order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::R1,
         RuleId::R2,
         RuleId::R3,
         RuleId::R4,
         RuleId::R5,
         RuleId::R6,
+        RuleId::R7,
+        RuleId::R8,
+        RuleId::R9,
+        RuleId::R10,
     ];
 
     /// The pragma name (`// fuzzylint: allow(<name>) — reason`).
@@ -39,6 +51,10 @@ impl RuleId {
             RuleId::R4 => "panic",
             RuleId::R5 => "unsafe",
             RuleId::R6 => "lossy_cast",
+            RuleId::R7 => "lock_order",
+            RuleId::R8 => "guard_blocking",
+            RuleId::R9 => "condvar",
+            RuleId::R10 => "double_lock",
         }
     }
 
@@ -55,6 +71,12 @@ impl RuleId {
             RuleId::R4 => "unwrap()/expect() in library code without an allow(panic) pragma",
             RuleId::R5 => "unsafe code outside vendor/",
             RuleId::R6 => "lossy integer `as` cast on a sample/cycle counter",
+            RuleId::R7 => {
+                "lock-order cycle in the crate-wide acquisition graph (potential deadlock)"
+            }
+            RuleId::R8 => "lock guard held across a blocking call (read/write/send/recv/join/…)",
+            RuleId::R9 => "Condvar wait outside a while loop, or notify/flag outside the lock",
+            RuleId::R10 => "same mutex locked again while its guard is still alive (self-deadlock)",
         }
     }
 
@@ -169,7 +191,8 @@ mod tests {
             assert_eq!(RuleId::parse(&format!("{r}")), Some(r));
             assert_eq!(RuleId::parse(r.name()), Some(r));
         }
-        assert_eq!(RuleId::parse("R9"), None);
+        assert_eq!(RuleId::parse("R11"), None);
+        assert_eq!(RuleId::parse("R10"), Some(RuleId::R10));
     }
 
     #[test]

@@ -10,10 +10,20 @@
 //! |------|---------------|-----------|
 //! | R1   | `hash_iter`   | no hash-container iteration feeding ordered output |
 //! | R2   | `unseeded_rng`| no unseeded randomness outside `#[cfg(test)]` |
-//! | R3   | `wall_clock`  | no `Instant`/`SystemTime` in `arch`/`regtree`/`cluster` |
+//! | R3   | `wall_clock`  | no `Instant`/`SystemTime` in `arch`/`regtree`/`cluster`/`serve` |
 //! | R4   | `panic`       | no `unwrap()`/`expect()` in library code without pragma |
 //! | R5   | `unsafe`      | no `unsafe` outside `vendor/` |
 //! | R6   | `lossy_cast`  | no lossy `as` casts on sample/cycle counters |
+//! | R7   | `lock_order`  | no cycles in the crate-wide lock acquisition graph |
+//! | R8   | `guard_blocking` | no lock guard held across a blocking call |
+//! | R9   | `condvar`     | wait in a loop; notify and flag mutation under the lock |
+//! | R10  | `double_lock` | no re-lock of a mutex whose guard is still live |
+//!
+//! R1–R6 and R8–R10 are per-file passes over a shared token stream /
+//! code index / test mask built once at parse time. R7 is the second
+//! pass: every file contributes held→acquired lock edges ([`scopes`]),
+//! the edges merge into one [`lockgraph::LockGraph`], and any cycle is
+//! a finding with both witness paths.
 //!
 //! Silence a site with `// fuzzylint: allow(<name>) — <reason>`; accept a
 //! pre-existing debt wholesale via the checked-in `fuzzylint.baseline`.
@@ -24,32 +34,54 @@ pub mod baseline;
 pub mod context;
 pub mod diagnostics;
 pub mod lexer;
+pub mod lockgraph;
 pub mod rules;
+pub mod scopes;
 pub mod workspace;
 
 pub use baseline::{Applied, Baseline};
 pub use context::{FileKind, SourceFile};
 pub use diagnostics::{Finding, RuleId};
+pub use lockgraph::LockGraph;
 
 use std::io;
 use std::path::Path;
 
-/// Lints one in-memory source file (the unit the fixture tests drive).
-pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    rules::check_file(&SourceFile::parse(rel_path, src))
+/// First pass over one in-memory file: per-file findings plus the
+/// lock-order edges the caller merges into a [`LockGraph`] for R7.
+pub fn analyze_source(rel_path: &str, src: &str) -> (Vec<Finding>, Vec<scopes::LockEdge>) {
+    rules::analyze_file(&SourceFile::parse(rel_path, src))
 }
 
-/// Lints every lintable file under `root`, in deterministic order.
+/// Lints one in-memory source file (the unit the fixture tests drive),
+/// including R7 over the file's own acquisition graph.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let (mut findings, edges) = analyze_source(rel_path, src);
+    let mut graph = LockGraph::default();
+    graph.add_file(&rel_path.replace('\\', "/"), &edges);
+    findings.extend(graph.cycles());
+    diagnostics::sort_findings(&mut findings);
+    findings
+}
+
+/// Lints every lintable file under `root`, in deterministic order:
+/// pass one runs the per-file rules and collects lock edges, pass two
+/// runs R7 over the merged crate-wide lock graph.
 ///
 /// # Errors
 ///
 /// Propagates walk and read errors.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
+    let mut graph = LockGraph::default();
     for rel in workspace::workspace_files(root)? {
         let src = std::fs::read_to_string(root.join(&rel))?;
-        findings.extend(lint_source(&rel.to_string_lossy(), &src));
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        let (file_findings, edges) = analyze_source(&rel, &src);
+        findings.extend(file_findings);
+        graph.add_file(&rel, &edges);
     }
+    findings.extend(graph.cycles());
     diagnostics::sort_findings(&mut findings);
     Ok(findings)
 }

@@ -1,0 +1,256 @@
+//! The crate-wide lock-ordering graph behind R7.
+//!
+//! Each file's [`crate::scopes`] pass yields held→acquired edges keyed
+//! by lock identity (receiver field/variable name). This module merges
+//! them — first witness per ordered pair wins, deterministically,
+//! because files arrive in sorted walk order — and searches the merged
+//! digraph for cycles. A cycle means two code paths acquire the same
+//! locks in opposite (or rotated) orders: with the right interleaving
+//! they deadlock.
+//!
+//! One finding is reported per distinct cycle. The finding anchors at
+//! the first witness edge's acquisition site, the message spells out
+//! every witness (`held at path:line, then acquired at path:line`), and
+//! the excerpt is the *canonical cycle string* (node list rotated so
+//! the lexically smallest lock comes first) so the baseline fingerprint
+//! is stable no matter which file the walker reached first.
+
+use crate::diagnostics::{Finding, RuleId};
+use crate::scopes::LockEdge;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where one held→acquired ordering was observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// File of the observation.
+    pub path: String,
+    /// Line the held lock was acquired on.
+    pub held_line: u32,
+    /// Line the second lock was acquired on (the edge site).
+    pub line: u32,
+}
+
+/// The merged lock-ordering digraph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// (held, acquired) → first witness.
+    edges: BTreeMap<(String, String), Witness>,
+}
+
+impl LockGraph {
+    /// Merges one file's edges. First witness per ordered pair wins.
+    pub fn add_file(&mut self, path: &str, edges: &[LockEdge]) {
+        for e in edges {
+            self.edges
+                .entry((e.held.clone(), e.acquired.clone()))
+                .or_insert(Witness {
+                    path: path.to_string(),
+                    held_line: e.held_line,
+                    line: e.line,
+                });
+        }
+    }
+
+    /// Whether any ordering has been recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Every distinct cycle in the graph, as R7 findings.
+    ///
+    /// Cycles are found by taking each edge `a → b` and searching for a
+    /// shortest path `b → … → a` (BFS over sorted neighbours, so the
+    /// result is deterministic); each cycle is canonicalized by rotating
+    /// its node list to start at the lexically smallest lock, and
+    /// reported once.
+    pub fn cycles(&self) -> Vec<Finding> {
+        let mut succ: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (held, acquired) in self.edges.keys() {
+            succ.entry(held).or_default().push(acquired);
+        }
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for (a, b) in self.edges.keys() {
+            let Some(back) = shortest_path(&succ, b, a) else {
+                continue;
+            };
+            // Cycle nodes: a → b → … → a (back starts at b, ends at a).
+            let mut nodes = vec![a.as_str()];
+            nodes.extend(back.iter().copied());
+            let canon = canonical(&nodes);
+            if !seen.insert(canon.clone()) {
+                continue;
+            }
+            out.push(self.finding(&nodes, &canon));
+        }
+        out
+    }
+
+    /// Builds the R7 finding for one cycle (`nodes` ends with the start
+    /// lock repeated — `[a, b, a]` for a two-lock cycle).
+    fn finding(&self, nodes: &[&str], canon: &str) -> Finding {
+        let mut witnesses = Vec::new();
+        for pair in nodes.windows(2) {
+            if let Some(w) = self.edges.get(&(pair[0].to_string(), pair[1].to_string())) {
+                witnesses.push(format!(
+                    "`{}` held at {}:{} then `{}` acquired at {}:{}",
+                    pair[0], w.path, w.held_line, pair[1], w.path, w.line
+                ));
+            }
+        }
+        let first = self
+            .edges
+            .get(&(nodes[0].to_string(), nodes[1].to_string()))
+            .cloned()
+            .unwrap_or(Witness {
+                path: String::new(),
+                held_line: 0,
+                line: 0,
+            });
+        Finding {
+            path: first.path,
+            line: first.line,
+            rule: RuleId::R7,
+            message: format!(
+                "lock-order cycle ({canon}); witnesses: {}",
+                witnesses.join("; ")
+            ),
+            hint: "pick one global acquisition order for these locks and restructure the \
+                   minority path; do not pragma a real cycle"
+                .to_string(),
+            excerpt: canon.to_string(),
+        }
+    }
+}
+
+/// BFS shortest path `from → … → to` (inclusive of both); `None` when
+/// unreachable. Neighbour order is sorted, so the path is deterministic.
+fn shortest_path<'a>(
+    succ: &BTreeMap<&'a str, Vec<&'a str>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    let mut visited = BTreeSet::from([from]);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            let mut path = vec![n];
+            let mut cur = n;
+            while let Some(&p) = prev.get(cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &next in succ.get(n).map(Vec::as_slice).unwrap_or(&[]) {
+            if visited.insert(next) {
+                prev.insert(next, n);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// `[a, b, a]` → "lock-order cycle is written `a -> b -> a`" rotated so
+/// the smallest node leads: stable across discovery order.
+fn canonical(nodes: &[&str]) -> String {
+    // Drop the repeated terminal node, rotate, then re-close the loop.
+    let ring = &nodes[..nodes.len() - 1];
+    let min_at = ring
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, n)| n)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut rotated: Vec<&str> = Vec::with_capacity(ring.len() + 1);
+    rotated.extend_from_slice(&ring[min_at..]);
+    rotated.extend_from_slice(&ring[..min_at]);
+    rotated.push(ring[min_at]);
+    rotated.join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(held: &str, acquired: &str, line: u32) -> LockEdge {
+        LockEdge {
+            held: held.to_string(),
+            held_line: line.saturating_sub(1),
+            acquired: acquired.to_string(),
+            line,
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_is_clean() {
+        let mut g = LockGraph::default();
+        g.add_file("a.rs", &[edge("admission", "sessions", 10)]);
+        g.add_file("b.rs", &[edge("admission", "active_tokens", 20)]);
+        g.add_file("c.rs", &[edge("sessions", "active_tokens", 30)]);
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn two_lock_cycle_across_files() {
+        let mut g = LockGraph::default();
+        g.add_file("a.rs", &[edge("alpha", "beta", 10)]);
+        g.add_file("b.rs", &[edge("beta", "alpha", 20)]);
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        let f = &cycles[0];
+        assert_eq!(f.rule, RuleId::R7);
+        assert_eq!(f.excerpt, "alpha -> beta -> alpha");
+        assert!(f.message.contains("a.rs:10"));
+        assert!(f.message.contains("b.rs:20"));
+        // Anchored at the first witness's acquisition site.
+        assert_eq!((f.path.as_str(), f.line), ("a.rs", 10));
+    }
+
+    #[test]
+    fn cycle_reported_once_regardless_of_direction() {
+        let mut g = LockGraph::default();
+        g.add_file("a.rs", &[edge("zeta", "eta", 1), edge("eta", "zeta", 2)]);
+        assert_eq!(g.cycles().len(), 1);
+    }
+
+    #[test]
+    fn three_lock_rotation_canonicalizes() {
+        let mut g = LockGraph::default();
+        g.add_file(
+            "a.rs",
+            &[edge("c", "a", 1), edge("a", "b", 2), edge("b", "c", 3)],
+        );
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].excerpt, "a -> b -> c -> a");
+    }
+
+    #[test]
+    fn first_witness_wins() {
+        let mut g = LockGraph::default();
+        g.add_file("a.rs", &[edge("alpha", "beta", 5)]);
+        g.add_file(
+            "z.rs",
+            &[edge("alpha", "beta", 99), edge("beta", "alpha", 7)],
+        );
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].message.contains("a.rs:5"));
+        assert!(!cycles[0].message.contains(":99"));
+    }
+
+    #[test]
+    fn self_edge_does_not_cycle() {
+        // scopes never emits self-edges (R10's territory), but the graph
+        // must not blow up if fed one.
+        let mut g = LockGraph::default();
+        g.add_file("a.rs", &[edge("alpha", "alpha", 4)]);
+        // A self-loop is technically a cycle; report it rather than hide
+        // it — scopes guarantees it cannot occur from real code.
+        assert_eq!(g.cycles().len(), 1);
+    }
+}

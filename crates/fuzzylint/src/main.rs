@@ -13,6 +13,7 @@
 use fuzzylint::baseline::Baseline;
 use fuzzylint::diagnostics::{sort_findings, Finding, RuleId};
 use fuzzylint::workspace::{find_root, rust_files_under};
+use fuzzylint::LockGraph;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -32,8 +33,16 @@ OPTIONS:
                         in --workspace mode)
     --write-baseline    accept all current findings into the baseline file
     --no-baseline       ignore any baseline file
+    --format <fmt>      output format: human (default) or github
+                        (::error file=…,line=…:: annotations for CI)
     --list-rules        print the rule table and exit
 ";
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Github,
+}
 
 struct Args {
     workspace: bool,
@@ -42,6 +51,7 @@ struct Args {
     write_baseline: bool,
     no_baseline: bool,
     list_rules: bool,
+    format: Format,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         write_baseline: false,
         no_baseline: false,
         list_rules: false,
+        format: Format::Human,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -66,6 +77,13 @@ fn parse_args() -> Result<Args, String> {
             "--write-baseline" => args.write_baseline = true,
             "--no-baseline" => args.no_baseline = true,
             "--list-rules" => args.list_rules = true,
+            "--format" => {
+                args.format = match it.next().ok_or("--format needs a value")?.as_str() {
+                    "human" => Format::Human,
+                    "github" => Format::Github,
+                    other => return Err(format!("unknown format: {other}")),
+                };
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -79,8 +97,11 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Lints explicit paths with the same two-pass structure as the
+/// workspace mode, so R7 sees lock edges from *all* the given files.
 fn lint_paths(root: &Path, paths: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
+    let mut graph = LockGraph::default();
     for p in paths {
         let abs = if p.is_absolute() {
             p.clone()
@@ -97,13 +118,30 @@ fn lint_paths(root: &Path, paths: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
                 .strip_prefix(root)
                 .unwrap_or(&f)
                 .to_string_lossy()
-                .into_owned();
+                .replace('\\', "/");
             let src = std::fs::read_to_string(&f)?;
-            findings.extend(fuzzylint::lint_source(&rel, &src));
+            let (file_findings, edges) = fuzzylint::analyze_source(&rel, &src);
+            findings.extend(file_findings);
+            graph.add_file(&rel, &edges);
         }
     }
+    findings.extend(graph.cycles());
     sort_findings(&mut findings);
     Ok(findings)
+}
+
+/// One `::error` workflow command per finding — GitHub renders these as
+/// inline PR annotations. Messages must stay single-line.
+fn github_annotation(f: &Finding) -> String {
+    let text = format!(
+        "{} [{}] {} (hint: {})",
+        f.rule,
+        f.rule.name(),
+        f.message,
+        f.hint
+    )
+    .replace('\n', " ");
+    format!("::error file={},line={}::{}", f.path, f.line, text)
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -118,11 +156,13 @@ fn run() -> Result<ExitCode, String> {
     let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
     let root = find_root(&cwd).ok_or("no enclosing cargo workspace found")?;
 
+    let started = std::time::Instant::now();
     let findings = if args.workspace {
         fuzzylint::lint_workspace(&root).map_err(|e| e.to_string())?
     } else {
         lint_paths(&root, &args.paths).map_err(|e| e.to_string())?
     };
+    let lint_ms = started.elapsed().as_millis();
 
     let baseline_path = match (&args.baseline, args.workspace) {
         (Some(p), _) => Some(if p.is_absolute() {
@@ -153,17 +193,24 @@ fn run() -> Result<ExitCode, String> {
     let applied = base.apply(findings);
 
     for f in &applied.new {
-        println!("{}\n", f.render());
+        match args.format {
+            Format::Human => println!("{}\n", f.render()),
+            Format::Github => println!("{}", github_annotation(f)),
+        }
     }
     for e in &applied.expired {
-        println!(
+        let msg = format!(
             "stale baseline entry (nothing matches): {} {} {:016x} x{}",
             e.rule, e.path, e.fingerprint, e.count
         );
+        match args.format {
+            Format::Human => println!("{msg}"),
+            Format::Github => println!("::error file=fuzzylint.baseline::{msg}"),
+        }
     }
     let ok = applied.new.is_empty() && applied.expired.is_empty();
     println!(
-        "fuzzylint: {} new finding(s), {} baselined, {} stale baseline entr(y/ies)",
+        "fuzzylint: {} new finding(s), {} baselined, {} stale baseline entr(y/ies) in {lint_ms} ms",
         applied.new.len(),
         applied.baselined.len(),
         applied.expired.len()

@@ -1,13 +1,20 @@
-//! The rule engine: R1–R6 determinism & robustness invariants.
+//! The rule engine: R1–R6 determinism & robustness invariants, plus the
+//! scope-based concurrency rules R8–R10 (R7 needs the whole workspace and
+//! lives in [`crate::lockgraph`]; this module only exports each file's
+//! lock-order edges).
 //!
 //! Rules pattern-match on the comment-free token stream of one file, with
-//! scope decided by [`FileKind`] and the `#[cfg(test)]` mask. Every rule
-//! can be silenced at a site with `// fuzzylint: allow(<name>) — <reason>`
+//! scope decided by [`FileKind`] and the `#[cfg(test)]` mask. The token
+//! stream, code index, and test mask are built once per file at parse
+//! time and shared by every rule (single-pass dispatch). Every rule can
+//! be silenced at a site with `// fuzzylint: allow(<name>) — <reason>`
 //! on the offending line or the line above; a pragma without a reason is
 //! itself a finding.
 
 use crate::context::{FileKind, SourceFile};
 use crate::diagnostics::{Finding, RuleId};
+use crate::scopes::{self, LockAnalysis, LockEdge};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How many code tokens after a hash-container iteration R1 scans for an
 /// explicit `sort`/BTree conversion before flagging. Wide enough to cover
@@ -27,20 +34,38 @@ const R6_NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 /// carry justified pragmas.
 const R3_MODEL_CRATES: [&str; 4] = ["arch", "regtree", "cluster", "serve"];
 
-/// Runs every rule over one file.
+/// Runs every per-file rule over one file (drops the lock-order edges).
 pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    analyze_file(file).0
+}
+
+/// Runs every per-file rule over one file, and returns the file's
+/// lock-order edges for the caller to merge into a [`crate::lockgraph`]
+/// (the workspace half of R7).
+pub fn analyze_file(file: &SourceFile) -> (Vec<Finding>, Vec<LockEdge>) {
     let mut out = Vec::new();
-    let code = file.code_indices();
-    r1_hash_iter(file, &code, &mut out);
-    r2_unseeded_rng(file, &code, &mut out);
-    r3_wall_clock(file, &code, &mut out);
-    r4_panic(file, &code, &mut out);
-    r5_unsafe(file, &code, &mut out);
-    r6_lossy_cast(file, &code, &mut out);
+    let code: &[usize] = &file.code;
+    r1_hash_iter(file, code, &mut out);
+    r2_unseeded_rng(file, code, &mut out);
+    r3_wall_clock(file, code, &mut out);
+    r4_panic(file, code, &mut out);
+    r5_unsafe(file, code, &mut out);
+    r6_lossy_cast(file, code, &mut out);
     bare_pragmas(file, &mut out);
+    // Concurrency rules only police shipping code; tests and benches may
+    // lock in any order they like.
+    let edges = if matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+        let analysis = scopes::analyze(file);
+        r8_guard_blocking(file, &analysis, &mut out);
+        r9_condvar(file, &analysis, &mut out);
+        r10_double_lock(file, &analysis, &mut out);
+        analysis.edges
+    } else {
+        Vec::new()
+    };
     out.retain(|f| !file.allowed(f.line, f.rule.name()) || f.message.contains("justification"));
     crate::diagnostics::sort_findings(&mut out);
-    out
+    (out, edges)
 }
 
 fn finding(file: &SourceFile, line: u32, rule: RuleId, message: String, hint: &str) -> Finding {
@@ -332,6 +357,127 @@ fn r6_lossy_cast(file: &SourceFile, code: &[usize], out: &mut Vec<Finding>) {
     }
 }
 
+/// R8 — no lock guard held across a blocking call.
+///
+/// Blocking a thread while it owns a lock turns every other contender
+/// into a convoy behind the slow I/O — and if the blocked call can wait
+/// on a peer that needs the same lock, it deadlocks. The one legitimate
+/// shape in this codebase (the daemon's writer lock exists precisely to
+/// serialize wire writes, so `flush` under it is the point) carries a
+/// justified pragma.
+fn r8_guard_blocking(file: &SourceFile, analysis: &LockAnalysis, out: &mut Vec<Finding>) {
+    for b in &analysis.blocking {
+        let held: Vec<String> = b
+            .guards
+            .iter()
+            .map(|(lock, line)| format!("`{lock}` (acquired line {line})"))
+            .collect();
+        out.push(finding(
+            file,
+            b.line,
+            RuleId::R8,
+            format!(
+                "guard on {} held across blocking `{}()`",
+                held.join(", "),
+                b.call
+            ),
+            "release the lock before blocking, or justify: `// fuzzylint: allow(guard_blocking) — <reason>`",
+        ));
+    }
+}
+
+/// R9 — condvar discipline, the lost-wakeup triad:
+///
+/// * (a) `Condvar::wait`/`wait_timeout` outside a `while`/`loop` — a
+///   spurious wakeup returns before the predicate holds.
+/// * (b) `notify_*` with no lock held — the wakeup can land between a
+///   waiter's predicate check and its sleep, and is lost.
+/// * (c) a boolean flag mutated *under* a lock on some paths and bare on
+///   others — the bare path is exactly the PR-6 Pause/Resume race.
+fn r9_condvar(file: &SourceFile, analysis: &LockAnalysis, out: &mut Vec<Finding>) {
+    for w in &analysis.waits {
+        if w.method == "wait_while" || w.in_loop {
+            continue;
+        }
+        out.push(finding(
+            file,
+            w.line,
+            RuleId::R9,
+            format!(
+                "`{}.{}()` is not inside a while/loop — a spurious wakeup returns before the predicate holds",
+                w.condvar, w.method
+            ),
+            "re-check the predicate in a loop: `while !ready { guard = cv.wait(guard); }`",
+        ));
+    }
+    for n in &analysis.notifies {
+        if n.guards_held > 0 {
+            continue;
+        }
+        out.push(finding(
+            file,
+            n.line,
+            RuleId::R9,
+            format!(
+                "`{}` notified with no lock held — a waiter between its predicate check and its sleep misses the wakeup",
+                n.condvar
+            ),
+            "mutate the predicate and notify while holding the mutex that guards it",
+        ));
+    }
+    // (c) anchored-flag discipline: if any site mutates flag F while
+    // holding lock L, every other mutation of F must hold one of F's
+    // anchor locks. (Known limit: reverting *every* guarded site removes
+    // the anchor and the rule goes quiet — the fixture pins the
+    // one-sided revert, which is the shape we shipped.)
+    let mut by_field: BTreeMap<&str, Vec<&scopes::FlagStore>> = BTreeMap::new();
+    for s in &analysis.flag_stores {
+        by_field.entry(s.field.as_str()).or_default().push(s);
+    }
+    for (field, sites) in by_field {
+        let anchors: BTreeSet<&str> = sites
+            .iter()
+            .flat_map(|s| s.held.iter().map(String::as_str))
+            .collect();
+        if anchors.is_empty() {
+            continue;
+        }
+        let anchor_list: Vec<&str> = anchors.iter().copied().collect();
+        for s in sites {
+            if s.held.iter().any(|h| anchors.contains(h.as_str())) {
+                continue;
+            }
+            out.push(finding(
+                file,
+                s.line,
+                RuleId::R9,
+                format!(
+                    "flag `{field}` mutated without holding `{}`, which other sites hold while mutating it (lost-wakeup risk)",
+                    anchor_list.join("`/`")
+                ),
+                "latch the flag under the same lock on every path, or justify: `// fuzzylint: allow(condvar) — <reason>`",
+            ));
+        }
+    }
+}
+
+/// R10 — re-locking a mutex whose guard is still live self-deadlocks
+/// (std) or UBs (never here: the vendored parking_lot also blocks).
+fn r10_double_lock(file: &SourceFile, analysis: &LockAnalysis, out: &mut Vec<Finding>) {
+    for d in &analysis.double_locks {
+        out.push(finding(
+            file,
+            d.line,
+            RuleId::R10,
+            format!(
+                "`{}` locked again while its guard from line {} is still live — self-deadlock",
+                d.lock, d.first_line
+            ),
+            "drop or scope the first guard before re-locking, or pass the existing guard down",
+        ));
+    }
+}
+
 /// A pragma without a justification is itself a finding (reported under
 /// the rule it tries to allow).
 fn bare_pragmas(file: &SourceFile, out: &mut Vec<Finding>) {
@@ -449,6 +595,94 @@ mod tests {
         // Widening and non-counter casts pass.
         let ok = "fn g(total_cycles: u32) -> u64 { total_cycles as u64 }\nfn h(x: u64) -> u32 { x as u32 }\n";
         assert!(lint(ok).is_empty());
+    }
+
+    #[test]
+    fn r8_flags_guarded_flush() {
+        let src = "fn send(s: &S) {\n    let mut w = s.writer.lock();\n    w.flush();\n}\n";
+        let found = lint(src);
+        assert_eq!(rules_of(&found), vec![RuleId::R8]);
+        assert!(found[0].message.contains("`writer`"));
+        assert!(found[0].message.contains("flush"));
+    }
+
+    #[test]
+    fn r8_pragma_with_reason_suppresses() {
+        let src = "fn send(s: &S) {\n    let mut w = s.writer.lock();\n    // fuzzylint: allow(guard_blocking) — the writer lock exists to serialize wire writes\n    w.flush();\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn r8_clean_when_guard_dropped_first() {
+        let src = "fn send(s: &S) {\n    { let mut w = s.writer.lock(); w.push(1); }\n    s.sock.flush();\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn r9_wait_outside_loop_flagged() {
+        let src = "fn f(s: &S) {\n    let mut g = s.state.lock();\n    if g.is_none() {\n        g = s.cv.wait(g);\n    }\n}\n";
+        let found = lint(src);
+        assert_eq!(rules_of(&found), vec![RuleId::R9]);
+        assert!(found[0].message.contains("while"));
+    }
+
+    #[test]
+    fn r9_wait_inside_while_ok() {
+        let src = "fn f(s: &S) {\n    let mut g = s.state.lock();\n    while g.is_none() {\n        g = s.cv.wait(g);\n    }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn r9_notify_without_lock_flagged() {
+        let src = "fn f(s: &S) {\n    if let Ok(mut slot) = s.state.lock() {\n        *slot = Some(1);\n    }\n    s.cv.notify_all();\n}\n";
+        let found = lint(src);
+        assert_eq!(rules_of(&found), vec![RuleId::R9]);
+        assert!(found[0].message.contains("notified with no lock held"));
+    }
+
+    #[test]
+    fn r9_notify_under_lock_ok() {
+        let src = "fn f(s: &S) {\n    if let Ok(mut slot) = s.state.lock() {\n        *slot = Some(1);\n        s.cv.notify_all();\n    }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn r9_flag_mutation_outside_anchor_lock_flagged() {
+        let src = "fn pause(s: &S) {\n    s.paused.store(true, SeqCst);\n    let mut w = s.writer.lock();\n    w.push(1);\n}\nfn resume(s: &S) {\n    let mut w = s.writer.lock();\n    s.paused.store(false, SeqCst);\n}\n";
+        let found = lint(src);
+        assert_eq!(rules_of(&found), vec![RuleId::R9]);
+        assert_eq!(found[0].line, 2);
+        assert!(found[0].message.contains("`paused`"));
+    }
+
+    #[test]
+    fn r9_flag_latched_under_lock_on_both_paths_ok() {
+        let src = "fn pause(s: &S) {\n    let mut w = s.writer.lock();\n    s.paused.store(true, SeqCst);\n}\nfn resume(s: &S) {\n    let mut w = s.writer.lock();\n    s.paused.store(false, SeqCst);\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn r10_double_lock_flagged() {
+        let src = "fn f(s: &S) {\n    let a = s.table.lock();\n    let b = s.table.lock();\n}\n";
+        let found = lint(src);
+        assert_eq!(rules_of(&found), vec![RuleId::R10]);
+        assert!(found[0].message.contains("line 2"));
+    }
+
+    #[test]
+    fn concurrency_rules_skip_test_files() {
+        let src = "fn f(s: &S) {\n    let mut w = s.writer.lock();\n    w.flush();\n}\n";
+        let found = check_file(&SourceFile::parse("crates/demo/tests/t.rs", src));
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn analyze_file_exports_edges_for_lib_code_only() {
+        let src = "fn f(s: &S) {\n    let a = s.alpha.lock();\n    let b = s.beta.lock();\n}\n";
+        let (_, edges) = analyze_file(&SourceFile::parse("crates/demo/src/lib.rs", src));
+        assert_eq!(edges.len(), 1);
+        let (_, edges) = analyze_file(&SourceFile::parse("crates/demo/tests/t.rs", src));
+        assert!(edges.is_empty());
     }
 
     #[test]

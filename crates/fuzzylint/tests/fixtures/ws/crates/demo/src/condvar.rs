@@ -1,0 +1,39 @@
+//! Fixture: the R9 lost-wakeup triad — wait outside a loop, notify with
+//! no lock held, and the exact PR-6 Pause/Resume regression shape (the
+//! pause flag mutated outside the writer lock on one path while the
+//! other path latches it under the lock).
+
+use crate::Shared;
+
+/// R9a: wait outside a while loop — a spurious wakeup skips the
+/// predicate recheck.
+pub fn await_ready(s: &Shared) {
+    let mut g = s.state.lock();
+    if g.is_none() {
+        g = s.ready.wait(g);
+    }
+    g.take();
+}
+
+/// R9b: notify with no lock held — the wakeup can land between a
+/// waiter's predicate check and its sleep.
+pub fn signal_ready(s: &Shared) {
+    s.ready.notify_all();
+}
+
+/// R9c: the reverted PR-6 fix — the flag leaves before the writer lock
+/// is taken, so a concurrent `resume_latched` can interleave between
+/// flag and wire and the pause is never lifted.
+pub fn pause_reverted(s: &Shared) {
+    s.paused.store(true, SeqCst);
+    let mut w = s.writer.lock();
+    w.push(Pause);
+}
+
+/// The correctly-latched side (this is what anchors `paused` to the
+/// writer lock): flag and wire leave as one step under the guard.
+pub fn resume_latched(s: &Shared) {
+    let mut w = s.writer.lock();
+    s.paused.store(false, SeqCst);
+    w.push(Resume);
+}

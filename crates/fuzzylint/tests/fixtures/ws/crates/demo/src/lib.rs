@@ -1,5 +1,10 @@
 //! Fixture: exactly one violation of each rule that applies to a plain
-//! library crate (R1, R2, R4, R5, R6 — R3 lives in the regtree fixture).
+//! library crate (R1, R2, R4, R5, R6 — R3 lives in the regtree fixture;
+//! the concurrency rules R7–R10 live in `locks_a`/`locks_b`/`condvar`).
+
+mod condvar;
+mod locks_a;
+mod locks_b;
 
 use std::collections::HashMap;
 

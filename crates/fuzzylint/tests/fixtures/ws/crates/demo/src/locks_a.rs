@@ -1,0 +1,18 @@
+//! Fixture: one half of the R7 lock-order cycle (alpha → beta; the
+//! opposite order lives in `locks_b`), plus an R10 double-lock.
+
+use crate::Shared;
+
+/// R7 (with locks_b::beta_then_alpha): acquires beta while holding alpha.
+pub fn alpha_then_beta(s: &Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    a.merge(&b);
+}
+
+/// R10: gamma locked again while its first guard is still live.
+pub fn double_gamma(s: &Shared) {
+    let first = s.gamma.lock();
+    let second = s.gamma.lock();
+    first.merge(&second);
+}

@@ -1,0 +1,17 @@
+//! Fixture: the other half of the R7 cycle (beta → alpha), plus an R8
+//! guard held across blocking I/O.
+
+use crate::Shared;
+
+/// R7 (with locks_a::alpha_then_beta): acquires alpha while holding beta.
+pub fn beta_then_alpha(s: &Shared) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    b.merge(&a);
+}
+
+/// R8: the writer guard is still live across the blocking flush.
+pub fn flush_under_lock(s: &Shared) {
+    let mut w = s.writer.lock();
+    w.flush();
+}

@@ -43,7 +43,12 @@ fn fixture_covers_every_rule_exactly_once() {
     let findings = lint_workspace(&fixture_ws()).expect("lint fixture ws");
     let mut rules: Vec<String> = findings.iter().map(|f| f.rule.to_string()).collect();
     rules.sort();
-    assert_eq!(rules, ["R1", "R2", "R3", "R4", "R5", "R6"]);
+    // String sort, so "R10" lands between "R1" and "R2"; R9 appears three
+    // times (wait-not-in-loop, bare notify, flag outside anchor lock).
+    assert_eq!(
+        rules,
+        ["R1", "R10", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R9", "R9"]
+    );
 }
 
 #[test]
@@ -55,10 +60,64 @@ fn binary_fails_on_fixture_and_honors_exit_codes() {
         .expect("run fuzzylint binary");
     assert_eq!(out.status.code(), Some(1), "violations must fail the build");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("6 new finding(s)"), "stdout: {stdout}");
+    assert!(stdout.contains("12 new finding(s)"), "stdout: {stdout}");
 
     let usage = bin().arg("--bogus-flag").output().expect("run binary");
     assert_eq!(usage.status.code(), Some(2), "usage errors exit 2");
+}
+
+#[test]
+fn github_format_emits_workflow_annotations() {
+    let out = bin()
+        .args(["--workspace", "--no-baseline", "--format", "github"])
+        .current_dir(fixture_ws())
+        .output()
+        .expect("run fuzzylint binary");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("::error file=crates/demo/src/lib.rs,line=14::R1 [hash_iter]"),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("::error file=crates/demo/src/locks_a.rs,line=9::R7 [lock_order]"),
+        "stdout: {stdout}"
+    );
+
+    let bad = bin()
+        .args(["--format", "nonsense"])
+        .output()
+        .expect("run binary");
+    assert_eq!(bad.status.code(), Some(2), "unknown format exits 2");
+}
+
+/// The PR-6 regression gate: the condvar fixture carries the lost-wakeup
+/// shape with the fix *reverted* (flag stored before the writer lock is
+/// taken). R9 must flag it, and textually re-applying the fix — latching
+/// the store under the guard — must clear exactly that finding.
+#[test]
+fn pr6_lost_wakeup_shape_is_caught_and_its_fix_clears_it() {
+    let path = fixture_ws().join("crates/demo/src/condvar.rs");
+    let src = std::fs::read_to_string(&path).expect("read condvar fixture");
+
+    let findings = fuzzylint::lint_source("crates/demo/src/condvar.rs", &src);
+    assert!(
+        findings.iter().any(|f| f
+            .message
+            .contains("flag `paused` mutated without holding `writer`")),
+        "reverted lost-wakeup shape must be flagged:\n{findings:#?}"
+    );
+
+    let fixed = src.replace(
+        "    s.paused.store(true, SeqCst);\n    let mut w = s.writer.lock();",
+        "    let mut w = s.writer.lock();\n    s.paused.store(true, SeqCst);",
+    );
+    assert_ne!(fixed, src, "fix template must match the fixture text");
+    let findings = fuzzylint::lint_source("crates/demo/src/condvar.rs", &fixed);
+    assert!(
+        !findings.iter().any(|f| f.message.contains("flag `paused`")),
+        "latching the flag under the writer lock must clear the finding:\n{findings:#?}"
+    );
 }
 
 /// The full baseline lifecycle, through the real binary: accept current
@@ -71,7 +130,7 @@ fn baseline_add_then_expire() {
     let _ = std::fs::remove_dir_all(&dir);
     copy_tree(&fixture_ws(), &dir).expect("copy fixture ws");
 
-    // Add: accept all six findings.
+    // Add: accept all twelve findings.
     let write = bin()
         .args(["--workspace", "--write-baseline"])
         .current_dir(&dir)
@@ -82,7 +141,7 @@ fn baseline_add_then_expire() {
         std::fs::read_to_string(dir.join("fuzzylint.baseline")).expect("baseline written");
     assert_eq!(
         baseline_text.lines().filter(|l| l.starts_with('R')).count(),
-        6
+        12
     );
 
     // Baselined: same findings now pass.
@@ -92,7 +151,7 @@ fn baseline_add_then_expire() {
         .output()
         .expect("run with baseline");
     assert_eq!(pass.status.code(), Some(0), "baselined findings must pass");
-    assert!(String::from_utf8_lossy(&pass.stdout).contains("6 baselined"));
+    assert!(String::from_utf8_lossy(&pass.stdout).contains("12 baselined"));
 
     // Expire: fix the R3 violation; its baseline entry goes stale and the
     // run fails until the baseline is refreshed.
@@ -107,7 +166,7 @@ fn baseline_add_then_expire() {
     let stdout = String::from_utf8_lossy(&stale.stdout);
     assert!(stdout.contains("stale baseline entry"), "stdout: {stdout}");
 
-    // Refresh shrinks the baseline to the five remaining findings.
+    // Refresh shrinks the baseline to the eleven remaining findings.
     let rewrite = bin()
         .args(["--workspace", "--write-baseline"])
         .current_dir(&dir)
@@ -116,7 +175,7 @@ fn baseline_add_then_expire() {
     assert!(rewrite.status.success());
     let refreshed =
         std::fs::read_to_string(dir.join("fuzzylint.baseline")).expect("baseline refreshed");
-    assert_eq!(refreshed.lines().filter(|l| l.starts_with('R')).count(), 5);
+    assert_eq!(refreshed.lines().filter(|l| l.starts_with('R')).count(), 11);
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -83,10 +83,14 @@ impl ServeClient {
                                         // Latched, never forwarded: the
                                         // greeting is connection plumbing,
                                         // not session traffic.
+                                        // Notify *while holding* the lock:
+                                        // notifying after releasing it can
+                                        // race a waiter between its predicate
+                                        // check and its sleep (lost wakeup).
                                         if let Ok(mut slot) = welcome.versions.lock() {
                                             *slot = Some(versions.clone());
+                                            welcome.arrived.notify_all();
                                         }
-                                        welcome.arrived.notify_all();
                                         continue;
                                     }
                                     ServerMsg::Pause => {
@@ -139,12 +143,17 @@ impl ServeClient {
     /// Waits (bounded) for the server's `Welcome` greeting. `None`
     /// means no greeting arrived — a v1 server, which never sends one.
     fn await_welcome(&self, timeout: Duration) -> Option<Vec<u32>> {
-        let Ok(versions) = self.welcome.versions.lock() else {
+        let Ok(mut versions) = self.welcome.versions.lock() else {
             return None;
         };
-        if versions.is_none() {
-            let (versions, _) = self.welcome.arrived.wait_timeout(versions, timeout).ok()?;
-            return versions.clone();
+        // Condvar waits wake spuriously: loop on the predicate, and let
+        // the wait's own timeout verdict bound the retries.
+        while versions.is_none() {
+            let (guard, res) = self.welcome.arrived.wait_timeout(versions, timeout).ok()?;
+            versions = guard;
+            if res.timed_out() {
+                break;
+            }
         }
         versions.clone()
     }

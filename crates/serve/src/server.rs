@@ -251,10 +251,18 @@ impl SessionShared {
     }
 
     /// Writes one JSON line and flushes; marks the session dead on I/O
-    /// failure so every thread stops touching the socket.
+    /// failure so every thread stops touching the socket. The dead
+    /// latch is set *after* the writer guard is released: it is a
+    /// stop-touching-the-socket signal with no ordering relationship to
+    /// the wire, and keeping it out of the guard scope keeps the flag's
+    /// locking discipline uniform across the codebase (R9).
     fn send(&self, msg: &ServerMsg) -> io::Result<()> {
-        let mut w = self.writer.lock();
-        let r = write_msg(&mut *w, msg).and_then(|()| w.flush());
+        let r = {
+            let mut w = self.writer.lock();
+            // fuzzylint: allow(guard_blocking) — the writer lock exists to
+            // serialize whole-frame wire writes; flushing under it is the point
+            write_msg(&mut *w, msg).and_then(|()| w.flush())
+        };
         if r.is_err() {
             self.dead.store(true, Ordering::SeqCst);
         }
@@ -268,9 +276,13 @@ impl SessionShared {
     /// flag already cleared, and a cooperative client would stall
     /// forever on a pause nobody will lift.
     fn send_pause(&self) -> io::Result<()> {
-        let mut w = self.writer.lock();
-        self.paused.store(true, Ordering::SeqCst);
-        let r = write_msg(&mut *w, &ServerMsg::Pause).and_then(|()| w.flush());
+        let r = {
+            let mut w = self.writer.lock();
+            self.paused.store(true, Ordering::SeqCst);
+            // fuzzylint: allow(guard_blocking) — flag and wire must leave as
+            // one step under the writer lock (the PR-6 lost-wakeup fix)
+            write_msg(&mut *w, &ServerMsg::Pause).and_then(|()| w.flush())
+        };
         if r.is_err() {
             self.dead.store(true, Ordering::SeqCst);
         }
@@ -280,11 +292,15 @@ impl SessionShared {
     /// Clears the pause flag and sends `Resume`, also under the writer
     /// lock; a no-op when the session is not paused. See [`Self::send_pause`].
     fn send_resume_if_paused(&self) -> io::Result<()> {
-        let mut w = self.writer.lock();
-        if !self.paused.swap(false, Ordering::SeqCst) {
-            return Ok(());
-        }
-        let r = write_msg(&mut *w, &ServerMsg::Resume).and_then(|()| w.flush());
+        let r = {
+            let mut w = self.writer.lock();
+            if !self.paused.swap(false, Ordering::SeqCst) {
+                return Ok(());
+            }
+            // fuzzylint: allow(guard_blocking) — flag and wire must leave as
+            // one step under the writer lock (the PR-6 lost-wakeup fix)
+            write_msg(&mut *w, &ServerMsg::Resume).and_then(|()| w.flush())
+        };
         if r.is_err() {
             self.dead.store(true, Ordering::SeqCst);
         }
