@@ -9,20 +9,31 @@
 //!
 //! - `fit_rescan` — tree build with per-node re-gather + re-sort (the
 //!   pre-cache baseline),
-//! - `fit_cached` — tree build with the presorted split-entry cache,
+//! - `fit_scalar` — scalar oracle build: per-fit gather + global sort,
+//!   presorted split-entry cache partitioned per node,
+//! - `fit_columnar` — cold columnar build: bucket-and-sort the columnar
+//!   layout, then the batch fit kernels,
+//! - `fit_cached` — `TreeBuilder::fit` steady state: the dataset's
+//!   memoized columnar primary storage feeds the batch kernels directly,
+//! - `sse_scalar` / `sse_batch` — fold-partial SSE accumulation over the
+//!   full dataset, per-`k` scalar walk vs the batch kernel,
 //! - `cv_baseline` — 10-fold × k=50 cross-validation as the seed
 //!   implemented it: serial folds, re-sorting split search (the recorded
 //!   serial baseline),
-//! - `cv_serial` — current cross-validation on one thread (cached split
-//!   search, serial folds),
+//! - `cv_serial` — current cross-validation on one thread (batch
+//!   kernels, serial folds),
 //! - `cv_parallel` — the same folds fanned across a worker pool.
 //!
 //! Every optimized stage is checked against its baseline for exact
-//! equality before timings are reported: the cached build must produce
-//! the identical tree, and the parallel curve must be bit-identical to
-//! the serial one.
+//! equality before timings are reported: the cached and columnar builds
+//! must produce the identical tree, the batch SSE partials must be
+//! bit-identical to the scalar walk, and the parallel curve must be
+//! bit-identical to the serial one.
 
-use fuzzyphase_regtree::{CrossValidation, Dataset, TreeBuilder};
+use fuzzyphase_regtree::columnar::fit_on_columns;
+use fuzzyphase_regtree::{
+    eval_sse_batch, eval_sse_scalar, ColumnarDataset, CrossValidation, Dataset, TreeBuilder,
+};
 use fuzzyphase_stats::{seeded_rng, KFold, SparseVec};
 use rand::Rng;
 use serde::Serialize;
@@ -58,6 +69,10 @@ struct Report {
     /// alone (≈ 1.0 on a single-core machine).
     cv_speedup_parallel: f64,
     cached_tree_identical: bool,
+    /// Batch columnar fit produced the same tree as the scalar oracle.
+    columnar_tree_identical: bool,
+    /// Batch SSE fold partials are bit-identical to the scalar walk.
+    sse_batch_bit_identical: bool,
     parallel_curve_bit_identical: bool,
 }
 
@@ -135,8 +150,31 @@ fn main() {
 
     let builder = TreeBuilder::new();
     let (fit_rescan_med, fit_rescan_min) = time_ms(reps, || builder.fit_rescan(&ds));
+    let (fit_scalar_med, fit_scalar_min) = time_ms(reps, || builder.fit_scalar(&ds));
+    let (fit_columnar_med, fit_columnar_min) = time_ms(reps, || {
+        fit_on_columns(&builder, &ColumnarDataset::from_dataset(&ds))
+    });
+    // Warm the dataset's memoized columnar storage so `fit_cached`
+    // times the steady state `TreeBuilder::fit` actually runs at.
+    let warm_tree = builder.fit(&ds);
     let (fit_cached_med, fit_cached_min) = time_ms(reps, || builder.fit(&ds));
     let cached_tree_identical = builder.fit(&ds) == builder.fit_rescan(&ds);
+    let columnar_tree_identical =
+        fit_on_columns(&builder, ds.columnar()) == builder.fit_scalar(&ds);
+
+    let k_max_eval = CrossValidation::default().k_max;
+    let all_rows: Vec<usize> = (0..ds.len()).collect();
+    let (sse_scalar_med, sse_scalar_min) = time_ms(reps, || {
+        eval_sse_scalar(&warm_tree, &ds, &all_rows, k_max_eval)
+    });
+    let (sse_batch_med, sse_batch_min) = time_ms(reps, || {
+        eval_sse_batch(&warm_tree, &ds, &all_rows, k_max_eval)
+    });
+    let sse_batch_bit_identical = {
+        let a = eval_sse_batch(&warm_tree, &ds, &all_rows, k_max_eval);
+        let b = eval_sse_scalar(&warm_tree, &ds, &all_rows, k_max_eval);
+        a.len() == b.len() && a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits())
+    };
 
     let serial_cv = CrossValidation {
         seed: 7,
@@ -175,7 +213,11 @@ fn main() {
         cv_workers: workers,
         stages: vec![
             stage("fit_rescan", fit_rescan_med, fit_rescan_min),
+            stage("fit_scalar", fit_scalar_med, fit_scalar_min),
+            stage("fit_columnar", fit_columnar_med, fit_columnar_min),
             stage("fit_cached", fit_cached_med, fit_cached_min),
+            stage("sse_scalar", sse_scalar_med, sse_scalar_min),
+            stage("sse_batch", sse_batch_med, sse_batch_min),
             stage("cv_baseline", cv_base_med, cv_base_min),
             stage("cv_serial", cv_serial_med, cv_serial_min),
             stage("cv_parallel", cv_parallel_med, cv_parallel_min),
@@ -184,6 +226,8 @@ fn main() {
         cv_speedup_vs_baseline: cv_base_med / cv_parallel_med,
         cv_speedup_parallel: cv_serial_med / cv_parallel_med,
         cached_tree_identical,
+        columnar_tree_identical,
+        sse_batch_bit_identical,
         parallel_curve_bit_identical,
     };
 
@@ -194,6 +238,14 @@ fn main() {
     assert!(
         report.parallel_curve_bit_identical,
         "parallel cross-validation changed the RE curve"
+    );
+    assert!(
+        report.columnar_tree_identical,
+        "columnar batch fit changed the fitted tree"
+    );
+    assert!(
+        report.sse_batch_bit_identical,
+        "batch SSE accumulation changed the fold partials"
     );
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

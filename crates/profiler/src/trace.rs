@@ -133,7 +133,23 @@ fn write_samples_version(samples: &[Sample], version: u32) -> Bytes {
 ///
 /// Returns `InvalidData` on bad magic/version or corrupt payloads, and
 /// `UnexpectedEof` when the buffer is truncated.
-pub fn read_samples(mut data: &[u8]) -> io::Result<Vec<Sample>> {
+pub fn read_samples(data: &[u8]) -> io::Result<Vec<Sample>> {
+    let mut out = Vec::new();
+    read_samples_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Decodes a sample stream into a caller-owned buffer, clearing it
+/// first. Steady-state frame decoding (the serve daemon's engine loop,
+/// spool replay) reuses one buffer across frames, so decode allocates
+/// nothing once the buffer has grown to the largest frame seen.
+///
+/// # Errors
+///
+/// Same conditions as [`read_samples`]; on error `out` holds an
+/// unspecified partial decode.
+pub fn read_samples_into(mut data: &[u8], out: &mut Vec<Sample>) -> io::Result<()> {
+    out.clear();
     if data.remaining() < 8 {
         return Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
@@ -160,7 +176,7 @@ pub fn read_samples(mut data: &[u8]) -> io::Result<Vec<Sample>> {
         ));
     }
     let cpi_len = if version == VERSION_V1 { 4 } else { 8 };
-    let mut out = Vec::with_capacity(count);
+    out.reserve(count);
     let mut prev_eip: u64 = 0;
     for _ in 0..count {
         let delta = unzigzag(get_varint(&mut data)?);
@@ -186,7 +202,7 @@ pub fn read_samples(mut data: &[u8]) -> io::Result<Vec<Sample>> {
             cpi,
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Writes a sample trace to disk.

@@ -24,21 +24,23 @@ use crate::dataset::Dataset;
 use crate::tree::{Node, RegressionTree, Split};
 
 /// Running (count, sum, sum-of-squares) statistics of a row subset.
+/// Shared with the columnar kernels, which must reproduce the exact
+/// accumulation this type defines.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
-struct Stats {
-    n: f64,
-    sum: f64,
-    sumsq: f64,
+pub(crate) struct Stats {
+    pub(crate) n: f64,
+    pub(crate) sum: f64,
+    pub(crate) sumsq: f64,
 }
 
 impl Stats {
-    fn push(&mut self, y: f64) {
+    pub(crate) fn push(&mut self, y: f64) {
         self.n += 1.0;
         self.sum += y;
         self.sumsq += y * y;
     }
 
-    fn minus(&self, other: &Stats) -> Stats {
+    pub(crate) fn minus(&self, other: &Stats) -> Stats {
         Stats {
             n: self.n - other.n,
             sum: self.sum - other.sum,
@@ -46,7 +48,7 @@ impl Stats {
         }
     }
 
-    fn sse(&self) -> f64 {
+    pub(crate) fn sse(&self) -> f64 {
         if self.n <= 0.0 {
             0.0
         } else {
@@ -54,7 +56,7 @@ impl Stats {
         }
     }
 
-    fn mean(&self) -> f64 {
+    pub(crate) fn mean(&self) -> f64 {
         if self.n == 0.0 {
             0.0
         } else {
@@ -65,10 +67,10 @@ impl Stats {
 
 /// A candidate split for a leaf.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Candidate {
-    feature: u32,
-    threshold: f64,
-    gain: f64,
+pub(crate) struct Candidate {
+    pub(crate) feature: u32,
+    pub(crate) threshold: f64,
+    pub(crate) gain: f64,
 }
 
 /// A non-zero count in a node: `(feature, value, row)`. Kept sorted by
@@ -96,8 +98,8 @@ struct LeafState {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeBuilder {
-    max_leaves: usize,
-    min_leaf: usize,
+    pub(crate) max_leaves: usize,
+    pub(crate) min_leaf: usize,
 }
 
 impl Default for TreeBuilder {
@@ -139,10 +141,40 @@ impl TreeBuilder {
         self
     }
 
-    /// Fits a tree to the dataset using the presorted split-entry cache:
-    /// sort the non-zeros once at the root, stably partition them on
-    /// every expansion.
+    /// Fits a tree to the dataset.
+    ///
+    /// Runs the columnar batch kernels ([`TreeBuilder::fit_columnar`])
+    /// by default. Building with `--features scalar-ref` swaps the
+    /// scalar presorted-cache path back in as the implementation behind
+    /// this method, so the entire downstream stack (cross-validation,
+    /// the serve daemon, the figures pipeline) can be exercised on the
+    /// oracle path; both produce bit-identical trees, so the feature
+    /// changes performance only.
     pub fn fit(&self, ds: &Dataset) -> RegressionTree {
+        #[cfg(feature = "scalar-ref")]
+        {
+            self.fit_scalar(ds)
+        }
+        #[cfg(not(feature = "scalar-ref"))]
+        {
+            self.fit_columnar(ds)
+        }
+    }
+
+    /// Fits on the columnar layout with batch split-search and
+    /// partition kernels (DESIGN.md D13). Bit-identical to
+    /// [`TreeBuilder::fit_scalar`]; the default behind
+    /// [`TreeBuilder::fit`].
+    pub fn fit_columnar(&self, ds: &Dataset) -> RegressionTree {
+        crate::columnar::fit_columnar(self, ds)
+    }
+
+    /// Scalar fit using the presorted split-entry cache: sort the
+    /// non-zeros once at the root, stably partition them on every
+    /// expansion. Retained as the bit-identity oracle for the columnar
+    /// kernels (and as the implementation behind [`TreeBuilder::fit`]
+    /// when the `scalar-ref` feature is enabled).
+    pub fn fit_scalar(&self, ds: &Dataset) -> RegressionTree {
         self.fit_impl(ds, true)
     }
 

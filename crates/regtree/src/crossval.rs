@@ -15,6 +15,7 @@
 
 use crate::builder::TreeBuilder;
 use crate::dataset::Dataset;
+use crate::tree::RegressionTree;
 use fuzzyphase_stats::KFold;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -220,23 +221,87 @@ impl CrossValidation {
     ) -> Vec<f64> {
         let train_ds = ds.subset(train);
         let tree = builder.fit(&train_ds);
-        let mut sse = vec![0.0f64; self.k_max];
-        for &t in test {
-            let y = ds.target(t);
-            let path = tree.path_means(ds.row(t));
-            // path[(needed_k_minus_1, mean)]: prediction for T_k is
-            // the deepest path entry with needed ≤ k - 1.
-            let mut pi = 0;
-            for k in 1..=self.k_max {
-                while pi + 1 < path.len() && (path[pi + 1].0 as usize) < k {
-                    pi += 1;
-                }
-                let err = y - path[pi].1;
-                sse[k - 1] += err * err;
+        #[cfg(feature = "scalar-ref")]
+        {
+            eval_sse_scalar(&tree, ds, test, self.k_max)
+        }
+        #[cfg(not(feature = "scalar-ref"))]
+        {
+            eval_sse_batch(&tree, ds, test, self.k_max)
+        }
+    }
+}
+
+/// Per-`k` sum of squared errors of `tree` over the `test` rows of
+/// `ds`, as a batch kernel: along a point's descent path, the `T_k`
+/// prediction is constant over a contiguous range of `k`, so each path
+/// segment contributes one squared error added across a slice of the
+/// accumulator — a branch-light constant-add the compiler vectorizes,
+/// instead of a per-`k` pointer walk.
+///
+/// Adds exactly one `err²` per `(test point, k)` pair, in test-point
+/// order — the same additions in the same order as
+/// [`eval_sse_scalar`], so fold partials (and therefore RE curves) are
+/// bit-identical between the two.
+pub fn eval_sse_batch(
+    tree: &RegressionTree,
+    ds: &Dataset,
+    test: &[usize],
+    k_max: usize,
+) -> Vec<f64> {
+    let mut sse = vec![0.0f64; k_max];
+    for &t in test {
+        let y = ds.target(t);
+        let path = tree.path_means(ds.row(t));
+        // Path entry `pi` (entered after split order `path[pi].0 - 1`)
+        // is the prediction for k in [path[pi].0 + 1, path[pi+1].0],
+        // the last entry through k_max.
+        for pi in 0..path.len() {
+            let lo = (path[pi].0 as usize + 1).max(1);
+            let hi = if pi + 1 < path.len() {
+                (path[pi + 1].0 as usize).min(k_max)
+            } else {
+                k_max
+            };
+            if lo > hi {
+                continue;
+            }
+            let err = y - path[pi].1;
+            let e2 = err * err;
+            for s in &mut sse[lo - 1..hi] {
+                *s += e2;
             }
         }
-        sse
     }
+    sse
+}
+
+/// Scalar reference for [`eval_sse_batch`]: the per-`k` walk that
+/// advances a path cursor for every chamber count. Retained as the
+/// bit-identity oracle (and as the kernel behind cross-validation when
+/// the `scalar-ref` feature is enabled).
+pub fn eval_sse_scalar(
+    tree: &RegressionTree,
+    ds: &Dataset,
+    test: &[usize],
+    k_max: usize,
+) -> Vec<f64> {
+    let mut sse = vec![0.0f64; k_max];
+    for &t in test {
+        let y = ds.target(t);
+        let path = tree.path_means(ds.row(t));
+        // path[(needed_k_minus_1, mean)]: prediction for T_k is
+        // the deepest path entry with needed ≤ k - 1.
+        let mut pi = 0;
+        for k in 1..=k_max {
+            while pi + 1 < path.len() && (path[pi + 1].0 as usize) < k {
+                pi += 1;
+            }
+            let err = y - path[pi].1;
+            sse[k - 1] += err * err;
+        }
+    }
+    sse
 }
 
 /// Repeats the cross-validation over several shuffle seeds and returns
@@ -434,5 +499,21 @@ mod tests {
     fn too_few_rows_rejected() {
         let ds = separable(5, 7);
         cross_validate(&ds, 0);
+    }
+
+    #[test]
+    fn batch_sse_bit_identical_to_scalar() {
+        for (ds, seed) in [(separable(150, 20), 21u64), (noise(120, 22), 23)] {
+            let tree = TreeBuilder::new().fit(&ds);
+            let test: Vec<usize> = (0..ds.len()).step_by(3).collect();
+            for k_max in [1, 2, 7, 50, 80] {
+                let batch = eval_sse_batch(&tree, &ds, &test, k_max);
+                let scalar = eval_sse_scalar(&tree, &ds, &test, k_max);
+                assert_eq!(batch.len(), scalar.len(), "seed {seed} k_max {k_max}");
+                for (a, b) in batch.iter().zip(&scalar) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "seed {seed} k_max {k_max}");
+                }
+            }
+        }
     }
 }

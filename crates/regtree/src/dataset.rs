@@ -1,5 +1,8 @@
 //! The (EIPV, CPI) sample collection regression trees are fitted to.
 
+use std::sync::OnceLock;
+
+use crate::columnar::ColumnarDataset;
 use fuzzyphase_stats::SparseVec;
 
 /// A regression dataset: sparse feature vectors with scalar targets.
@@ -8,10 +11,21 @@ use fuzzyphase_stats::SparseVec;
 /// interval), targets are the intervals' instantaneous CPIs. Absent
 /// features are zero — "each EIPV contains one execution count entry for
 /// each unique EIP in the program, even if the count is zero" (§4.4).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     rows: Vec<SparseVec>,
     y: Vec<f64>,
+    /// Columnar form of the same data, built on first use and reused by
+    /// every subsequent fit ([`crate::TreeBuilder::fit`] runs directly
+    /// on it). Rows and targets are immutable after construction, so
+    /// the cache can never go stale.
+    columnar: OnceLock<ColumnarDataset>,
+}
+
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.y == other.y
+    }
 }
 
 impl Dataset {
@@ -25,7 +39,20 @@ impl Dataset {
         assert_eq!(rows.len(), y.len(), "rows and targets must align");
         assert!(!rows.is_empty(), "dataset must be non-empty");
         assert!(y.iter().all(|v| v.is_finite()), "targets must be finite");
-        Self { rows, y }
+        Self {
+            rows,
+            y,
+            columnar: OnceLock::new(),
+        }
+    }
+
+    /// The dataset's columnar primary storage, built on first call and
+    /// memoized for the dataset's lifetime. Fitting repeatedly on the
+    /// same dataset (cross-validation folds, the serve daemon's
+    /// steady state) pays the bucket-and-sort build exactly once.
+    pub fn columnar(&self) -> &ColumnarDataset {
+        self.columnar
+            .get_or_init(|| ColumnarDataset::from_dataset(self))
     }
 
     /// Number of rows.

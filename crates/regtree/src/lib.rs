@@ -10,10 +10,20 @@
 //! the theoretical upper bound on predicting CPI from EIPs alone.
 //!
 //! * [`dataset`] — the (EIPV, CPI) sample collection.
+//! * [`columnar`] — per-feature contiguous storage + batch fit kernels.
 //! * [`tree`] — the fitted tree with nested `T_k` sub-trees.
 //! * [`builder`] — variance-minimizing best-first growth.
 //! * [`crossval`] — 10-fold CV, RE curves, `k_opt` selection.
 //! * [`analysis`] — the one-call [`analysis::PredictabilityReport`].
+//!
+//! # Kernel / oracle policy (DESIGN.md D13)
+//!
+//! The hot paths run batch kernels over the columnar layout by default;
+//! each kernel has a scalar reference implementation that computes the
+//! same floating-point operations in the same order, so results are
+//! bit-identical — property-tested here and re-proven in CI by building
+//! the whole test suite with `--features scalar-ref`, which swaps the
+//! scalar paths back in behind the public entry points.
 //!
 //! # Example: the paper's Table 1 / Figure 1 worked example
 //!
@@ -32,12 +42,17 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod columnar;
 pub mod crossval;
 pub mod dataset;
 pub mod tree;
 
 pub use analysis::{analyze, AnalysisOptions, PredictabilityReport};
 pub use builder::TreeBuilder;
-pub use crossval::{cross_validate, cross_validate_ensemble, CrossValidation, ReCurve};
+pub use columnar::ColumnarDataset;
+pub use crossval::{
+    cross_validate, cross_validate_ensemble, eval_sse_batch, eval_sse_scalar, CrossValidation,
+    ReCurve,
+};
 pub use dataset::Dataset;
 pub use tree::{Node, RegressionTree, Split};

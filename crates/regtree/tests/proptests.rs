@@ -1,6 +1,11 @@
 //! Property tests for the regression-tree analysis core.
 
-use fuzzyphase_regtree::{cross_validate, CrossValidation, Dataset, TreeBuilder};
+use std::collections::BTreeMap;
+
+use fuzzyphase_regtree::{
+    cross_validate, eval_sse_batch, eval_sse_scalar, ColumnarDataset, CrossValidation, Dataset,
+    TreeBuilder,
+};
 use fuzzyphase_stats::SparseVec;
 use proptest::prelude::*;
 
@@ -94,6 +99,75 @@ proptest! {
         prop_assert_eq!(&a, &b);
         for (x, y) in a.re.iter().zip(&b.re) {
             prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// The columnar layout round-trips the row-sparse representation
+    /// exactly: every stored entry appears in its feature's column,
+    /// columns are value-sorted with ties in row order, and the cached
+    /// per-column group statistics are bit-identical to an accumulation
+    /// in that order ([`ColumnarDataset`]'s documented invariants).
+    #[test]
+    fn columnar_roundtrips_row_sparse(ds in dataset_strategy()) {
+        let cols = ColumnarDataset::from_dataset(&ds);
+        prop_assert_eq!(cols.num_rows(), ds.len());
+        prop_assert_eq!(cols.targets(), ds.targets());
+        prop_assert_eq!(cols.nnz(), ds.rows().iter().map(|r| r.nnz()).sum::<usize>());
+
+        // Regroup the row-sparse entries by feature, keeping row order.
+        let mut by_feat: BTreeMap<u32, Vec<(f64, u32)>> = BTreeMap::new();
+        for (row, r) in ds.rows().iter().enumerate() {
+            for (f, v) in r.iter() {
+                by_feat.entry(f).or_default().push((v, row as u32));
+            }
+        }
+        let feats: Vec<u32> = by_feat.keys().copied().collect();
+        prop_assert_eq!(cols.feat_ids(), &feats[..]);
+
+        for (c, pairs) in by_feat.values_mut().enumerate() {
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let (values, rows) = cols.column(c);
+            let (mut sum, mut sumsq) = (0.0f64, 0.0f64);
+            for (i, &(v, row)) in pairs.iter().enumerate() {
+                prop_assert_eq!(values[i].to_bits(), v.to_bits());
+                prop_assert_eq!(rows[i], row);
+                let y = ds.target(row as usize);
+                sum += y;
+                sumsq += y * y;
+            }
+            let (cs, csq) = cols.col_stats(c);
+            prop_assert_eq!(cs.to_bits(), sum.to_bits());
+            prop_assert_eq!(csq.to_bits(), sumsq.to_bits());
+        }
+    }
+
+    /// Batch SSE fold partials are bit-identical to the scalar per-`k`
+    /// walk on every fold, and therefore merge (in fold order) to a
+    /// bit-identical total — the property the fold-parallel CV relies on
+    /// when it sums per-fold partial vectors.
+    #[test]
+    fn batch_sse_partials_merge_bit_identically(
+        ds in dataset_strategy(),
+        folds in 2usize..6,
+        cap in 2usize..16,
+    ) {
+        let tree = TreeBuilder::new().max_leaves(cap).fit(&ds);
+        let k_max = tree.num_splits() + 1;
+        let mut merged_batch = vec![0.0f64; k_max];
+        let mut merged_scalar = vec![0.0f64; k_max];
+        for fold in 0..folds {
+            let test: Vec<usize> = (0..ds.len()).filter(|i| i % folds == fold).collect();
+            let batch = eval_sse_batch(&tree, &ds, &test, k_max);
+            let scalar = eval_sse_scalar(&tree, &ds, &test, k_max);
+            for k in 0..k_max {
+                prop_assert_eq!(batch[k].to_bits(), scalar[k].to_bits(),
+                    "fold {} k {}", fold, k);
+                merged_batch[k] += batch[k];
+                merged_scalar[k] += scalar[k];
+            }
+        }
+        for k in 0..k_max {
+            prop_assert_eq!(merged_batch[k].to_bits(), merged_scalar[k].to_bits());
         }
     }
 

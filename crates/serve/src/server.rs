@@ -35,7 +35,7 @@ use crate::scheduler::Scheduler;
 use crate::session::{SessionConfig, SessionEngine};
 use crate::spool::{compact_session, SessionMeta, SessionSpool, SpoolConfig};
 use fuzzyphase::{merge_partials, SessionPartial, Thresholds, WorkerBudget};
-use fuzzyphase_profiler::trace::read_samples;
+use fuzzyphase_profiler::trace::read_samples_into;
 use fuzzyphase_regtree::AnalysisOptions;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
@@ -1204,18 +1204,18 @@ fn engine_thread(
     shard: usize,
     suite_key: String,
 ) {
+    // Frame-decode scratch, reused across batches: once grown to the
+    // largest frame seen, the decode path stops allocating.
+    let mut samples = Vec::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             EngineMsg::Batch(bytes) => {
-                let samples = match read_samples(&bytes) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        session.send_error(&shared.metrics, format!("bad sample payload: {e}"));
-                        // Unblock a reader stuck in a blocking read.
-                        let _ = session.stream.shutdown(Shutdown::Both);
-                        return;
-                    }
-                };
+                if let Err(e) = read_samples_into(&bytes, &mut samples) {
+                    session.send_error(&shared.metrics, format!("bad sample payload: {e}"));
+                    // Unblock a reader stuck in a blocking read.
+                    let _ = session.stream.shutdown(Shutdown::Both);
+                    return;
+                }
                 let progress = engine.ingest(&samples);
                 shared
                     .metrics

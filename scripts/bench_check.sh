@@ -6,7 +6,11 @@
 #
 # Hard failure (exit 1) on a regression beyond THRESHOLD_PCT (default
 # 25%) in the metrics stable enough to gate on: the daemon's frame-ack
-# p99 and the regression-tree fit medians (fit_cached, cv_parallel).
+# p99 and the regression-tree kernel medians (fit_cached, fit_columnar,
+# sse_batch, cv_parallel). A gated stage missing from the FRESH report
+# is also a hard failure — a silently dropped stage must not pass the
+# gate; a stage missing only from the committed baseline is skipped
+# (the baseline predates the stage).
 # Noisier metrics — aggregate throughput, resume latency, the rescan
 # path — only emit GitHub `::warning::` annotations, so a noisy runner
 # cannot turn the lane red on its own.
@@ -74,12 +78,20 @@ else:
     hard = [
         ("fit_cached median_ms", stage_median(fresh, "fit_cached"),
          stage_median(base, "fit_cached"), False),
+        ("fit_columnar median_ms", stage_median(fresh, "fit_columnar"),
+         stage_median(base, "fit_columnar"), False),
+        ("sse_batch median_ms", stage_median(fresh, "sse_batch"),
+         stage_median(base, "sse_batch"), False),
         ("cv_parallel median_ms", stage_median(fresh, "cv_parallel"),
          stage_median(base, "cv_parallel"), False),
     ]
     soft = [
         ("fit_rescan median_ms", stage_median(fresh, "fit_rescan"),
          stage_median(base, "fit_rescan"), False),
+        ("fit_scalar median_ms", stage_median(fresh, "fit_scalar"),
+         stage_median(base, "fit_scalar"), False),
+        ("sse_scalar median_ms", stage_median(fresh, "sse_scalar"),
+         stage_median(base, "sse_scalar"), False),
         ("cv_serial median_ms", stage_median(fresh, "cv_serial"),
          stage_median(base, "cv_serial"), False),
     ]
@@ -95,9 +107,20 @@ def regression_pct(f, b, higher_is_better):
 failed = False
 for gating, metrics in ((True, hard), (False, soft)):
     for label, f, b, hib in metrics:
+        if f is None:
+            # The fresh report must carry every gated stage: a dropped
+            # stage is indistinguishable from a silently skipped bench.
+            if gating:
+                print(f"::error::{kind}: gated metric {label} missing "
+                      f"from fresh report {fresh_path}")
+                failed = True
+            else:
+                print(f"::warning::{kind}: soft metric {label} missing "
+                      f"from fresh report {fresh_path}")
+            continue
         r = regression_pct(f, b, hib)
         if r is None:
-            print(f"bench_check: {kind}: {label}: not comparable "
+            print(f"bench_check: {kind}: {label}: no committed baseline "
                   f"(fresh={f!r} baseline={b!r}); skipping")
             continue
         word = "regression" if r > 0 else "improvement"
