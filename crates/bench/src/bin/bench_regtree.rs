@@ -22,7 +22,10 @@
 //!   serial baseline),
 //! - `cv_serial` — current cross-validation on one thread (batch
 //!   kernels, serial folds),
-//! - `cv_parallel` — the same folds fanned across a worker pool.
+//! - `cv_parallel` — the same folds fanned across a worker pool,
+//! - `diff_fit` — the fuzzydiff discriminant fit over two EIPV sides
+//!   (union build + indicator-target tree through the shared columnar
+//!   kernel + report rendering).
 //!
 //! Every optimized stage is checked against its baseline for exact
 //! equality before timings are reported: the cached and columnar builds
@@ -30,6 +33,8 @@
 //! bit-identical to the scalar walk, and the parallel curve must be
 //! bit-identical to the serial one.
 
+use fuzzyphase_diff::{diff, DiffOptions};
+use fuzzyphase_profiler::{EipvData, Sample};
 use fuzzyphase_regtree::columnar::fit_on_columns;
 use fuzzyphase_regtree::{
     eval_sse_batch, eval_sse_scalar, ColumnarDataset, CrossValidation, Dataset, TreeBuilder,
@@ -74,6 +79,8 @@ struct Report {
     /// Batch SSE fold partials are bit-identical to the scalar walk.
     sse_batch_bit_identical: bool,
     parallel_curve_bit_identical: bool,
+    /// Two fuzzydiff fits over the same sides rendered identical bytes.
+    diff_report_byte_stable: bool,
 }
 
 /// The seed's cross-validation loop, reconstructed as the recorded
@@ -122,6 +129,23 @@ fn eipv_dataset(n: usize, features: u32, nnz: usize, seed: u64) -> Dataset {
         ys.push(1.0 + phase as f64 * 0.8 + rng.gen_range(-0.05..0.05));
     }
     Dataset::new(rows, ys)
+}
+
+/// One synthetic EIPV side for the `diff_fit` stage: `vectors` EIPV
+/// rows over a code region starting at `base`, CPIs in `[cpi_lo,
+/// cpi_hi)`.
+fn eipv_side(vectors: usize, base: u64, cpi_lo: f64, cpi_hi: f64, seed: u64) -> EipvData {
+    let spv = 100;
+    let mut rng = seeded_rng(seed);
+    let samples: Vec<Sample> = (0..vectors * spv)
+        .map(|_| Sample {
+            eip: base + rng.gen_range(0..400u64) * 8,
+            thread: 0,
+            is_os: false,
+            cpi: rng.gen_range(cpi_lo..cpi_hi),
+        })
+        .collect();
+    EipvData::from_samples(&samples, spv)
 }
 
 /// Runs `f` `reps` times, returning (median ms, min ms).
@@ -197,6 +221,27 @@ fn main() {
             .zip(&b.re)
             .all(|(x, y)| x.to_bits() == y.to_bits());
 
+    // fuzzydiff discriminant fit: two 120-vector sides with overlapping
+    // code regions — half the candidate's intervals dive into a slower
+    // region, the shape `Diff` requests see in practice.
+    let side_a = eipv_side(120, 0x40_0000, 0.9, 1.3, 11);
+    let side_b = {
+        let fast = eipv_side(60, 0x40_0000, 1.0, 1.4, 12);
+        let slow = eipv_side(60, 0x41_0000, 2.0, 2.8, 13);
+        let mut b = fast;
+        b.absorb(&slow);
+        b
+    };
+    let opts = DiffOptions::default();
+    let (diff_fit_med, diff_fit_min) = time_ms(reps, || {
+        diff(&side_a, &side_b, "baseline", "candidate", &opts).expect("diff fits")
+    });
+    let diff_report_byte_stable = {
+        let a = diff(&side_a, &side_b, "baseline", "candidate", &opts).expect("diff fits");
+        let b = diff(&side_a, &side_b, "baseline", "candidate", &opts).expect("diff fits");
+        a.to_json() == b.to_json()
+    };
+
     let stage = |name: &str, med: f64, min: f64| Stage {
         name: name.to_string(),
         reps,
@@ -221,6 +266,7 @@ fn main() {
             stage("cv_baseline", cv_base_med, cv_base_min),
             stage("cv_serial", cv_serial_med, cv_serial_min),
             stage("cv_parallel", cv_parallel_med, cv_parallel_min),
+            stage("diff_fit", diff_fit_med, diff_fit_min),
         ],
         fit_speedup: fit_rescan_med / fit_cached_med,
         cv_speedup_vs_baseline: cv_base_med / cv_parallel_med,
@@ -229,6 +275,7 @@ fn main() {
         columnar_tree_identical,
         sse_batch_bit_identical,
         parallel_curve_bit_identical,
+        diff_report_byte_stable,
     };
 
     assert!(
@@ -246,6 +293,10 @@ fn main() {
     assert!(
         report.sse_batch_bit_identical,
         "batch SSE accumulation changed the fold partials"
+    );
+    assert!(
+        report.diff_report_byte_stable,
+        "fuzzydiff report bytes drifted between identical fits"
     );
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

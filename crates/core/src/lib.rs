@@ -46,10 +46,7 @@ pub mod request;
 pub mod suite;
 
 pub use merge::{merge_partials, MergedSuite, SessionPartial};
-#[allow(deprecated)] // RunConfig stays re-exported for compatibility
-pub use pipeline::{
-    run_benchmark, run_suite, BenchmarkResult, RunConfig, SuiteResult, WorkerBudget,
-};
+pub use pipeline::{run_benchmark, run_suite, BenchmarkResult, SuiteResult, WorkerBudget};
 pub use quadrant::{Quadrant, Thresholds};
 pub use report::{format_table2, Table2Row};
 pub use request::AnalysisRequest;
@@ -57,9 +54,8 @@ pub use suite::{all_benchmarks, BenchmarkId, BenchmarkSpec};
 
 /// Everything most users need.
 pub mod prelude {
-    #[allow(deprecated)] // RunConfig stays re-exported for compatibility
     pub use crate::pipeline::{
-        run_benchmark, run_suite, BenchmarkResult, RunConfig, SuiteResult, WorkerBudget,
+        run_benchmark, run_suite, BenchmarkResult, SuiteResult, WorkerBudget,
     };
     pub use crate::quadrant::{Quadrant, Thresholds};
     pub use crate::request::AnalysisRequest;

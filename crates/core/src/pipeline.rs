@@ -1,18 +1,15 @@
 //! The end-to-end pipeline: workload → profile → regression-tree
 //! analysis → quadrant.
 //!
-//! The free functions here still accept the legacy [`RunConfig`]; new
-//! code goes through [`crate::request::AnalysisRequest`], which
-//! delegates to them.
-
-// This module defines the deprecated RunConfig and keeps the legacy
-// entry points working; referencing it here is the point.
-#![allow(deprecated)]
+//! Runs are specified by [`crate::request::AnalysisRequest`]; the free
+//! functions here are the execution layer underneath its `run` /
+//! `run_suite` methods (and remain callable directly).
 
 use crate::quadrant::{Quadrant, Thresholds};
+use crate::request::AnalysisRequest;
 use crate::suite::{BenchmarkId, BenchmarkSpec};
-use fuzzyphase_profiler::{ProfileConfig, ProfileData, ProfileSession};
-use fuzzyphase_regtree::{analyze, AnalysisOptions, PredictabilityReport};
+use fuzzyphase_profiler::{ProfileData, ProfileSession};
+use fuzzyphase_regtree::{analyze, PredictabilityReport};
 use fuzzyphase_workload::dss::DssDatabase;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -80,45 +77,6 @@ impl WorkerBudget {
             n => n,
         };
         (suite, fold)
-    }
-}
-
-/// Configuration for one benchmark run or a whole suite run.
-///
-/// Deprecated as a user-facing surface: assemble an
-/// [`AnalysisRequest`](crate::request::AnalysisRequest) instead, which
-/// wraps the same knobs behind a builder and runs the identical
-/// pipeline. The nested `ProfileConfig`/`AnalysisOptions`/`Thresholds`
-/// building blocks are *not* deprecated — only this aggregate.
-#[deprecated(
-    note = "use fuzzyphase::AnalysisRequest — same knobs, builder-style, bit-identical results"
-)]
-#[derive(Debug, Clone, PartialEq)]
-pub struct RunConfig {
-    /// Profiling parameters (the per-benchmark sampler rate from the
-    /// [`BenchmarkSpec`] overrides `profile.sampler`).
-    pub profile: ProfileConfig,
-    /// Regression-tree analysis parameters. The pipeline overwrites
-    /// `analysis.cv.workers` from the resolved [`WorkerBudget`]; set that
-    /// knob directly only when calling the regtree API yourself.
-    pub analysis: AnalysisOptions,
-    /// Quadrant thresholds.
-    pub thresholds: Thresholds,
-    /// Root seed; every benchmark derives its own stream from it.
-    pub seed: u64,
-    /// Thread budget (suite × fold workers).
-    pub workers: WorkerBudget,
-}
-
-impl Default for RunConfig {
-    fn default() -> Self {
-        Self {
-            profile: ProfileConfig::default(),
-            analysis: AnalysisOptions::default(),
-            thresholds: Thresholds::default(),
-            seed: 0xF022_2004, // MICRO-37, 2004
-            workers: WorkerBudget::default(),
-        }
     }
 }
 
@@ -199,27 +157,29 @@ pub struct BenchmarkSummary {
 
 /// Runs one benchmark end-to-end, applying the fold component of the
 /// worker budget to its cross-validation.
-pub fn run_benchmark(spec: &BenchmarkSpec, cfg: &RunConfig) -> BenchmarkResult {
-    let (_, fold_workers) = cfg.workers.resolve(1);
-    let mut cfg = cfg.clone();
-    cfg.analysis.cv.workers = fold_workers;
-    run_benchmark_with_db(spec, &cfg, None)
+pub fn run_benchmark(spec: &BenchmarkSpec, req: &AnalysisRequest) -> BenchmarkResult {
+    let (_, fold_workers) = req.workers().resolve(1);
+    let mut req = req.clone();
+    req.analysis_mut().cv.workers = fold_workers;
+    run_benchmark_with_db(spec, &req, None)
 }
 
 /// Runs one benchmark, reusing a shared DSS database image if given.
 pub fn run_benchmark_with_db(
     spec: &BenchmarkSpec,
-    cfg: &RunConfig,
+    req: &AnalysisRequest,
     db: Option<&Arc<DssDatabase>>,
 ) -> BenchmarkResult {
-    let seed = fuzzyphase_stats::SeedSequence::new(cfg.seed).seed_for(&spec.name());
+    let seed = fuzzyphase_stats::SeedSequence::new(req.seed()).seed_for(&spec.name());
     let mut workload = spec.build(seed, db);
-    let mut pcfg = cfg.profile.clone();
+    let mut pcfg = req.profile().clone();
     pcfg.sampler = spec.sampler;
     let profile = ProfileSession::run(&mut workload, &pcfg);
     let eipvs = profile.eipvs();
-    let report = analyze(&eipvs.vectors, &eipvs.cpis, &cfg.analysis);
-    let quadrant = cfg.thresholds.classify(report.cpi_variance, report.re_min);
+    let report = analyze(&eipvs.vectors, &eipvs.cpis, req.analysis());
+    let quadrant = req
+        .thresholds()
+        .classify(report.cpi_variance, report.re_min);
     BenchmarkResult {
         name: spec.name(),
         expected_quadrant: spec.expected_quadrant,
@@ -235,14 +195,14 @@ pub fn run_benchmark_with_db(
 /// Deterministic regardless of the worker budget: each benchmark's seed
 /// depends only on the root seed and its name, and fold results merge in
 /// fold order.
-pub fn run_suite(specs: &[BenchmarkSpec], cfg: &RunConfig) -> SuiteResult {
-    let (workers, fold_workers) = cfg.workers.resolve(specs.len());
-    let cfg = {
-        let mut c = cfg.clone();
-        c.analysis.cv.workers = fold_workers;
-        c
+pub fn run_suite(specs: &[BenchmarkSpec], req: &AnalysisRequest) -> SuiteResult {
+    let (workers, fold_workers) = req.workers().resolve(specs.len());
+    let req = {
+        let mut r = req.clone();
+        r.analysis_mut().cv.workers = fold_workers;
+        r
     };
-    let cfg = &cfg;
+    let req = &req;
     // One shared read-only database image for all ODB-H queries.
     let db = if specs.iter().any(|s| matches!(s.id, BenchmarkId::OdbH(_))) {
         Some(DssDatabase::new())
@@ -264,7 +224,7 @@ pub fn run_suite(specs: &[BenchmarkSpec], cfg: &RunConfig) -> SuiteResult {
                     *n += 1;
                     i
                 };
-                let r = run_benchmark_with_db(&specs[i], cfg, db.as_ref());
+                let r = run_benchmark_with_db(&specs[i], req, db.as_ref());
                 results.lock().push((i, r));
             });
         }
@@ -277,7 +237,7 @@ pub fn run_suite(specs: &[BenchmarkSpec], cfg: &RunConfig) -> SuiteResult {
     results.sort_by_key(|(i, _)| *i);
     SuiteResult {
         benchmarks: results.into_iter().map(|(_, r)| r).collect(),
-        thresholds: cfg.thresholds,
+        thresholds: *req.thresholds(),
     }
 }
 
@@ -285,11 +245,8 @@ pub fn run_suite(specs: &[BenchmarkSpec], cfg: &RunConfig) -> SuiteResult {
 mod tests {
     use super::*;
 
-    fn tiny_cfg() -> RunConfig {
-        let mut cfg = RunConfig::default();
-        cfg.profile.num_intervals = 30;
-        cfg.profile.warmup_intervals = 5;
-        cfg
+    fn tiny_cfg() -> AnalysisRequest {
+        AnalysisRequest::new().with_intervals(30).with_warmup(5)
     }
 
     #[test]
@@ -310,10 +267,9 @@ mod tests {
     #[test]
     fn suite_run_is_deterministic_and_ordered() {
         let specs = vec![BenchmarkSpec::spec("gzip"), BenchmarkSpec::spec("mcf")];
-        let mut cfg = tiny_cfg();
-        cfg.workers = WorkerBudget { suite: 2, fold: 2 };
+        let cfg = tiny_cfg().with_workers(WorkerBudget { suite: 2, fold: 2 });
         let a = run_suite(&specs, &cfg);
-        cfg.workers = WorkerBudget::suite_only(1);
+        let cfg = cfg.with_workers(WorkerBudget::suite_only(1));
         let b = run_suite(&specs, &cfg);
         assert_eq!(a.benchmarks[0].name, "gzip");
         assert_eq!(a.benchmarks[1].name, "mcf");

@@ -1,20 +1,20 @@
 //! The unified analysis API: one builder-style request covering
 //! everything a run needs.
 //!
-//! Historically a run was configured by assembling a [`RunConfig`] and
+//! Historically a run was configured by assembling a `RunConfig` and
 //! reaching into its public fields — three nested config structs
 //! (profile, analysis, thresholds) plus a seed and a worker budget,
 //! with the invariants between them documented rather than enforced.
-//! [`AnalysisRequest`] replaces that surface: fields are private, every
-//! knob is a chainable `with_*` setter (or a `*_mut` accessor for deep
-//! edits of a nested config), and the terminal [`run`](AnalysisRequest::run)
-//! / [`run_suite`](AnalysisRequest::run_suite) methods execute the same
-//! pipeline as the free functions — bit-identically, which
-//! `request_matches_run_config_bit_for_bit` pins down.
+//! [`AnalysisRequest`] replaced and then retired that surface: fields
+//! are private, every knob is a chainable `with_*` setter (or a `*_mut`
+//! accessor for deep edits of a nested config), and the terminal
+//! [`run`](AnalysisRequest::run) / [`run_suite`](AnalysisRequest::run_suite)
+//! methods execute the pipeline's free functions, which take the
+//! request directly.
 //!
 //! `ProfileConfig`, `AnalysisOptions` and `Thresholds` remain public
-//! building blocks (the profiler, regtree and quadrant layers consume
-//! them directly); only the aggregating `RunConfig` is deprecated.
+//! building blocks — the profiler, regtree and quadrant layers consume
+//! them directly.
 //!
 //! ```
 //! use fuzzyphase::prelude::*;
@@ -26,10 +26,7 @@
 //! assert_eq!(result.quadrant, Quadrant::IV);
 //! ```
 
-#![allow(deprecated)] // interop with the deprecated RunConfig, on purpose
-
-use crate::pipeline::{run_benchmark, run_suite, BenchmarkResult, SuiteResult};
-use crate::pipeline::{RunConfig, WorkerBudget};
+use crate::pipeline::{run_benchmark, run_suite, BenchmarkResult, SuiteResult, WorkerBudget};
 use crate::quadrant::Thresholds;
 use crate::suite::BenchmarkSpec;
 use fuzzyphase_profiler::ProfileConfig;
@@ -38,7 +35,7 @@ use fuzzyphase_regtree::AnalysisOptions;
 /// A fully-specified analysis run: profile shape, regression-tree
 /// options, quadrant thresholds, root seed and thread budget, behind
 /// one builder.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnalysisRequest {
     profile: ProfileConfig,
     analysis: AnalysisOptions,
@@ -47,17 +44,22 @@ pub struct AnalysisRequest {
     workers: WorkerBudget,
 }
 
+impl Default for AnalysisRequest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl AnalysisRequest {
     /// A request with the paper-default parameters (250 intervals,
     /// default machine, default thresholds, the MICRO-37 seed).
     pub fn new() -> Self {
-        let d = RunConfig::default();
         Self {
-            profile: d.profile,
-            analysis: d.analysis,
-            thresholds: d.thresholds,
-            seed: d.seed,
-            workers: d.workers,
+            profile: ProfileConfig::default(),
+            analysis: AnalysisOptions::default(),
+            thresholds: Thresholds::default(),
+            seed: 0xF022_2004, // MICRO-37, 2004
+            workers: WorkerBudget::default(),
         }
     }
 
@@ -156,46 +158,16 @@ impl AnalysisRequest {
 
     // ---- execution ---------------------------------------------------------
 
-    /// Runs one benchmark end-to-end — the same pipeline as the legacy
-    /// `run_benchmark(spec, &RunConfig)`, bit-identically.
+    /// Runs one benchmark end-to-end
+    /// ([`crate::pipeline::run_benchmark`]).
     pub fn run(&self, spec: &BenchmarkSpec) -> BenchmarkResult {
-        run_benchmark(spec, &self.to_run_config())
+        run_benchmark(spec, self)
     }
 
     /// Runs a set of benchmarks in parallel under the request's worker
-    /// budget — the same pipeline as the legacy `run_suite`.
+    /// budget ([`crate::pipeline::run_suite`]).
     pub fn run_suite(&self, specs: &[BenchmarkSpec]) -> SuiteResult {
-        run_suite(specs, &self.to_run_config())
-    }
-
-    /// The equivalent legacy config, for code still passing `RunConfig`
-    /// across an API boundary.
-    pub fn to_run_config(&self) -> RunConfig {
-        RunConfig {
-            profile: self.profile.clone(),
-            analysis: self.analysis,
-            thresholds: self.thresholds,
-            seed: self.seed,
-            workers: self.workers,
-        }
-    }
-}
-
-impl From<RunConfig> for AnalysisRequest {
-    fn from(cfg: RunConfig) -> Self {
-        Self {
-            profile: cfg.profile,
-            analysis: cfg.analysis,
-            thresholds: cfg.thresholds,
-            seed: cfg.seed,
-            workers: cfg.workers,
-        }
-    }
-}
-
-impl From<&RunConfig> for AnalysisRequest {
-    fn from(cfg: &RunConfig) -> Self {
-        cfg.clone().into()
+        run_suite(specs, self)
     }
 }
 
@@ -204,20 +176,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn request_matches_run_config_bit_for_bit() {
-        let mut legacy = RunConfig::default();
-        legacy.profile.num_intervals = 30;
-        legacy.profile.warmup_intervals = 5;
-        legacy.seed = 42;
-
+    fn request_methods_match_free_functions_bit_for_bit() {
         let request = AnalysisRequest::new()
             .with_intervals(30)
             .with_warmup(5)
             .with_seed(42);
-        assert_eq!(AnalysisRequest::from(&legacy), request);
 
         let spec = BenchmarkSpec::spec("mcf");
-        let a = run_benchmark(&spec, &legacy);
+        let a = run_benchmark(&spec, &request);
         let b = request.run(&spec);
         assert_eq!(a, b);
         for (x, y) in a.report.re_curve.iter().zip(&b.report.re_curve) {
@@ -234,8 +200,16 @@ mod tests {
         let specs = vec![BenchmarkSpec::spec("gzip"), BenchmarkSpec::spec("mcf")];
         let request = AnalysisRequest::new().with_intervals(30).with_warmup(5);
         let a = request.run_suite(&specs);
-        let b = run_suite(&specs, &request.to_run_config());
+        let b = run_suite(&specs, &request);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_is_the_paper_request() {
+        // `Default` must agree with `new()` — the MICRO-37 seed, not a
+        // derived all-zeros struct.
+        assert_eq!(AnalysisRequest::default(), AnalysisRequest::new());
+        assert_eq!(AnalysisRequest::new().seed(), 0xF022_2004);
     }
 
     #[test]
@@ -251,7 +225,5 @@ mod tests {
         assert_eq!(req.workers(), WorkerBudget::fold_only(3));
         assert_eq!(req.profile().num_intervals, 77);
         assert_eq!(req.thresholds().cpi_variance, 0.5);
-        let legacy = req.to_run_config();
-        assert_eq!(AnalysisRequest::from(legacy), req);
     }
 }

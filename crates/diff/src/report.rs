@@ -1,0 +1,183 @@
+//! The deterministic differential-analysis report.
+//!
+//! Every field is a plain struct or `Vec` — no maps, no platform- or
+//! thread-dependent values — so `serde_json` serialization is
+//! byte-stable run-to-run and machine-to-machine (the vendored-serde
+//! convention the rest of the workspace follows; pinned by the golden
+//! test in `tests/golden.rs`). Field order is declaration order.
+
+use serde::{Deserialize, Serialize};
+
+/// One side of the diff, summarized.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// The caller-supplied label (a resume token, spool path, or name).
+    pub label: String,
+    /// EIPV vectors this side contributed.
+    pub vectors: u64,
+    /// Mean interval CPI over those vectors.
+    pub cpi_mean: f64,
+}
+
+/// One predicate along a discriminating path: "is the count of `eip`
+/// in this interval ≤ `threshold`?" (or `>` when `le` is false).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffPredicate {
+    /// Feature id in the diff's union feature space.
+    pub feature: u32,
+    /// The EIP address the feature id maps to.
+    pub eip: u64,
+    /// Count threshold.
+    pub threshold: f64,
+    /// `true`: this path takes the `count ≤ threshold` side; `false`:
+    /// the `count > threshold` side.
+    pub le: bool,
+}
+
+impl DiffPredicate {
+    /// Human-readable form, e.g. `eip 0x400a10 <= 3`.
+    pub fn describe(&self) -> String {
+        let op = if self.le { "<=" } else { ">" };
+        format!("eip {:#x} {} {}", self.eip, op, self.threshold)
+    }
+}
+
+/// One root-to-leaf path of the discriminant tree: a conjunction of
+/// predicates plus the class statistics of the vectors that land there.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffPath {
+    /// Label of the majority class in this leaf (ties go to the side
+    /// whose label sorts first).
+    pub class: String,
+    /// The predicates from root to leaf, in split order.
+    pub predicates: Vec<DiffPredicate>,
+    /// Total vectors in the leaf.
+    pub support: u64,
+    /// Vectors from side A in the leaf.
+    pub a_vectors: u64,
+    /// Vectors from side B in the leaf.
+    pub b_vectors: u64,
+    /// Majority-class fraction of the leaf (0.5 ≤ purity ≤ 1).
+    pub purity: f64,
+    /// Ranking key: `purity × support / total_vectors`.
+    pub score: f64,
+    /// Mean CPI of side A's vectors in the leaf (side A's global mean
+    /// when none land here).
+    pub cpi_a: f64,
+    /// Mean CPI of side B's vectors in the leaf (side B's global mean
+    /// when none land here).
+    pub cpi_b: f64,
+    /// `cpi_b − cpi_a`: how much slower side B runs in this region.
+    pub cpi_delta: f64,
+    /// Human-readable one-line explanation of this path.
+    pub explanation: String,
+}
+
+/// The differential-analysis report: which EIPV features separate two
+/// labeled runs, as ranked discriminating paths.
+///
+/// Deterministic by construction: the fit canonicalizes the side order
+/// by label, every reduction runs in row order, and ranking ties break
+/// on support then leaf index — the same two inputs always produce the
+/// same bytes, whether the report came from the offline `fuzzydiff` CLI
+/// or the daemon's `Diff` request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffReport {
+    /// Side A (the caller's first argument — conventionally the
+    /// "fast"/baseline run).
+    pub class_a: ClassSummary,
+    /// Side B (the caller's second argument — conventionally the
+    /// "slow"/candidate run).
+    pub class_b: ClassSummary,
+    /// Unique EIPs across the union of both sides.
+    pub num_features: u64,
+    /// Leaves of the fitted discriminant tree.
+    pub leaves: u64,
+    /// Fraction of the class-indicator variance the tree separates
+    /// (`1 − Σ leaf SSE / root SSE`, clamped to `[0, 1]`): 1.0 means
+    /// the sides are perfectly distinguishable from EIPVs alone, 0.0
+    /// means they are statistically indistinguishable.
+    pub separability: f64,
+    /// Discriminating paths, ranked by `purity × support` descending.
+    pub paths: Vec<DiffPath>,
+    /// Human-readable summary of the whole diff.
+    pub explanation: String,
+}
+
+impl DiffReport {
+    /// The report as one compact JSON line — the exact bytes the daemon
+    /// streams in its `Diff` reply and the CLI prints, so the two can
+    /// be compared byte-for-byte.
+    pub fn to_json(&self) -> String {
+        // fuzzylint: allow(panic) — plain structs of finite floats
+        // cannot fail to serialize; a failure here is a code bug
+        serde_json::to_string(self).expect("DiffReport serializes")
+    }
+
+    /// The highest-ranked path, if the tree produced any.
+    pub fn top_path(&self) -> Option<&DiffPath> {
+        self.paths.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_description_is_stable() {
+        let p = DiffPredicate {
+            feature: 3,
+            eip: 0x400A10,
+            threshold: 3.0,
+            le: true,
+        };
+        assert_eq!(p.describe(), "eip 0x400a10 <= 3");
+        let q = DiffPredicate { le: false, ..p };
+        assert_eq!(q.describe(), "eip 0x400a10 > 3");
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let rep = DiffReport {
+            class_a: ClassSummary {
+                label: "sess-00000001".into(),
+                vectors: 10,
+                cpi_mean: 1.25,
+            },
+            class_b: ClassSummary {
+                label: "sess-00000002".into(),
+                vectors: 12,
+                cpi_mean: 2.5,
+            },
+            num_features: 40,
+            leaves: 2,
+            separability: 0.97,
+            paths: vec![DiffPath {
+                class: "sess-00000002".into(),
+                predicates: vec![DiffPredicate {
+                    feature: 7,
+                    eip: 0x1234,
+                    threshold: 2.0,
+                    le: false,
+                }],
+                support: 12,
+                a_vectors: 1,
+                b_vectors: 11,
+                purity: 11.0 / 12.0,
+                score: 0.5,
+                cpi_a: 1.2,
+                cpi_b: 2.6,
+                cpi_delta: 1.4,
+                explanation: "x".into(),
+            }],
+            explanation: "y".into(),
+        };
+        let json = rep.to_json();
+        let back: DiffReport = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, rep);
+        // Re-serializing the parsed report reproduces the bytes — the
+        // property the daemon/CLI bit-identity rests on.
+        assert_eq!(back.to_json(), json);
+    }
+}

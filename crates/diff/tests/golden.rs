@@ -1,0 +1,82 @@
+//! Golden byte-stability test: the JSON a fixed fixture produces is
+//! pinned to a checked-in file. Any change to the fit, the ranking, the
+//! explanation formats, or the serialization order shows up here as a
+//! byte diff — which is exactly the wire contract the daemon's `Diff`
+//! reply and the offline `fuzzydiff` CLI rely on.
+
+use fuzzyphase_diff::{diff, DiffOptions};
+use fuzzyphase_profiler::{EipvData, Sample};
+use std::path::Path;
+
+/// A deterministic two-sided fixture: side A loops a "fast" kernel over
+/// EIPs 0x400a00..0x400a30, side B spends part of its time in a "slow"
+/// region 0x400b00..0x400b20 with double the CPI. Mirrors the shape of
+/// a gzip-like run before/after a regression.
+fn fixture() -> (EipvData, EipvData) {
+    let mut a = Vec::new();
+    for i in 0..160u64 {
+        a.push(Sample {
+            eip: 0x400a00 + (i % 6) * 8,
+            thread: 0,
+            is_os: false,
+            cpi: 0.9 + (i % 11) as f64 * 0.02,
+        });
+    }
+    let mut b = Vec::new();
+    for i in 0..160u64 {
+        // Every other interval of side B dives into the slow region.
+        let (eip, cpi) = if (i / 8) % 2 == 0 {
+            (0x400a00 + (i % 6) * 8, 0.95 + (i % 7) as f64 * 0.02)
+        } else {
+            (0x400b00 + (i % 4) * 8, 2.1 + (i % 5) as f64 * 0.03)
+        };
+        b.push(Sample {
+            eip,
+            thread: 0,
+            is_os: false,
+            cpi,
+        });
+    }
+    (EipvData::from_samples(&a, 8), EipvData::from_samples(&b, 8))
+}
+
+#[test]
+fn report_json_matches_golden_bytes() {
+    let (a, b) = fixture();
+    let rep = diff(&a, &b, "baseline", "candidate", &DiffOptions::default()).expect("diff");
+    let json = rep.to_json();
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/diff_report.golden.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, format!("{json}\n")).expect("write golden file");
+    }
+    let expected = std::fs::read_to_string(&golden_path).expect("read golden file");
+    assert_eq!(
+        json,
+        expected.trim_end(),
+        "DiffReport bytes drifted; if intentional, regenerate \
+         tests/fixtures/diff_report.golden.json from this test's fixture"
+    );
+}
+
+#[test]
+fn golden_fixture_is_meaningfully_separable() {
+    let (a, b) = fixture();
+    let rep = diff(&a, &b, "baseline", "candidate", &DiffOptions::default()).expect("diff");
+    // Half of side B's intervals are bit-for-bit like side A's, so the
+    // tree can separate at most the slow half — about a third of the
+    // indicator variance.
+    assert!(rep.separability > 0.3, "sep {}", rep.separability);
+    let top = rep.top_path().expect("paths");
+    // The top discriminant must implicate the slow region or the fast
+    // kernel it displaced.
+    let eip = top.predicates.last().expect("predicates").eip;
+    assert!(
+        (0x400a00..0x400a30).contains(&eip) || (0x400b00..0x400b20).contains(&eip),
+        "unexpected discriminant eip {eip:#x}"
+    );
+    assert!(
+        top.cpi_delta > 0.0,
+        "candidate should be slower in the top path"
+    );
+}

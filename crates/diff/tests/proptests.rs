@@ -1,0 +1,93 @@
+//! Property tests for the differential-analysis engine.
+
+use fuzzyphase_diff::{diff, DiffOptions};
+use fuzzyphase_profiler::{EipvData, Sample};
+use proptest::prelude::*;
+
+/// A random stream of samples over a small EIP alphabet with CPIs in a
+/// given band; `spv = 8` samples per vector.
+fn side_strategy(base: u64, lo: f64, hi: f64) -> impl Strategy<Value = EipvData> {
+    prop::collection::vec((0u64..6, lo..hi), 16..200).prop_map(move |raw| {
+        let samples: Vec<Sample> = raw
+            .into_iter()
+            .map(|(off, cpi)| Sample {
+                eip: base + off * 8,
+                thread: 0,
+                is_os: false,
+                cpi,
+            })
+            .collect();
+        EipvData::from_samples(&samples, 8)
+    })
+}
+
+proptest! {
+    /// Swapping the class A/B arguments mirrors the report
+    /// deterministically: same tree, same ranking, summaries and
+    /// per-path CPI columns swapped, `cpi_delta` negated bit-exactly.
+    #[test]
+    fn label_swap_mirrors_the_report(
+        a in side_strategy(0x1000, 0.5, 1.5),
+        b in side_strategy(0x1010, 1.5, 3.0),
+    ) {
+        let opts = DiffOptions::default();
+        let fwd = diff(&a, &b, "base", "cand", &opts).expect("fwd");
+        let rev = diff(&b, &a, "cand", "base", &opts).expect("rev");
+
+        prop_assert_eq!(&fwd.class_a, &rev.class_b);
+        prop_assert_eq!(&fwd.class_b, &rev.class_a);
+        prop_assert_eq!(fwd.num_features, rev.num_features);
+        prop_assert_eq!(fwd.leaves, rev.leaves);
+        prop_assert_eq!(fwd.separability.to_bits(), rev.separability.to_bits());
+        prop_assert_eq!(fwd.paths.len(), rev.paths.len());
+        for (f, r) in fwd.paths.iter().zip(&rev.paths) {
+            prop_assert_eq!(&f.class, &r.class);
+            prop_assert_eq!(&f.predicates, &r.predicates);
+            prop_assert_eq!(f.support, r.support);
+            prop_assert_eq!(f.a_vectors, r.b_vectors);
+            prop_assert_eq!(f.b_vectors, r.a_vectors);
+            prop_assert_eq!(f.purity.to_bits(), r.purity.to_bits());
+            prop_assert_eq!(f.score.to_bits(), r.score.to_bits());
+            prop_assert_eq!(f.cpi_a.to_bits(), r.cpi_b.to_bits());
+            prop_assert_eq!(f.cpi_b.to_bits(), r.cpi_a.to_bits());
+            prop_assert_eq!(f.cpi_delta.to_bits(), (-r.cpi_delta).to_bits());
+        }
+    }
+
+    /// The same inputs always serialize to the same bytes (run-to-run
+    /// determinism of the full fit + render pipeline).
+    #[test]
+    fn refit_is_byte_stable(
+        a in side_strategy(0x2000, 0.8, 1.2),
+        b in side_strategy(0x2000, 0.9, 2.5),
+    ) {
+        let opts = DiffOptions::default();
+        let r1 = diff(&a, &b, "a", "b", &opts).expect("r1");
+        let r2 = diff(&a, &b, "a", "b", &opts).expect("r2");
+        prop_assert_eq!(r1.to_json(), r2.to_json());
+    }
+
+    /// Structural invariants every report obeys: purity in [1/2, 1],
+    /// scores ranked non-increasing, path supports sum to the union
+    /// size, and side counts add up per path.
+    #[test]
+    fn report_invariants_hold(
+        a in side_strategy(0x3000, 0.5, 2.0),
+        b in side_strategy(0x3020, 0.5, 2.0),
+    ) {
+        let rep = diff(&a, &b, "a", "b", &DiffOptions::default()).expect("diff");
+        let total: u64 = rep.class_a.vectors + rep.class_b.vectors;
+        let mut support_sum = 0u64;
+        let mut prev = f64::INFINITY;
+        for p in &rep.paths {
+            prop_assert!((0.5..=1.0).contains(&p.purity));
+            prop_assert!(p.score <= prev);
+            prev = p.score;
+            prop_assert_eq!(p.a_vectors + p.b_vectors, p.support);
+            support_sum += p.support;
+        }
+        prop_assert_eq!(support_sum, total);
+        prop_assert!((0.0..=1.0).contains(&rep.separability));
+        prop_assert_eq!(rep.paths.len() as u64, rep.leaves);
+    }
+}

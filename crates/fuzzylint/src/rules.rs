@@ -31,8 +31,9 @@ const R6_NARROW_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 /// (R3 scope). `serve` is included so wall-clock reads cannot leak into
 /// spool records or session results — the daemon's only legitimate time
 /// source is the injected `Clock` in clock.rs, whose `Instant` sites
-/// carry justified pragmas.
-const R3_MODEL_CRATES: [&str; 4] = ["arch", "regtree", "cluster", "serve"];
+/// carry justified pragmas. `diff` is included because its reports are
+/// byte-compared between the daemon and the offline CLI.
+const R3_MODEL_CRATES: [&str; 5] = ["arch", "regtree", "cluster", "serve", "diff"];
 
 /// Runs every per-file rule over one file (drops the lock-order edges).
 pub fn check_file(file: &SourceFile) -> Vec<Finding> {
@@ -261,10 +262,11 @@ fn r2_unseeded_rng(file: &SourceFile, code: &[usize], out: &mut Vec<Finding>) {
     }
 }
 
-/// R3 — model crates (`arch`, `regtree`, `cluster`) and the daemon
+/// R3 — model crates (`arch`, `regtree`, `cluster`), the daemon
 /// (`serve`, whose spool records and results must be pure functions of
-/// the ingested frames) are input-deterministic: no wall-clock reads
-/// outside tests.
+/// the ingested frames) and the differential analyzer (`diff`, whose
+/// reports are byte-compared across processes) are input-deterministic:
+/// no wall-clock reads outside tests.
 fn r3_wall_clock(file: &SourceFile, code: &[usize], out: &mut Vec<Finding>) {
     if !R3_MODEL_CRATES.contains(&file.crate_name.as_str()) {
         return;

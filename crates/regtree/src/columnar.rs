@@ -14,16 +14,19 @@
 //! independently on an order-preserving `u64` key ([`value_order_key`]),
 //! so the global comparison sort disappears.
 //!
-//! The fit kernels downstream ([`fit_on_columns`]) keep the scalar
-//! algorithm's structure — per-node flat `(feature, value, row)` entry
-//! caches, stably partitioned into the children on expansion — but cut
-//! the root cache directly from the columnar storage (no per-fit
-//! gather/sort) and batch the per-entry work:
+//! The growth machinery downstream lives in [`crate::kernel`] (the
+//! shared split kernel — also the substrate of `fuzzyphase-diff`'s
+//! discriminant trees); [`fit_on_columns`] is its regression-tree entry
+//! point. The kernel keeps the scalar algorithm's structure — per-node
+//! flat `(feature, value, row)` entry caches, stably partitioned into
+//! the children on expansion — but cuts the root cache directly from
+//! the columnar storage (no per-fit gather/sort) and batches the
+//! per-entry work:
 //!
 //! * a shared **squared-target table** replaces one multiply per entry
 //!   visit with a load of the identical product bits;
 //! * **singleton columns** (one non-zero row) resolve through a
-//!   per-row gain memo ([`RowGainCache`]) — their single candidate's
+//!   per-row gain memo — their single candidate's
 //!   gain depends only on the node statistics and the row, and most
 //!   singleton rows repeat across a node's thousands of columns;
 //! * a **sound one-sided screen** (`node_sse - lsse <= bar` ⇒ the gain
@@ -39,9 +42,10 @@
 //! `--features scalar-ref` (which swaps the scalar oracle back in as
 //! the default fit).
 
-use crate::builder::{Candidate, Stats, TreeBuilder};
+use crate::builder::TreeBuilder;
 use crate::dataset::Dataset;
-use crate::tree::{Node, RegressionTree, Split};
+use crate::kernel::grow_on_columns;
+use crate::tree::RegressionTree;
 
 /// Maps an `f64` to a `u64` whose unsigned order equals the IEEE 754
 /// total order ([`f64::total_cmp`]): flip the sign bit of non-negatives,
@@ -279,18 +283,6 @@ impl ColumnarDataset {
     }
 }
 
-/// One growable leaf of the columnar fit: the node's non-zero
-/// `(feature, value, row)` entries, sorted by feature then value with
-/// ties in node-row order — the presorted split-entry cache, now cut
-/// directly from the columnar primary storage instead of gathered and
-/// sorted per fit.
-struct FlatLeaf {
-    node: u32,
-    rows: Vec<u32>,
-    entries: Vec<(u32, f64, u32)>,
-    best: Option<Candidate>,
-}
-
 /// Fits a tree on the columnar layout. Produces a tree bit-identical to
 /// [`TreeBuilder::fit_scalar`]: every floating-point reduction runs in
 /// the same order, only the memory layout and control flow differ.
@@ -303,338 +295,9 @@ pub(crate) fn fit_columnar(builder: &TreeBuilder, ds: &Dataset) -> RegressionTre
 }
 
 /// Fits a tree directly on the prebuilt [`ColumnarDataset`] primary
-/// storage.
+/// storage, via the shared growth kernel ([`crate::kernel`]).
 pub fn fit_on_columns(builder: &TreeBuilder, cols: &ColumnarDataset) -> RegressionTree {
-    let n = cols.num_rows();
-    let y = cols.targets();
-    // Squared targets, shared by every group-pass reduction below: the
-    // product bits are the same wherever `y·y` is computed, so one table
-    // replaces a multiply per entry visit.
-    let ysq: Vec<f64> = y.iter().map(|&v| v * v).collect();
-    let all_rows: Vec<u32> = (0..n as u32).collect();
-    let root_stats = stats_of(y, &all_rows);
-
-    // The root's split-entry cache is the primary storage itself,
-    // flattened: columns are laid out by ascending feature, values
-    // ascending within a column with ties in row order — exactly the
-    // order the scalar path's gather-and-sort produces.
-    let mut entries: Vec<(u32, f64, u32)> = Vec::with_capacity(cols.nnz());
-    for (c, &f) in cols.feat_ids.iter().enumerate() {
-        let (vals, rows) = cols.column(c);
-        for (&v, &r) in vals.iter().zip(rows) {
-            entries.push((f, v, r));
-        }
-    }
-
-    let mut nodes = vec![Node {
-        mean: root_stats.mean(),
-        count: all_rows.len() as u32,
-        sse: root_stats.sse(),
-        split: None,
-        left: None,
-        right: None,
-    }];
-    let mut memo = RowGainCache::new(n);
-    let mut leaves = vec![FlatLeaf {
-        node: 0,
-        best: search_flat(builder, &root_stats, &entries, y, &ysq, &mut memo),
-        rows: all_rows,
-        entries,
-    }];
-    // Row -> side-of-split lookup, reused across expansions; only the
-    // expanded node's rows are consulted, so stale slots are harmless.
-    let mut goes_left = vec![false; n];
-
-    let mut order = 0u32;
-    while nodes.iter().filter(|nd| nd.is_leaf()).count() < builder.max_leaves {
-        // Pick the expandable leaf with the largest gain (deterministic
-        // tie-break: lowest node index) — same rule as the scalar path.
-        let Some((leaf_idx, cand)) = leaves
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| l.best.map(|c| (i, l.node, c)))
-            .max_by(|(_, na, ca), (_, nb, cb)| ca.gain.total_cmp(&cb.gain).then(nb.cmp(na)))
-            .map(|(i, _, c)| (i, c))
-        else {
-            break;
-        };
-
-        let leaf = leaves.swap_remove(leaf_idx);
-
-        // Derive the split sides from the split feature's entry range
-        // alone: rows absent from it hold the implicit zero, so they
-        // side with `0.0 <= threshold`; rows present use their stored
-        // value — the same predicate the scalar path evaluates with a
-        // per-row binary search.
-        let zero_left = 0.0 <= cand.threshold;
-        for &r in &leaf.rows {
-            goes_left[r as usize] = zero_left;
-        }
-        let lo = leaf.entries.partition_point(|e| e.0 < cand.feature);
-        let hi = lo + leaf.entries[lo..].partition_point(|e| e.0 == cand.feature);
-        for &(_, v, r) in &leaf.entries[lo..hi] {
-            goes_left[r as usize] = v <= cand.threshold;
-        }
-
-        // Partition rows (stable, node order preserved).
-        let mut left_rows = Vec::new();
-        let mut right_rows = Vec::new();
-        for &r in &leaf.rows {
-            if goes_left[r as usize] {
-                left_rows.push(r);
-            } else {
-                right_rows.push(r);
-            }
-        }
-        debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
-
-        // Stable-partition the entry cache into the children: a stable
-        // partition of a sorted sequence is still sorted, so neither
-        // child re-gathers or re-sorts.
-        let mut le = Vec::with_capacity(leaf.entries.len());
-        let mut re = Vec::with_capacity(leaf.entries.len());
-        for &e in &leaf.entries {
-            if goes_left[e.2 as usize] {
-                le.push(e);
-            } else {
-                re.push(e);
-            }
-        }
-
-        let ls = stats_of(y, &left_rows);
-        let rs = stats_of(y, &right_rows);
-        let li = nodes.len() as u32;
-        let ri = li + 1;
-        nodes.push(Node {
-            mean: ls.mean(),
-            count: left_rows.len() as u32,
-            sse: ls.sse(),
-            split: None,
-            left: None,
-            right: None,
-        });
-        nodes.push(Node {
-            mean: rs.mean(),
-            count: right_rows.len() as u32,
-            sse: rs.sse(),
-            split: None,
-            left: None,
-            right: None,
-        });
-        let parent = &mut nodes[leaf.node as usize];
-        parent.split = Some(Split {
-            feature: cand.feature,
-            threshold: cand.threshold,
-            order,
-        });
-        parent.left = Some(li);
-        parent.right = Some(ri);
-        order += 1;
-
-        leaves.push(FlatLeaf {
-            node: li,
-            best: search_flat(builder, &ls, &le, y, &ysq, &mut memo),
-            rows: left_rows,
-            entries: le,
-        });
-        leaves.push(FlatLeaf {
-            node: ri,
-            best: search_flat(builder, &rs, &re, y, &ysq, &mut memo),
-            rows: right_rows,
-            entries: re,
-        });
-    }
-
-    RegressionTree::from_nodes(nodes)
-}
-
-/// Per-row memo of the "split this row off alone" gain, valid for one
-/// node's search (`stamp[r] == epoch` marks a filled slot).
-///
-/// Every singleton column evaluates exactly one candidate: threshold 0,
-/// the column's lone row on the right. Its gain depends only on the
-/// node statistics and that row's target — singleton group stats are
-/// `(0.0 + y, 0.0 + y·y)` regardless of which column they come from —
-/// so all singleton columns naming the same row produce bit-identical
-/// gains. The scan accepts a candidate only on *strictly* greater gain
-/// (beyond the tie epsilon), so after the first such column wins,
-/// repeats of the same gain are rejected — exactly what the memo
-/// reproduces at a fraction of the arithmetic.
-struct RowGainCache {
-    gain: Vec<f64>,
-    stamp: Vec<u32>,
-    epoch: u32,
-}
-
-impl RowGainCache {
-    fn new(rows: usize) -> Self {
-        Self {
-            gain: vec![0.0; rows],
-            stamp: vec![0; rows],
-            epoch: 0,
-        }
-    }
-}
-
-/// Target statistics of a row subset, accumulated in row order — the
-/// same reduction order as the scalar path's `subset_stats`.
-fn stats_of(y: &[f64], rows: &[u32]) -> Stats {
-    let mut s = Stats::default();
-    for &r in rows {
-        s.push(y[r as usize]);
-    }
-    s
-}
-
-/// Batch best-split search over a node's presorted entry cache.
-///
-/// Structurally this is the scalar `TreeBuilder::search` — per column a
-/// register-resident group pass then a threshold scan, in the same
-/// floating-point order — with three batch shortcuts that cannot change
-/// any accepted candidate's bits:
-///
-/// - squared targets come from the shared `ysq` table (same product
-///   bits, one multiply saved per entry visit);
-/// - singleton columns resolve through the per-row gain memo
-///   ([`RowGainCache`]) instead of re-deriving the identical gain;
-/// - the last entry of a column only closes its scan, so its (dead)
-///   accumulation is skipped.
-fn search_flat(
-    builder: &TreeBuilder,
-    node_stats: &Stats,
-    entries: &[(u32, f64, u32)],
-    y: &[f64],
-    ysq: &[f64],
-    memo: &mut RowGainCache,
-) -> Option<Candidate> {
-    let scale = node_stats.sumsq.max(f64::MIN_POSITIVE);
-    if (node_stats.n as usize) < 2 * builder.min_leaf || node_stats.sse() <= scale * 1e-12 {
-        return None;
-    }
-
-    let node_sse = node_stats.sse();
-    memo.epoch = memo.epoch.wrapping_add(1);
-    let mut best: Option<Candidate> = None;
-    // The bar a candidate must clear: `scale * 1e-12` initially, then
-    // `best.gain + scale * 1e-12` — cached so the hot loop compares
-    // against a register. Same expression as the scalar search, so the
-    // comparisons (and every tie-break) are bit-identical.
-    let mut bar = scale * 1e-12;
-    let min = builder.min_leaf as f64;
-
-    // Viability of any singleton split, hoisted: left/right counts are
-    // the same for every singleton column of this node, computed in the
-    // scan's exact arithmetic (`zeros.n = n - 1.0`, `right.n = n -
-    // zeros.n`).
-    let solo_viable = {
-        let zn = node_stats.n - 1.0;
-        let rn = node_stats.n - zn;
-        zn > 0.0 && zn >= min && rn >= min
-    };
-    let mut i = 0;
-    while i < entries.len() {
-        let feature = entries[i].0;
-
-        // Singleton column (the next entry, if any, starts another
-        // feature): one candidate — threshold 0, the lone row on the
-        // right — with the gain served from the per-row memo. Group
-        // statistics are only needed on a miss and come from the lone
-        // row via the same `push` the scalar group pass performs.
-        if i + 1 == entries.len() || entries[i + 1].0 != feature {
-            let (_, v, row) = entries[i];
-            if v > 0.0 && solo_viable {
-                let r = row as usize;
-                let gv = if memo.stamp[r] == memo.epoch {
-                    memo.gain[r]
-                } else {
-                    let mut group = Stats::default();
-                    group.push(y[r]);
-                    let zeros = node_stats.minus(&group);
-                    let right = node_stats.minus(&zeros);
-                    let g = node_sse - zeros.sse() - right.sse();
-                    memo.gain[r] = g;
-                    memo.stamp[r] = memo.epoch;
-                    g
-                };
-                if gv > bar {
-                    best = Some(Candidate {
-                        feature,
-                        threshold: 0.0,
-                        gain: gv,
-                    });
-                    bar = gv + scale * 1e-12;
-                }
-            }
-            i += 1;
-            continue;
-        }
-
-        // Group totals for this feature — the scalar group pass.
-        let mut j = i;
-        let mut group = Stats::default();
-        while j < entries.len() && entries[j].0 == feature {
-            let r = entries[j].2 as usize;
-            group.n += 1.0;
-            group.sum += y[r];
-            group.sumsq += ysq[r];
-            j += 1;
-        }
-
-        // Rows where this feature is zero.
-        let zeros = node_stats.minus(&group);
-
-        // Threshold scan: zeros-only split first (threshold 0), then
-        // after each distinct non-zero value. The last entry only
-        // closes the scan (the split after it would leave the right
-        // side empty), so its accumulation into `left` is dead and the
-        // loop stops one short.
-        let mut consider = |left: &Stats, threshold: f64| {
-            if left.n >= min {
-                // One-sided screen: the right side's SSE is clamped
-                // non-negative, so `node_sse - lsse` bounds the gain
-                // from above; candidates under the bar skip the right
-                // half of the evaluation. The full gain is the same
-                // left-associative `(node_sse - lsse) - rsse` the
-                // scalar search computes, so accepted candidates are
-                // bit-identical.
-                let t = node_sse - left.sse();
-                if t > bar {
-                    let right = node_stats.minus(left);
-                    if right.n >= min {
-                        let gain = t - right.sse();
-                        if gain > bar {
-                            best = Some(Candidate {
-                                feature,
-                                threshold,
-                                gain,
-                            });
-                            bar = gain + scale * 1e-12;
-                        }
-                    }
-                }
-            }
-        };
-        let mut left = zeros;
-        let mut prev_value = 0.0;
-        let mut have_left = zeros.n > 0.0;
-        for &(_, v, row) in &entries[i..j - 1] {
-            if v > prev_value && have_left {
-                consider(&left, prev_value);
-            }
-            let r = row as usize;
-            left.n += 1.0;
-            left.sum += y[r];
-            left.sumsq += ysq[r];
-            prev_value = v;
-            have_left = true;
-        }
-        let v = entries[j - 1].1;
-        if v > prev_value && have_left {
-            consider(&left, prev_value);
-        }
-        i = j;
-    }
-    best
+    RegressionTree::from_nodes(grow_on_columns(builder, cols))
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@ pub mod builder;
 pub mod columnar;
 pub mod crossval;
 pub mod dataset;
+mod kernel;
 pub mod tree;
 
 pub use analysis::{analyze, AnalysisOptions, PredictabilityReport};

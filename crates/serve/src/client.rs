@@ -334,6 +334,27 @@ impl ServeClient {
         }
     }
 
+    /// Requests a differential analysis between two sessions: each side
+    /// is a v2 resume token or a path to an archived spool session
+    /// directory on the daemon's host. Blocks for the
+    /// [`fuzzyphase_diff::DiffReport`]; the server's refusal (unknown
+    /// token, unreadable spool, empty side) comes back as an error.
+    pub fn diff(&mut self, a: &str, b: &str) -> io::Result<fuzzyphase_diff::DiffReport> {
+        self.send_control(&ClientControl::Diff {
+            a: a.to_string(),
+            b: b.to_string(),
+        })?;
+        loop {
+            match self.recv()? {
+                ServerMsg::Diff { report } => return Ok(report),
+                ServerMsg::Error { message } => return Err(io::Error::other(message)),
+                // Progress/Refit lines from an in-flight session on the
+                // same connection may interleave; skip them.
+                _ => continue,
+            }
+        }
+    }
+
     /// How many `Pause` lines the server has sent this connection.
     pub fn pauses_seen(&self) -> u64 {
         self.pauses_seen.load(Ordering::SeqCst)

@@ -22,6 +22,7 @@
 
 use crate::metrics::StatsSnapshot;
 use fuzzyphase::Quadrant;
+use fuzzyphase_diff::DiffReport;
 use fuzzyphase_regtree::PredictabilityReport;
 use fuzzyphase_sampling::Recommendation;
 use serde::{Deserialize, Serialize};
@@ -74,6 +75,20 @@ pub enum ClientControl {
     /// [`ServerMsg::SuiteReport`], or `Error` when no session has
     /// finished yet.
     SuiteReport,
+    /// Requests a differential analysis between two sessions (allowed
+    /// without a session): each side is a v2 resume token or a path to
+    /// an archived spool session directory. The owning shards replay
+    /// each side through the ingest path and the daemon fits the
+    /// discriminant tree, answering with [`ServerMsg::Diff`] — bytes
+    /// identical to the offline `fuzzydiff` CLI over the same spools.
+    Diff {
+        /// Side A: resume token or spool session directory (the
+        /// baseline/"fast" run by convention).
+        a: String,
+        /// Side B: resume token or spool session directory (the
+        /// candidate/"slow" run by convention).
+        b: String,
+    },
 }
 
 /// One newline-delimited JSON reply from the server.
@@ -161,6 +176,14 @@ pub enum ServerMsg {
         /// Shard count the daemon is running with (diagnostic; the
         /// report's bytes do not depend on it).
         shards: u64,
+    },
+    /// Answer to [`ClientControl::Diff`]: the discriminant-tree report
+    /// explaining which EIPV features separate the two sessions.
+    /// Deterministic — the embedded report's JSON is byte-identical to
+    /// the offline `fuzzydiff` CLI over the same two spools.
+    Diff {
+        /// The differential-analysis report.
+        report: DiffReport,
     },
     /// Backpressure: stop sending sample frames until `Resume`.
     Pause,
@@ -297,6 +320,10 @@ mod tests {
             ClientControl::Ping,
             ClientControl::Shutdown,
             ClientControl::SuiteReport,
+            ClientControl::Diff {
+                a: "sess-00000001".into(),
+                b: "/var/spool/fuzzyphase/shard-000/sess-00000002".into(),
+            },
         ];
         for m in &msgs {
             let bytes = encode_control(m).expect("encode");
@@ -324,6 +351,25 @@ mod tests {
                 vectors: 5,
                 cpi_mean: 1.25,
                 cpi_variance: 0.002,
+            },
+            ServerMsg::Diff {
+                report: fuzzyphase_diff::DiffReport {
+                    class_a: fuzzyphase_diff::ClassSummary {
+                        label: "sess-00000001".into(),
+                        vectors: 4,
+                        cpi_mean: 1.0,
+                    },
+                    class_b: fuzzyphase_diff::ClassSummary {
+                        label: "sess-00000002".into(),
+                        vectors: 4,
+                        cpi_mean: 2.0,
+                    },
+                    num_features: 9,
+                    leaves: 1,
+                    separability: 0.0,
+                    paths: Vec::new(),
+                    explanation: "indistinguishable".into(),
+                },
             },
             ServerMsg::Pause,
             ServerMsg::Resume,

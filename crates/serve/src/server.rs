@@ -36,6 +36,7 @@ use crate::session::{SessionConfig, SessionEngine};
 use crate::spool::{compact_session, SessionMeta, SessionSpool, SpoolConfig};
 use fuzzyphase::{merge_partials, SessionPartial, Thresholds, WorkerBudget};
 use fuzzyphase_profiler::trace::read_samples_into;
+use fuzzyphase_profiler::EipvData;
 use fuzzyphase_regtree::AnalysisOptions;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
@@ -755,6 +756,14 @@ fn connection_thread(stream: TcpStream, shared: Arc<Shared>) {
                             session.send_error(&shared.metrics, message);
                         }
                     },
+                    ClientControl::Diff { a, b } => match diff_report(&shared, &a, &b) {
+                        Ok(msg) => {
+                            let _ = session.send(&msg);
+                        }
+                        Err(message) => {
+                            session.send_error(&shared.metrics, message);
+                        }
+                    },
                 }
             }
             (FRAME_SAMPLES, payload) => {
@@ -886,6 +895,82 @@ fn suite_report(shared: &Arc<Shared>) -> Result<ServerMsg, String> {
         vectors: merged.data.len() as u64,
         shards: shared.shards.len() as u64,
     })
+}
+
+/// Resolves one `Diff` side — a v2 resume token or a path to a spool
+/// session directory — to its canonical label (the session token) and
+/// replayed EIPV data. Read-only: finished partials and recovered
+/// sessions are cloned without consuming their resume entries, and
+/// on-disk spools are replayed on demand. Labeling by token (never the
+/// raw path) is what makes the daemon's reply byte-identical to the
+/// offline `fuzzydiff` CLI over the same spool directories.
+fn diff_side(shared: &Arc<Shared>, spec: &str) -> Result<(String, EipvData), String> {
+    let path = Path::new(spec);
+    if spec.contains(std::path::MAIN_SEPARATOR) || path.is_dir() {
+        let token = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| format!("diff side '{spec}': not a session directory"))?
+            .to_string();
+        let rec = crate::spool::recover_session_dir(path, &token)
+            .map_err(|e| format!("diff side '{spec}': {e}"))?;
+        return Ok((token, rec.state.builder.data().clone()));
+    }
+    let shard = &shared.shards[shared.shard_for(spec)];
+    if let Some(partial) = shard.partials.lock().get(spec) {
+        return Ok((spec.to_string(), partial.data.clone()));
+    }
+    if let Some(rec) = shard.recovered.lock().get(spec) {
+        return Ok((spec.to_string(), rec.spool.state.builder.data().clone()));
+    }
+    let Some(spool_cfg) = &shared.cfg.spool else {
+        return Err(format!(
+            "diff side '{spec}': daemon has no spool; pass a session directory path"
+        ));
+    };
+    let dir = locate_session_dir(spool_cfg, shard.spool.as_ref(), spec);
+    let rec = recover_session(&dir, spec).map_err(|e| format!("diff side '{spec}': {e}"))?;
+    Ok((spec.to_string(), rec.spool.state.builder.data().clone()))
+}
+
+/// Answers [`ClientControl::Diff`]: resolves both sides, fits the
+/// discriminant tree (`fuzzyphase_diff::diff` with default options — the
+/// wire contract) on the owning shard's fit pool, inline on this
+/// connection's thread when the pool is unavailable. The reply bytes
+/// depend only on the two sides' spooled samples, never on shard count
+/// or where the fit ran.
+fn diff_report(shared: &Arc<Shared>, a: &str, b: &str) -> Result<ServerMsg, String> {
+    let (label_a, data_a) = diff_side(shared, a)?;
+    let (label_b, data_b) = diff_side(shared, b)?;
+    let shard = &shared.shards[shared.shard_for(&label_a)];
+    let fit = {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let (ja, jb) = (data_a.clone(), data_b.clone());
+        let (la, lb) = (label_a.clone(), label_b.clone());
+        let queued = shard.scheduler.submit(&shared.metrics, move || {
+            let _ = tx.send(fuzzyphase_diff::diff(
+                &ja,
+                &jb,
+                &la,
+                &lb,
+                &fuzzyphase_diff::DiffOptions::default(),
+            ));
+        });
+        if queued {
+            rx.recv()
+                .map_err(|_| "diff fit job disappeared".to_string())?
+        } else {
+            fuzzyphase_diff::diff(
+                &data_a,
+                &data_b,
+                &label_a,
+                &label_b,
+                &fuzzyphase_diff::DiffOptions::default(),
+            )
+        }
+    };
+    let report = fit.map_err(|e| e.to_string())?;
+    Ok(ServerMsg::Diff { report })
 }
 
 /// Queues a compaction pass for one session's spool on its shard's

@@ -1,0 +1,169 @@
+//! Differential-analysis loopback tests: archive two sessions' spools,
+//! then prove the daemon's `Diff` reply is byte-identical to an offline
+//! replay of the same two spool directories — the contract the
+//! `fuzzydiff` CLI and `serve_smoke.sh` lean on.
+
+use fuzzyphase_diff::{diff, DiffOptions};
+use fuzzyphase_profiler::Sample;
+use fuzzyphase_serve::spool::recover_session_dir;
+use fuzzyphase_serve::{ServeClient, Server, ServerConfig, ServerMsg, SpoolConfig};
+use std::path::{Path, PathBuf};
+
+/// A gzip-like baseline: a tight loop over few EIPs, steady CPI.
+fn gzip_trace(n: u64) -> Vec<Sample> {
+    (0..n)
+        .map(|i| Sample {
+            eip: 0x8000 + (i % 7) * 0x10,
+            thread: 0,
+            is_os: false,
+            cpi: 0.9 + (i % 9) as f64 * 0.02,
+        })
+        .collect()
+}
+
+/// A gcc-like candidate: part of the time in the gzip loop, part in a
+/// slower, flatter code region.
+fn gcc_trace(n: u64) -> Vec<Sample> {
+    (0..n)
+        .map(|i| {
+            if (i / 20) % 2 == 0 {
+                Sample {
+                    eip: 0x8000 + (i % 7) * 0x10,
+                    thread: 0,
+                    is_os: false,
+                    cpi: 1.0 + (i % 5) as f64 * 0.02,
+                }
+            } else {
+                Sample {
+                    eip: 0x9000 + (i % 13) * 0x8,
+                    thread: 0,
+                    is_os: false,
+                    cpi: 2.4 + (i % 7) as f64 * 0.03,
+                }
+            }
+        })
+        .collect()
+}
+
+fn test_spool(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fuzzyphase-diff-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn server_config(spool_dir: &Path) -> ServerConfig {
+    let mut cfg = ServerConfig::default();
+    cfg.analysis.cv.folds = 5;
+    cfg.analysis.cv.k_max = 8;
+    cfg.spool = Some(SpoolConfig {
+        dir: spool_dir.to_path_buf(),
+        segment_bytes: 4 << 20,
+        fsync_every: 1,
+    });
+    cfg
+}
+
+/// Streams one session's trace and waits for the final Progress ack so
+/// every frame is durably spooled before the daemon is killed.
+fn archive_session(addr: &str, name: &str, samples: &[Sample], spv: usize) -> String {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.hello(name, spv, 0).expect("hello");
+    let token = client.resume_token().expect("token").to_string();
+    client.stream_trace(samples, 40).expect("stream");
+    let want = samples.len() as u64;
+    client
+        .recv_until(|m| matches!(m, ServerMsg::Progress { samples, .. } if *samples >= want))
+        .expect("ack");
+    drop(client);
+    token
+}
+
+#[test]
+fn daemon_diff_is_bit_identical_to_offline_replay() {
+    let spool_dir = test_spool("loopback");
+    let cfg = server_config(&spool_dir);
+    let spv = 20;
+
+    // Archive two sessions: stream both fully (no Finish — a delivered
+    // report deletes its spool), then kill the daemon so the spool
+    // directories persist.
+    let server = Server::start(cfg.clone()).expect("start");
+    let addr = server.local_addr().to_string();
+    let tok_a = archive_session(&addr, "gzip-base", &gzip_trace(800), spv);
+    let tok_b = archive_session(&addr, "gcc-cand", &gcc_trace(800), spv);
+    assert_ne!(tok_a, tok_b);
+    server.abort();
+
+    // Offline ground truth: replay both spool directories through the
+    // ingest path and fit — exactly what the fuzzydiff CLI does.
+    let (dir_a, dir_b) = (spool_dir.join(&tok_a), spool_dir.join(&tok_b));
+    let side_a = recover_session_dir(&dir_a, &tok_a).expect("replay a");
+    let side_b = recover_session_dir(&dir_b, &tok_b).expect("replay b");
+    let offline = diff(
+        side_a.state.builder.data(),
+        side_b.state.builder.data(),
+        &tok_a,
+        &tok_b,
+        &DiffOptions::default(),
+    )
+    .expect("offline diff");
+
+    // The fixture is a real regression: the slow region separates.
+    // (Half the candidate's vectors are EIPV-identical to the baseline,
+    // so about a third of the indicator variance is separable.)
+    assert!(offline.separability > 0.25, "sep {}", offline.separability);
+    assert!(offline.top_path().expect("paths").cpi_delta > 0.0);
+
+    // A restarted daemon answers Diff over the recovered tokens with
+    // the same bytes.
+    let server = Server::start(cfg.clone()).expect("restart");
+    assert_eq!(server.stats().sessions_recovered, 2);
+    let addr = server.local_addr().to_string();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    let by_token = client.diff(&tok_a, &tok_b).expect("diff by token");
+    assert_eq!(by_token.to_json(), offline.to_json());
+
+    // Resolving sides by spool directory path gives the same bytes too
+    // (the label is the token either way).
+    let by_path = client
+        .diff(dir_a.to_str().expect("utf8"), dir_b.to_str().expect("utf8"))
+        .expect("diff by path");
+    assert_eq!(by_path.to_json(), offline.to_json());
+
+    // Diff is read-only: both sessions must still be resumable after
+    // being diffed (the recovered entries were peeked, not consumed).
+    drop(client);
+    let mut resumer = ServeClient::connect(&addr).expect("reconnect");
+    let last_seq = resumer
+        .hello_resume("gzip-base", spv, 0, &tok_a)
+        .expect("resume after diff");
+    assert_eq!(last_seq, 20, "800 samples / 40 per frame");
+    drop(resumer);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool_dir);
+}
+
+#[test]
+fn diff_request_guards() {
+    let spool_dir = test_spool("guards");
+    let cfg = server_config(&spool_dir);
+    let server = Server::start(cfg.clone()).expect("start");
+    let addr = server.local_addr().to_string();
+    let tok = archive_session(&addr, "only", &gzip_trace(400), 20);
+
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    // Unknown token on either side.
+    let err = client.diff(&tok, "sess-00424242").expect_err("unknown");
+    assert!(err.to_string().contains("sess-00424242"), "{err}");
+    // Same session on both sides cannot be told apart.
+    let err = client.diff(&tok, &tok).expect_err("identical");
+    assert!(err.to_string().contains("must differ"), "{err}");
+    // The connection survives refused Diff requests.
+    let report = client.diff(&tok, &tok).expect_err("still serving");
+    assert!(report.to_string().contains("must differ"));
+    drop(client);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool_dir);
+}

@@ -7,7 +7,8 @@
 # Hard failure (exit 1) on a regression beyond THRESHOLD_PCT (default
 # 25%) in the metrics stable enough to gate on: the daemon's frame-ack
 # p99 and the regression-tree kernel medians (fit_cached, fit_columnar,
-# sse_batch, cv_parallel). A gated stage missing from the FRESH report
+# sse_batch, cv_parallel, diff_fit). A gated stage missing from the
+# FRESH report
 # is also a hard failure — a silently dropped stage must not pass the
 # gate; a stage missing only from the committed baseline is skipped
 # (the baseline predates the stage).
@@ -84,6 +85,8 @@ else:
          stage_median(base, "sse_batch"), False),
         ("cv_parallel median_ms", stage_median(fresh, "cv_parallel"),
          stage_median(base, "cv_parallel"), False),
+        ("diff_fit median_ms", stage_median(fresh, "diff_fit"),
+         stage_median(base, "diff_fit"), False),
     ]
     soft = [
         ("fit_rescan median_ms", stage_median(fresh, "fit_rescan"),

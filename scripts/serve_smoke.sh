@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Daemon smoke test, three legs:
+# Daemon smoke test, four legs:
 #
 #   1. Throughput: fuzzyphased on an ephemeral port, 4 concurrent
 #      loadgen sessions, graceful Shutdown drain.
@@ -9,6 +9,10 @@
 #   3. Sharding (DESIGN.md D11): the same kill in the middle of a
 #      4-shard daemon, with the restart running 2 shards — sessions must
 #      route, die and resume across a shard-count change.
+#   4. Diff (DESIGN.md D14): two archived sessions are diffed offline by
+#      the fuzzydiff CLI and again through the recovered daemon's Diff
+#      request; the two reports must be byte-identical, and the diffed
+#      sessions must still resume afterwards (Diff is read-only).
 #
 # CI runs this after tier-1; it is also the quickest local end-to-end
 # check of the serve stack. Cleanup is trap-based: a failing run leaves
@@ -22,6 +26,7 @@ SAMPLES="${SAMPLES:-50000}"
 OUT="${OUT:-BENCH_serve.json}"
 RESUME_OUT="${RESUME_OUT:-BENCH_serve_resume.json}"
 SHARD_OUT="${SHARD_OUT:-BENCH_serve_shards.json}"
+DIFF_OUT="${DIFF_OUT:-BENCH_serve_diff.json}"
 SPOOL="serve-smoke-spool"
 LOG="$(mktemp)"
 TOKENS="$(mktemp)"
@@ -40,7 +45,7 @@ cleanup() {
 trap cleanup EXIT
 
 cargo build --release -p fuzzyphase-serve --bin fuzzyphased \
-            -p fuzzyphase-bench --bin loadgen
+            --bin fuzzydiff -p fuzzyphase-bench --bin loadgen
 
 DAEMON=""
 ADDR=""
@@ -166,5 +171,46 @@ wait_daemon_exit
 grep -q '"all_reports_ok": true' "$SHARD_OUT"
 grep -q '"sessions_resumed": 3' "$SHARD_OUT"
 echo "serve_smoke: OK (sharded kill-and-resume leg, reports in $SHARD_OUT)"
+
+# ---- leg 4: daemon Diff reply == offline fuzzydiff, byte for byte ----
+
+rm -rf "$SPOOL"
+start_daemon --spool-dir "$SPOOL" --fsync-every 1
+
+# Two sessions stream ten durable frames each and walk away without
+# finishing — their spools are the two sides of the diff.
+./target/release/loadgen --addr "$ADDR" --sessions 2 --samples 20000 \
+    --batch 500 --spv 50 --restart-after 10 --phase first --tokens "$TOKENS"
+
+kill -9 "$DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+
+TOK_A="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))[0]["token"])' "$TOKENS")"
+TOK_B="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))[1]["token"])' "$TOKENS")"
+
+# Ground truth: the offline CLI replays the spools directly.
+OFFLINE_DIFF="$(./target/release/fuzzydiff "$SPOOL/$TOK_A" "$SPOOL/$TOK_B")"
+
+# The restarted daemon recovers the same spools and serves the same
+# diff over the wire; the reply must match the offline bytes exactly.
+start_daemon --spool-dir "$SPOOL" --fsync-every 1
+DAEMON_DIFF="$(./target/release/fuzzydiff --connect "$ADDR" "$TOK_A" "$TOK_B")"
+
+if [ "$OFFLINE_DIFF" != "$DAEMON_DIFF" ]; then
+    echo "serve_smoke: daemon Diff reply differs from offline fuzzydiff" >&2
+    diff <(printf '%s\n' "$OFFLINE_DIFF") <(printf '%s\n' "$DAEMON_DIFF") >&2 || true
+    exit 1
+fi
+
+# Diff is read-only: the very sessions just diffed must still resume by
+# token and finish their reports.
+./target/release/loadgen --addr "$ADDR" --sessions 2 --samples 20000 \
+    --batch 500 --spv 50 --phase resume --tokens "$TOKENS" \
+    --out "$DIFF_OUT" --shutdown
+
+wait_daemon_exit
+grep -q '"all_reports_ok": true' "$DIFF_OUT"
+grep -q '"sessions_resumed": 2' "$DIFF_OUT"
+echo "serve_smoke: OK (diff leg, daemon reply == offline CLI, reports in $DIFF_OUT)"
 
 SMOKE_OK=1
