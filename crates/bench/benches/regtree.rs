@@ -3,7 +3,7 @@
 //! the paper describes literally).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use fuzzyphase::regtree::{cross_validate, CrossValidation, Dataset, TreeBuilder};
+use fuzzyphase::regtree::{cross_validate, CrossValidation, Dataset, Fitter, TreeBuilder};
 use fuzzyphase::stats::{seeded_rng, SparseVec};
 use rand::Rng;
 
@@ -77,10 +77,10 @@ fn bench_regtree(c: &mut Criterion) {
     let large = eipv_dataset(250, 20_000, 100, 2);
 
     c.bench_function("tree_build_250x3k", |b| {
-        b.iter(|| TreeBuilder::new().fit(&small))
+        b.iter(|| Fitter::new().full(&small))
     });
     c.bench_function("tree_build_250x20k", |b| {
-        b.iter(|| TreeBuilder::new().fit(&large))
+        b.iter(|| Fitter::new().full(&large))
     });
     // Split-entry-cache ablation: same tree, but every node re-gathers
     // and re-sorts its non-zeros.
@@ -109,7 +109,7 @@ fn bench_regtree(c: &mut Criterion) {
     c.bench_function("split_search_sorted(root)", |b| {
         b.iter_batched(
             || tiny.clone(),
-            |ds| TreeBuilder::new().max_leaves(2).fit(&ds),
+            |ds| Fitter::new().max_leaves(2).full(&ds),
             BatchSize::SmallInput,
         )
     });

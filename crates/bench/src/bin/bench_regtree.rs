@@ -13,8 +13,14 @@
 //!   presorted split-entry cache partitioned per node,
 //! - `fit_columnar` — cold columnar build: bucket-and-sort the columnar
 //!   layout, then the batch fit kernels,
-//! - `fit_cached` — `TreeBuilder::fit` steady state: the dataset's
+//! - `fit_cached` — `Fitter::full` steady state: the dataset's
 //!   memoized columnar primary storage feeds the batch kernels directly,
+//! - `fit_incremental` — the streamed-refit steady state: a
+//!   phase-structured session bootstrapped to half length, the rest fed
+//!   to `Fitter::incremental` in frame-batch deltas, one refit per
+//!   batch (the daemon's cadenced-refit path, DESIGN.md D15),
+//! - `fit_stream_scratch` — the same refit points served by a scratch
+//!   `Fitter::full` of each prefix (what the daemon did before D15),
 //! - `sse_scalar` / `sse_batch` — fold-partial SSE accumulation over the
 //!   full dataset, per-`k` scalar walk vs the batch kernel,
 //! - `cv_baseline` — 10-fold × k=50 cross-validation as the seed
@@ -35,9 +41,9 @@
 
 use fuzzyphase_diff::{diff, DiffOptions};
 use fuzzyphase_profiler::{EipvData, Sample};
-use fuzzyphase_regtree::columnar::fit_on_columns;
 use fuzzyphase_regtree::{
-    eval_sse_batch, eval_sse_scalar, ColumnarDataset, CrossValidation, Dataset, TreeBuilder,
+    eval_sse_batch, eval_sse_scalar, ColumnarDataset, CrossValidation, Dataset, FitDelta, Fitter,
+    TreeBuilder,
 };
 use fuzzyphase_stats::{seeded_rng, KFold, SparseVec};
 use rand::Rng;
@@ -58,6 +64,11 @@ struct Report {
     intervals: usize,
     features: u32,
     nnz_per_row: usize,
+    /// Length of the phase-structured session the streamed-refit stages
+    /// (`fit_incremental` / `fit_stream_scratch`) run over; the first
+    /// half is bootstrapped untimed, the second half streams in
+    /// frame-batch deltas.
+    stream_intervals: usize,
     folds: usize,
     k_max: usize,
     /// `std::thread::available_parallelism()` on the machine that produced
@@ -73,9 +84,15 @@ struct Report {
     /// Fold-parallel CV vs current serial CV: the pool's contribution
     /// alone (≈ 1.0 on a single-core machine).
     cv_speedup_parallel: f64,
+    /// Incremental streamed refits vs scratch refits of the same
+    /// prefixes: the daemon's steady-state refit advantage.
+    incremental_refit_speedup: f64,
     cached_tree_identical: bool,
     /// Batch columnar fit produced the same tree as the scalar oracle.
     columnar_tree_identical: bool,
+    /// The final incrementally-maintained tree equals a scratch fit of
+    /// the whole dataset.
+    incremental_tree_identical: bool,
     /// Batch SSE fold partials are bit-identical to the scalar walk.
     sse_batch_bit_identical: bool,
     parallel_curve_bit_identical: bool,
@@ -131,6 +148,52 @@ fn eipv_dataset(n: usize, features: u32, nnz: usize, seed: u64) -> Dataset {
     Dataset::new(rows, ys)
 }
 
+/// A phase-structured EIPV trajectory for the streamed-refit stages:
+/// `phases` recurring program phases with Zipf-skewed unequal durations,
+/// each phase dominated by its own fixed set of hot EIPs (the hottest
+/// consistently hottest, as the 90/10 rule makes real EIPVs look) over a
+/// uniform cold tail, and a per-phase CPI level. A regression tree's
+/// leaves then capture *real* phases — the paper's use case — so the
+/// split structure is stable under streaming instead of churning on
+/// per-interval noise the way a uniform-random dataset makes it.
+fn phased_eipv_dataset(n: usize, features: u32, nnz: usize, seed: u64) -> Dataset {
+    let mut rng = seeded_rng(seed);
+    let phases = 12usize;
+    let hot_per_phase = 24usize;
+    let band = features / phases as u32;
+    let durations: Vec<usize> = (0..phases).map(|p| 2 + 24 / (p + 1)).collect();
+    let cycle: usize = durations.iter().sum();
+    let phase_of = |i: usize| -> usize {
+        let mut t = i % cycle;
+        for (p, &d) in durations.iter().enumerate() {
+            if t < d {
+                return p;
+            }
+            t -= d;
+        }
+        phases - 1
+    };
+    let mut rows = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let phase = phase_of(i);
+        let base = phase as u32 * band;
+        let mut pairs: Vec<(u32, f64)> = Vec::with_capacity(nnz);
+        for h in 0..hot_per_phase {
+            pairs.push((
+                base + h as u32 * 7,
+                120.0 / (h + 1) as f64 + rng.gen_range(0.0..4.0),
+            ));
+        }
+        for _ in hot_per_phase..nnz {
+            pairs.push((base + rng.gen_range(0..band), rng.gen_range(1.0..5.0)));
+        }
+        rows.push(SparseVec::from_pairs(pairs));
+        ys.push(1.0 + phase as f64 * 0.3 + rng.gen_range(-0.025..0.025));
+    }
+    Dataset::new(rows, ys)
+}
+
 /// One synthetic EIPV side for the `diff_fit` stage: `vectors` EIPV
 /// rows over a code region starting at `base`, CPIs in `[cpi_lo,
 /// cpi_hi)`.
@@ -173,18 +236,77 @@ fn main() {
     let reps = 7;
 
     let builder = TreeBuilder::new();
+    let fitter = Fitter::new();
     let (fit_rescan_med, fit_rescan_min) = time_ms(reps, || builder.fit_rescan(&ds));
     let (fit_scalar_med, fit_scalar_min) = time_ms(reps, || builder.fit_scalar(&ds));
     let (fit_columnar_med, fit_columnar_min) = time_ms(reps, || {
-        fit_on_columns(&builder, &ColumnarDataset::from_dataset(&ds))
+        fitter.full_on_columns(&ColumnarDataset::from_dataset(&ds))
     });
     // Warm the dataset's memoized columnar storage so `fit_cached`
-    // times the steady state `TreeBuilder::fit` actually runs at.
-    let warm_tree = builder.fit(&ds);
-    let (fit_cached_med, fit_cached_min) = time_ms(reps, || builder.fit(&ds));
-    let cached_tree_identical = builder.fit(&ds) == builder.fit_rescan(&ds);
-    let columnar_tree_identical =
-        fit_on_columns(&builder, ds.columnar()) == builder.fit_scalar(&ds);
+    // times the steady state `Fitter::full` actually runs at.
+    let warm_tree = fitter.full(&ds);
+    let (fit_cached_med, fit_cached_min) = time_ms(reps, || fitter.full(&ds));
+    let cached_tree_identical = fitter.full(&ds) == builder.fit_rescan(&ds);
+    let columnar_tree_identical = fitter.full_on_columns(ds.columnar()) == builder.fit_scalar(&ds);
+
+    // The streamed-refit steady state: a phase-structured session of
+    // `stream_intervals` frames, the first half absorbed in one
+    // bootstrap gulp, the second half arriving as frame-batch deltas
+    // with one cadenced refit per batch — incremental delta maintenance
+    // vs a scratch `Fitter::full` of each of the same prefixes (what
+    // the daemon did before D15). Cloning the bootstrapped state keeps
+    // the one-time bootstrap out of the timed region, so the stage
+    // measures exactly the daemon's recurring per-refit cost.
+    let stream_intervals = 1920usize;
+    let delta_batch = 10;
+    let sds = phased_eipv_dataset(stream_intervals, features, nnz, 2);
+    let half = stream_intervals / 2;
+    let stream_fitter = Fitter::new().max_leaves(16).min_leaf(8);
+    let boot = {
+        let mut state = stream_fitter.begin();
+        stream_fitter.incremental(
+            &mut state,
+            &FitDelta::new(
+                (0..half).map(|i| sds.row(i).clone()).collect(),
+                (0..half).map(|i| sds.target(i)).collect(),
+            ),
+        );
+        state
+    };
+    let batches: Vec<(Vec<SparseVec>, Vec<f64>)> = (half..stream_intervals)
+        .step_by(delta_batch)
+        .map(|start| {
+            let end = (start + delta_batch).min(stream_intervals);
+            (
+                (start..end).map(|i| sds.row(i).clone()).collect(),
+                (start..end).map(|i| sds.target(i)).collect(),
+            )
+        })
+        .collect();
+    let stream_incremental = || {
+        let mut state = boot.clone();
+        let mut last = None;
+        for (rows, ys) in &batches {
+            let delta = FitDelta::new(rows.clone(), ys.clone());
+            last = Some(stream_fitter.incremental(&mut state, &delta));
+        }
+        last.expect("at least one batch")
+    };
+    let stream_reps = 5;
+    let (fit_incremental_med, fit_incremental_min) = time_ms(stream_reps, stream_incremental);
+    let (fit_stream_scratch_med, fit_stream_scratch_min) = time_ms(stream_reps, || {
+        let mut last = None;
+        for end in (half..stream_intervals).step_by(delta_batch) {
+            let end = (end + delta_batch).min(stream_intervals);
+            let prefix = Dataset::new(
+                (0..end).map(|i| sds.row(i).clone()).collect(),
+                (0..end).map(|i| sds.target(i)).collect(),
+            );
+            last = Some(stream_fitter.full(&prefix));
+        }
+        last.expect("at least one prefix")
+    });
+    let incremental_tree_identical = stream_incremental() == stream_fitter.full(&sds);
 
     let k_max_eval = CrossValidation::default().k_max;
     let all_rows: Vec<usize> = (0..ds.len()).collect();
@@ -248,10 +370,17 @@ fn main() {
         median_ms: med,
         min_ms: min,
     };
+    let stream_stage = |name: &str, med: f64, min: f64| Stage {
+        name: name.to_string(),
+        reps: stream_reps,
+        median_ms: med,
+        min_ms: min,
+    };
     let report = Report {
         intervals,
         features,
         nnz_per_row: nnz,
+        stream_intervals,
         folds: serial_cv.folds,
         k_max: serial_cv.k_max,
         available_parallelism,
@@ -261,6 +390,12 @@ fn main() {
             stage("fit_scalar", fit_scalar_med, fit_scalar_min),
             stage("fit_columnar", fit_columnar_med, fit_columnar_min),
             stage("fit_cached", fit_cached_med, fit_cached_min),
+            stream_stage("fit_incremental", fit_incremental_med, fit_incremental_min),
+            stream_stage(
+                "fit_stream_scratch",
+                fit_stream_scratch_med,
+                fit_stream_scratch_min,
+            ),
             stage("sse_scalar", sse_scalar_med, sse_scalar_min),
             stage("sse_batch", sse_batch_med, sse_batch_min),
             stage("cv_baseline", cv_base_med, cv_base_min),
@@ -271,8 +406,10 @@ fn main() {
         fit_speedup: fit_rescan_med / fit_cached_med,
         cv_speedup_vs_baseline: cv_base_med / cv_parallel_med,
         cv_speedup_parallel: cv_serial_med / cv_parallel_med,
+        incremental_refit_speedup: fit_stream_scratch_med / fit_incremental_med,
         cached_tree_identical,
         columnar_tree_identical,
+        incremental_tree_identical,
         sse_batch_bit_identical,
         parallel_curve_bit_identical,
         diff_report_byte_stable,
@@ -289,6 +426,10 @@ fn main() {
     assert!(
         report.columnar_tree_identical,
         "columnar batch fit changed the fitted tree"
+    );
+    assert!(
+        report.incremental_tree_identical,
+        "incremental delta maintenance changed the fitted tree"
     );
     assert!(
         report.sse_batch_bit_identical,
@@ -316,6 +457,10 @@ fn main() {
     println!(
         "cv speedup vs baseline:     {:.2}x",
         report.cv_speedup_vs_baseline
+    );
+    println!(
+        "incremental refit speedup:  {:.2}x  [tree identical: {}]",
+        report.incremental_refit_speedup, report.incremental_tree_identical
     );
     println!(
         "cv speedup ({} fold workers): {:.2}x  [curve bit-identical: {}]",

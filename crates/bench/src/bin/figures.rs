@@ -17,7 +17,7 @@ use fuzzyphase::arch::MachineConfig;
 use fuzzyphase::cluster::{default_k_grid, kmeans_re_curve};
 use fuzzyphase::prelude::*;
 use fuzzyphase::profiler::overhead_fraction;
-use fuzzyphase::regtree::TreeBuilder;
+use fuzzyphase::regtree::Fitter;
 use fuzzyphase::report::format_table2;
 use fuzzyphase::sampling::{
     evaluate_technique, PhaseSampling, RandomSampling, SmartsSampling, StratifiedPhaseSampling,
@@ -123,7 +123,7 @@ fn table1() {
             ds.target(i)
         );
     }
-    let tree = TreeBuilder::new().max_leaves(4).fit(&ds);
+    let tree = Fitter::new().max_leaves(4).full(&ds);
     println!("\nFitted 4-chamber tree:");
     print_tree(&tree, 0, 0);
     export_json("table1_tree", &tree);
@@ -350,7 +350,7 @@ fn re_figure(cfg: &AnalysisRequest, spec: BenchmarkSpec, tag: &str) {
     // map the top split EIPs back to the DSS operator regions.
     let eipvs = r.profile.eipvs();
     let ds = fuzzyphase::regtree::Dataset::new(eipvs.vectors.clone(), eipvs.cpis.clone());
-    let tree = TreeBuilder::new().fit(&ds);
+    let tree = Fitter::new().full(&ds);
     let db = fuzzyphase::workload::dss::DssDatabase::new();
     let region_of = |eip: u64| -> String {
         db.code

@@ -60,6 +60,7 @@ pub mod prelude {
     pub use crate::quadrant::{Quadrant, Thresholds};
     pub use crate::request::AnalysisRequest;
     pub use crate::suite::{all_benchmarks, BenchmarkId, BenchmarkSpec};
+    pub use fuzzyphase_diff::DiffOptions;
     pub use fuzzyphase_profiler::{ProfileConfig, ProfileData, ProfileSession, SamplerSpec};
     pub use fuzzyphase_regtree::{analyze, AnalysisOptions, PredictabilityReport};
     pub use fuzzyphase_workload::Workload;
@@ -67,6 +68,7 @@ pub mod prelude {
 
 pub use fuzzyphase_arch as arch;
 pub use fuzzyphase_cluster as cluster;
+pub use fuzzyphase_diff as diff;
 pub use fuzzyphase_profiler as profiler;
 pub use fuzzyphase_regtree as regtree;
 pub use fuzzyphase_sampling as sampling;

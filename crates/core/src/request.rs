@@ -29,17 +29,20 @@
 use crate::pipeline::{run_benchmark, run_suite, BenchmarkResult, SuiteResult, WorkerBudget};
 use crate::quadrant::Thresholds;
 use crate::suite::BenchmarkSpec;
+use fuzzyphase_diff::DiffOptions;
 use fuzzyphase_profiler::ProfileConfig;
 use fuzzyphase_regtree::AnalysisOptions;
 
 /// A fully-specified analysis run: profile shape, regression-tree
-/// options, quadrant thresholds, root seed and thread budget, behind
-/// one builder.
+/// options, quadrant thresholds, differential-analysis options, live
+/// refit cadence, root seed and thread budget, behind one builder.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnalysisRequest {
     profile: ProfileConfig,
     analysis: AnalysisOptions,
     thresholds: Thresholds,
+    diff: DiffOptions,
+    refit_every: usize,
     seed: u64,
     workers: WorkerBudget,
 }
@@ -58,6 +61,11 @@ impl AnalysisRequest {
             profile: ProfileConfig::default(),
             analysis: AnalysisOptions::default(),
             thresholds: Thresholds::default(),
+            // The discriminant-fit defaults are part of the diff wire
+            // contract (DESIGN.md D14) — `new()` must not drift them.
+            diff: DiffOptions::default(),
+            // 0 = no interim refits unless a client asks for a cadence.
+            refit_every: 0,
             seed: 0xF022_2004, // MICRO-37, 2004
             workers: WorkerBudget::default(),
         }
@@ -113,6 +121,20 @@ impl AnalysisRequest {
         self
     }
 
+    /// Replaces the differential-analysis (discriminant-fit) options.
+    pub fn with_diff(mut self, diff: DiffOptions) -> Self {
+        self.diff = diff;
+        self
+    }
+
+    /// Sets the live refit cadence: a streamed session emits an interim
+    /// `RefitDelta` every `n` completed vectors (`0` = only on a
+    /// client-requested cadence; the final report is unaffected).
+    pub fn with_refit_every(mut self, n: usize) -> Self {
+        self.refit_every = n;
+        self
+    }
+
     // ---- accessors ---------------------------------------------------------
 
     /// The profiling configuration.
@@ -146,6 +168,21 @@ impl AnalysisRequest {
         &mut self.thresholds
     }
 
+    /// The differential-analysis options.
+    pub fn diff(&self) -> &DiffOptions {
+        &self.diff
+    }
+
+    /// Mutable access to the differential-analysis options.
+    pub fn diff_mut(&mut self) -> &mut DiffOptions {
+        &mut self.diff
+    }
+
+    /// The live refit cadence (`0` = none by default).
+    pub fn refit_every(&self) -> usize {
+        self.refit_every
+    }
+
     /// The root seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -154,6 +191,11 @@ impl AnalysisRequest {
     /// The thread budget.
     pub fn workers(&self) -> WorkerBudget {
         self.workers
+    }
+
+    /// Mutable access to the thread budget.
+    pub fn workers_mut(&mut self) -> &mut WorkerBudget {
+        &mut self.workers
     }
 
     // ---- execution ---------------------------------------------------------
@@ -217,13 +259,35 @@ mod tests {
         let mut req = AnalysisRequest::new()
             .with_seed(7)
             .with_folds(8)
+            .with_refit_every(25)
+            .with_diff(DiffOptions {
+                max_leaves: 9,
+                min_leaf: 3,
+            })
             .with_workers(WorkerBudget::fold_only(3));
         req.profile_mut().num_intervals = 77;
         req.thresholds_mut().cpi_variance = 0.5;
+        req.diff_mut().min_leaf = 4;
         assert_eq!(req.seed(), 7);
         assert_eq!(req.analysis().cv.folds, 8);
+        assert_eq!(req.refit_every(), 25);
+        assert_eq!(req.diff().max_leaves, 9);
+        assert_eq!(req.diff().min_leaf, 4);
         assert_eq!(req.workers(), WorkerBudget::fold_only(3));
         assert_eq!(req.profile().num_intervals, 77);
         assert_eq!(req.thresholds().cpi_variance, 0.5);
+    }
+
+    #[test]
+    fn diff_and_cadence_defaults_preserve_the_wire_contract() {
+        // DESIGN.md D14: the daemon and the offline CLI both fit diffs
+        // with these exact parameters; a drifted default would silently
+        // change report bytes. And a zero default cadence means no
+        // interim refits unless a client asks — the pre-D15 behavior.
+        let req = AnalysisRequest::new();
+        assert_eq!(*req.diff(), DiffOptions::default());
+        assert_eq!(req.diff().max_leaves, 16);
+        assert_eq!(req.diff().min_leaf, 2);
+        assert_eq!(req.refit_every(), 0);
     }
 }

@@ -17,7 +17,7 @@
 //! class-1 fraction `p` has `SSE = n·p·(1−p) = n·Gini/2`, so the SSE
 //! gain the regression kernel maximizes *is* the weighted Gini gain up
 //! to the constant factor ½, candidate for candidate, tie for tie. The
-//! fit therefore calls [`TreeBuilder::fit`] on the indicator dataset
+//! fit therefore calls [`Fitter::full`] on the indicator dataset
 //! and runs the exact columnar split kernel of `fuzzyphase-regtree`
 //! (`kernel::grow_on_columns`), inheriting its batch/scalar
 //! bit-identity contract (DESIGN.md D13) — build with `--features
@@ -46,7 +46,7 @@ pub mod report;
 pub use report::{ClassSummary, DiffPath, DiffPredicate, DiffReport};
 
 use fuzzyphase_profiler::EipvData;
-use fuzzyphase_regtree::{Dataset, RegressionTree, TreeBuilder};
+use fuzzyphase_regtree::{Dataset, Fitter, RegressionTree};
 use fuzzyphase_stats::SparseVec;
 
 /// Knobs of the discriminant fit. The defaults are part of the wire
@@ -160,10 +160,10 @@ pub fn diff(
         *t = 1.0;
     }
     let ds = Dataset::new(union.vectors, y);
-    let tree = TreeBuilder::new()
+    let tree = Fitter::new()
         .max_leaves(opts.max_leaves)
         .min_leaf(opts.min_leaf)
-        .fit(&ds);
+        .full(&ds);
 
     // Route every vector to its leaf and accumulate per-leaf class
     // counts and CPI sums, in canonical row order.

@@ -295,8 +295,10 @@ pub(crate) fn fit_columnar(builder: &TreeBuilder, ds: &Dataset) -> RegressionTre
 }
 
 /// Fits a tree directly on the prebuilt [`ColumnarDataset`] primary
-/// storage, via the shared growth kernel ([`crate::kernel`]).
-pub fn fit_on_columns(builder: &TreeBuilder, cols: &ColumnarDataset) -> RegressionTree {
+/// storage, via the shared growth kernel ([`crate::kernel`]). External
+/// callers go through [`crate::Fitter::full_on_columns`] — this is the
+/// crate-internal plumbing behind it.
+pub(crate) fn fit_on_columns(builder: &TreeBuilder, cols: &ColumnarDataset) -> RegressionTree {
     RegressionTree::from_nodes(grow_on_columns(builder, cols))
 }
 

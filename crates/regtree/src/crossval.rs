@@ -13,8 +13,8 @@
 //! `RE_k = MSE_k / Var(CPI)` — the quantity the paper's plots actually
 //! show.
 
-use crate::builder::TreeBuilder;
 use crate::dataset::Dataset;
+use crate::incremental::Fitter;
 use crate::tree::RegressionTree;
 use fuzzyphase_stats::KFold;
 use parking_lot::Mutex;
@@ -132,9 +132,7 @@ impl CrossValidation {
         let variance = ds.target_variance();
         let n = ds.len();
         let kf = KFold::new(n, self.folds, self.seed);
-        let builder = TreeBuilder::new()
-            .max_leaves(self.k_max)
-            .min_leaf(self.min_leaf);
+        let fitter = Fitter::new().max_leaves(self.k_max).min_leaf(self.min_leaf);
         let splits: Vec<(Vec<usize>, &[usize])> = kf.splits().collect();
 
         // Each fold produces its own partial sum-of-squared-errors
@@ -151,7 +149,7 @@ impl CrossValidation {
         let partials: Vec<Vec<f64>> = if workers <= 1 {
             splits
                 .iter()
-                .map(|(train, test)| self.fold_sse(ds, &builder, train, test))
+                .map(|(train, test)| self.fold_sse(ds, &fitter, train, test))
                 .collect()
         } else {
             // Work-queue over fold indices (same idiom as the suite
@@ -172,7 +170,7 @@ impl CrossValidation {
                             *n += 1;
                             i
                         };
-                        let sse = self.fold_sse(ds, &builder, &splits[i].0, splits[i].1);
+                        let sse = self.fold_sse(ds, &fitter, &splits[i].0, splits[i].1);
                         results.lock().push((i, sse));
                     });
                 }
@@ -212,15 +210,9 @@ impl CrossValidation {
     /// Evaluates one fold: grows a tree on `train`, drops every `test`
     /// point through it, and returns the fold's partial per-`k`
     /// sum-of-squared-errors vector.
-    fn fold_sse(
-        &self,
-        ds: &Dataset,
-        builder: &TreeBuilder,
-        train: &[usize],
-        test: &[usize],
-    ) -> Vec<f64> {
+    fn fold_sse(&self, ds: &Dataset, fitter: &Fitter, train: &[usize], test: &[usize]) -> Vec<f64> {
         let train_ds = ds.subset(train);
-        let tree = builder.fit(&train_ds);
+        let tree = fitter.full(&train_ds);
         #[cfg(feature = "scalar-ref")]
         {
             eval_sse_scalar(&tree, ds, test, self.k_max)
@@ -345,6 +337,7 @@ pub fn cross_validate(ds: &Dataset, seed: u64) -> ReCurve {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::TreeBuilder;
     use fuzzyphase_stats::{seeded_rng, SparseVec};
     use rand::Rng;
 

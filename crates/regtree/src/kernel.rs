@@ -73,7 +73,7 @@ pub(crate) fn grow_on_columns(builder: &TreeBuilder, cols: &ColumnarDataset) -> 
     let mut memo = RowGainCache::new(n);
     let mut leaves = vec![FlatLeaf {
         node: 0,
-        best: search_flat(builder, &root_stats, &entries, y, &ysq, &mut memo),
+        best: search_flat(builder, &root_stats, &entries, None, y, &ysq, &mut memo),
         rows: all_rows,
         entries,
     }];
@@ -169,13 +169,13 @@ pub(crate) fn grow_on_columns(builder: &TreeBuilder, cols: &ColumnarDataset) -> 
 
         leaves.push(FlatLeaf {
             node: li,
-            best: search_flat(builder, &ls, &le, y, &ysq, &mut memo),
+            best: search_flat(builder, &ls, &le, None, y, &ysq, &mut memo),
             rows: left_rows,
             entries: le,
         });
         leaves.push(FlatLeaf {
             node: ri,
-            best: search_flat(builder, &rs, &re, y, &ysq, &mut memo),
+            best: search_flat(builder, &rs, &re, None, y, &ysq, &mut memo),
             rows: right_rows,
             entries: re,
         });
@@ -196,14 +196,14 @@ pub(crate) fn grow_on_columns(builder: &TreeBuilder, cols: &ColumnarDataset) -> 
 /// (beyond the tie epsilon), so after the first such column wins,
 /// repeats of the same gain are rejected — exactly what the memo
 /// reproduces at a fraction of the arithmetic.
-struct RowGainCache {
+pub(crate) struct RowGainCache {
     gain: Vec<f64>,
     stamp: Vec<u32>,
     epoch: u32,
 }
 
 impl RowGainCache {
-    fn new(rows: usize) -> Self {
+    pub(crate) fn new(rows: usize) -> Self {
         Self {
             gain: vec![0.0; rows],
             stamp: vec![0; rows],
@@ -214,7 +214,7 @@ impl RowGainCache {
 
 /// Target statistics of a row subset, accumulated in row order — the
 /// same reduction order as the scalar path's `subset_stats`.
-fn stats_of(y: &[f64], rows: &[u32]) -> Stats {
+pub(crate) fn stats_of(y: &[f64], rows: &[u32]) -> Stats {
     let mut s = Stats::default();
     for &r in rows {
         s.push(y[r as usize]);
@@ -222,23 +222,53 @@ fn stats_of(y: &[f64], rows: &[u32]) -> Stats {
     s
 }
 
+/// Per-column aggregate a node's maintained cache keeps so the search
+/// can *skip* the column outright (DESIGN.md D15): the column's nonzero
+/// group totals plus the summed SSE of its finest partition (one group
+/// per distinct stored value). Any threshold split of the node along
+/// this column partitions it into unions of those finest groups (plus
+/// the implicit-zeros group), and SSE only shrinks under refinement, so
+///
+/// ```text
+///   gain(any threshold) <= node_sse - zeros_sse - finest
+/// ```
+///
+/// is an upper bound computable in O(1) from the node statistics. A
+/// column whose bound cannot clear the scan's current acceptance bar
+/// (minus a safety margin dominating float round-off) produces no
+/// accepted candidate, so skipping it leaves the scan's record chain —
+/// and therefore the returned candidate's bits — untouched.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ColCache {
+    pub(crate) feature: u32,
+    /// Totals over the column's nonzero rows in this node.
+    pub(crate) group: Stats,
+    /// Sum of per-distinct-value group SSEs (the finest partition).
+    pub(crate) finest: f64,
+}
+
 /// Batch best-split search over a node's presorted entry cache.
 ///
 /// Structurally this is the scalar `TreeBuilder::search` — per column a
 /// register-resident group pass then a threshold scan, in the same
-/// floating-point order — with three batch shortcuts that cannot change
-/// any accepted candidate's bits:
+/// floating-point order — with batch shortcuts that cannot change any
+/// accepted candidate's bits:
 ///
 /// - squared targets come from the shared `ysq` table (same product
 ///   bits, one multiply saved per entry visit);
 /// - singleton columns resolve through the per-row gain memo
 ///   ([`RowGainCache`]) instead of re-deriving the identical gain;
 /// - the last entry of a column only closes its scan, so its (dead)
-///   accumulation is skipped.
-fn search_flat(
+///   accumulation is skipped;
+/// - with `cols` provided (the incremental path's maintained per-column
+///   aggregates), a column whose [`ColCache`] upper bound cannot clear
+///   the current bar is skipped without scanning — see [`ColCache`] for
+///   why that cannot change the accepted candidate.
+pub(crate) fn search_flat(
     builder: &TreeBuilder,
     node_stats: &Stats,
     entries: &[(u32, f64, u32)],
+    cols: Option<&[ColCache]>,
     y: &[f64],
     ysq: &[f64],
     memo: &mut RowGainCache,
@@ -256,7 +286,89 @@ fn search_flat(
     // against a register. Same expression as the scalar search, so the
     // comparisons (and every tie-break) are bit-identical.
     let mut bar = scale * 1e-12;
+    // Margin for the per-column skip bound: three orders of magnitude
+    // above the tie epsilon, so it dominates any round-off in the
+    // cached aggregates while staying far below real gain gaps. The
+    // margin only makes skipping *more* conservative — a column is
+    // scanned unless its bound sits clearly under the bar.
+    let margin = scale * 1e-9;
+    let mut ci = 0usize;
     let min = builder.min_leaf as f64;
+
+    // Probe pass (incremental path only): before the ordered scan, find
+    // the column with the highest upper bound and compute its best
+    // *achievable* gain with the scan's exact arithmetic and viability
+    // rules, touching neither the record chain nor the memo. That gain
+    // is a lower bound `lb` on the final accepted gain (when the probed
+    // candidate is reached in order it is either accepted or the bar
+    // already sits within one tie epsilon of it), so a column whose
+    // upper bound cannot clear `lb - margin` cannot contain the final
+    // candidate nor anything accepted after it — it is skippable even
+    // before the bar has risen. Cold columns ahead of the first strong
+    // column in feature order are pruned this way.
+    let mut lb = 0.0_f64;
+    // Per-column (upper bound, entry count) pairs, computed once up
+    // front — the hot loop's skip test then reads one sequential pair
+    // instead of re-deriving the bound from the 48-byte cache record.
+    let mut ubs: Vec<(f64, u32)> = Vec::new();
+    if let Some(cols) = cols {
+        ubs.reserve(cols.len());
+        let mut best_k = usize::MAX;
+        let mut best_ub = f64::NEG_INFINITY;
+        for (k, cc) in cols.iter().enumerate() {
+            let zeros = node_stats.minus(&cc.group);
+            let ub = node_sse - zeros.sse() - cc.finest;
+            ubs.push((ub, cc.group.n as u32));
+            if ub > best_ub {
+                best_ub = ub;
+                best_k = k;
+            }
+        }
+        if best_k != usize::MAX && best_ub > bar {
+            let feature = cols[best_k].feature;
+            let lo = entries.partition_point(|e| e.0 < feature);
+            let hi = lo + entries[lo..].partition_point(|e| e.0 == feature);
+            if lo < hi {
+                let mut group = Stats::default();
+                for &(_, _, row) in &entries[lo..hi] {
+                    let r = row as usize;
+                    group.n += 1.0;
+                    group.sum += y[r];
+                    group.sumsq += ysq[r];
+                }
+                let zeros = node_stats.minus(&group);
+                let mut consider = |left: &Stats| {
+                    if left.n >= min {
+                        let t = node_sse - left.sse();
+                        let right = node_stats.minus(left);
+                        if right.n >= min {
+                            let gain = t - right.sse();
+                            if gain > lb {
+                                lb = gain;
+                            }
+                        }
+                    }
+                };
+                let mut left = zeros;
+                let mut prev_value = 0.0;
+                let mut have_left = zeros.n > 0.0;
+                for &(_, v, row) in &entries[lo..hi - 1] {
+                    if v > prev_value && have_left {
+                        consider(&left);
+                    }
+                    let r = row as usize;
+                    left.n += 1.0;
+                    left.sum += y[r];
+                    left.sumsq += ysq[r];
+                    prev_value = v;
+                    have_left = true;
+                }
+                if entries[hi - 1].1 > prev_value && have_left {
+                    consider(&left);
+                }
+            }
+        }
+    }
 
     // Viability of any singleton split, hoisted: left/right counts are
     // the same for every singleton column of this node, computed in the
@@ -270,6 +382,26 @@ fn search_flat(
     let mut i = 0;
     while i < entries.len() {
         let feature = entries[i].0;
+
+        // Column-skip bound (incremental path only): if even the
+        // finest partition of this column cannot beat the bar by the
+        // safety margin, no threshold in it can be accepted — skip to
+        // the next column without touching the record chain.
+        if let Some(cols) = cols {
+            while ci < cols.len() && cols[ci].feature < feature {
+                ci += 1;
+            }
+            if ci < cols.len() && cols[ci].feature == feature {
+                let (ub, cnt) = ubs[ci];
+                if ub <= bar.max(lb) - margin {
+                    // The cached group count is exactly the column's
+                    // entry count in this node, so the skip is O(1) —
+                    // no binary search over the entry array.
+                    i += cnt as usize;
+                    continue;
+                }
+            }
+        }
 
         // Singleton column (the next entry, if any, starts another
         // feature): one candidate — threshold 0, the lone row on the

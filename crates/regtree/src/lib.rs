@@ -45,6 +45,7 @@ pub mod builder;
 pub mod columnar;
 pub mod crossval;
 pub mod dataset;
+pub mod incremental;
 mod kernel;
 pub mod tree;
 
@@ -56,4 +57,5 @@ pub use crossval::{
     ReCurve,
 };
 pub use dataset::Dataset;
+pub use incremental::{FitDelta, FitState, Fitter};
 pub use tree::{Node, RegressionTree, Split};

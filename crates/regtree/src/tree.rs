@@ -161,6 +161,34 @@ impl RegressionTree {
         out
     }
 
+    /// Training relative error of the full tree: the leaves' summed SSE
+    /// over the root SSE (`0.0` when the root has no variance to
+    /// explain). The cheap, CV-free figure the daemon's interim
+    /// `RefitDelta` lines report — deterministic, and bit-identical for
+    /// bit-identical trees.
+    pub fn training_re(&self) -> f64 {
+        let root_sse = self.root().sse;
+        if root_sse <= 0.0 {
+            return 0.0;
+        }
+        self.training_sse_k(self.num_splits() + 1) / root_sse
+    }
+
+    /// How many arena nodes of `self` differ from `prev` — compared
+    /// positionally (index by index, plus any length difference), which
+    /// is exact because bit-identical growth assigns identical indices.
+    /// The "nodes changed" figure of the daemon's `RefitDelta`.
+    pub fn nodes_changed_from(&self, prev: &RegressionTree) -> usize {
+        let (a, b) = (self.nodes(), prev.nodes());
+        let common = a.len().min(b.len());
+        let differing = a[..common]
+            .iter()
+            .zip(&b[..common])
+            .filter(|(x, z)| x != z)
+            .count();
+        differing + a.len().max(b.len()) - common
+    }
+
     /// Training sum of squared errors of `T_k` (sum of the SSE of the
     /// chambers that exist at `k`).
     pub fn training_sse_k(&self, k: usize) -> f64 {

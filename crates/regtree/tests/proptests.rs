@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use fuzzyphase_regtree::{
     cross_validate, eval_sse_batch, eval_sse_scalar, ColumnarDataset, CrossValidation, Dataset,
-    TreeBuilder,
+    FitDelta, Fitter, TreeBuilder,
 };
 use fuzzyphase_stats::SparseVec;
 use proptest::prelude::*;
@@ -168,6 +168,47 @@ proptest! {
         }
         for k in 0..k_max {
             prop_assert_eq!(merged_batch[k].to_bits(), merged_scalar[k].to_bits());
+        }
+    }
+
+    /// Delta-maintained incremental refits are bit-identical to the
+    /// scratch oracle: feeding the rows through an arbitrary schedule
+    /// of frame-batch deltas — including empty batches and single-row
+    /// deltas — yields, after every refit, exactly the tree
+    /// [`TreeBuilder::fit`] grows from scratch on the accumulated
+    /// prefix (DESIGN.md D15).
+    #[test]
+    fn incremental_refit_matches_scratch_oracle(
+        ds in dataset_strategy(),
+        batches in prop::collection::vec(0usize..9, 1..14),
+        cap in 2usize..20,
+        min_leaf in 1usize..4,
+    ) {
+        // Make the first batch non-empty: a refit needs ≥ 1 row.
+        let mut batches = batches;
+        batches[0] = batches[0].max(1);
+
+        let fitter = Fitter::new().max_leaves(cap).min_leaf(min_leaf);
+        let oracle = TreeBuilder::new().max_leaves(cap).min_leaf(min_leaf);
+        let mut state = fitter.begin();
+        let mut fed = 0usize;
+        for b in batches {
+            let hi = (fed + b).min(ds.len());
+            let delta = FitDelta::new(
+                ds.rows()[fed..hi].to_vec(),
+                ds.targets()[fed..hi].to_vec(),
+            );
+            fed = hi;
+            let tree = fitter.incremental(&mut state, &delta);
+            let scratch = oracle.fit(&Dataset::new(
+                ds.rows()[..fed].to_vec(),
+                ds.targets()[..fed].to_vec(),
+            ));
+            prop_assert_eq!(&tree, &scratch, "diverged at {} rows", fed);
+            for (a, b) in tree.nodes().iter().zip(scratch.nodes()) {
+                prop_assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+                prop_assert_eq!(a.sse.to_bits(), b.sse.to_bits());
+            }
         }
     }
 

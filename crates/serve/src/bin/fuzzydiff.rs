@@ -16,7 +16,8 @@
 //!
 //! [`DiffReport`]: fuzzyphase_diff::DiffReport
 
-use fuzzyphase_diff::{diff, DiffOptions, DiffReport};
+use fuzzyphase::AnalysisRequest;
+use fuzzyphase_diff::{diff, DiffReport};
 use fuzzyphase_profiler::EipvData;
 use fuzzyphase_serve::spool::recover_session_dir;
 use fuzzyphase_serve::ServeClient;
@@ -55,14 +56,10 @@ fn load_side(dir: &str) -> Result<(String, EipvData), String> {
 fn offline(dir_a: &str, dir_b: &str) -> Result<DiffReport, String> {
     let (label_a, data_a) = load_side(dir_a)?;
     let (label_b, data_b) = load_side(dir_b)?;
-    diff(
-        &data_a,
-        &data_b,
-        &label_a,
-        &label_b,
-        &DiffOptions::default(),
-    )
-    .map_err(|e| e.to_string())
+    // The request's diff defaults are the wire contract the daemon
+    // fits with — byte-identical replies over the same spools.
+    let request = AnalysisRequest::new();
+    diff(&data_a, &data_b, &label_a, &label_b, request.diff()).map_err(|e| e.to_string())
 }
 
 fn connected(addr: &str, a: &str, b: &str) -> Result<DiffReport, String> {

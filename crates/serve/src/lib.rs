@@ -26,8 +26,8 @@
 //! use fuzzyphase_profiler::Sample;
 //!
 //! let mut cfg = ServerConfig::default();
-//! cfg.analysis.cv.folds = 5; // tiny trace for the doctest
-//! cfg.analysis.cv.k_max = 4;
+//! cfg.request.analysis_mut().cv.folds = 5; // tiny trace for the doctest
+//! cfg.request.analysis_mut().cv.k_max = 4;
 //! let server = Server::start(cfg).unwrap();
 //!
 //! let mut client = ServeClient::connect(&server.local_addr().to_string()).unwrap();

@@ -3,8 +3,9 @@
 //! ```text
 //! fuzzyphased [--addr HOST:PORT | --port N] [--max-sessions N]
 //!             [--queue-cap N] [--refit-workers N] [--fold-workers N]
-//!             [--idle-timeout-ms N] [--stdin-control] [--shards N]
-//!             [--spool-dir DIR] [--fsync-every N] [--segment-bytes N]
+//!             [--refit-every N] [--idle-timeout-ms N] [--stdin-control]
+//!             [--shards N] [--spool-dir DIR] [--fsync-every N]
+//!             [--segment-bytes N]
 //! ```
 //!
 //! Prints `fuzzyphased listening on ADDR` once bound (scripts parse
@@ -36,8 +37,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: fuzzyphased [--addr HOST:PORT | --port N] [--max-sessions N] \
          [--queue-cap N] [--refit-workers N] [--fold-workers N] \
-         [--idle-timeout-ms N] [--stdin-control] [--shards N] \
-         [--spool-dir DIR] [--fsync-every N] [--segment-bytes N]"
+         [--refit-every N] [--idle-timeout-ms N] [--stdin-control] \
+         [--shards N] [--spool-dir DIR] [--fsync-every N] [--segment-bytes N]"
     );
     std::process::exit(2);
 }
@@ -75,6 +76,10 @@ fn main() -> ExitCode {
             "--queue-cap" => cfg.queue_cap = parse_num("--queue-cap", args.next()),
             "--refit-workers" => cfg.workers.suite = parse_num("--refit-workers", args.next()),
             "--fold-workers" => cfg.workers.fold = parse_num("--fold-workers", args.next()),
+            "--refit-every" => {
+                let n: usize = parse_num("--refit-every", args.next());
+                cfg.request = cfg.request.with_refit_every(n);
+            }
             "--idle-timeout-ms" => {
                 cfg.idle_timeout_ms = parse_num("--idle-timeout-ms", args.next())
             }

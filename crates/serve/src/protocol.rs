@@ -131,6 +131,11 @@ pub enum ServerMsg {
         cpi_variance: f64,
     },
     /// An interim regression-tree fit over the vectors seen so far.
+    ///
+    /// Legacy (pre-v2.1): v2 daemons now refit incrementally and emit
+    /// the cheap [`ServerMsg::RefitDelta`] summary instead of this
+    /// full-CV report. The variant stays in the wire table so a new
+    /// client still decodes lines from an older daemon.
     Refit {
         /// Vectors the fit used.
         vectors: u64,
@@ -140,6 +145,35 @@ pub enum ServerMsg {
         quadrant: Quadrant,
         /// Sampling technique recommendation for that quadrant.
         recommendation: Recommendation,
+    },
+    /// An interim *incremental* refit summary (protocol v2): the
+    /// cadenced refit consumed the session's accumulated delta through
+    /// the delta-maintained fitter (DESIGN.md D15) instead of refitting
+    /// from scratch, and reports what moved — "nodes changed, RE moved
+    /// from x to y" — rather than a whole report. The maintained tree
+    /// is bit-identical to a scratch fit of the same vectors; the final
+    /// `Report` is unchanged and still bit-identical to offline. v1
+    /// clients skip the unknown line ([`read_msg_lenient`]).
+    RefitDelta {
+        /// Vectors the refitted tree covers (all vectors so far).
+        vectors: u64,
+        /// New vectors this refit consumed (0 on a coalesced cadence
+        /// tick that found nothing new).
+        delta_vectors: u64,
+        /// Arena nodes that differ from the previous interim tree
+        /// (compared positionally; the whole arena counts on the first
+        /// refit).
+        nodes_changed: u64,
+        /// Leaves (chambers) of the refitted tree.
+        num_leaves: u64,
+        /// Training relative error before this refit (`1.0` — the
+        /// mean-predictor baseline — on the session's first refit).
+        re_from: f64,
+        /// Training relative error after this refit: leaf SSE over
+        /// root SSE of the maintained tree. A training-data figure —
+        /// cheap and deterministic; the cross-validated RE curve still
+        /// arrives with the final `Report`.
+        re_to: f64,
     },
     /// The final analysis, sent after `Finish`. Bit-identical to running
     /// the offline pipeline on the same trace.
@@ -351,6 +385,14 @@ mod tests {
                 vectors: 5,
                 cpi_mean: 1.25,
                 cpi_variance: 0.002,
+            },
+            ServerMsg::RefitDelta {
+                vectors: 40,
+                delta_vectors: 10,
+                nodes_changed: 7,
+                num_leaves: 12,
+                re_from: 0.81,
+                re_to: 0.74,
             },
             ServerMsg::Diff {
                 report: fuzzyphase_diff::DiffReport {

@@ -34,10 +34,10 @@ use crate::recovery::{recover_session, RecoveredSession};
 use crate::scheduler::Scheduler;
 use crate::session::{SessionConfig, SessionEngine};
 use crate::spool::{compact_session, SessionMeta, SessionSpool, SpoolConfig};
-use fuzzyphase::{merge_partials, SessionPartial, Thresholds, WorkerBudget};
+use fuzzyphase::{merge_partials, AnalysisRequest, SessionPartial, WorkerBudget};
 use fuzzyphase_profiler::trace::read_samples_into;
 use fuzzyphase_profiler::EipvData;
-use fuzzyphase_regtree::AnalysisOptions;
+use fuzzyphase_regtree::{FitDelta, FitState, Fitter, RegressionTree};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, BufWriter, Write};
@@ -77,10 +77,13 @@ pub struct ServerConfig {
     /// fit's `cv.workers` — the same split the offline suite runner
     /// uses.
     pub workers: WorkerBudget,
-    /// Regression-tree options applied to every session.
-    pub analysis: AnalysisOptions,
-    /// Quadrant thresholds applied to every session.
-    pub thresholds: Thresholds,
+    /// The analysis request applied to every session: regression-tree
+    /// options, quadrant thresholds, differential-analysis options and
+    /// the default refit cadence, all behind the one builder the
+    /// offline pipeline uses. (The request's own worker budget and
+    /// profile shape are ignored here — the daemon profiles nothing and
+    /// sizes threads with [`ServerConfig::workers`].)
+    pub request: AnalysisRequest,
     /// Write-ahead trace spool (DESIGN.md D10). `None` disables
     /// durability: no spooling, no recovery, no resume tokens.
     pub spool: Option<SpoolConfig>,
@@ -104,8 +107,7 @@ impl Default for ServerConfig {
             min_batch_interval_ms: 0,
             drain_deadline_ms: 10_000,
             workers: WorkerBudget::default(),
-            analysis: AnalysisOptions::default(),
-            thresholds: Thresholds::default(),
+            request: AnalysisRequest::new(),
             spool: None,
             shards: 1,
         }
@@ -218,6 +220,19 @@ impl Shared {
     }
 }
 
+/// The incremental-refit state one session accumulates across interim
+/// fits (DESIGN.md D15): the delta-maintained [`FitState`], the last
+/// interim tree (for the `nodes_changed` wire count) and its training
+/// RE (the next message's `re_from`). Guarded by a mutex that is in
+/// practice uncontended — `refit_in_flight` already serializes refits
+/// per session — and never held across a wire write.
+#[derive(Default)]
+struct RefitState {
+    state: Option<FitState>,
+    prev_tree: Option<RegressionTree>,
+    prev_re: Option<f64>,
+}
+
 /// Per-connection state shared by reader, engine, sweeper and fit jobs.
 struct SessionShared {
     /// Server-assigned id; 0 until `Hello` registers the session.
@@ -228,6 +243,8 @@ struct SessionShared {
     dead: AtomicBool,
     expired: AtomicBool,
     refit_in_flight: AtomicBool,
+    /// Incremental-refit state; see [`RefitState`].
+    refit: Mutex<RefitState>,
     compaction_in_flight: AtomicBool,
     /// Set once the final `Report` went out — the reader's cue to
     /// delete the session's spool at teardown.
@@ -245,6 +262,7 @@ impl SessionShared {
             dead: AtomicBool::new(false),
             expired: AtomicBool::new(false),
             refit_in_flight: AtomicBool::new(false),
+            refit: Mutex::new(RefitState::default()),
             compaction_in_flight: AtomicBool::new(false),
             completed: AtomicBool::new(false),
             last_activity: AtomicU64::new(now),
@@ -869,7 +887,7 @@ fn suite_report(shared: &Arc<Shared>) -> Result<ServerMsg, String> {
         return Err("no finished sessions to report on".to_string());
     }
     let merged = merge_partials(partials);
-    let folds = shared.cfg.analysis.cv.folds;
+    let folds = shared.cfg.request.analysis().cv.folds;
     if merged.data.len() < folds {
         return Err(format!(
             "suite too small: {} complete vectors across {} sessions, need at least {} (one per fold)",
@@ -881,8 +899,8 @@ fn suite_report(shared: &Arc<Shared>) -> Result<ServerMsg, String> {
     let mut scfg = SessionConfig {
         spv: 1,
         refit_every: 0,
-        analysis: shared.cfg.analysis,
-        thresholds: shared.cfg.thresholds,
+        analysis: *shared.cfg.request.analysis(),
+        thresholds: *shared.cfg.request.thresholds(),
     };
     scfg.analysis.cv.workers = shared.fold_workers;
     let fit = crate::session::run_fit(&merged.data.vectors, &merged.data.cpis, &scfg);
@@ -934,39 +952,28 @@ fn diff_side(shared: &Arc<Shared>, spec: &str) -> Result<(String, EipvData), Str
 }
 
 /// Answers [`ClientControl::Diff`]: resolves both sides, fits the
-/// discriminant tree (`fuzzyphase_diff::diff` with default options — the
-/// wire contract) on the owning shard's fit pool, inline on this
-/// connection's thread when the pool is unavailable. The reply bytes
-/// depend only on the two sides' spooled samples, never on shard count
-/// or where the fit ran.
+/// discriminant tree (`fuzzyphase_diff::diff` with the daemon request's
+/// diff options — the defaults are the wire contract) on the owning
+/// shard's fit pool, inline on this connection's thread when the pool
+/// is unavailable. The reply bytes depend only on the two sides'
+/// spooled samples, never on shard count or where the fit ran.
 fn diff_report(shared: &Arc<Shared>, a: &str, b: &str) -> Result<ServerMsg, String> {
     let (label_a, data_a) = diff_side(shared, a)?;
     let (label_b, data_b) = diff_side(shared, b)?;
+    let opts = *shared.cfg.request.diff();
     let shard = &shared.shards[shared.shard_for(&label_a)];
     let fit = {
         let (tx, rx) = crossbeam::channel::bounded(1);
         let (ja, jb) = (data_a.clone(), data_b.clone());
         let (la, lb) = (label_a.clone(), label_b.clone());
         let queued = shard.scheduler.submit(&shared.metrics, move || {
-            let _ = tx.send(fuzzyphase_diff::diff(
-                &ja,
-                &jb,
-                &la,
-                &lb,
-                &fuzzyphase_diff::DiffOptions::default(),
-            ));
+            let _ = tx.send(fuzzyphase_diff::diff(&ja, &jb, &la, &lb, &opts));
         });
         if queued {
             rx.recv()
                 .map_err(|_| "diff fit job disappeared".to_string())?
         } else {
-            fuzzyphase_diff::diff(
-                &data_a,
-                &data_b,
-                &label_a,
-                &label_b,
-                &fuzzyphase_diff::DiffOptions::default(),
-            )
+            fuzzyphase_diff::diff(&data_a, &data_b, &label_a, &label_b, &opts)
         }
     };
     let report = fit.map_err(|e| e.to_string())?;
@@ -1058,6 +1065,14 @@ fn open_session(
         shared.metrics.session_error();
         return Err(format!("session '{name}': spv must be positive"));
     }
+    // Hello's cadence wins; 0 falls back to the daemon request's
+    // default cadence (itself 0 unless configured — no interim refits,
+    // the pre-D15 behavior).
+    let refit_every = if refit_every > 0 {
+        refit_every
+    } else {
+        shared.cfg.request.refit_every()
+    };
     // A missing version field is a v1 client (the field did not exist
     // in v1); anything else must be a version this daemon advertises.
     let proto = protocol.unwrap_or(1);
@@ -1172,8 +1187,8 @@ fn open_session(
     let mut scfg = SessionConfig {
         spv,
         refit_every,
-        analysis: shared.cfg.analysis,
-        thresholds: shared.cfg.thresholds,
+        analysis: *shared.cfg.request.analysis(),
+        thresholds: *shared.cfg.request.thresholds(),
     };
     scfg.analysis.cv.workers = shared.fold_workers;
 
@@ -1343,31 +1358,78 @@ fn engine_thread(
     }
 }
 
-/// Snapshots the engine and queues an interim fit on its shard's pool.
+/// Cuts the session's accumulated delta (everything since the rows the
+/// [`FitState`] has already absorbed) and queues an *incremental* refit
+/// on the shard's pool (DESIGN.md D15). The job folds the delta into
+/// the session's delta-maintained split statistics, rebuilds only the
+/// subtrees whose best split changed, and reports the movement as a
+/// [`ServerMsg::RefitDelta`] — nodes changed, training RE from → to —
+/// instead of re-deriving a whole report from scratch.
+///
+/// The first refit of a connection (fresh or resumed) sees an empty
+/// `FitState`, so its "delta" is the whole accumulated prefix — which
+/// by the D15 soundness argument produces exactly the tree a scratch
+/// fit of that prefix would, the property the recovery tests pin.
 fn submit_refit(
     shared: &Arc<Shared>,
     shard: usize,
     session: &Arc<SessionShared>,
     engine: &mut SessionEngine,
 ) {
-    let (vectors, cpis) = engine.snapshot();
+    let absorbed = session
+        .refit
+        .lock()
+        .state
+        .as_ref()
+        .map_or(0, FitState::rows);
+    let (vectors, cpis) = engine.snapshot_delta(absorbed);
+    let total = engine.vectors();
     let cfg = *engine.config();
     let job_shared = Arc::clone(shared);
     let job_session = Arc::clone(session);
-    let n = vectors.len() as u64;
-    shared.shards[shard]
+    let queued = shared.shards[shard]
         .scheduler
         .submit(&shared.metrics, move || {
-            let fit = crate::session::run_fit(&vectors, &cpis, &cfg);
+            // Same tree parameters the final fit's CV folds use.
+            let fitter = Fitter::new()
+                .max_leaves(cfg.analysis.cv.k_max)
+                .min_leaf(cfg.analysis.cv.min_leaf);
+            let delta_vectors = vectors.len() as u64;
+            let delta = FitDelta::new(vectors, cpis);
+            let msg = {
+                let mut refit = job_session.refit.lock();
+                let mut state = refit.state.take().unwrap_or_else(|| fitter.begin());
+                let tree = fitter.incremental(&mut state, &delta);
+                let re_to = tree.training_re();
+                let nodes_changed = match &refit.prev_tree {
+                    Some(prev) => tree.nodes_changed_from(prev),
+                    None => tree.nodes().len(),
+                } as u64;
+                // Before any interim fit the "model" is the root mean:
+                // all of the variance is unexplained, RE = 1.
+                let re_from = refit.prev_re.unwrap_or(1.0);
+                let msg = ServerMsg::RefitDelta {
+                    vectors: total,
+                    delta_vectors,
+                    nodes_changed,
+                    num_leaves: tree.num_leaves() as u64,
+                    re_from,
+                    re_to,
+                };
+                refit.prev_re = Some(re_to);
+                refit.prev_tree = Some(tree);
+                refit.state = Some(state);
+                msg
+            };
             job_shared.metrics.refit_run();
-            let _ = job_session.send(&ServerMsg::Refit {
-                vectors: n,
-                report: fit.report,
-                quadrant: fit.quadrant,
-                recommendation: fit.recommendation,
-            });
+            let _ = job_session.send(&msg);
             job_session.refit_in_flight.store(false, Ordering::SeqCst);
         });
+    if !queued {
+        // Daemon is stopping: the job never ran, so clear the latch
+        // ourselves or `finish_session` would wait on it forever.
+        session.refit_in_flight.store(false, Ordering::SeqCst);
+    }
 }
 
 /// Runs the final fit on the shard's pool (so a burst of finishing

@@ -185,6 +185,18 @@ impl SessionEngine {
         (data.vectors.clone(), data.cpis.clone())
     }
 
+    /// Clones only the vectors and CPIs completed since index `from` —
+    /// the session's accumulated *delta* for an incremental refit
+    /// (DESIGN.md D15) — and marks the refit cadence as satisfied.
+    /// O(delta) instead of O(dataset), which is what lets the cadence
+    /// keep pace with sustained ingest.
+    pub fn snapshot_delta(&mut self, from: usize) -> (Vec<SparseVec>, Vec<f64>) {
+        self.last_refit_vectors = self.vectors();
+        let data = self.builder.data();
+        let from = from.min(data.vectors.len());
+        (data.vectors[from..].to_vec(), data.cpis[from..].to_vec())
+    }
+
     /// Consumes the engine and runs the final fit — the same
     /// `EipvData::from_samples` + `analyze` path the offline pipeline
     /// takes (a trailing partial vector is dropped, as offline).

@@ -53,8 +53,8 @@ fn test_spool(tag: &str) -> PathBuf {
 
 fn server_config(spool_dir: &Path) -> ServerConfig {
     let mut cfg = ServerConfig::default();
-    cfg.analysis.cv.folds = 5;
-    cfg.analysis.cv.k_max = 8;
+    cfg.request.analysis_mut().cv.folds = 5;
+    cfg.request.analysis_mut().cv.k_max = 8;
     cfg.spool = Some(SpoolConfig {
         dir: spool_dir.to_path_buf(),
         segment_bytes: 4 << 20,

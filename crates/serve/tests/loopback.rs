@@ -26,8 +26,8 @@ fn synth_trace(n: u64) -> Vec<Sample> {
 /// Server options sized for the synthetic traces: 5 folds, small trees.
 fn tiny_server_cfg() -> ServerConfig {
     let mut cfg = ServerConfig::default();
-    cfg.analysis.cv.folds = 5;
-    cfg.analysis.cv.k_max = 8;
+    cfg.request.analysis_mut().cv.folds = 5;
+    cfg.request.analysis_mut().cv.k_max = 8;
     cfg
 }
 
@@ -56,8 +56,7 @@ fn streamed_reports_match_offline_bit_for_bit_for_three_benchmarks() {
     let request = AnalysisRequest::new().with_intervals(30).with_warmup(5);
 
     let server = Server::start(ServerConfig {
-        analysis: *request.analysis(),
-        thresholds: *request.thresholds(),
+        request: request.clone(),
         ..ServerConfig::default()
     })
     .expect("start server");
@@ -100,14 +99,76 @@ fn streamed_reports_match_offline_bit_for_bit_for_three_benchmarks() {
             assert_eq!(a.to_bits(), b.to_bits(), "{name}: RE curve bits");
         }
         assert!(
-            interim.iter().any(|m| matches!(m, ServerMsg::Refit { .. })),
-            "{name}: expected at least one interim refit"
+            interim
+                .iter()
+                .any(|m| matches!(m, ServerMsg::RefitDelta { .. })),
+            "{name}: expected at least one interim refit delta"
         );
     }
 
     let stats = server.stats();
     assert_eq!(stats.reports_sent, 3);
     assert_eq!(stats.sessions_served, 3);
+    server.shutdown();
+}
+
+/// Every interim `RefitDelta` the daemon emits is the incremental
+/// fitter's view of an exact prefix of the trace — so its `re_to` must
+/// be bit-identical to a scratch `Fitter::full` fit of that prefix, and
+/// consecutive deltas must chain (`re_from` = previous `re_to`,
+/// starting from the root-model baseline of 1.0).
+#[test]
+fn interim_refit_deltas_match_scratch_fits_of_their_prefixes() {
+    use fuzzyphase_profiler::EipvData;
+    let mut cfg = tiny_server_cfg();
+    // Slow the engine slightly so refit jobs land between batches
+    // instead of coalescing into one — we want a chain of deltas.
+    cfg.min_batch_interval_ms = 5;
+    let analysis = *cfg.request.analysis();
+    let server = Server::start(cfg).expect("start");
+    let addr = server.local_addr().to_string();
+
+    let trace = synth_trace(900);
+    let spv = 10;
+    let (report, interim) = stream_and_report(&addr, "prefix", &trace, spv, 2, 57);
+    assert!(matches!(report, ServerMsg::Report { .. }));
+
+    let fitter = fuzzyphase_regtree::Fitter::new()
+        .max_leaves(analysis.cv.k_max)
+        .min_leaf(analysis.cv.min_leaf);
+    let mut expect_from = 1.0f64;
+    let mut deltas = 0;
+    for msg in &interim {
+        let ServerMsg::RefitDelta {
+            vectors,
+            delta_vectors,
+            re_from,
+            re_to,
+            num_leaves,
+            ..
+        } = msg
+        else {
+            continue;
+        };
+        deltas += 1;
+        assert!(*delta_vectors > 0, "refit with an empty delta");
+        assert_eq!(re_from.to_bits(), expect_from.to_bits(), "re_from chains");
+        // Scratch-fit the exact prefix the daemon had absorbed.
+        let prefix = EipvData::from_samples(&trace[..*vectors as usize * spv], spv);
+        let ds = fuzzyphase_regtree::Dataset::new(prefix.vectors, prefix.cpis);
+        let scratch = fitter.full(&ds);
+        assert_eq!(
+            re_to.to_bits(),
+            scratch.training_re().to_bits(),
+            "interim RE must match a scratch fit of the {vectors}-vector prefix"
+        );
+        assert_eq!(*num_leaves as usize, scratch.num_leaves());
+        expect_from = *re_to;
+    }
+    assert!(
+        deltas >= 2,
+        "wanted at least two chained deltas: {interim:?}"
+    );
     server.shutdown();
 }
 

@@ -30,8 +30,8 @@ fn test_spool(tag: &str) -> PathBuf {
 
 fn server_config(spool_dir: &Path, fsync_every: u32) -> ServerConfig {
     let mut cfg = ServerConfig::default();
-    cfg.analysis.cv.folds = 5;
-    cfg.analysis.cv.k_max = 8;
+    cfg.request.analysis_mut().cv.folds = 5;
+    cfg.request.analysis_mut().cv.k_max = 8;
     cfg.spool = Some(SpoolConfig {
         dir: spool_dir.to_path_buf(),
         segment_bytes: 4 << 20,
@@ -47,8 +47,8 @@ fn offline_fit(samples: &[Sample], spv: usize, cfg: &ServerConfig) -> fuzzyphase
     let scfg = fuzzyphase_serve::SessionConfig {
         spv,
         refit_every: 0,
-        analysis: cfg.analysis,
-        thresholds: cfg.thresholds,
+        analysis: *cfg.request.analysis(),
+        thresholds: *cfg.request.thresholds(),
     };
     fuzzyphase_serve::session::run_fit(&data.vectors, &data.cpis, &scfg)
 }
@@ -149,6 +149,75 @@ fn kill_and_restart_resumes_bit_identically() {
         leftover.is_empty(),
         "spool should be deleted after Report: {leftover:?}"
     );
+    let _ = std::fs::remove_dir_all(&spool_dir);
+}
+
+/// Kill-and-recover for the *incremental refit* path (DESIGN.md D15):
+/// after a crash and resume, the daemon's first refit rebuilds its
+/// `FitState` from the replayed spool — so every post-resume
+/// `RefitDelta` must carry exactly the training RE a scratch
+/// `Fitter::full` produces on the prefix it names, bit for bit. A
+/// drifted rebuild (lost rows, reordered entries) would move the RE
+/// bits even when the final report happens to agree.
+#[test]
+fn refits_after_kill_and_recover_match_scratch_fits() {
+    let spool_dir = test_spool("refit-recover");
+    let full = trace(1_000);
+    let spv = 20; // 50 vectors
+    let batch = 40;
+
+    let cfg = server_config(&spool_dir, 1);
+    let analysis = *cfg.request.analysis();
+    let server = Server::start(cfg.clone()).expect("start");
+    let addr = server.local_addr().to_string();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    // Cadenced session: refit every 4 vectors.
+    client.hello("refitty", spv, 4).expect("hello");
+    let token = client.resume_token().expect("token").to_string();
+    stream_and_ack(&mut client, &full[..400], batch); // 10 frames
+    server.abort();
+    drop(client);
+
+    let server = Server::start(cfg.clone()).expect("restart");
+    let addr = server.local_addr().to_string();
+    let mut client = ServeClient::connect(&addr).expect("reconnect");
+    let last_seq = client
+        .hello_resume("refitty", spv, 4, &token)
+        .expect("resume");
+    let covered = last_seq as usize * batch;
+    client.stream_trace(&full[covered..], batch).expect("rest");
+    client.finish().expect("finish");
+    let (report, interim) = client.wait_report().expect("report");
+    client.close();
+    server.shutdown();
+    assert!(matches!(report, ServerMsg::Report { .. }));
+
+    // Every post-resume RefitDelta names its prefix; scratch-fit it.
+    let fitter = fuzzyphase_regtree::Fitter::new()
+        .max_leaves(analysis.cv.k_max)
+        .min_leaf(analysis.cv.min_leaf);
+    let mut deltas = 0;
+    for msg in &interim {
+        let ServerMsg::RefitDelta {
+            vectors,
+            delta_vectors,
+            re_to,
+            ..
+        } = msg
+        else {
+            continue;
+        };
+        deltas += 1;
+        assert!(*delta_vectors > 0);
+        let prefix = EipvData::from_samples(&full[..*vectors as usize * spv], spv);
+        let ds = fuzzyphase_regtree::Dataset::new(prefix.vectors, prefix.cpis);
+        assert_eq!(
+            re_to.to_bits(),
+            fitter.full(&ds).training_re().to_bits(),
+            "post-resume refit must rebuild the exact {vectors}-vector state"
+        );
+    }
+    assert!(deltas >= 1, "no post-resume refits observed: {interim:?}");
     let _ = std::fs::remove_dir_all(&spool_dir);
 }
 
@@ -332,8 +401,8 @@ fn resume_guards_reject_bad_tokens_and_double_resume() {
 #[test]
 fn sessions_without_spool_have_no_tokens_and_no_resume() {
     let mut cfg = ServerConfig::default();
-    cfg.analysis.cv.folds = 5;
-    cfg.analysis.cv.k_max = 8;
+    cfg.request.analysis_mut().cv.folds = 5;
+    cfg.request.analysis_mut().cv.k_max = 8;
     assert!(cfg.spool.is_none());
     let server = Server::start(cfg).expect("start");
     let addr = server.local_addr().to_string();

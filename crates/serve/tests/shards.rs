@@ -36,8 +36,8 @@ fn test_spool(tag: &str) -> PathBuf {
 
 fn server_config(spool_dir: Option<&Path>, shards: usize) -> ServerConfig {
     let mut cfg = ServerConfig::default();
-    cfg.analysis.cv.folds = 5;
-    cfg.analysis.cv.k_max = 8;
+    cfg.request.analysis_mut().cv.folds = 5;
+    cfg.request.analysis_mut().cv.k_max = 8;
     cfg.shards = shards;
     cfg.spool = spool_dir.map(|d| SpoolConfig {
         dir: d.to_path_buf(),
@@ -95,8 +95,8 @@ fn offline_suite(
     let scfg = fuzzyphase_serve::SessionConfig {
         spv: 1,
         refit_every: 0,
-        analysis: cfg.analysis,
-        thresholds: cfg.thresholds,
+        analysis: *cfg.request.analysis(),
+        thresholds: *cfg.request.thresholds(),
     };
     fuzzyphase_serve::session::run_fit(&merged.data.vectors, &merged.data.cpis, &scfg)
 }
@@ -275,8 +275,8 @@ fn killed_sharded_daemon_recovers_under_a_different_shard_count() {
         let scfg = fuzzyphase_serve::SessionConfig {
             spv,
             refit_every: 0,
-            analysis: cfg2.analysis,
-            thresholds: cfg2.thresholds,
+            analysis: *cfg2.request.analysis(),
+            thresholds: *cfg2.request.thresholds(),
         };
         let expect = fuzzyphase_serve::session::run_fit(&data.vectors, &data.cpis, &scfg);
         let ServerMsg::Report {

@@ -26,10 +26,10 @@ fn main() -> std::io::Result<()> {
         offline.quadrant.recommendation().name()
     );
 
-    // The daemon, configured exactly like the offline run.
+    // The daemon, configured exactly like the offline run — the same
+    // AnalysisRequest drives both.
     let server = Server::start(ServerConfig {
-        analysis: *req.analysis(),
-        thresholds: *req.thresholds(),
+        request: req.clone(),
         ..ServerConfig::default()
     })?;
     let addr = server.local_addr().to_string();
@@ -43,11 +43,18 @@ fn main() -> std::io::Result<()> {
     let (report, interim) = client.wait_report()?;
 
     for msg in &interim {
-        if let ServerMsg::Refit {
-            vectors, quadrant, ..
+        if let ServerMsg::RefitDelta {
+            vectors,
+            nodes_changed,
+            re_from,
+            re_to,
+            ..
         } = msg
         {
-            println!("  refit @ {vectors} vectors → {quadrant}");
+            println!(
+                "  refit @ {vectors} vectors → {nodes_changed} node(s) changed, \
+                 RE {re_from:.4} → {re_to:.4}"
+            );
         }
     }
     if let ServerMsg::Report {

@@ -7,8 +7,8 @@
 # Hard failure (exit 1) on a regression beyond THRESHOLD_PCT (default
 # 25%) in the metrics stable enough to gate on: the daemon's frame-ack
 # p99 and the regression-tree kernel medians (fit_cached, fit_columnar,
-# sse_batch, cv_parallel, diff_fit). A gated stage missing from the
-# FRESH report
+# sse_batch, cv_parallel, diff_fit, fit_incremental). A gated stage
+# missing from the FRESH report
 # is also a hard failure — a silently dropped stage must not pass the
 # gate; a stage missing only from the committed baseline is skipped
 # (the baseline predates the stage).
@@ -87,6 +87,8 @@ else:
          stage_median(base, "cv_parallel"), False),
         ("diff_fit median_ms", stage_median(fresh, "diff_fit"),
          stage_median(base, "diff_fit"), False),
+        ("fit_incremental median_ms", stage_median(fresh, "fit_incremental"),
+         stage_median(base, "fit_incremental"), False),
     ]
     soft = [
         ("fit_rescan median_ms", stage_median(fresh, "fit_rescan"),
@@ -97,6 +99,8 @@ else:
          stage_median(base, "sse_scalar"), False),
         ("cv_serial median_ms", stage_median(fresh, "cv_serial"),
          stage_median(base, "cv_serial"), False),
+        ("fit_stream_scratch median_ms", stage_median(fresh, "fit_stream_scratch"),
+         stage_median(base, "fit_stream_scratch"), False),
     ]
 
 
